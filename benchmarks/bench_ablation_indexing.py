@@ -1,0 +1,67 @@
+"""Ablation — the COL first-coordinate index (DESIGN.md §2.4/§6).
+
+The Theorem 5.1 programs key every fact by a time column; without the
+index, each rule body degenerates to full scans over the growing
+history.  This ablation measures the compiled parity machine with the
+index disabled, quantifying what the design choice buys.
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.core.col_simulation import compile_gtm_to_col, run_compiled_col
+from repro.deductive.col import Interp
+from repro.gtm.library import parity_gtm
+from repro.gtm.run import gtm_query
+from repro.model.schema import Database
+
+
+def _unlimited():
+    return Budget(steps=None, objects=None, iterations=None, facts=None)
+
+
+@pytest.fixture
+def compiled():
+    gtm, schema, output_type = parity_gtm()
+    program = compile_gtm_to_col(gtm, output_type)
+    database = Database(schema, {"R": {1, 2}})
+    expected = gtm_query(gtm, database, output_type)
+    return program, gtm, database, expected
+
+
+@pytest.fixture
+def index_off():
+    Interp.use_index = False
+    yield
+    Interp.use_index = True
+
+
+def test_with_index(benchmark, compiled):
+    program, gtm, database, expected = compiled
+    result = benchmark(
+        lambda: run_compiled_col(program, gtm, database, "stratified", _unlimited())
+    )
+    assert result == expected
+
+
+def test_without_index(benchmark, compiled, index_off):
+    program, gtm, database, expected = compiled
+    result = benchmark(
+        lambda: run_compiled_col(program, gtm, database, "stratified", _unlimited())
+    )
+    assert result == expected
+
+
+def test_index_is_semantically_invisible(compiled):
+    program, gtm, database, expected = compiled
+    with_index = run_compiled_col(
+        program, gtm, database, "stratified", _unlimited()
+    )
+    try:
+        Interp.use_index = False
+        without_index = run_compiled_col(
+            program, gtm, database, "stratified", _unlimited()
+        )
+    finally:
+        Interp.use_index = True
+    assert with_index == without_index == expected

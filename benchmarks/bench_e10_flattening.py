@@ -1,0 +1,77 @@
+"""E10 — Theorem 6.3: CALC ≡ tsCALC^ci via flattening.
+
+Measures the flatten/unflatten translation (linear in object size) and
+checks the two stage-bookkeeping facts the proof rests on: an object is
+representable exactly from stage = node_count onward, and one seed atom
+supplies unboundedly many invented values.
+"""
+
+import pytest
+
+from repro.core.flattening import (
+    flatten_value,
+    invention_supply,
+    node_count,
+    objects_at_stage,
+    unflatten_value,
+)
+from repro.model.domains import cons_obj_bounded
+from repro.model.values import Atom
+
+
+def _ids(count):
+    return [Atom(f"ι{i}") for i in range(count)]
+
+
+def _sample_objects(count):
+    return cons_obj_bounded([Atom("a"), Atom("b")], count)
+
+
+class TestTranslationCost:
+    @pytest.mark.parametrize("count", [20, 60])
+    def test_flatten_many(self, benchmark, count):
+        values = _sample_objects(count)
+
+        def flatten_all():
+            total_rows = 0
+            for value in values:
+                _, rows = flatten_value(value, _ids(node_count(value)))
+                total_rows += len(rows)
+            return total_rows
+
+        assert benchmark(flatten_all) > 0
+
+    @pytest.mark.parametrize("count", [20, 60])
+    def test_roundtrip_many(self, benchmark, count):
+        values = _sample_objects(count)
+        encoded = [
+            (value, flatten_value(value, _ids(node_count(value))))
+            for value in values
+        ]
+
+        def unflatten_all():
+            for value, (root, rows) in encoded:
+                assert unflatten_value(root, rows) == value
+
+        benchmark(unflatten_all)
+
+    def test_rows_linear_in_size(self):
+        from repro.model.values import value_size
+
+        for value in _sample_objects(40):
+            _, rows = flatten_value(value, _ids(node_count(value)))
+            assert len(rows) <= 2 * value_size(value) + 2
+
+
+class TestStageBookkeeping:
+    def test_stage_coverage_grows_to_everything(self):
+        sample = set(_sample_objects(25))
+        covered_small = set(objects_at_stage([Atom("a"), Atom("b")], 3, 25))
+        covered_large = set(objects_at_stage([Atom("a"), Atom("b")], 50, 25))
+        assert covered_small < covered_large
+        assert covered_large == sample
+
+    @pytest.mark.parametrize("count", [50, 150])
+    def test_supply_generation(self, benchmark, count):
+        supply = benchmark(lambda: invention_supply(Atom("seed"), count))
+        assert len(set(supply)) == count

@@ -1,0 +1,67 @@
+"""E11 — Theorem 6.4: tsCALC^ti is C-equivalent.
+
+Measures terminal-invention evaluation of compiled machine queries and
+checks the terminal stage lands exactly where the capacity argument
+predicts (quadratic capacity vs. machine runtime).
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.calculus.invention import terminal_invention
+from repro.core.calc_simulation import compile_gtm_to_calc, terminal_stage_prediction
+from repro.gtm.library import all_machines
+from repro.gtm.run import gtm_query
+from repro.model.schema import Database
+
+
+def _database(name, schema, size):
+    if name in ("identity", "reverse", "select_eq"):
+        rows = {(i, i + 1) for i in range(size)}
+    else:
+        rows = set(range(size))
+    return Database(schema, {"R": rows})
+
+
+@pytest.mark.parametrize("name", ["parity", "reverse", "duplicate"])
+def test_terminal_invention_cost(benchmark, name):
+    gtm, schema, output_type = all_machines()[name]
+    staged = compile_gtm_to_calc(gtm, output_type)
+    database = _database(name, schema, 3)
+    expected = gtm_query(gtm, database, output_type)
+    result = benchmark(
+        lambda: terminal_invention(staged, database, Budget(stages=64, steps=None))
+    )
+    assert result == expected
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4])
+def test_terminal_stage_prediction_holds(size):
+    gtm, schema, output_type = all_machines()["duplicate"]
+    staged = compile_gtm_to_calc(gtm, output_type)
+    database = _database("duplicate", schema, size)
+    fired = []
+    terminal_invention(
+        staged,
+        database,
+        Budget(stages=64, steps=None),
+        on_stage=lambda i, u: fired.append(i),
+    )
+    assert fired[-1] == terminal_stage_prediction(staged, database)
+
+
+def test_stage_count_shrinks_with_domain():
+    """More active-domain values = more free capacity = earlier stop."""
+    gtm, schema, output_type = all_machines()["is_empty"]
+    staged = compile_gtm_to_calc(gtm, output_type)
+    stages = []
+    for size in (1, 4):
+        fired = []
+        terminal_invention(
+            staged,
+            _database("is_empty", schema, size),
+            Budget(stages=64, steps=None),
+            on_stage=lambda i, u: fired.append(i),
+        )
+        stages.append(fired[-1])
+    assert stages[1] <= stages[0]

@@ -1,0 +1,60 @@
+"""E12 — Proposition 3.1: GTM ⇄ conventional TM.
+
+Measures the direct GTM run against the coded (atom-blind) simulation;
+the shape claim is a constant-factor slowdown, never asymptotic loss.
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.gtm.compile import simulate_gtm_conventionally
+from repro.gtm.library import all_machines
+from repro.gtm.run import gtm_query
+from repro.model.schema import Database
+
+
+def _database(name, schema, size):
+    if name in ("identity", "reverse", "select_eq"):
+        rows = {(i, i + 1) for i in range(size)}
+    else:
+        rows = set(range(size))
+    return Database(schema, {"R": rows})
+
+
+MACHINES = sorted(all_machines())
+
+
+@pytest.mark.parametrize("name", MACHINES)
+def test_direct(benchmark, name):
+    gtm, schema, output_type = all_machines()[name]
+    database = _database(name, schema, 4)
+    benchmark(lambda: gtm_query(gtm, database, output_type))
+
+
+@pytest.mark.parametrize("name", MACHINES)
+def test_coded_simulation(benchmark, name):
+    gtm, schema, output_type = all_machines()[name]
+    database = _database(name, schema, 4)
+    expected = gtm_query(gtm, database, output_type)
+    result = benchmark(
+        lambda: simulate_gtm_conventionally(gtm, database, output_type)
+    )
+    assert result == expected
+
+
+def test_slowdown_is_constant_factor():
+    import time
+
+    gtm, schema, output_type = all_machines()["duplicate"]
+    ratios = []
+    for size in (3, 6):
+        database = _database("duplicate", schema, size)
+        start = time.perf_counter()
+        gtm_query(gtm, database, output_type)
+        direct = time.perf_counter() - start
+        start = time.perf_counter()
+        simulate_gtm_conventionally(gtm, database, output_type)
+        coded = time.perf_counter() - start
+        ratios.append(coded / max(direct, 1e-9))
+    # The ratio must not blow up with input size (allow generous noise).
+    assert ratios[1] < ratios[0] * 20

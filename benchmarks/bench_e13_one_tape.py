@@ -1,0 +1,65 @@
+"""E13 — Section 3's closing remark: 1-tape GTMs are strictly weaker.
+
+The 2-tape duplicate machine succeeds; every 1-tape machine fails the
+duplication query (replication invariant).  Measures both sides and the
+invariant-checking overhead.
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.gtm.library import duplicate_gtm
+from repro.gtm.machine import ALPHA
+from repro.gtm.one_tape import (
+    OneTapeGTM,
+    duplication_is_impossible,
+    run_one_tape,
+)
+from repro.gtm.run import gtm_query
+from repro.model.encoding import encode_database, canonical_atom_order
+from repro.model.schema import Database
+from repro.model.values import Atom
+
+
+def _one_tape_scanner():
+    return OneTapeGTM(
+        states={"s", "go", "h"},
+        working=[],
+        constants=[],
+        delta={
+            ("s", "("): ("go", "(", "R"),
+            ("go", ALPHA): ("go", ALPHA, "R"),
+            ("go", "["): ("go", "[", "R"),
+            ("go", "]"): ("go", "]", "R"),
+            ("go", ")"): ("h", ")", "-"),
+        },
+        start="s",
+        halt="h",
+    )
+
+
+@pytest.mark.parametrize("size", [2, 4])
+def test_two_tape_duplication(benchmark, size):
+    gtm, schema, output_type = duplicate_gtm()
+    database = Database(schema, {"R": set(range(size))})
+    result = benchmark(lambda: gtm_query(gtm, database, output_type))
+    assert len(result) == size
+
+
+@pytest.mark.parametrize("size", [2, 4])
+def test_one_tape_failure_detection(benchmark, size):
+    machine = _one_tape_scanner()
+    atoms = [Atom(i) for i in range(size)]
+    assert benchmark(lambda: duplication_is_impossible(machine, atoms))
+
+
+@pytest.mark.parametrize("check", [False, True], ids=["raw", "with-invariant"])
+def test_invariant_overhead(benchmark, check):
+    machine = _one_tape_scanner()
+    gtm, schema, _ = duplicate_gtm()
+    database = Database(schema, {"R": set(range(5))})
+    symbols = encode_database(database, canonical_atom_order(database))
+    result = benchmark(
+        lambda: run_one_tape(machine, symbols, Budget(), check_invariant=check)
+    )
+    assert result is not None

@@ -1,0 +1,68 @@
+"""E14 — Section 2: every language's queries are generic.
+
+Measures the permutation-commutation check for one representative per
+language, at growing permutation samples.
+"""
+
+import pytest
+
+from repro.algebra.eval import run_program
+from repro.algebra.library import transitive_closure
+from repro.budget import Budget
+from repro.calculus.eval import evaluate_query
+from repro.calculus.library import projection_query
+from repro.deductive.datalog import (
+    run_datalog_stratified,
+    transitive_closure_datalog,
+)
+from repro.gtm.library import reverse_gtm
+from repro.gtm.run import gtm_query
+from repro.model.genericity import check_generic
+from repro.workloads import random_binary_pairs
+
+
+DATABASES = [random_binary_pairs(3, 3, seed) for seed in (0, 1)]
+
+
+@pytest.mark.parametrize("max_perms", [4, 12])
+def test_algebra_genericity_check(benchmark, max_perms):
+    program = transitive_closure()
+    assert benchmark(
+        lambda: check_generic(
+            lambda d: run_program(program, d), DATABASES, max_perms=max_perms
+        )
+    )
+
+
+@pytest.mark.parametrize("max_perms", [4, 12])
+def test_calculus_genericity_check(benchmark, max_perms):
+    query = projection_query()
+    assert benchmark(
+        lambda: check_generic(
+            lambda d: evaluate_query(query, d), DATABASES, max_perms=max_perms
+        )
+    )
+
+
+@pytest.mark.parametrize("max_perms", [4, 12])
+def test_datalog_genericity_check(benchmark, max_perms):
+    program = transitive_closure_datalog()
+    assert benchmark(
+        lambda: check_generic(
+            lambda d: run_datalog_stratified(program, d),
+            DATABASES,
+            max_perms=max_perms,
+        )
+    )
+
+
+@pytest.mark.parametrize("max_perms", [4, 12])
+def test_gtm_genericity_check(benchmark, max_perms):
+    gtm, schema, output_type = reverse_gtm()
+    assert benchmark(
+        lambda: check_generic(
+            lambda d: gtm_query(gtm, d, output_type),
+            DATABASES,
+            max_perms=max_perms,
+        )
+    )

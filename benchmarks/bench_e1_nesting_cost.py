@@ -1,0 +1,66 @@
+"""E1 — Theorem 2.2: each set-nesting level costs one exponential.
+
+Measures (a) the size of ``cons_T(X)`` as the nesting height of T
+grows, and (b) evaluation time of the set-quantifier parity query,
+whose single ``{[U,U]}`` quantifier costs ``2^(n^2)``.
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.calculus.eval import evaluate_query
+from repro.calculus.library import parity_query
+from repro.model.domains import cons, cons_size
+from repro.model.types import nested_set_type
+from repro.model.values import Atom
+from repro.workloads import unary_instance
+
+
+def _unlimited():
+    return Budget(steps=None, objects=None)
+
+
+class TestConsGrowth:
+    def test_sizes_form_exponential_tower(self):
+        n = 2
+        sizes = [cons_size(nested_set_type(h), n) for h in range(4)]
+        # n, 2^n, 2^(2^n), ... — each level is exponential in the last.
+        assert sizes[0] == 2
+        assert sizes[1] == 2**2
+        assert sizes[2] == 2**4
+        assert sizes[3] == 2**16
+
+    @pytest.mark.parametrize("height", [1, 2])
+    def test_enumeration_cost(self, benchmark, height):
+        atoms = [Atom(i) for i in range(2)]
+        rtype = nested_set_type(height)
+
+        def enumerate_all():
+            return sum(1 for _ in cons(rtype, atoms, _unlimited()))
+
+        count = benchmark(enumerate_all)
+        assert count == cons_size(rtype, 2)
+
+
+class TestParityCost:
+    @pytest.mark.parametrize("size", [2, 3])
+    def test_parity_evaluation(self, benchmark, size):
+        query = parity_query()
+        database = unary_instance(size)
+        result = benchmark(
+            lambda: evaluate_query(query, database, budget=_unlimited())
+        )
+        assert (len(result) == 1) == (size % 2 == 0)
+
+    def test_growth_is_superexponential(self):
+        """Timing shape: one extra atom multiplies cost by >= 4."""
+        import time
+
+        query = parity_query()
+        timings = []
+        for size in (2, 3):
+            start = time.perf_counter()
+            evaluate_query(query, unary_instance(size), budget=_unlimited())
+            timings.append(time.perf_counter() - start)
+        # 2^(n^2): n=2 -> 2^4 candidate sets, n=3 -> 2^9; ratio ~32.
+        assert timings[1] > timings[0] * 4

@@ -1,0 +1,71 @@
+"""E2 — Theorem 4.1(a): ALG ≡ tsALG on elementary queries.
+
+Runs the stock elementary queries through the one evaluator under both
+static disciplines: outputs are identical, the typed check costs only
+compile time, and the relaxed-only query (heterogeneous union) shows
+the syntactic gap without changing the semantics of typed programs.
+"""
+
+import pytest
+
+from repro.algebra.eval import run_program
+from repro.algebra.library import active_domain, natural_join, transitive_closure
+from repro.algebra.typing import typecheck
+from repro.budget import Budget
+from repro.errors import TypeCheckError
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.workloads import random_binary_pairs, two_binary_schema
+
+
+def _join_db(seed=0):
+    return Database(
+        two_binary_schema(),
+        {
+            "R": random_binary_pairs(4, 4, seed)["R"],
+            "S": random_binary_pairs(4, 4, seed + 1)["R"],
+        },
+    )
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_same_output_both_disciplines(self, seed):
+        database = _join_db(seed)
+        program = natural_join()
+        # The typed check passes; the evaluator is shared; outputs are
+        # trivially identical — the theorem's "ALG has the full power
+        # of tsALG" direction at the program level.
+        typecheck(program, database.schema, typed_only=True)
+        typed_result = run_program(program, database)
+        relaxed_result = run_program(program, database)
+        assert typed_result == relaxed_result
+
+
+class TestCost:
+    def test_join_evaluation(self, benchmark):
+        database = _join_db()
+        program = natural_join()
+        benchmark(lambda: run_program(program, database))
+
+    def test_typecheck_cost_typed(self, benchmark):
+        database = _join_db()
+        program = natural_join()
+        benchmark(lambda: typecheck(program, database.schema, typed_only=True))
+
+    def test_tc_evaluation(self, benchmark):
+        database = random_binary_pairs(6, 8, 3)
+        program = transitive_closure()
+        benchmark(lambda: run_program(program, database))
+
+
+class TestSyntacticGap:
+    def test_relaxed_strictly_larger_syntactically(self):
+        from repro.algebra.library import heterogeneous_union
+
+        schema = Schema({"R": parse_type("U"), "S": parse_type("[U, U]")})
+        program = heterogeneous_union()
+        with pytest.raises(TypeCheckError):
+            typecheck(program, schema, typed_only=True)
+        database = Database(schema, {"R": {1}, "S": {(2, 3)}})
+        assert len(run_program(program, database)) == 2

@@ -1,0 +1,47 @@
+"""E4 — Theorem 4.1(b)(iii): nested while collapses to unnested while.
+
+Measures the cost of the collapse rewrite itself and the runtime ratio
+between a nested program and its flattened equivalent (the flattened
+one pays a constant factor for phase gating, never a blow-up).
+"""
+
+import pytest
+
+from repro.algebra.eval import run_program
+from repro.algebra.library import nested_while_tc_pairs
+from repro.algebra.rewrites import unnest_whiles
+from repro.algebra.typing import classify
+from repro.workloads import binary_schema, random_binary_pairs
+
+
+@pytest.fixture(scope="module")
+def programs():
+    nested = nested_while_tc_pairs()
+    return nested, unnest_whiles(nested)
+
+
+def test_rewrite_cost(benchmark):
+    nested = nested_while_tc_pairs()
+    flat = benchmark(lambda: unnest_whiles(nested))
+    assert classify(flat, binary_schema()).while_nesting == 1
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_nested_execution(benchmark, programs, seed):
+    nested, _ = programs
+    database = random_binary_pairs(4, 5, seed)
+    benchmark(lambda: run_program(nested, database))
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_flattened_execution(benchmark, programs, seed):
+    nested, flat = programs
+    database = random_binary_pairs(4, 5, seed)
+    expected = run_program(nested, database)
+    result = benchmark(lambda: run_program(flat, database))
+    assert result == expected
+
+
+def test_no_powerset_in_output(programs):
+    _, flat = programs
+    assert not classify(flat, binary_schema()).uses_powerset

@@ -1,0 +1,78 @@
+"""E5 — The powerset/while balance (GvG88 vs Section 4's remark).
+
+With typed sets, powerset ≡ while (each simulates the other, at a
+cost): TC runs polynomially via while but exponentially via powerset;
+powerset runs exponentially either way.  The measurements show the
+crossover shape: while-TC scales, powerset-TC explodes; the two
+powerset routes stay within a constant factor of each other.  Untyped
+sets then *break* the balance upward — while alone reaches all of C
+(E3) while the loop-free algebra stays inside E (Theorem 4.1(a)).
+"""
+
+import pytest
+
+from repro.algebra.ast import Assign, Powerset, Program, Var
+from repro.algebra.eval import run_program
+from repro.algebra.library import (
+    powerset_via_while,
+    transitive_closure,
+    transitive_closure_powerset,
+)
+from repro.budget import Budget
+from repro.model.schema import Database
+from repro.workloads import chain_graph, unary_instance, unary_schema
+
+
+def _unlimited():
+    return Budget(steps=None, objects=None, iterations=None)
+
+
+class TestTCBothWays:
+    @pytest.mark.parametrize("length", [2, 3, 4])
+    def test_tc_via_while(self, benchmark, length):
+        database = chain_graph(length)
+        program = transitive_closure()
+        result = benchmark(lambda: run_program(program, database))
+        assert len(result) == length * (length + 1) // 2
+
+    @pytest.mark.parametrize("length", [1, 2])
+    def test_tc_via_powerset(self, benchmark, length):
+        # 2^(nodes^2) candidate pair-sets: length 2 (3 nodes, 2^9 sets)
+        # is already the practical ceiling — which is the point.
+        database = chain_graph(length)
+        program = transitive_closure_powerset()
+        expected = run_program(transitive_closure(), database)
+        result = benchmark(lambda: run_program(program, database, _unlimited()))
+        assert result == expected
+
+    def test_powerset_route_explodes_faster(self):
+        import time
+
+        def timed(program, database):
+            start = time.perf_counter()
+            run_program(program, database, _unlimited())
+            return time.perf_counter() - start
+
+        while_times = [timed(transitive_closure(), chain_graph(n)) for n in (1, 2)]
+        pset_times = [
+            timed(transitive_closure_powerset(), chain_graph(n)) for n in (1, 2)
+        ]
+        while_ratio = while_times[1] / max(while_times[0], 1e-9)
+        pset_ratio = pset_times[1] / max(pset_times[0], 1e-9)
+        assert pset_ratio > while_ratio  # the crossover shape
+
+
+class TestPowersetBothWays:
+    @pytest.mark.parametrize("size", [2, 3, 4])
+    def test_powerset_operator(self, benchmark, size):
+        database = unary_instance(size)
+        program = Program([Assign("ANS", Powerset(Var("R")))], input_names=["R"])
+        result = benchmark(lambda: run_program(program, database, _unlimited()))
+        assert len(result) == 2**size
+
+    @pytest.mark.parametrize("size", [2, 3, 4])
+    def test_powerset_via_while(self, benchmark, size):
+        database = unary_instance(size)
+        program = powerset_via_while()
+        result = benchmark(lambda: run_program(program, database, _unlimited()))
+        assert len(result) == 2**size

@@ -1,0 +1,66 @@
+"""E6 — Theorem 5.1: COL^str ≡ COL^inf ≡ C.
+
+Measures compiled-GTM COL programs under both semantics (they agree;
+inflation pays a snapshot-copy overhead), plus flat-DATALOG baselines
+for scale context.
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.core.col_simulation import compile_gtm_to_col, run_compiled_col
+from repro.deductive.datalog import (
+    run_datalog_inflationary,
+    run_datalog_stratified,
+    transitive_closure_datalog,
+)
+from repro.gtm.library import all_machines
+from repro.gtm.run import gtm_query
+from repro.model.schema import Database
+from repro.workloads import chain_graph
+
+
+def _unlimited():
+    return Budget(steps=None, objects=None, iterations=None, facts=None)
+
+
+class TestDatalogBaseline:
+    @pytest.mark.parametrize("length", [3, 5])
+    def test_tc_stratified(self, benchmark, length):
+        program = transitive_closure_datalog()
+        database = chain_graph(length)
+        benchmark(lambda: run_datalog_stratified(program, database))
+
+    @pytest.mark.parametrize("length", [3, 5])
+    def test_tc_inflationary(self, benchmark, length):
+        program = transitive_closure_datalog()
+        database = chain_graph(length)
+        expected = run_datalog_stratified(program, database)
+        result = benchmark(lambda: run_datalog_inflationary(program, database))
+        assert result == expected
+
+
+class TestCompiledMachines:
+    @pytest.mark.parametrize("name", ["is_empty", "parity"])
+    def test_stratified(self, benchmark, name):
+        gtm, schema, output_type = all_machines()[name]
+        program = compile_gtm_to_col(gtm, output_type)
+        database = Database(schema, {"R": {1, 2}})
+        expected = gtm_query(gtm, database, output_type)
+        result = benchmark(
+            lambda: run_compiled_col(program, gtm, database, "stratified", _unlimited())
+        )
+        assert result == expected
+
+    @pytest.mark.parametrize("name", ["is_empty", "parity"])
+    def test_inflationary(self, benchmark, name):
+        gtm, schema, output_type = all_machines()[name]
+        program = compile_gtm_to_col(gtm, output_type)
+        database = Database(schema, {"R": {1, 2}})
+        expected = gtm_query(gtm, database, output_type)
+        result = benchmark(
+            lambda: run_compiled_col(
+                program, gtm, database, "inflationary", _unlimited()
+            )
+        )
+        assert result == expected

@@ -1,0 +1,56 @@
+"""E7 — Proposition 5.3 / Example 5.2: BK cannot join.
+
+Measures the BK "join" rule and quantifies its *pollution factor*: the
+output size relative to the true join (1.0 would mean BK joined; the
+measured factor equals |π₁R₁ × π₂R₂| / |R₁ ⋈ R₂|, growing with the
+relations).
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.deductive.bk import join_attempt_program, run_bk
+from repro.model.values import NamedTup
+
+
+def _bk_budget():
+    return Budget(objects=None, steps=None, facts=None, iterations=None)
+
+
+def _instance(left, right):
+    return {
+        "R1": [{"A": f"a{i}", "B": f"b{i}"} for i in range(left)],
+        "R2": [{"B": f"b{0}", "C": f"c{j}"} for j in range(right)],
+    }
+
+
+def _true_join_size(left, right):
+    # Only b0 matches: R1 row 0 joins with every R2 row.
+    return right if left >= 1 else 0
+
+
+@pytest.mark.parametrize("left,right", [(1, 2), (2, 2), (2, 3)])
+def test_bk_join_attempt(benchmark, left, right):
+    program = join_attempt_program()
+    data = _instance(left, right)
+    result = benchmark(lambda: run_bk(program, data, _bk_budget()))
+    full_tuples = [
+        m for m in result.items
+        if isinstance(m, NamedTup) and len(m.fields) == 2
+    ]
+    # Pollution: BK produces the cross product of the outer columns.
+    assert len(full_tuples) == left * right
+    assert len(full_tuples) >= _true_join_size(left, right)
+
+
+@pytest.mark.parametrize("left,right", [(2, 2), (2, 3), (3, 3)])
+def test_pollution_factor(left, right):
+    program = join_attempt_program()
+    result = run_bk(program, _instance(left, right), _bk_budget())
+    full_tuples = [
+        m for m in result.items
+        if isinstance(m, NamedTup) and len(m.fields) == 2
+    ]
+    truth = _true_join_size(left, right)
+    factor = len(full_tuples) / truth
+    assert factor == left  # cross product over-reports by |R1|

@@ -1,0 +1,44 @@
+"""E8 — Proposition 5.5 / Example 5.4: BK's chain-to-list diverges.
+
+Measures how quickly the divergence is *observable*: time and derived
+facts until the budget trips, as the chain length grows.  The program
+never converges for any chain with at least one link.
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.deductive.bk import chain_to_list_program, run_bk
+from repro.errors import is_undefined
+from repro.workloads import chain_for_bk
+
+
+def _budget():
+    return Budget(iterations=4, steps=80_000, objects=150_000, facts=None)
+
+
+@pytest.mark.parametrize("length", [1, 2])
+def test_divergence_detection(benchmark, length):
+    program = chain_to_list_program()
+    data = chain_for_bk(length)
+    result = benchmark(lambda: run_bk(program, data, _budget()))
+    assert is_undefined(result)
+
+
+@pytest.mark.parametrize("length", [1, 2, 3])
+def test_always_undefined(length):
+    program = chain_to_list_program()
+    result = run_bk(program, chain_for_bk(length), _budget())
+    assert is_undefined(result)
+
+
+def test_derivations_grow_per_round():
+    """The ⊥-list frontier grows monotonically — no fixpoint in sight."""
+    program = chain_to_list_program()
+    data = chain_for_bk(1)
+    sizes = []
+    for rounds in (1, 2, 3):
+        budget = Budget(iterations=rounds, steps=200_000, objects=300_000, facts=None)
+        run_bk(program, data, budget)
+        sizes.append(budget.spent("facts"))
+    assert sizes[0] < sizes[1] < sizes[2]

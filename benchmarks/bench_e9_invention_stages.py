@@ -1,0 +1,61 @@
+"""E9 — Theorem 6.1 / Example 6.2: the invention hierarchy, staged.
+
+Measures the stage at which the halting query becomes visible
+(proportional to the machine's running time relative to the quadratic
+stage capacity) and the cost per stage; shows finite invention's
+one-sided error on the co-halting query.
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.calculus.invention import (
+    countable_invention,
+    finite_invention,
+    upper_stage,
+)
+from repro.calculus.library import CoHaltingStages, HaltingStages, YES
+from repro.gtm.tm import unary_machines
+from repro.model.values import SetVal
+from repro.workloads import unary_instance
+
+
+MACHINES = unary_machines()
+
+
+class TestHaltingVisibility:
+    def test_visibility_stage_tracks_runtime(self):
+        halting = HaltingStages(MACHINES["slow_halt"])
+        database = unary_instance(2)  # runtime 6 > capacity(0) = 4
+        visible = [
+            upper_stage(halting, database, i) == SetVal([YES]) for i in range(4)
+        ]
+        assert visible == [False, True, True, True]
+
+    @pytest.mark.parametrize("stages", [2, 4])
+    def test_finite_invention_cost(self, benchmark, stages):
+        halting = HaltingStages(MACHINES["halts_iff_even"])
+        database = unary_instance(4)
+        result = benchmark(
+            lambda: finite_invention(halting, database, stages, Budget(steps=None))
+        )
+        assert result == SetVal([YES])
+
+
+class TestCoHalting:
+    def test_finite_invention_one_sided_error(self):
+        co_halt = CoHaltingStages(MACHINES["slow_halt"])
+        database = unary_instance(2)
+        # fi unions the early "not halted yet" stages: wrong forever.
+        assert finite_invention(co_halt, database, 6) == SetVal([YES])
+        # ci at a large stage: correct.
+        assert countable_invention(co_halt, database, stage=8) == SetVal([])
+
+    @pytest.mark.parametrize("stage", [4, 8])
+    def test_countable_invention_cost(self, benchmark, stage):
+        co_halt = CoHaltingStages(MACHINES["never_halts"])
+        database = unary_instance(3)
+        result = benchmark(
+            lambda: countable_invention(co_halt, database, stage, Budget(steps=None))
+        )
+        assert result == SetVal([YES])

@@ -1,0 +1,20 @@
+"""Shared helpers for the experiment benchmarks (E1-E14).
+
+Each ``bench_eNN_*.py`` file regenerates one row-group of the paper's
+"results" (EXPERIMENTS.md): a pytest-benchmark measurement plus shape
+assertions (who wins / how fast it grows), never absolute numbers.
+"""
+
+import pytest
+
+from repro.budget import Budget
+
+
+@pytest.fixture
+def unlimited():
+    def make() -> Budget:
+        return Budget(
+            steps=None, objects=None, iterations=None, facts=None, stages=None
+        )
+
+    return make

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Section 5's BK results live: the calculus that cannot join.
+
+Reproduces Example 5.2 / Proposition 5.3 (the "join" that computes a
+cross product) and Example 5.4 / Proposition 5.5 (the chain-to-list
+program that diverges), plus a peek at the sub-object lattice that
+causes both.
+"""
+
+from repro import Budget
+from repro.deductive.bk import (
+    BOTTOM,
+    chain_to_list_program,
+    join_attempt_program,
+    leq,
+    lub,
+    run_bk,
+    subobjects,
+)
+from repro.errors import is_undefined
+from repro.model.values import NamedTup, Atom
+from repro.workloads import chain_for_bk
+
+
+def main() -> None:
+    # The sub-object lattice in one picture.
+    tuple_12 = NamedTup({"A": Atom(1), "B": Atom(2)})
+    print(f"sub-objects of {tuple_12}:")
+    for sub in subobjects(tuple_12):
+        print("   ", sub)
+    print("⊥ ≤ everything:", leq(BOTTOM, tuple_12))
+    print("lub([A:1], [B:2]) =", lub(NamedTup({"A": Atom(1)}), NamedTup({"B": Atom(2)})))
+
+    # Example 5.2: the join attempt.  Because the shared variable y may
+    # be instantiated to ⊥, the rule fires for *unrelated* rows too.
+    print("\nExample 5.2 — the 'join' rule:")
+    result = run_bk(
+        join_attempt_program(),
+        {
+            "R1": [{"A": 1, "B": 2}],
+            "R2": [{"B": 2, "C": 3}, {"B": 4, "C": 5}],
+        },
+        Budget(objects=None, steps=None),
+    )
+    print("  output:", result)
+    print("  the true join would be {[A:1, C:3]} — Proposition 5.3 on display")
+
+    # Example 5.4: the chain-to-list program.  The recursive rule keeps
+    # deriving ever-deeper ⊥-lists, so the fixpoint never stabilises.
+    print("\nExample 5.4 — chain to list (watch it diverge):")
+    outcome = run_bk(
+        chain_to_list_program(),
+        chain_for_bk(2),
+        Budget(iterations=5, steps=100_000, objects=200_000, facts=None),
+    )
+    if is_undefined(outcome):
+        print("  fixpoint did not stabilise within budget -> ? (Proposition 5.5)")
+    else:  # pragma: no cover - would contradict the paper
+        print("  unexpectedly converged:", outcome)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Section 6 live: the four invention semantics of the calculus.
+
+Shows (1) a plain query whose meaning is the same under every
+semantics, (2) Example 6.2's halting query reaching past class E under
+finite invention, (3) the co-halting query that needs *countable*
+invention, and (4) terminal invention computing a machine query exactly
+(Theorem 6.4), stopping at the predicted stage.
+"""
+
+from repro import Budget
+from repro.calculus.invention import (
+    countable_invention,
+    finite_invention,
+    no_invention,
+    terminal_invention,
+    upper_stage,
+)
+from repro.calculus.library import CoHaltingStages, HaltingStages, membership_query
+from repro.core.calc_simulation import compile_gtm_to_calc, terminal_stage_prediction
+from repro.gtm.library import duplicate_gtm
+from repro.gtm.run import gtm_query
+from repro.gtm.tm import unary_machines
+from repro.workloads import unary_instance
+
+
+def main() -> None:
+    # 1. A first-order query: invention adds nothing.
+    query = membership_query()
+    database = unary_instance(3)
+    print("membership, no invention     :", no_invention(query, database))
+    print("membership, finite invention :", finite_invention(query, database, stages=2))
+
+    machines = unary_machines()
+
+    # 2. Example 6.2: f_halt under finite invention.  Stage i can see
+    # computations of length <= (|adom|+i)^2; the union over stages
+    # decides halting.
+    halting = HaltingStages(machines["slow_halt"])
+    database = unary_instance(4)
+    print("\nf_halt for slow_halt (runs ~n^2 shuttle steps), |d| = 4:")
+    for stage in range(4):
+        print(f"  Q|^{stage} =", upper_stage(halting, database, stage))
+    print("  finite invention (4 stages):", finite_invention(halting, database, 4))
+
+    # 3. The complement needs countable invention: finite stages can
+    # only say "has not halted YET", the limit says "never halts".
+    never = CoHaltingStages(machines["never_halts"])
+    even = CoHaltingStages(machines["halts_iff_even"])
+    print("\nf_co-halt for halts_iff_even, |d| = 3 (odd => never halts):")
+    print("  countable invention (stage 8):", countable_invention(even, unary_instance(3), stage=8))
+    print("f_co-halt for never_halts, |d| = 3:")
+    print("  countable invention (stage 8):", countable_invention(never, unary_instance(3), stage=8))
+
+    # 4. Theorem 6.4: terminal invention computes a machine query
+    # exactly and stops at the first stage whose capacity holds the
+    # computation.
+    gtm, schema, output_type = duplicate_gtm()
+    staged = compile_gtm_to_calc(gtm, output_type)
+    database = unary_instance(3)
+    fired_at = []
+    answer = terminal_invention(
+        staged,
+        database,
+        Budget(stages=32),
+        on_stage=lambda i, upper: fired_at.append(i),
+    )
+    predicted = terminal_stage_prediction(staged, database)
+    print(f"\nterminal invention for {gtm.name}:")
+    print("  answer          :", answer)
+    print("  direct machine  :", gtm_query(gtm, database, output_type))
+    print(f"  stopped at stage {fired_at[-1]} (predicted {predicted})")
+
+
+if __name__ == "__main__":
+    main()

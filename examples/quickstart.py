@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: one query, three languages, one answer.
+
+Defines a tiny flat database, then computes the natural join
+R(A,B) ⋈ S(B,C) in the algebra, the calculus, and DATALOG — the same
+query function three ways (Theorem 2.1's equivalence at work) — and
+shows the BK calculus *failing* to compute it (Proposition 5.3).
+"""
+
+from repro import Database, Schema, parse_type
+from repro.algebra import run_program
+from repro.algebra.library import natural_join
+from repro.calculus import evaluate_query
+from repro.calculus.library import join_query
+from repro.deductive import DatalogProgram, PredLit, Rule, TupD, VarD
+from repro.deductive import run_stratified
+from repro.deductive.bk import join_attempt_program, run_bk
+from repro.budget import Budget
+
+
+def main() -> None:
+    schema = Schema({"R": parse_type("[U, U]"), "S": parse_type("[U, U]")})
+    database = Database(
+        schema,
+        {"R": {(1, 2), (7, 2), (8, 9)}, "S": {(2, 3), (2, 4), (5, 6)}},
+    )
+    print("R =", database["R"])
+    print("S =", database["S"])
+
+    # 1. The algebra: a two-assignment program.
+    algebra_answer = run_program(natural_join(), database)
+    print("\nalgebra   :", algebra_answer)
+
+    # 2. The calculus: {[x,y,z] | R([x,y]) ∧ S([y,z])}.
+    calculus_answer = evaluate_query(join_query(), database)
+    print("calculus  :", calculus_answer)
+
+    # 3. DATALOG: one rule.
+    x, y, z = VarD("x"), VarD("y"), VarD("z")
+    program = DatalogProgram(
+        [
+            Rule(
+                PredLit("ANS", TupD([x, y, z])),
+                [PredLit("R", TupD([x, y])), PredLit("S", TupD([y, z]))],
+            )
+        ]
+    )
+    datalog_answer = run_stratified(program, database)
+    print("datalog   :", datalog_answer)
+
+    assert algebra_answer == calculus_answer == datalog_answer
+
+    # 4. BK *cannot* join (Proposition 5.3): with sub-object matching a
+    # variable may bind ⊥, so the rule that looks like a join computes
+    # the full cross product of the outer columns.
+    bk_answer = run_bk(
+        join_attempt_program(),
+        {
+            "R1": [{"A": 1, "B": 2}],
+            "R2": [{"B": 2, "C": 3}, {"B": 4, "C": 5}],
+        },
+        Budget(objects=None, steps=None),
+    )
+    print("\nBK 'join' on R1={[A:1,B:2]}, R2={[B:2,C:3],[B:4,C:5]}:")
+    print("          ", bk_answer, " <- note the spurious [A:1, C:5]")
+
+
+if __name__ == "__main__":
+    main()

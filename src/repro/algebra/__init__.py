@@ -1,0 +1,46 @@
+"""The complex-object algebra: tsALG, ALG, and the while extensions.
+
+See DESIGN.md Section 2.2.
+"""
+
+from .ast import (
+    Assign,
+    Collapse,
+    Condition,
+    Const,
+    Diff,
+    EncodeInput,
+    Eq,
+    EqConst,
+    Expand,
+    Expr,
+    Intersect,
+    Member,
+    Nest,
+    Powerset,
+    Product,
+    Program,
+    Project,
+    Select,
+    Statement,
+    Undefine,
+    Union,
+    Unnest,
+    Var,
+    While,
+)
+from .builder import ProgramBuilder
+from .eval import coordinate, counter_sequence_empty, eval_expr, run_program
+from .rewrites import MARK, gate, guard, not_guard, unnest_whiles
+from .typing import Classification, classify, infer_member_type, typecheck
+
+__all__ = [
+    "Assign", "Collapse", "Condition", "Const", "Diff", "EncodeInput",
+    "Eq", "EqConst", "Expand", "Expr", "Intersect", "Member", "Nest",
+    "Powerset", "Product", "Program", "Project", "Select", "Statement",
+    "Undefine", "Union", "Unnest", "Var", "While",
+    "ProgramBuilder",
+    "coordinate", "counter_sequence_empty", "eval_expr", "run_program",
+    "MARK", "gate", "guard", "not_guard", "unnest_whiles",
+    "Classification", "classify", "infer_member_type", "typecheck",
+]

@@ -1,0 +1,481 @@
+"""Abstract syntax for the (typed / relaxed) complex-object algebra.
+
+The paper (Section 2) views an algebraic query as a *sequence of
+assignments*, each applying a single operator, ending with an assignment
+to the distinguished variable ``ANS`` (the KV84 style).  The ``while``
+construct is a statement ``z := while <x; y> do <assignments> end``:
+while the value of ``y`` is nonempty the body runs; afterwards ``z``
+receives the value of ``x``.
+
+Expressions
+-----------
+``Var``, ``Const`` and the operator nodes below.  Operator semantics
+live in :mod:`repro.algebra.eval`; static typing in
+:mod:`repro.algebra.typing`.  Unary relations hold *bare* objects (an
+instance of type ``T`` is a set of objects of ``T``); relations of arity
+``k >= 2`` hold ``k``-tuples.  "Horizontal" operators address
+coordinates 1-based; on a non-tuple member, coordinate 1 is the member
+itself.  In the relaxed algebra (rtypes), members without a requested
+coordinate are silently ignored — the paper's "these 'ignore' elements
+of the instance which do not have the right shape".
+
+Conditions
+----------
+Selection conditions are conjunctions of ``Eq(i, j)`` (coordinate
+equality), ``EqConst(i, v)`` (equality with a constant object), and
+``Member(i, j)`` (coordinate i ∈ coordinate j — the untyped-set
+membership the relaxed algebra enjoys).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import TypeCheckError
+from ..model.values import Value, obj as to_obj
+
+
+class Expr:
+    """Base class of algebra expressions."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple:
+        """Sub-expressions (for generic AST walks)."""
+        return ()
+
+
+class Var(Expr):
+    """Reference to a previously assigned variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise TypeCheckError("variable names are non-empty strings")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Const(Expr):
+    """A constant instance (a set of objects fixed by the query).
+
+    The atoms appearing in a constant contribute to the query's constant
+    set ``C`` for genericity purposes.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        from ..model.values import SetVal
+
+        value = to_obj(value) if not isinstance(value, Value) else value
+        if not isinstance(value, SetVal):
+            raise TypeCheckError("a Const must be an instance (a set)")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Const({self.value})"
+
+
+class _Unary(Expr):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Expr):
+        if not isinstance(operand, Expr):
+            raise TypeCheckError("operand must be an Expr")
+        self.operand = operand
+
+    def children(self) -> tuple:
+        return (self.operand,)
+
+
+class _Binary(Expr):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        if not isinstance(left, Expr) or not isinstance(right, Expr):
+            raise TypeCheckError("operands must be Exprs")
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple:
+        return (self.left, self.right)
+
+
+class Union(_Binary):
+    """Set union.  In the relaxed algebra the operands may have
+    different rtypes (the result is then heterogeneous)."""
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∪ {self.right!r})"
+
+
+class Diff(_Binary):
+    """Set difference."""
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} − {self.right!r})"
+
+
+class Intersect(_Binary):
+    """Set intersection."""
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∩ {self.right!r})"
+
+
+class Product(_Binary):
+    """Cartesian product: coordinates of the left member followed by the
+    coordinates of the right member (non-tuples contribute themselves)."""
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} × {self.right!r})"
+
+
+class Condition:
+    """Base class of selection conditions."""
+
+    __slots__ = ()
+
+
+class Eq(Condition):
+    """Coordinate *i* equals coordinate *j*."""
+
+    __slots__ = ("i", "j")
+
+    def __init__(self, i: int, j: int):
+        _check_col(i)
+        _check_col(j)
+        self.i = i
+        self.j = j
+
+    def __repr__(self) -> str:
+        return f"{self.i}={self.j}"
+
+
+class EqConst(Condition):
+    """Coordinate *i* equals the constant object *value*."""
+
+    __slots__ = ("i", "value")
+
+    def __init__(self, i: int, value):
+        _check_col(i)
+        self.i = i
+        self.value = to_obj(value) if not isinstance(value, Value) else value
+
+    def __repr__(self) -> str:
+        return f"{self.i}={self.value}"
+
+
+class Member(Condition):
+    """Coordinate *i* is a member of (the set at) coordinate *j*.
+
+    *i* may also be a tuple of coordinates ``(i1, ..., ik)``; the test
+    is then ``[v_{i1}, ..., v_{ik}] ∈ v_j`` — handy when a set holds
+    tuples that the surrounding product has flattened into coordinates.
+    """
+
+    __slots__ = ("i", "j")
+
+    def __init__(self, i, j: int):
+        if isinstance(i, int):
+            _check_col(i)
+        else:
+            i = tuple(i)
+            if len(i) < 2:
+                raise TypeCheckError("tuple-membership needs >= 2 coordinates")
+            for col in i:
+                _check_col(col)
+        _check_col(j)
+        self.i = i
+        self.j = j
+
+    def __repr__(self) -> str:
+        return f"{self.i}∈{self.j}"
+
+
+class Select(_Unary):
+    """Selection by a conjunction of conditions.
+
+    Members lacking a referenced coordinate are ignored (relaxed) —
+    under typed static checking such programs are rejected instead.
+    """
+
+    __slots__ = ("operand", "conditions")
+
+    def __init__(self, operand: Expr, conditions: Iterable[Condition] | Condition):
+        super().__init__(operand)
+        if isinstance(conditions, Condition):
+            conditions = (conditions,)
+        conditions = tuple(conditions)
+        for cond in conditions:
+            if not isinstance(cond, Condition):
+                raise TypeCheckError(f"not a Condition: {cond!r}")
+        self.conditions = conditions
+
+    def __repr__(self) -> str:
+        conds = ",".join(repr(c) for c in self.conditions)
+        return f"σ[{conds}]({self.operand!r})"
+
+
+class Project(_Unary):
+    """Projection onto the 1-based coordinates *cols*.
+
+    A single-column projection yields bare objects; multi-column yields
+    tuples.  Members lacking a coordinate are ignored (relaxed).
+    """
+
+    __slots__ = ("operand", "cols")
+
+    def __init__(self, operand: Expr, cols: Sequence[int]):
+        super().__init__(operand)
+        cols = tuple(cols)
+        if not cols:
+            raise TypeCheckError("projection needs at least one column")
+        for col in cols:
+            _check_col(col)
+        self.cols = cols
+
+    def __repr__(self) -> str:
+        return f"π{list(self.cols)}({self.operand!r})"
+
+
+class Nest(_Unary):
+    """Nesting ν over coordinates *cols*: group rows by the remaining
+    coordinates, collecting the *cols* values into a set.
+
+    The set lands at the position of ``min(cols)``; it holds bare values
+    when ``len(cols) == 1`` and tuples otherwise.  When *cols* covers all
+    coordinates the result is a single bare set per group-of-everything.
+    """
+
+    __slots__ = ("operand", "cols")
+
+    def __init__(self, operand: Expr, cols: Sequence[int]):
+        super().__init__(operand)
+        cols = tuple(sorted(set(cols)))
+        if not cols:
+            raise TypeCheckError("nest needs at least one column")
+        for col in cols:
+            _check_col(col)
+        self.cols = cols
+
+    def __repr__(self) -> str:
+        return f"ν{list(self.cols)}({self.operand!r})"
+
+
+class Unnest(_Unary):
+    """Unnesting μ of the set at coordinate *col*: one output row per
+    member of the set, spliced in place of the set."""
+
+    __slots__ = ("operand", "col")
+
+    def __init__(self, operand: Expr, col: int):
+        super().__init__(operand)
+        _check_col(col)
+        self.col = col
+
+    def __repr__(self) -> str:
+        return f"μ[{self.col}]({self.operand!r})"
+
+
+class Powerset(_Unary):
+    """All subsets of the operand instance, as a set of set-objects."""
+
+    def __repr__(self) -> str:
+        return f"powerset({self.operand!r})"
+
+
+class Collapse(_Unary):
+    """The operand instance as a single set-object: ``I ↦ {I}``.
+
+    Applied to an instance holding the counter prefix ``0..k`` this
+    yields exactly the next counter element — the semantic core of the
+    paper's ``σ₂ν₂σ₁₌₂(P×P) − P`` device.
+    """
+
+    def __repr__(self) -> str:
+        return f"collapse({self.operand!r})"
+
+
+class Expand(_Unary):
+    """Union of the members of the operand's set-members:
+    ``{S1, S2, ...} ↦ S1 ∪ S2 ∪ ...`` (non-set members are ignored)."""
+
+    def __repr__(self) -> str:
+        return f"expand({self.operand!r})"
+
+
+class Undefine(_Unary):
+    """The paper's ``undefine``: ``?`` if the instance is empty, else
+    the instance itself."""
+
+    def __repr__(self) -> str:
+        return f"undefine({self.operand!r})"
+
+
+class EncodeInput(Expr):
+    """Practical-mode primitive: the encoded input listing as a relation.
+
+    Produces ``{[pos_k, sym_k]}`` pairing von-Neumann ordinals (seeded at
+    ∅, so no atoms are consumed) with the symbols of the canonical-order
+    encoding of the named predicates (punctuation appears as the constant
+    atoms ``'('``, ``')'``, ``'['``, ``']'``, ``','``).
+
+    This primitive is **not generic by itself** — its output depends on
+    the canonical order of atoms.  The paper's Theorem 4.1(b) removes
+    this non-genericity by simulating *all* orderings at once (the PERMS
+    construction); our compiler offers that as ``faithful`` mode, while
+    ``practical`` mode uses this primitive and relies on the GTM being
+    input-order independent (checked separately), which makes the
+    *composed* query generic.  See DESIGN.md.
+    """
+
+    __slots__ = ("predicates",)
+
+    def __init__(self, predicates: Sequence[str]):
+        predicates = tuple(predicates)
+        if not predicates:
+            raise TypeCheckError("EncodeInput needs at least one predicate")
+        self.predicates = predicates
+
+    def __repr__(self) -> str:
+        return f"encode_input{list(self.predicates)}"
+
+
+class Statement:
+    """Base class of program statements."""
+
+    __slots__ = ()
+
+
+class Assign(Statement):
+    """``var := expr``."""
+
+    __slots__ = ("var", "expr")
+
+    def __init__(self, var: str, expr: Expr):
+        if not isinstance(var, str) or not var:
+            raise TypeCheckError("assignment target must be a variable name")
+        if not isinstance(expr, Expr):
+            raise TypeCheckError("assignment source must be an Expr")
+        self.var = var
+        self.expr = expr
+
+    def __repr__(self) -> str:
+        return f"{self.var} := {self.expr!r}"
+
+
+class While(Statement):
+    """``z := while <x; y> do body end`` (paper, Section 2).
+
+    While the current value of *cond_var* (y) is nonempty, run *body*;
+    on exit assign the value of *source_var* (x) to *target* (z).  The
+    target must not be assigned inside the body (checked by the
+    validator).  A loop that never exits makes the query ``?``.
+    """
+
+    __slots__ = ("target", "source_var", "cond_var", "body")
+
+    def __init__(self, target: str, source_var: str, cond_var: str, body: Sequence[Statement]):
+        body = tuple(body)
+        for stmt in body:
+            if not isinstance(stmt, Statement):
+                raise TypeCheckError("while body must contain Statements")
+        if any(isinstance(s, Assign) and s.var == target for s in body) or any(
+            isinstance(s, While) and s.target == target for s in body
+        ):
+            raise TypeCheckError(
+                f"while target {target!r} must not be assigned in the body"
+            )
+        self.target = target
+        self.source_var = source_var
+        self.cond_var = cond_var
+        self.body = body
+
+    def __repr__(self) -> str:
+        inner = "; ".join(repr(s) for s in self.body)
+        return (
+            f"{self.target} := while <{self.source_var}; {self.cond_var}> "
+            f"do {inner} end"
+        )
+
+
+class Program:
+    """An algebraic query expression: statements ending in a value for ``ans_var``.
+
+    Validation ensures every variable is assigned before it is
+    referenced, and that input predicate names (which act as pre-assigned
+    variables) are never reassigned.
+    """
+
+    __slots__ = ("statements", "ans_var", "input_names")
+
+    def __init__(
+        self,
+        statements: Sequence[Statement],
+        ans_var: str = "ANS",
+        input_names: Sequence[str] = (),
+    ):
+        statements = tuple(statements)
+        for stmt in statements:
+            if not isinstance(stmt, Statement):
+                raise TypeCheckError("a Program contains Statements")
+        self.statements = statements
+        self.ans_var = ans_var
+        self.input_names = tuple(input_names)
+        self._validate()
+
+    def _validate(self) -> None:
+        defined = set(self.input_names)
+        _validate_block(self.statements, defined, frozenset(self.input_names))
+        if self.ans_var not in defined:
+            raise TypeCheckError(f"answer variable {self.ans_var!r} is never assigned")
+
+    def __repr__(self) -> str:
+        lines = [repr(s) for s in self.statements]
+        lines.append(f"-> {self.ans_var}")
+        return "\n".join(lines)
+
+
+def _validate_block(statements, defined: set, inputs: frozenset) -> None:
+    for stmt in statements:
+        if isinstance(stmt, Assign):
+            _check_expr_vars(stmt.expr, defined)
+            if stmt.var in inputs:
+                raise TypeCheckError(f"input predicate {stmt.var!r} reassigned")
+            defined.add(stmt.var)
+        elif isinstance(stmt, While):
+            # Loop variables must exist before the loop is entered: the
+            # condition is tested before the first iteration, and the
+            # source is read even after zero iterations.
+            for name in (stmt.source_var, stmt.cond_var):
+                if name not in defined:
+                    raise TypeCheckError(
+                        f"while variable {name!r} not assigned before the loop"
+                    )
+            body_defined = set(defined)
+            _validate_block(stmt.body, body_defined, inputs)
+            if stmt.target in inputs:
+                raise TypeCheckError(f"input predicate {stmt.target!r} reassigned")
+            defined.update(body_defined)
+            defined.add(stmt.target)
+        else:  # pragma: no cover - defensive
+            raise TypeCheckError(f"unknown statement {stmt!r}")
+
+
+def _check_expr_vars(expr: Expr, defined: set) -> None:
+    if isinstance(expr, Var):
+        if expr.name not in defined:
+            raise TypeCheckError(f"variable {expr.name!r} referenced before assignment")
+        return
+    for child in expr.children():
+        _check_expr_vars(child, defined)
+
+
+def _check_col(col: int) -> None:
+    if not isinstance(col, int) or col < 1:
+        raise TypeCheckError("coordinates are 1-based positive integers")

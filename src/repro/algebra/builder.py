@@ -1,0 +1,68 @@
+"""A small fluent builder for algebra programs.
+
+Writing ``Assign``/``While`` trees by hand is noisy; the builder keeps
+generated code (the Theorem 4.1(b) compiler emits hundreds of
+statements) and hand-written library queries readable::
+
+    b = ProgramBuilder(inputs=["R"])
+    b.let("pairs", Product(Var("R"), Var("R")))
+    with b.loop("OUT", source="acc", cond="delta"):
+        b.let("acc", Union(Var("acc"), Var("delta")))
+        ...
+    b.answer(Var("OUT"))
+    program = b.build()
+
+The builder also auto-generates fresh temporary names via :meth:`temp`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from ..errors import TypeCheckError
+from .ast import Assign, Expr, Program, Statement, Var, While
+
+
+class ProgramBuilder:
+    """Accumulates statements and produces a :class:`Program`."""
+
+    def __init__(self, inputs=(), ans_var: str = "ANS"):
+        self.inputs = tuple(inputs)
+        self.ans_var = ans_var
+        self._blocks: list = [[]]
+        self._temp_counter = 0
+
+    def let(self, var: str, expr: Expr) -> Var:
+        """Append ``var := expr``; returns ``Var(var)`` for chaining."""
+        self._blocks[-1].append(Assign(var, expr))
+        return Var(var)
+
+    def temp(self, expr: Expr, prefix: str = "t") -> Var:
+        """Assign *expr* to a fresh temporary and return its Var."""
+        self._temp_counter += 1
+        name = f"__{prefix}{self._temp_counter}"
+        return self.let(name, expr)
+
+    @contextmanager
+    def loop(self, target: str, source: str, cond: str):
+        """Context manager building ``target := while <source; cond> do ... end``."""
+        self._blocks.append([])
+        try:
+            yield self
+        finally:
+            body = self._blocks.pop()
+            self._blocks[-1].append(While(target, source, cond, body))
+
+    def answer(self, expr: Expr) -> None:
+        """Assign the final answer variable."""
+        self.let(self.ans_var, expr)
+
+    def raw(self, statement: Statement) -> None:
+        """Append a pre-built statement."""
+        self._blocks[-1].append(statement)
+
+    def build(self) -> Program:
+        """Finish and validate the program."""
+        if len(self._blocks) != 1:
+            raise TypeCheckError("unbalanced loop() blocks")
+        return Program(self._blocks[0], ans_var=self.ans_var, input_names=self.inputs)

@@ -1,0 +1,355 @@
+"""Dynamic semantics of the (relaxed) algebra.
+
+The evaluator is the *relaxed* (rtype) semantics of Section 4: every
+operator is defined on arbitrary instances, with horizontal operators
+ignoring members of the wrong shape.  The typed algebra tsALG is the
+same evaluator run on programs that pass the strict static check of
+:mod:`repro.algebra.typing` — on well-typed programs the two semantics
+agree, which is how the paper's "extension in natural ways" reads.
+
+Undefinedness (paper, Section 2): if any assignment produces ``?``
+(only ``undefine`` does, on an empty instance) or a while loop fails to
+terminate (observed via the ``iterations`` budget), the whole query
+evaluates to ``?``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..budget import Budget
+from ..errors import BudgetExceeded, EvaluationError, UNDEFINED
+from ..model.schema import Database
+from ..model.values import Atom, SetVal, Tup, Value
+from .ast import (
+    Assign,
+    Collapse,
+    Condition,
+    Const,
+    Diff,
+    EncodeInput,
+    Eq,
+    EqConst,
+    Expand,
+    Expr,
+    Intersect,
+    Member,
+    Nest,
+    Powerset,
+    Product,
+    Program,
+    Project,
+    Select,
+    Statement,
+    Undefine,
+    Union,
+    Unnest,
+    Var,
+    While,
+)
+
+
+class _UndefinedResult(Exception):
+    """Internal control flow: the query's value is ``?``."""
+
+
+def run_program(
+    program: Program,
+    database: Database,
+    budget: Budget | None = None,
+    atom_order=None,
+):
+    """Evaluate *program* on *database*.
+
+    Input predicates are visible as pre-assigned variables named after
+    the schema's predicates.  Returns the final value of the answer
+    variable, or :data:`~repro.errors.UNDEFINED`.
+
+    *atom_order* overrides the ordering used by ``EncodeInput`` (the
+    canonical order by default) — the hook through which the faithful /
+    all-orderings mode of the Theorem 4.1(b) compiler demonstrates that
+    compiled programs are order-insensitive.
+    """
+    budget = budget or Budget()
+    env: dict = {name: database[name] for name in database.schema.names()}
+    env["__database__"] = database  # for EncodeInput
+    if atom_order is not None:
+        env["__atom_order__"] = tuple(atom_order)
+    try:
+        _exec_block(program.statements, env, budget)
+    except _UndefinedResult:
+        return UNDEFINED
+    except BudgetExceeded:
+        # The only computable observation of a non-terminating while (or
+        # a blow-up) is a budget; its value, per Section 2, is ``?``.
+        return UNDEFINED
+    return env[program.ans_var]
+
+
+def _exec_block(statements, env: dict, budget: Budget) -> None:
+    for stmt in statements:
+        _exec_statement(stmt, env, budget)
+
+
+def _exec_statement(stmt: Statement, env: dict, budget: Budget) -> None:
+    if isinstance(stmt, Assign):
+        value = eval_expr(stmt.expr, env, budget)
+        if value is UNDEFINED:
+            raise _UndefinedResult()
+        env[stmt.var] = value
+        return
+    if isinstance(stmt, While):
+        while True:
+            condition = env[stmt.cond_var]
+            if not isinstance(condition, SetVal):
+                raise EvaluationError(
+                    f"while condition {stmt.cond_var!r} is not an instance"
+                )
+            if len(condition) == 0:
+                break
+            budget.charge("iterations")
+            _exec_block(stmt.body, env, budget)
+        env[stmt.target] = env[stmt.source_var]
+        return
+    raise EvaluationError(f"unknown statement {stmt!r}")  # pragma: no cover
+
+
+def eval_expr(expr: Expr, env: Mapping, budget: Budget):
+    """Evaluate one algebra expression to an instance (a SetVal)."""
+    budget.charge("steps")
+    if isinstance(expr, Var):
+        return env[expr.name]
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Union):
+        left = eval_expr(expr.left, env, budget)
+        right = eval_expr(expr.right, env, budget)
+        return SetVal(set(left.items) | set(right.items))
+    if isinstance(expr, Diff):
+        left = eval_expr(expr.left, env, budget)
+        right = eval_expr(expr.right, env, budget)
+        return SetVal(set(left.items) - set(right.items))
+    if isinstance(expr, Intersect):
+        left = eval_expr(expr.left, env, budget)
+        right = eval_expr(expr.right, env, budget)
+        return SetVal(set(left.items) & set(right.items))
+    if isinstance(expr, Product):
+        return _eval_product(expr, env, budget)
+    if isinstance(expr, Select):
+        operand = eval_expr(expr.operand, env, budget)
+        return SetVal(
+            member
+            for member in operand.items
+            if _satisfies(member, expr.conditions)
+        )
+    if isinstance(expr, Project):
+        return _eval_project(expr, env, budget)
+    if isinstance(expr, Nest):
+        return _eval_nest(expr, env, budget)
+    if isinstance(expr, Unnest):
+        return _eval_unnest(expr, env, budget)
+    if isinstance(expr, Powerset):
+        return _eval_powerset(expr, env, budget)
+    if isinstance(expr, Collapse):
+        operand = eval_expr(expr.operand, env, budget)
+        return SetVal([SetVal(operand.items)])
+    if isinstance(expr, Expand):
+        operand = eval_expr(expr.operand, env, budget)
+        members: set = set()
+        for item in operand.items:
+            if isinstance(item, SetVal):
+                members |= set(item.items)
+        return SetVal(members)
+    if isinstance(expr, Undefine):
+        operand = eval_expr(expr.operand, env, budget)
+        if len(operand) == 0:
+            return UNDEFINED
+        return operand
+    if isinstance(expr, EncodeInput):
+        return _eval_encode_input(expr, env, budget)
+    raise EvaluationError(f"unknown expression {expr!r}")  # pragma: no cover
+
+
+def coordinate(member: Value, index: int):
+    """Coordinate *index* (1-based) of a member, or ``None`` if absent.
+
+    Tuples expose their coordinates; any other member exposes itself as
+    coordinate 1.  This is the relaxed algebra's shape discipline.
+    """
+    if isinstance(member, Tup):
+        if 1 <= index <= len(member):
+            return member.items[index - 1]
+        return None
+    if index == 1:
+        return member
+    return None
+
+
+def _satisfies(member: Value, conditions) -> bool:
+    for cond in conditions:
+        if not _check_condition(member, cond):
+            return False
+    return True
+
+
+def _check_condition(member: Value, cond: Condition) -> bool:
+    if isinstance(cond, Eq):
+        left = coordinate(member, cond.i)
+        right = coordinate(member, cond.j)
+        return left is not None and right is not None and left == right
+    if isinstance(cond, EqConst):
+        left = coordinate(member, cond.i)
+        return left is not None and left == cond.value
+    if isinstance(cond, Member):
+        if isinstance(cond.i, int):
+            element = coordinate(member, cond.i)
+        else:
+            parts = [coordinate(member, col) for col in cond.i]
+            element = None if any(p is None for p in parts) else Tup(parts)
+        container = coordinate(member, cond.j)
+        return (
+            element is not None
+            and isinstance(container, SetVal)
+            and element in container
+        )
+    raise EvaluationError(f"unknown condition {cond!r}")  # pragma: no cover
+
+
+def _coords(member: Value) -> tuple:
+    """All coordinates of a member (a non-tuple has just itself)."""
+    if isinstance(member, Tup):
+        return member.items
+    return (member,)
+
+
+def _eval_product(expr: Product, env, budget: Budget) -> SetVal:
+    left = eval_expr(expr.left, env, budget)
+    right = eval_expr(expr.right, env, budget)
+    budget.charge("objects", len(left) * len(right))
+    members = []
+    for left_member in left.items:
+        left_coords = _coords(left_member)
+        for right_member in right.items:
+            members.append(Tup(left_coords + _coords(right_member)))
+    return SetVal(members)
+
+
+def _eval_project(expr: Project, env, budget: Budget) -> SetVal:
+    operand = eval_expr(expr.operand, env, budget)
+    members = []
+    for member in operand.items:
+        coords = [coordinate(member, col) for col in expr.cols]
+        if any(c is None for c in coords):
+            continue  # relaxed: ignore wrong-shaped members
+        if len(coords) == 1:
+            members.append(coords[0])
+        else:
+            members.append(Tup(coords))
+    return SetVal(members)
+
+
+def _eval_nest(expr: Nest, env, budget: Budget) -> SetVal:
+    operand = eval_expr(expr.operand, env, budget)
+    cols = expr.cols
+    groups: dict = {}
+    for member in operand.items:
+        all_coords = _coords(member)
+        arity = len(all_coords)
+        if any(col > arity for col in cols):
+            continue  # relaxed: ignore wrong-shaped members
+        key_cols = [i for i in range(1, arity + 1) if i not in cols]
+        key = tuple(all_coords[i - 1] for i in key_cols)
+        nested = (
+            all_coords[cols[0] - 1]
+            if len(cols) == 1
+            else Tup([all_coords[c - 1] for c in cols])
+        )
+        groups.setdefault((arity, key), set()).add(nested)
+    members = []
+    for (arity, key), nested_set in groups.items():
+        key_cols = [i for i in range(1, arity + 1) if i not in cols]
+        insert_at = min(cols)
+        new_coords: list = []
+        key_iter = iter(zip(key_cols, key))
+        pending = next(key_iter, None)
+        position = 1
+        placed_set = False
+        while position <= arity:
+            if position == insert_at:
+                new_coords.append(SetVal(nested_set))
+                placed_set = True
+            if pending is not None and pending[0] == position:
+                new_coords.append(pending[1])
+                pending = next(key_iter, None)
+            position += 1
+        if not placed_set:
+            new_coords.append(SetVal(nested_set))
+        if len(new_coords) == 1:
+            members.append(new_coords[0])
+        else:
+            members.append(Tup(new_coords))
+    budget.charge("objects", len(members))
+    return SetVal(members)
+
+
+def _eval_unnest(expr: Unnest, env, budget: Budget) -> SetVal:
+    operand = eval_expr(expr.operand, env, budget)
+    members = []
+    for member in operand.items:
+        container = coordinate(member, expr.col)
+        if not isinstance(container, SetVal):
+            continue  # relaxed: ignore wrong-shaped members
+        if isinstance(member, Tup):
+            coords = list(member.items)
+            for element in container.items:
+                spliced = list(coords)
+                spliced[expr.col - 1] = element
+                members.append(Tup(spliced) if len(spliced) > 1 else spliced[0])
+        else:
+            members.extend(container.items)
+    budget.charge("objects", len(members))
+    return SetVal(members)
+
+
+def _eval_powerset(expr: Powerset, env, budget: Budget) -> SetVal:
+    from itertools import combinations
+
+    operand = eval_expr(expr.operand, env, budget)
+    elements = list(operand.items)
+    budget.charge("objects", 2 ** min(len(elements), 62))
+    subsets = []
+    for size in range(len(elements) + 1):
+        for combo in combinations(elements, size):
+            subsets.append(SetVal(combo))
+    return SetVal(subsets)
+
+
+def _eval_encode_input(expr: EncodeInput, env, budget: Budget) -> SetVal:
+    database = env.get("__database__")
+    if database is None:
+        raise EvaluationError("EncodeInput requires a database context")
+    from ..model.encoding import canonical_atom_order, encode_instance
+
+    order = env.get("__atom_order__")
+    if order is None:
+        order = canonical_atom_order(database)
+    symbols: list = []
+    for name in expr.predicates:
+        symbols.extend(encode_instance(database[name], order))
+    # Pair position ordinals (von Neumann, so atom-free) with symbols;
+    # working symbols become constant atoms.
+    positions = counter_sequence_empty(len(symbols))
+    members = []
+    for position, symbol in zip(positions, symbols):
+        symbol_value = symbol if isinstance(symbol, Atom) else Atom(symbol)
+        members.append(Tup([position, symbol_value]))
+    budget.charge("objects", len(members))
+    return SetVal(members)
+
+
+def counter_sequence_empty(length: int) -> list:
+    """Von-Neumann ordinals ``∅, {∅}, {∅,{∅}}, ...`` (atom-free indices)."""
+    sequence: list = []
+    for _ in range(length):
+        sequence.append(SetVal(sequence))
+    return sequence

@@ -1,0 +1,209 @@
+"""Stock algebra queries used throughout tests, examples, and benchmarks.
+
+Each function returns a :class:`~repro.algebra.ast.Program` over a named
+input schema.  The interesting entries demonstrate the expressiveness
+facts the paper leans on:
+
+* :func:`transitive_closure` — iteration via ``while`` (no powerset);
+* :func:`transitive_closure_powerset` — the same query *without*
+  ``while``, via powerset (the GvG88 balance, one direction);
+* :func:`powerset_via_while` — powerset *without* the powerset operator,
+  via ``while`` (the other direction);
+* :func:`nested_while_tc_pairs` — a doubly nested while, fodder for the
+  Theorem 4.1(b)(iii) collapse rewrite.
+"""
+
+from __future__ import annotations
+
+from ..model.values import SetVal
+from .ast import (
+    Collapse,
+    Const,
+    Diff,
+    Eq,
+    Member,
+    Nest,
+    Powerset,
+    Product,
+    Program,
+    Project,
+    Select,
+    Undefine,
+    Union,
+    Var,
+)
+from .builder import ProgramBuilder
+
+
+def natural_join(left: str = "R", right: str = "S") -> Program:
+    """``R(A,B) ⋈ S(B,C)`` -> ternary relation ``[A, B, C]``.
+
+    The join BK provably cannot express (Proposition 5.3) is a two-line
+    algebra program.
+    """
+    b = ProgramBuilder(inputs=[left, right])
+    b.let("pairs", Product(Var(left), Var(right)))
+    b.answer(Project(Select(Var("pairs"), Eq(2, 3)), [1, 2, 4]))
+    return b.build()
+
+
+def active_domain(relation: str = "R", arity: int = 2) -> Program:
+    """The active domain of a flat relation as a unary instance."""
+    b = ProgramBuilder(inputs=[relation])
+    expr = Project(Var(relation), [1])
+    for col in range(2, arity + 1):
+        expr = Union(expr, Project(Var(relation), [col]))
+    b.answer(expr)
+    return b.build()
+
+
+def transitive_closure(relation: str = "R") -> Program:
+    """Transitive closure of a binary relation via ``while`` (no powerset)."""
+    b = ProgramBuilder(inputs=[relation])
+    b.let("tc", Var(relation))
+    b.let("delta", Var(relation))
+    with b.loop("OUT", source="tc", cond="delta"):
+        b.let("step", Product(Var("tc"), Var(relation)))
+        b.let("new", Project(Select(Var("step"), Eq(2, 3)), [1, 4]))
+        b.let("delta", Diff(Var("new"), Var("tc")))
+        b.let("tc", Union(Var("tc"), Var("delta")))
+    b.answer(Var("OUT"))
+    return b.build()
+
+
+def transitive_closure_powerset(relation: str = "R") -> Program:
+    """Transitive closure *without* ``while``, via powerset.
+
+    Classic construction: intersect every transitive superset of R drawn
+    from the powerset of ``adom × adom``.  Exponential, loop-free.
+    """
+    b = ProgramBuilder(inputs=[relation])
+    b.let("dom", Union(Project(Var(relation), [1]), Project(Var(relation), [2])))
+    b.let("full", Product(Var("dom"), Var("dom")))
+    b.let("cand", Powerset(Var("full")))  # unary: each member is a pair-set S
+    # Non-transitive candidates: exists x,y,z with [x,y],[y,z] in S, [x,z] not.
+    b.let("trip", Product(Product(Product(Var("cand"), Var("dom")), Var("dom")), Var("dom")))
+    b.let("xyyz", Select(Var("trip"), [Member((2, 3), 1), Member((3, 4), 1)]))
+    b.let("closed", Select(Var("xyyz"), Member((2, 4), 1)))
+    b.let("nontrans", Project(Diff(Var("xyyz"), Var("closed")), [1]))
+    # Candidates missing an R pair:
+    b.let("withr", Product(Var("cand"), Var(relation)))
+    b.let("covers", Select(Var("withr"), Member((2, 3), 1)))
+    b.let("notsup", Project(Diff(Var("withr"), Var("covers")), [1]))
+    b.let("good", Diff(Diff(Var("cand"), Var("nontrans")), Var("notsup")))
+    # Intersect all good candidates: drop pairs missing from any of them.
+    b.let("pairs_by_cand", Product(Var("good"), Var("full")))
+    b.let("present", Select(Var("pairs_by_cand"), Member((2, 3), 1)))
+    b.let("absent", Project(Diff(Var("pairs_by_cand"), Var("present")), [2, 3]))
+    b.answer(Diff(Var("full"), Var("absent")))
+    return b.build()
+
+
+def powerset_via_while(relation: str = "R") -> Program:
+    """Powerset of a unary relation *without* the powerset operator.
+
+    Iteratively extends each known subset by each element: the GvG88
+    simulation of powerset by while, expressed with untyped-set-friendly
+    operators.  The answer is a unary instance whose members are all
+    subsets of R (as set objects).
+    """
+    b = ProgramBuilder(inputs=[relation])
+    b.let("ps", Const(SetVal([SetVal([])])))  # {∅}
+    b.let("delta", Var("ps"))
+    with b.loop("OUT", source="ps", cond="delta"):
+        # pairs [S, x] of current subsets and elements
+        b.let("sx", Product(Var("ps"), Var(relation)))
+        # rows [S, x, e] with e ∈ S ...
+        b.let("olde", Select(Product(Var("sx"), Var(relation)), Member(3, 1)))
+        # ... plus the new element itself: [S, x, x]
+        b.let("newe", Select(Product(Var("sx"), Var(relation)), Eq(2, 3)))
+        b.let("elems", Union(Var("olde"), Var("newe")))
+        # regroup: [S, x, S ∪ {x}] then keep the extended sets
+        b.let("grouped", Nest(Var("elems"), [3]))
+        b.let("extended", Project(Var("grouped"), [3]))
+        b.let("delta", Diff(Var("extended"), Var("ps")))
+        b.let("ps", Union(Var("ps"), Var("delta")))
+    b.answer(Var("OUT"))
+    return b.build()
+
+
+def nested_while_tc_pairs(relation: str = "R") -> Program:
+    """A doubly nested while computing TC plus a same-component marker.
+
+    Outer loop: grow the closure one semi-naive round per iteration.
+    Inner loop: for each round, saturate symmetric pairs of the current
+    closure.  The query itself is just ``TC(R) ∪ TC(R)⁻¹``-reachability
+    — its value is not the point; its *shape* (while nesting depth 2)
+    feeds the Theorem 4.1(b)(iii) collapse rewrite tests.
+    """
+    b = ProgramBuilder(inputs=[relation])
+    b.let("tc", Var(relation))
+    b.let("delta", Var(relation))
+    b.let("sym", Const(SetVal([])))
+    with b.loop("OUT", source="sym", cond="delta"):
+        b.let("step", Product(Var("tc"), Var(relation)))
+        b.let("new", Project(Select(Var("step"), Eq(2, 3)), [1, 4]))
+        b.let("delta", Diff(Var("new"), Var("tc")))
+        b.let("tc", Union(Var("tc"), Var("delta")))
+        # inner loop: close 'sym' under inversion of tc edges
+        b.let("sdelta", Diff(Var("tc"), Var("sym")))
+        with b.loop("sym2", source="sym", cond="sdelta"):
+            b.let("inv", Project(Var("sdelta"), [2, 1]))
+            b.let("grow", Union(Var("sym"), Union(Var("sdelta"), Var("inv"))))
+            b.let("sdelta", Diff(Var("grow"), Var("sym")))
+            b.let("sym", Var("grow"))
+        b.let("sym", Var("sym2"))
+    b.answer(Var("OUT"))
+    return b.build()
+
+
+def undefine_if_empty(relation: str = "R") -> Program:
+    """``undefine(R)``: the paper's operator returning ``?`` on empty input."""
+    b = ProgramBuilder(inputs=[relation])
+    b.answer(Undefine(Var(relation)))
+    return b.build()
+
+
+def heterogeneous_union(left: str = "R", right: str = "S") -> Program:
+    """A deliberately relaxed-only query: union of differently-shaped
+    relations followed by a shape-filtering selection.
+
+    Valid ALG, rejected by the tsALG type checker — the witness that the
+    relaxed language is syntactically larger.
+    """
+    b = ProgramBuilder(inputs=[left, right])
+    b.let("mixed", Union(Var(left), Var(right)))
+    b.answer(Select(Var("mixed"), Eq(1, 1)))
+    return b.build()
+
+
+def counter_prefix(relation: str = "R") -> Program:
+    """Mint ``|R| + 1`` counter indices generically (Section 4 part (b)).
+
+    Demonstrates the "magic power of untyped sets": the loop builds the
+    prefix ``∅, {∅}, {∅,{∅}}, ...`` with no invented atoms — ``collapse``
+    of the prefix so far is exactly the paper's
+    ``σ₂ν₂σ₁₌₂(P×P) − P`` next-element device.
+
+    A generic query cannot "remove one element per round" from R (that
+    would pick an element), so the loop is *clocked* by subset growth:
+    each round extends the family of subsets of R by one cardinality
+    level, which takes exactly ``|R| + 1`` rounds — a purely generic
+    |R|-step timer.
+    """
+    b = ProgramBuilder(inputs=[relation])
+    b.let("p", Const(SetVal([])))
+    b.let("ps", Const(SetVal([SetVal([])])))  # {∅}: the subset clock
+    b.let("delta", Var("ps"))
+    with b.loop("OUT", source="p", cond="delta"):
+        b.let("p", Union(Var("p"), Collapse(Var("p"))))  # mint next index
+        # one subset-growth round (the generic clock):
+        b.let("sx", Product(Var("ps"), Var(relation)))
+        b.let("olde", Select(Product(Var("sx"), Var(relation)), Member(3, 1)))
+        b.let("newe", Select(Product(Var("sx"), Var(relation)), Eq(2, 3)))
+        b.let("grouped", Nest(Union(Var("olde"), Var("newe")), [3]))
+        b.let("extended", Project(Var("grouped"), [3]))
+        b.let("delta", Diff(Var("extended"), Var("ps")))
+        b.let("ps", Union(Var("ps"), Var("delta")))
+    b.answer(Var("OUT"))
+    return b.build()

@@ -1,0 +1,243 @@
+"""Program rewrites: collapsing nested ``while`` loops (Thm 4.1(b)(iii)).
+
+The paper proves ``ALG+while−powerset ⊑ ALG+unnested-while−powerset`` by
+"repeatedly collapsing two consecutively nested while loops".  This
+module implements that collapse as a source-to-source rewrite:
+:func:`unnest_whiles` turns any program into an equivalent one in which
+no ``while`` occurs inside another ``while``.
+
+Construction
+------------
+A nested loop body is a sequence of *segments* (runs of assignments)
+separated by (already flat) inner whiles.  The combined loop keeps a
+one-hot set of *phase flags* — instances that are either empty or the
+singleton ``{mark}`` for a constant marker atom — and executes exactly
+one phase per iteration:
+
+* a segment phase runs its assignments and advances to the next phase;
+* an inner-while phase runs one body iteration if its condition is
+  nonempty, otherwise performs the loop's exit assignment and advances;
+* after the last segment the flags reset to phase 0 and the combined
+  condition re-tests the outer loop's condition variable.
+
+Assignments are *gated* so they only take effect in their phase::
+
+    guard(E)      = π₁(Const({mark}) × E)          -- {mark} iff E ≠ ∅
+    gate(E, G)    = expand(π₁(collapse(E) × G))    -- E if G ≠ ∅ else ∅
+    v := E   ⇒   v := gate(E, G) ∪ gate(v, ¬G)
+
+``gate`` leans on ``collapse``/``expand`` — untyped-set operators — and
+needs **no powerset**, matching the theorem's "−powerset" claim (the
+paper routes this step through powerset; untyped sets let us avoid even
+that).  The marker atom joins the query's constant set ``C``.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeCheckError
+from ..model.values import Atom, SetVal
+from .ast import (
+    Assign,
+    Collapse,
+    Const,
+    Diff,
+    Expand,
+    Expr,
+    Product,
+    Program,
+    Project,
+    Statement,
+    Union,
+    Var,
+    While,
+)
+
+#: The marker atom used by phase flags and guards.
+MARK = Atom("__mark__")
+
+_MARK_CONST = Const(SetVal([MARK]))
+_EMPTY_CONST = Const(SetVal([]))
+
+
+def guard(expr: Expr) -> Expr:
+    """``{mark}`` if *expr* is nonempty, else ``∅``."""
+    return Project(Product(_MARK_CONST, expr), [1])
+
+
+def not_guard(expr: Expr) -> Expr:
+    """``{mark}`` if the guard *expr* is empty, else ``∅``."""
+    return Diff(_MARK_CONST, expr)
+
+
+def gate(expr: Expr, guard_expr: Expr) -> Expr:
+    """*expr* if *guard_expr* is nonempty, else ``∅`` (arity-agnostic)."""
+    return Expand(Project(Product(Collapse(expr), guard_expr), [1]))
+
+
+class _Rewriter:
+    """Carries the fresh-name counter through the rewrite."""
+
+    def __init__(self):
+        self._counter = 0
+
+    def fresh(self, prefix: str) -> str:
+        self._counter += 1
+        return f"__{prefix}{self._counter}"
+
+    def rewrite_block(self, statements, defined: set) -> list:
+        result: list = []
+        for stmt in statements:
+            if isinstance(stmt, Assign):
+                result.append(stmt)
+                defined.add(stmt.var)
+            elif isinstance(stmt, While):
+                result.extend(self.flatten_while(stmt, set(defined)))
+                defined |= _assigned_vars(stmt.body)
+                defined.add(stmt.target)
+            else:  # pragma: no cover - defensive
+                raise TypeCheckError(f"unknown statement {stmt!r}")
+        return result
+
+    def flatten_while(self, loop: While, defined: set) -> list:
+        """Rewrite *loop* into statements containing one flat while.
+
+        *defined* holds the variable names already assigned before the
+        loop — those must not be re-initialised by the collapse.
+        """
+        body = self.rewrite_block(loop.body, set(defined))
+        if not any(isinstance(s, While) for s in body):
+            return [While(loop.target, loop.source_var, loop.cond_var, body)]
+        return self.collapse(loop, body, defined)
+
+    def collapse(self, loop: While, body: list, defined: set) -> list:
+        """Collapse one nesting level: *body* holds only flat whiles."""
+        # Split into segments and inner loops: seg0, w0, seg1, w1, ..., segK.
+        segments: list = [[]]
+        inner_loops: list = []
+        for stmt in body:
+            if isinstance(stmt, While):
+                inner_loops.append(stmt)
+                segments.append([])
+            else:
+                segments[-1].append(stmt)
+
+        n_loops = len(inner_loops)
+        # Phases: 2*i   = run segment i (i in 0..n_loops),
+        #         2*i+1 = inner while i.  After the last segment the
+        # phase wraps to 0 (one outer iteration done).
+        n_phases = 2 * n_loops + 1
+        flags = [self.fresh("phase") for _ in range(n_phases)]
+        cv = self.fresh("cv")
+        snapshots = [self.fresh("snap") for _ in range(n_phases)]
+
+        prologue: list = []
+        # Variables assigned inside the body need values before the
+        # combined loop so gating can read them; variables already
+        # defined before the loop keep their values.  Initialising the
+        # rest to ∅ is only observable before their first genuine write,
+        # and the source program never reads a variable before writing
+        # it (Program validation), so traces agree.
+        assigned = _assigned_vars(body)
+        for name in sorted(assigned - defined):
+            prologue.append(Assign(name, _EMPTY_CONST))
+
+        for index, flag in enumerate(flags):
+            prologue.append(
+                Assign(flag, _MARK_CONST if index == 0 else _EMPTY_CONST)
+            )
+        prologue.append(Assign(cv, guard(Var(loop.cond_var))))
+
+        combined_body: list = []
+        # Snapshot the one-hot flags so one pass runs exactly one phase.
+        for flag, snap in zip(flags, snapshots):
+            combined_body.append(Assign(snap, Var(flag)))
+
+        next_flag_exprs: dict = {flag: [] for flag in flags}
+
+        for phase in range(n_phases):
+            snap = Var(snapshots[phase])
+            if phase % 2 == 0:
+                segment = segments[phase // 2]
+                for stmt in segment:
+                    combined_body.append(_gated_assign(stmt, snap))
+                if phase == n_phases - 1:
+                    # Last segment: outer iteration complete, wrap to 0.
+                    next_flag_exprs[flags[0]].append(snap)
+                else:
+                    # Enter the following inner while; its condition is
+                    # tested inside that phase.
+                    next_flag_exprs[flags[phase + 1]].append(snap)
+            else:
+                inner = inner_loops[phase // 2]
+                run_guard = self.fresh("run")
+                exit_guard = self.fresh("exit")
+                combined_body.append(
+                    Assign(run_guard, gate(guard(Var(inner.cond_var)), snap))
+                )
+                combined_body.append(
+                    Assign(exit_guard, Diff(snap, Var(run_guard)))
+                )
+                for stmt in inner.body:
+                    combined_body.append(_gated_assign(stmt, Var(run_guard)))
+                # On exit: z := x, then advance to the next segment.
+                combined_body.append(
+                    Assign(
+                        inner.target,
+                        Union(
+                            gate(Var(inner.source_var), Var(exit_guard)),
+                            gate(Var(inner.target), not_guard(Var(exit_guard))),
+                        ),
+                    )
+                )
+                next_flag_exprs[flags[phase]].append(Var(run_guard))
+                next_flag_exprs[flags[phase + 1]].append(Var(exit_guard))
+
+        for flag in flags:
+            contributions = next_flag_exprs[flag]
+            expr: Expr = _EMPTY_CONST
+            for contribution in contributions:
+                expr = contribution if expr is _EMPTY_CONST else Union(expr, contribution)
+            combined_body.append(Assign(flag, expr))
+
+        # Continue while some non-zero phase is active, or phase 0 is
+        # active and the outer condition still holds.
+        cv_expr: Expr = gate(guard(Var(loop.cond_var)), Var(flags[0]))
+        for flag in flags[1:]:
+            cv_expr = Union(cv_expr, Var(flag))
+        combined_body.append(Assign(cv, cv_expr))
+
+        combined = While(loop.target, loop.source_var, cv, combined_body)
+        return prologue + [combined]
+
+
+def _gated_assign(stmt: Statement, guard_var: Expr) -> Assign:
+    if not isinstance(stmt, Assign):  # pragma: no cover - defensive
+        raise TypeCheckError("inner bodies must be flat at this point")
+    return Assign(
+        stmt.var,
+        Union(gate(stmt.expr, guard_var), gate(Var(stmt.var), not_guard(guard_var))),
+    )
+
+
+def _assigned_vars(statements) -> set:
+    names: set = set()
+    for stmt in statements:
+        if isinstance(stmt, Assign):
+            names.add(stmt.var)
+        elif isinstance(stmt, While):
+            names.add(stmt.target)
+            names |= _assigned_vars(stmt.body)
+    return names
+
+
+def unnest_whiles(program: Program) -> Program:
+    """An equivalent program with no nested ``while`` (Thm 4.1(b)(iii)).
+
+    Idempotent on already-flat programs.  The rewrite introduces the
+    constant marker atom :data:`MARK` into the query's constant set.
+    """
+    rewriter = _Rewriter()
+    statements = rewriter.rewrite_block(
+        program.statements, set(program.input_names)
+    )
+    return Program(statements, ans_var=program.ans_var, input_names=program.input_names)

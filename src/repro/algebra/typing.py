@@ -1,0 +1,368 @@
+"""Static rtype inference and language-fragment classification.
+
+Two jobs:
+
+1. **Typing.**  Infer an rtype for every algebra variable by abstract
+   interpretation.  With ``typed_only=True`` the checker enforces the
+   *typed* discipline of tsALG (Section 2): every intermediate value
+   must have a genuine type (no ``Obj``), unions must agree on type,
+   and coordinate references must be within the (unique) arity.  With
+   ``typed_only=False`` it performs the relaxed inference of Section 4,
+   where disagreeing shapes widen to ``Obj``.
+
+2. **Classification** (:func:`classify`).  Report which fragment a
+   program lives in: does it use ``while`` (and nested ``while``),
+   ``powerset``, the non-generic ``EncodeInput`` primitive, and whether
+   it is typed — so experiments can assert, e.g., that the Theorem
+   4.1(b) compiler really emits ``ALG + while − powerset`` programs.
+
+The inferred "rtype" of a variable describes the *members* of its
+instance (an instance of type ``T`` is a set of ``T`` objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TypeCheckError
+from ..model.schema import Schema
+from ..model.types import (
+    OBJ,
+    ObjType,
+    RType,
+    SetType,
+    TupleType,
+    U,
+    infer_rtype,
+    lub_rtype,
+)
+from .ast import (
+    Assign,
+    Collapse,
+    Const,
+    Diff,
+    EncodeInput,
+    Eq,
+    EqConst,
+    Expand,
+    Expr,
+    Intersect,
+    Member,
+    Nest,
+    Powerset,
+    Product,
+    Program,
+    Project,
+    Select,
+    Undefine,
+    Union,
+    Unnest,
+    Var,
+    While,
+)
+
+
+def _coordinate_types(member: RType) -> tuple | None:
+    """Coordinate types of a member rtype (non-tuples are arity 1).
+
+    ``None`` means the coordinates are unknowable (``Obj``).
+    """
+    if isinstance(member, TupleType):
+        return member.components
+    if isinstance(member, ObjType):
+        return None
+    return (member,)
+
+
+def _coordinate_type(member: RType, index: int, typed_only: bool) -> RType:
+    coords = _coordinate_types(member)
+    if coords is None:
+        if typed_only:
+            raise TypeCheckError("coordinate access on Obj-typed member")
+        return OBJ
+    if 1 <= index <= len(coords):
+        return coords[index - 1]
+    if typed_only:
+        raise TypeCheckError(
+            f"coordinate {index} out of range for member type {member!r}"
+        )
+    return OBJ
+
+
+def infer_member_type(
+    expr: Expr,
+    env: dict,
+    typed_only: bool,
+) -> RType:
+    """Infer the member rtype of the instance *expr* evaluates to."""
+    if isinstance(expr, Var):
+        if expr.name not in env:
+            raise TypeCheckError(f"variable {expr.name!r} has no type")
+        return env[expr.name]
+    if isinstance(expr, Const):
+        member_types = {infer_rtype(item) for item in expr.value.items}
+        if not member_types:
+            return OBJ if not typed_only else U
+        result = member_types.pop()
+        for other in member_types:
+            result = lub_rtype(result, other)
+        if typed_only and not result.is_type():
+            raise TypeCheckError(f"heterogeneous constant in typed algebra: {expr!r}")
+        return result
+    if isinstance(expr, (Union, Diff, Intersect)):
+        left = infer_member_type(expr.left, env, typed_only)
+        right = infer_member_type(expr.right, env, typed_only)
+        if typed_only and left != right:
+            raise TypeCheckError(
+                f"typed algebra requires equal types in {type(expr).__name__}: "
+                f"{left!r} vs {right!r}"
+            )
+        if isinstance(expr, Diff):
+            return left
+        if isinstance(expr, Intersect):
+            return left if left == right else lub_rtype(left, right)
+        return lub_rtype(left, right)
+    if isinstance(expr, Product):
+        left = infer_member_type(expr.left, env, typed_only)
+        right = infer_member_type(expr.right, env, typed_only)
+        left_coords = _coordinate_types(left)
+        right_coords = _coordinate_types(right)
+        if left_coords is None or right_coords is None:
+            if typed_only:
+                raise TypeCheckError("product over Obj-typed members")
+            return OBJ
+        return TupleType(list(left_coords) + list(right_coords))
+    if isinstance(expr, Select):
+        member = infer_member_type(expr.operand, env, typed_only)
+        for cond in expr.conditions:
+            if isinstance(cond, (Eq,)):
+                _coordinate_type(member, cond.i, typed_only)
+                _coordinate_type(member, cond.j, typed_only)
+            elif isinstance(cond, EqConst):
+                _coordinate_type(member, cond.i, typed_only)
+            elif isinstance(cond, Member):
+                if isinstance(cond.i, int):
+                    _coordinate_type(member, cond.i, typed_only)
+                else:
+                    for col in cond.i:
+                        _coordinate_type(member, col, typed_only)
+                container = _coordinate_type(member, cond.j, typed_only)
+                if typed_only and not isinstance(container, SetType):
+                    raise TypeCheckError(
+                        f"membership selection on non-set coordinate: {container!r}"
+                    )
+        return member
+    if isinstance(expr, Project):
+        member = infer_member_type(expr.operand, env, typed_only)
+        coords = [_coordinate_type(member, col, typed_only) for col in expr.cols]
+        if len(coords) == 1:
+            return coords[0]
+        return TupleType(coords)
+    if isinstance(expr, Nest):
+        member = infer_member_type(expr.operand, env, typed_only)
+        coords = _coordinate_types(member)
+        if coords is None:
+            if typed_only:
+                raise TypeCheckError("nest over Obj-typed members")
+            return OBJ
+        arity = len(coords)
+        if typed_only and any(col > arity for col in expr.cols):
+            raise TypeCheckError("nest column out of range")
+        cols = [c for c in expr.cols if c <= arity]
+        if not cols:
+            return OBJ
+        nested = (
+            coords[cols[0] - 1]
+            if len(cols) == 1
+            else TupleType([coords[c - 1] for c in cols])
+        )
+        new_coords = []
+        for index in range(1, arity + 1):
+            if index == min(cols):
+                new_coords.append(SetType(nested))
+            if index not in cols:
+                new_coords.append(coords[index - 1])
+        if len(new_coords) == 1:
+            return new_coords[0]
+        return TupleType(new_coords)
+    if isinstance(expr, Unnest):
+        member = infer_member_type(expr.operand, env, typed_only)
+        coords = _coordinate_types(member)
+        if coords is None:
+            if typed_only:
+                raise TypeCheckError("unnest over Obj-typed members")
+            return OBJ
+        container = _coordinate_type(member, expr.col, typed_only)
+        if not isinstance(container, SetType):
+            if typed_only:
+                raise TypeCheckError(
+                    f"unnest on non-set coordinate of type {container!r}"
+                )
+            element = OBJ
+        else:
+            element = container.element
+        if not isinstance(member, TupleType):
+            return element
+        new_coords = list(coords)
+        new_coords[expr.col - 1] = element
+        if len(new_coords) == 1:
+            return new_coords[0]
+        return TupleType(new_coords)
+    if isinstance(expr, Powerset):
+        member = infer_member_type(expr.operand, env, typed_only)
+        return SetType(member)
+    if isinstance(expr, Collapse):
+        member = infer_member_type(expr.operand, env, typed_only)
+        return SetType(member)
+    if isinstance(expr, Expand):
+        member = infer_member_type(expr.operand, env, typed_only)
+        if isinstance(member, SetType):
+            return member.element
+        if typed_only:
+            raise TypeCheckError(f"expand over non-set members of type {member!r}")
+        return OBJ
+    if isinstance(expr, Undefine):
+        return infer_member_type(expr.operand, env, typed_only)
+    if isinstance(expr, EncodeInput):
+        if typed_only:
+            raise TypeCheckError("EncodeInput is not part of the typed algebra")
+        return TupleType([OBJ, OBJ])
+    raise TypeCheckError(f"cannot type expression {expr!r}")  # pragma: no cover
+
+
+def typecheck(
+    program: Program,
+    schema: Schema,
+    typed_only: bool = False,
+) -> dict:
+    """Infer member rtypes for every variable of *program* under *schema*.
+
+    Returns the final variable->rtype environment.  Raises
+    :class:`TypeCheckError` if *typed_only* and the program leaves the
+    typed world.  While-loop bodies are iterated to a type fixpoint
+    (widening through :func:`lub_rtype`, which reaches ``Obj`` quickly),
+    so inference always terminates.
+    """
+    env: dict = {}
+    for name in schema.names():
+        member = schema.rtype(name)
+        if typed_only and not member.is_type():
+            raise TypeCheckError(f"input predicate {name!r} has a non-type rtype")
+        env[name] = member
+    _typecheck_block(program.statements, env, typed_only)
+    if program.ans_var not in env:
+        raise TypeCheckError("answer variable never typed")
+    return env
+
+
+def _typecheck_block(statements, env: dict, typed_only: bool) -> None:
+    for stmt in statements:
+        if isinstance(stmt, Assign):
+            env[stmt.var] = infer_member_type(stmt.expr, env, typed_only)
+        elif isinstance(stmt, While):
+            # Iterate the body's type transformer to a fixpoint.
+            for _ in range(64):
+                before = dict(env)
+                _typecheck_block(stmt.body, env, typed_only)
+                merged = dict(before)
+                changed = False
+                for name, rtype in env.items():
+                    if name in before:
+                        widened = (
+                            rtype
+                            if before[name] == rtype
+                            else lub_rtype(before[name], rtype)
+                        )
+                        if typed_only and widened != before[name]:
+                            raise TypeCheckError(
+                                f"while loop changes the type of {name!r}: "
+                                f"{before[name]!r} -> {rtype!r}"
+                            )
+                        merged[name] = widened
+                        if widened != before[name]:
+                            changed = True
+                    else:
+                        merged[name] = rtype
+                        changed = True
+                env.clear()
+                env.update(merged)
+                if not changed:
+                    break
+            else:  # pragma: no cover - widening reaches Obj long before 64
+                raise TypeCheckError("while-body typing did not converge")
+            env[stmt.target] = env[stmt.source_var]
+        else:  # pragma: no cover - defensive
+            raise TypeCheckError(f"unknown statement {stmt!r}")
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Which language fragment a program belongs to."""
+
+    uses_while: bool
+    while_nesting: int
+    uses_powerset: bool
+    uses_encode_input: bool
+    typed: bool
+
+    @property
+    def fragment(self) -> str:
+        """A human-readable fragment name in the paper's notation.
+
+        The paper's plain "ALG" includes powerset; "−powerset" marks its
+        absence (only interesting for the while fragments, per Theorem
+        4.1(b)).
+        """
+        name = "tsALG" if self.typed else "ALG"
+        if self.uses_while:
+            name += "+while" if self.while_nesting > 1 else "+unnested-while"
+            if not self.uses_powerset:
+                name += "−powerset"
+        return name
+
+
+def classify(program: Program, schema: Schema) -> Classification:
+    """Classify *program* into the paper's language fragments."""
+    uses_while, nesting = _while_info(program.statements)
+    uses_powerset = _any_expr(program.statements, Powerset)
+    uses_encode = _any_expr(program.statements, EncodeInput)
+    try:
+        typecheck(program, schema, typed_only=True)
+        typed = True
+    except TypeCheckError:
+        typed = False
+    return Classification(
+        uses_while=uses_while,
+        while_nesting=nesting,
+        uses_powerset=uses_powerset,
+        uses_encode_input=uses_encode,
+        typed=typed,
+    )
+
+
+def _while_info(statements) -> tuple:
+    uses = False
+    depth = 0
+    for stmt in statements:
+        if isinstance(stmt, While):
+            uses = True
+            inner_uses, inner_depth = _while_info(stmt.body)
+            depth = max(depth, 1 + (inner_depth if inner_uses else 0))
+    return uses, depth
+
+
+def _any_expr(statements, node_type) -> bool:
+    for stmt in statements:
+        if isinstance(stmt, Assign):
+            if _expr_contains(stmt.expr, node_type):
+                return True
+        elif isinstance(stmt, While):
+            if _any_expr(stmt.body, node_type):
+                return True
+    return False
+
+
+def _expr_contains(expr: Expr, node_type) -> bool:
+    if isinstance(expr, node_type):
+        return True
+    return any(_expr_contains(child, node_type) for child in expr.children())

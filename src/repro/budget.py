@@ -1,0 +1,81 @@
+"""Resource budgets for observing non-termination.
+
+The paper's model forbids infinite objects and instances; computations
+that would need them evaluate to the undefined value ``?``.  Concretely we
+bound every potentially unbounded process (while loops, fixpoints, domain
+enumerations, machine runs) with a :class:`Budget`.  A budget is a bundle
+of named counters; charging past a limit raises
+:class:`~repro.errors.BudgetExceeded`.
+
+Budgets are deliberately explicit — every evaluator takes one — so that
+experiments can report exactly which resource a diverging computation
+exhausted, and so tests can use tiny budgets to exercise the ``?`` paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import BudgetExceeded
+
+#: Generous defaults for interactive use and the benchmark harness.
+DEFAULT_LIMITS = {
+    "steps": 2_000_000,  # machine steps / evaluator micro-steps
+    "iterations": 100_000,  # while-loop and fixpoint rounds
+    "objects": 2_000_000,  # enumerated / constructed objects
+    "facts": 2_000_000,  # derived facts in deductive fixpoints
+    "stages": 64,  # invention stages tried by terminal invention
+}
+
+
+@dataclass
+class Budget:
+    """A bundle of named resource counters with hard limits.
+
+    Parameters mirror :data:`DEFAULT_LIMITS`; pass ``None`` for a counter
+    to make it unlimited.  Use :meth:`charge` to consume and
+    :meth:`spent` to inspect consumption afterwards.
+    """
+
+    steps: int | None = DEFAULT_LIMITS["steps"]
+    iterations: int | None = DEFAULT_LIMITS["iterations"]
+    objects: int | None = DEFAULT_LIMITS["objects"]
+    facts: int | None = DEFAULT_LIMITS["facts"]
+    stages: int | None = DEFAULT_LIMITS["stages"]
+    _spent: dict = field(default_factory=dict, repr=False)
+
+    def charge(self, resource: str, amount: int = 1) -> None:
+        """Consume *amount* units of *resource*.
+
+        Raises :class:`BudgetExceeded` if the limit would be passed.
+        """
+        limit = getattr(self, resource)
+        used = self._spent.get(resource, 0) + amount
+        self._spent[resource] = used
+        if limit is not None and used > limit:
+            raise BudgetExceeded(resource, limit)
+
+    def spent(self, resource: str) -> int:
+        """Units of *resource* consumed so far."""
+        return self._spent.get(resource, 0)
+
+    def remaining(self, resource: str) -> int | None:
+        """Units of *resource* left, or ``None`` if unlimited."""
+        limit = getattr(self, resource)
+        if limit is None:
+            return None
+        return max(0, limit - self.spent(resource))
+
+    def reset(self) -> None:
+        """Zero every counter (limits are kept)."""
+        self._spent.clear()
+
+    @classmethod
+    def tiny(cls) -> "Budget":
+        """A very small budget, handy for forcing ``?`` in tests."""
+        return cls(steps=2_000, iterations=50, objects=5_000, facts=5_000, stages=4)
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        """No limits at all.  Use only for provably terminating runs."""
+        return cls(steps=None, iterations=None, objects=None, facts=None, stages=None)

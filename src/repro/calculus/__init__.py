@@ -1,0 +1,41 @@
+"""The complex-object calculus and its invention semantics.
+
+See DESIGN.md Section 2.3.
+"""
+
+from .ast import (
+    And,
+    Compare,
+    ConstT,
+    Exists,
+    Forall,
+    Formula,
+    In,
+    Not,
+    Or,
+    Pred,
+    Query,
+    Term,
+    TupT,
+    VarT,
+)
+from .eval import DEFAULT_OBJ_BOUND, Evaluator, evaluate_query
+from .invention import (
+    FormulaStages,
+    countable_invention,
+    finite_invention,
+    invented_atoms,
+    lower_stage,
+    no_invention,
+    terminal_invention,
+    upper_stage,
+)
+
+__all__ = [
+    "And", "Compare", "ConstT", "Exists", "Forall", "Formula", "In", "Not",
+    "Or", "Pred", "Query", "Term", "TupT", "VarT",
+    "DEFAULT_OBJ_BOUND", "Evaluator", "evaluate_query",
+    "FormulaStages", "countable_invention", "finite_invention",
+    "invented_atoms", "lower_stage", "no_invention", "terminal_invention",
+    "upper_stage",
+]

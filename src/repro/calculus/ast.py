@@ -1,0 +1,359 @@
+"""Abstract syntax of the complex-object calculus (tsCALC / CALC).
+
+Formulas are built from ``u ≈ v``, ``u ∈ v`` and ``P(u)`` with the
+sentential connectives and *typed* quantifications ``∃x/T φ``,
+``∀x/T φ`` (paper, Section 2, following HS88b).  A calculus query
+expression is ``{t/T | φ}``: the head term *t* (with typed free
+variables), the head type, and the body formula.
+
+tsCALC restricts every type annotation to genuine types; CALC allows
+rtypes — in particular ``{Obj}``-typed variables, whose members "can be
+used in the same manner as invented values" (Section 6).  The
+``CALC∃`` fragment (Theorem 6.3(b)) is recognised by
+:meth:`Query.is_existential_obj`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..errors import TypeCheckError
+from ..model.types import RType
+from ..model.values import Value, obj as to_obj
+
+
+class Term:
+    """Base class of terms."""
+
+    __slots__ = ()
+
+    def variables(self) -> set:
+        raise NotImplementedError
+
+
+class VarT(Term):
+    """A variable occurrence."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise TypeCheckError("variable names are non-empty strings")
+        self.name = name
+
+    def variables(self) -> set:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class ConstT(Term):
+    """A constant object (joins the query's constant set C)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = to_obj(value) if not isinstance(value, Value) else value
+
+    def variables(self) -> set:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"{self.value}"
+
+
+class TupT(Term):
+    """A tuple-building term ``[t1, ..., tn]`` (used in query heads)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[Term]):
+        items = tuple(items)
+        if not items:
+            raise TypeCheckError("tuple terms need at least one item")
+        for item in items:
+            if not isinstance(item, Term):
+                raise TypeCheckError("tuple term items must be Terms")
+        self.items = items
+
+    def variables(self) -> set:
+        names: set = set()
+        for item in self.items:
+            names |= item.variables()
+        return names
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(repr(t) for t in self.items) + "]"
+
+
+class Formula:
+    """Base class of formulas."""
+
+    __slots__ = ()
+
+    def free_variables(self) -> set:
+        raise NotImplementedError
+
+
+class Compare(Formula):
+    """``u ≈ v`` (equality) — the calculus's only built-in predicate
+    besides membership."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Term, right: Term):
+        self.left = _as_term(left)
+        self.right = _as_term(right)
+
+    def free_variables(self) -> set:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ≈ {self.right!r})"
+
+
+class In(Formula):
+    """``u ∈ v`` — membership in an (untyped) set."""
+
+    __slots__ = ("element", "container")
+
+    def __init__(self, element: Term, container: Term):
+        self.element = _as_term(element)
+        self.container = _as_term(container)
+
+    def free_variables(self) -> set:
+        return self.element.variables() | self.container.variables()
+
+    def __repr__(self) -> str:
+        return f"({self.element!r} ∈ {self.container!r})"
+
+
+class Pred(Formula):
+    """``P(u)``: the object *u* is a member of predicate P's instance."""
+
+    __slots__ = ("name", "term")
+
+    def __init__(self, name: str, term: Term):
+        self.name = name
+        self.term = _as_term(term)
+
+    def free_variables(self) -> set:
+        return self.term.variables()
+
+    def __repr__(self) -> str:
+        return f"{self.name}({self.term!r})"
+
+
+class And(Formula):
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Formula):
+        flattened: list = []
+        for part in parts:
+            if isinstance(part, And):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        if not flattened:
+            raise TypeCheckError("empty conjunction")
+        self.parts = tuple(flattened)
+
+    def free_variables(self) -> set:
+        names: set = set()
+        for part in self.parts:
+            names |= part.free_variables()
+        return names
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(p) for p in self.parts) + ")"
+
+
+class Or(Formula):
+    __slots__ = ("parts",)
+
+    def __init__(self, *parts: Formula):
+        flattened: list = []
+        for part in parts:
+            if isinstance(part, Or):
+                flattened.extend(part.parts)
+            else:
+                flattened.append(part)
+        if not flattened:
+            raise TypeCheckError("empty disjunction")
+        self.parts = tuple(flattened)
+
+    def free_variables(self) -> set:
+        names: set = set()
+        for part in self.parts:
+            names |= part.free_variables()
+        return names
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(p) for p in self.parts) + ")"
+
+
+class Not(Formula):
+    __slots__ = ("part",)
+
+    def __init__(self, part: Formula):
+        self.part = part
+
+    def free_variables(self) -> set:
+        return self.part.free_variables()
+
+    def __repr__(self) -> str:
+        return f"¬{self.part!r}"
+
+
+class Exists(Formula):
+    """``∃x/T φ`` — typed existential quantification."""
+
+    __slots__ = ("var", "rtype", "body")
+
+    def __init__(self, var: str, rtype: RType, body: Formula):
+        self.var = var
+        self.rtype = rtype
+        self.body = body
+
+    def free_variables(self) -> set:
+        return self.body.free_variables() - {self.var}
+
+    def __repr__(self) -> str:
+        return f"∃{self.var}/{self.rtype!r} {self.body!r}"
+
+
+class Forall(Formula):
+    """``∀x/T φ`` — typed universal quantification."""
+
+    __slots__ = ("var", "rtype", "body")
+
+    def __init__(self, var: str, rtype: RType, body: Formula):
+        self.var = var
+        self.rtype = rtype
+        self.body = body
+
+    def free_variables(self) -> set:
+        return self.body.free_variables() - {self.var}
+
+    def __repr__(self) -> str:
+        return f"∀{self.var}/{self.rtype!r} {self.body!r}"
+
+
+def _as_term(thing) -> Term:
+    if isinstance(thing, Term):
+        return thing
+    if isinstance(thing, str):
+        return VarT(thing)
+    return ConstT(thing)
+
+
+class Query:
+    """A calculus query expression ``{t/T | φ}``.
+
+    *free_types* assigns an rtype to every free variable of the head
+    term / body (the paper's implicit typing made explicit).  The
+    query's constant set C is the atoms of its constant terms.
+    """
+
+    def __init__(
+        self,
+        head: Term,
+        head_type: RType,
+        body: Formula,
+        free_types: Mapping[str, RType],
+        name: str = "query",
+    ):
+        self.head = _as_term(head)
+        self.head_type = head_type
+        self.body = body
+        self.free_types = dict(free_types)
+        self.name = name
+        free = self.body.free_variables() | self.head.variables()
+        missing = free - set(self.free_types)
+        if missing:
+            raise TypeCheckError(f"untyped free variables: {sorted(missing)}")
+        extra = set(self.free_types) - free
+        if extra:
+            raise TypeCheckError(f"free_types for unused variables: {sorted(extra)}")
+
+    def quantified_rtypes(self) -> list:
+        """Every (variable, rtype, polarity) of quantifiers in the body.
+
+        Polarity is ``+1`` under an even number of negations/universals
+        viewed existentially, ``-1`` otherwise; used for the CALC∃
+        fragment test.
+        """
+        found: list = []
+        _walk_quantifiers(self.body, +1, found)
+        return found
+
+    def is_typed(self) -> bool:
+        """Does the query stay inside tsCALC (no Obj anywhere)?"""
+        rtypes = [self.head_type] + list(self.free_types.values())
+        rtypes.extend(rtype for _, rtype, _ in self.quantified_rtypes())
+        return all(rtype.is_type() for rtype in rtypes)
+
+    def is_existential_obj(self) -> bool:
+        """CALC∃ membership: every non-type rtype is (positively)
+        existentially quantified (Theorem 6.3(b))."""
+        if not all(rtype.is_type() for rtype in self.free_types.values()):
+            return False
+        if not self.head_type.is_type():
+            return False
+        for _, rtype, polarity in self.quantified_rtypes():
+            if not rtype.is_type() and polarity != +1:
+                return False
+        return True
+
+    def constants(self) -> frozenset:
+        """The atoms of the query's constant terms (its set C)."""
+        atoms: set = set()
+        _collect_constants_formula(self.body, atoms)
+        _collect_constants_term(self.head, atoms)
+        return frozenset(atoms)
+
+    def __repr__(self) -> str:
+        return f"{{{self.head!r}/{self.head_type!r} | {self.body!r}}}"
+
+
+def _walk_quantifiers(formula: Formula, polarity: int, found: list) -> None:
+    if isinstance(formula, Exists):
+        found.append((formula.var, formula.rtype, polarity))
+        _walk_quantifiers(formula.body, polarity, found)
+    elif isinstance(formula, Forall):
+        found.append((formula.var, formula.rtype, -polarity))
+        _walk_quantifiers(formula.body, polarity, found)
+    elif isinstance(formula, Not):
+        _walk_quantifiers(formula.part, -polarity, found)
+    elif isinstance(formula, (And, Or)):
+        for part in formula.parts:
+            _walk_quantifiers(part, polarity, found)
+
+
+def _collect_constants_formula(formula: Formula, atoms: set) -> None:
+    if isinstance(formula, Compare):
+        _collect_constants_term(formula.left, atoms)
+        _collect_constants_term(formula.right, atoms)
+    elif isinstance(formula, In):
+        _collect_constants_term(formula.element, atoms)
+        _collect_constants_term(formula.container, atoms)
+    elif isinstance(formula, Pred):
+        _collect_constants_term(formula.term, atoms)
+    elif isinstance(formula, (And, Or)):
+        for part in formula.parts:
+            _collect_constants_formula(part, atoms)
+    elif isinstance(formula, Not):
+        _collect_constants_formula(formula.part, atoms)
+    elif isinstance(formula, (Exists, Forall)):
+        _collect_constants_formula(formula.body, atoms)
+
+
+def _collect_constants_term(term: Term, atoms: set) -> None:
+    if isinstance(term, ConstT):
+        from ..model.values import adom
+
+        atoms |= set(adom(term.value))
+    elif isinstance(term, TupT):
+        for item in term.items:
+            _collect_constants_term(item, atoms)

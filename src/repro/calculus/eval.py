@@ -1,0 +1,183 @@
+"""Limited-interpretation evaluation of calculus queries.
+
+Under the *limited interpretation* (paper, Section 6, after HS88b), a
+variable of rtype ``T`` ranges over ``cons_T(adom(d, Q) ∪ X)`` — the
+objects of type ``T`` built from the database's active domain, the
+query's constants, and any *extension atoms* ``X`` (the invented values
+of the invention semantics; empty for plain evaluation).
+
+For genuine types the range is finite and evaluation is exact (at
+hyper-exponential cost in the nesting height — Theorem 2.2's upper
+bound, measurable through the budget's ``objects`` counter).  For
+rtypes mentioning ``Obj`` the range is infinite; the evaluator
+enumerates a finite prefix (``obj_bound`` objects per variable) and is
+therefore an *approximation*, which is the only computable option —
+the whole point of Section 6 is that CALC's exact semantics is not
+computable.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Iterable
+
+from ..budget import Budget
+from ..errors import EvaluationError
+from ..model.domains import cons, cons_obj_bounded
+from ..model.schema import Database
+from ..model.types import RType
+from ..model.values import Atom, SetVal, Tup, Value
+from .ast import (
+    And,
+    Compare,
+    ConstT,
+    Exists,
+    Forall,
+    Formula,
+    In,
+    Not,
+    Or,
+    Pred,
+    Query,
+    Term,
+    TupT,
+    VarT,
+)
+
+#: Default cap on the enumeration prefix for Obj-typed variables.
+DEFAULT_OBJ_BOUND = 200
+
+_MISSING = object()
+
+
+class Evaluator:
+    """Evaluates one query against one database (plus extension atoms)."""
+
+    def __init__(
+        self,
+        query: Query,
+        database: Database,
+        extension_atoms: Iterable[Atom] = (),
+        budget: Budget | None = None,
+        obj_bound: int = DEFAULT_OBJ_BOUND,
+    ):
+        self.query = query
+        self.database = database
+        self.budget = budget or Budget()
+        self.obj_bound = obj_bound
+        base = set(database.adom()) | set(query.constants())
+        self.atoms = frozenset(base | set(extension_atoms))
+        self._domain_cache: dict = {}
+
+    def domain(self, rtype: RType) -> list:
+        """The (finite or truncated) range of a variable of *rtype*."""
+        if rtype in self._domain_cache:
+            return self._domain_cache[rtype]
+        if rtype.is_type():
+            values = list(cons(rtype, self.atoms, self.budget))
+        else:
+            values = self._relaxed_domain(rtype)
+        self._domain_cache[rtype] = values
+        return values
+
+    def _relaxed_domain(self, rtype: RType) -> list:
+        from ..model.types import ObjType, SetType, TupleType
+
+        if isinstance(rtype, ObjType):
+            return cons_obj_bounded(
+                self.atoms, self.obj_bound, budget=self.budget
+            )
+        if isinstance(rtype, SetType):
+            members = self._relaxed_domain(rtype.element)
+            # Truncated powerset enumeration: subsets of a bounded prefix.
+            from itertools import combinations
+
+            subsets: list = []
+            for size in range(len(members) + 1):
+                for combo in combinations(members, size):
+                    self.budget.charge("objects")
+                    subsets.append(SetVal(combo))
+                    if len(subsets) >= self.obj_bound:
+                        return subsets
+            return subsets
+        if isinstance(rtype, TupleType):
+            components = [self._relaxed_domain(c) for c in rtype.components]
+            tuples: list = []
+            for combo in iter_product(*components):
+                self.budget.charge("objects")
+                tuples.append(Tup(combo))
+                if len(tuples) >= self.obj_bound:
+                    break
+            return tuples
+        raise EvaluationError(f"unknown rtype {rtype!r}")
+
+    def run(self) -> SetVal:
+        """The query's answer (an instance of the head type)."""
+        free_vars = sorted(
+            self.query.body.free_variables() | self.query.head.variables()
+        )
+        domains = [self.domain(self.query.free_types[name]) for name in free_vars]
+        answers: set = set()
+        for combo in iter_product(*domains):
+            self.budget.charge("steps")
+            assignment = dict(zip(free_vars, combo))
+            if self.eval_formula(self.query.body, assignment):
+                answers.add(self.eval_term(self.query.head, assignment))
+        return SetVal(answers)
+
+    def eval_term(self, term: Term, assignment: dict) -> Value:
+        if isinstance(term, VarT):
+            return assignment[term.name]
+        if isinstance(term, ConstT):
+            return term.value
+        if isinstance(term, TupT):
+            return Tup([self.eval_term(item, assignment) for item in term.items])
+        raise EvaluationError(f"unknown term {term!r}")
+
+    def eval_formula(self, formula: Formula, assignment: dict) -> bool:
+        self.budget.charge("steps")
+        if isinstance(formula, Compare):
+            return self.eval_term(formula.left, assignment) == self.eval_term(
+                formula.right, assignment
+            )
+        if isinstance(formula, In):
+            container = self.eval_term(formula.container, assignment)
+            if not isinstance(container, SetVal):
+                return False
+            return self.eval_term(formula.element, assignment) in container
+        if isinstance(formula, Pred):
+            instance = self.database[formula.name]
+            return self.eval_term(formula.term, assignment) in instance
+        if isinstance(formula, And):
+            return all(self.eval_formula(p, assignment) for p in formula.parts)
+        if isinstance(formula, Or):
+            return any(self.eval_formula(p, assignment) for p in formula.parts)
+        if isinstance(formula, Not):
+            return not self.eval_formula(formula.part, assignment)
+        if isinstance(formula, (Exists, Forall)):
+            looking_for = isinstance(formula, Exists)
+            saved = assignment.get(formula.var, _MISSING)
+            try:
+                for value in self.domain(formula.rtype):
+                    assignment[formula.var] = value
+                    if self.eval_formula(formula.body, assignment) == looking_for:
+                        return looking_for
+                return not looking_for
+            finally:
+                if saved is _MISSING:
+                    assignment.pop(formula.var, None)
+                else:
+                    assignment[formula.var] = saved
+        raise EvaluationError(f"unknown formula {formula!r}")
+
+
+def evaluate_query(
+    query: Query,
+    database: Database,
+    extension_atoms: Iterable[Atom] = (),
+    budget: Budget | None = None,
+    obj_bound: int = DEFAULT_OBJ_BOUND,
+) -> SetVal:
+    """``Q|^i[d]``-style evaluation: limited interpretation with the
+    active domain extended by *extension_atoms*."""
+    return Evaluator(query, database, extension_atoms, budget, obj_bound).run()

@@ -1,0 +1,183 @@
+"""Invention semantics for calculus queries (paper, Section 6).
+
+For a query ``Q``, a database ``d``, and ``i ∈ N``:
+
+* ``Q|^i[d]`` — evaluate under limited interpretation with the active
+  domain extended by ``i`` fresh ("invented") atoms;
+* ``Q|_i[d]`` — ``Q|^i[d]`` with every object containing an invented
+  atom deleted;
+* **finite invention** ``Q^fi[d] = ∪_{i<ω} Q|_i[d]``;
+* **countable invention** ``Q^ci[d] = Q|_ω[d]``;
+* **terminal invention** (the paper's new, C-equivalent semantics)::
+
+      Q^ti[d] = Q|_n[d]   for the least n with an invented value in Q|^n[d],
+              = ?          if no such n exists.
+
+``fi`` and ``ci`` are not computable (Theorem 6.1 puts them strictly
+above **C**); we expose *bounded-stage approximations* — exactly the
+finite evidence their definitions accumulate — plus the exact,
+computable ``ti``.
+
+All functions accept any object implementing the *staged-query
+protocol*: a ``stage(database, invented_atoms, budget)`` method
+returning the instance ``Q|^i[d]`` for ``invented_atoms`` of size
+``i``.  :class:`FormulaStages` adapts a syntactic
+:class:`~repro.calculus.ast.Query`; Section 6's machine-simulating
+queries are provided as semantic implementations of the same protocol
+by :mod:`repro.core.calc_simulation` (see DESIGN.md's substitution
+notes on why).
+"""
+
+from __future__ import annotations
+
+from ..budget import Budget
+from ..errors import BudgetExceeded, UNDEFINED
+from ..model.schema import Database
+from ..model.values import Atom, SetVal, contains_any
+from .ast import Query
+from .eval import DEFAULT_OBJ_BOUND, evaluate_query
+
+
+def invented_atoms(count: int) -> tuple:
+    """``count`` fresh atoms, disjoint from any sensible database.
+
+    Invented atoms are tagged with a reserved label prefix; inputs using
+    that prefix are rejected by :func:`check_no_invented_collision`.
+    """
+    return tuple(Atom(f"ι{i}") for i in range(count))
+
+
+def check_no_invented_collision(database: Database) -> None:
+    from ..errors import EvaluationError
+
+    for atom in database.adom():
+        if isinstance(atom.label, str) and atom.label.startswith("ι"):
+            raise EvaluationError(
+                f"input atom {atom!r} collides with the invented-atom namespace"
+            )
+
+
+class FormulaStages:
+    """Staged-query adapter for a syntactic calculus query."""
+
+    def __init__(self, query: Query, obj_bound: int = DEFAULT_OBJ_BOUND):
+        self.query = query
+        self.obj_bound = obj_bound
+        self.name = query.name
+
+    def stage(self, database: Database, atoms: tuple, budget: Budget) -> SetVal:
+        """``Q|^i[d]`` for ``i = len(atoms)``."""
+        return evaluate_query(
+            self.query,
+            database,
+            extension_atoms=atoms,
+            budget=budget,
+            obj_bound=self.obj_bound,
+        )
+
+
+def _as_staged(query):
+    if isinstance(query, Query):
+        return FormulaStages(query)
+    if hasattr(query, "stage"):
+        return query
+    raise TypeError(f"not a staged query: {query!r}")
+
+
+def upper_stage(query, database: Database, i: int, budget: Budget | None = None) -> SetVal:
+    """``Q|^i[d]``: limited interpretation with i invented atoms."""
+    staged = _as_staged(query)
+    check_no_invented_collision(database)
+    budget = budget or Budget()
+    return staged.stage(database, invented_atoms(i), budget)
+
+
+def lower_stage(query, database: Database, i: int, budget: Budget | None = None) -> SetVal:
+    """``Q|_i[d]``: ``Q|^i[d]`` minus objects containing invented atoms."""
+    atoms = set(invented_atoms(i))
+    upper = upper_stage(query, database, i, budget)
+    return SetVal(
+        member for member in upper.items if not contains_any(member, atoms)
+    )
+
+
+def no_invention(query, database: Database, budget: Budget | None = None) -> SetVal:
+    """The plain limited interpretation ``Q|_0[d]``."""
+    return lower_stage(query, database, 0, budget)
+
+
+def finite_invention(
+    query,
+    database: Database,
+    stages: int,
+    budget: Budget | None = None,
+) -> SetVal:
+    """Bounded approximation of ``Q^fi[d]``: ``∪_{i <= stages} Q|_i[d]``.
+
+    The exact semantics is the union over *all* i — not computable;
+    the approximation is monotone in *stages* and equals the exact
+    value whenever the union stabilises (which no algorithm can detect
+    in general — that is Theorem 6.1).
+    """
+    budget = budget or Budget()
+    members: set = set()
+    for i in range(stages + 1):
+        members |= set(lower_stage(query, database, i, budget).items)
+    return SetVal(members)
+
+
+def countable_invention(
+    query,
+    database: Database,
+    stage: int,
+    budget: Budget | None = None,
+) -> SetVal:
+    """Bounded approximation of ``Q^ci[d] = Q|_ω[d]``.
+
+    Evaluates ``Q|_i[d]`` at the single (large) stage *i* standing in
+    for ω.  Under countable invention a quantifier sees infinitely many
+    invented values at once; a finite stage sees *stage* of them, so
+    properties requiring genuinely infinite supply (Example 6.2's
+    co-halting query) are only approximated from below/above.
+    """
+    return lower_stage(query, database, stage, budget)
+
+
+def terminal_invention(
+    query,
+    database: Database,
+    budget: Budget | None = None,
+    on_stage=None,
+):
+    """The exact terminal-invention semantics ``Q^ti[d]`` (Theorem 6.4).
+
+    Tries ``i = 0, 1, 2, ...`` until ``Q|^i[d]`` contains an object
+    mentioning an invented atom; answers ``Q|_i[d]`` for that least i.
+    The search is bounded by the budget's ``stages`` counter: a query
+    with no terminal stage is ``?`` — and *observing* that requires a
+    bound, exactly like a diverging while loop.
+
+    *on_stage(i, upper)* is an optional callback for experiments that
+    plot the stage at which termination fires.
+    """
+    budget = budget or Budget()
+    staged = _as_staged(query)
+    check_no_invented_collision(database)
+    i = 0
+    while True:
+        try:
+            budget.charge("stages")
+        except BudgetExceeded:
+            return UNDEFINED
+        atoms = invented_atoms(i)
+        upper = staged.stage(database, atoms, budget)
+        if on_stage is not None:
+            on_stage(i, upper)
+        atom_set = set(atoms)
+        if any(contains_any(member, atom_set) for member in upper.items):
+            return SetVal(
+                member
+                for member in upper.items
+                if not contains_any(member, atom_set)
+            )
+        i += 1

@@ -1,0 +1,280 @@
+"""Stock calculus queries for tests, examples, and benchmarks.
+
+The interesting entries:
+
+* :func:`parity_query` — EVEN cardinality via an existential
+  *set-typed* variable (a perfect matching): beyond first-order logic,
+  comfortably inside tsCALC ≡ **E** (Theorem 2.2's flavour of power);
+* :func:`tc_query` — transitive closure as "member of every closed
+  superset", again a set-typed quantifier;
+* :func:`obj_pair_query` — a CALC (untyped!) query with an
+  ``{Obj}``-typed existential, used by the Theorem 6.3 experiments;
+* :class:`HaltingStages` / :class:`CoHaltingStages` — Example 6.2's
+  ``f_halt`` and its complement as staged queries: stage ``i`` sees
+  computations of ``M`` on ``a^{|d|}`` of length up to the capacity
+  that ``i`` invented values buy.  ``f_halt`` is the witness separating
+  tsCALC^fi from **C**; the complement separates ^ci from ^fi
+  (Theorem 6.1).
+"""
+
+from __future__ import annotations
+
+from ..budget import Budget
+from ..gtm.tm import TM, halts
+from ..model.schema import Database
+from ..model.types import OBJ, SetType, TupleType, U
+from ..model.values import Atom, SetVal
+from .ast import (
+    And,
+    Compare,
+    ConstT,
+    Exists,
+    Forall,
+    In,
+    Not,
+    Or,
+    Pred,
+    Query,
+    TupT,
+    VarT,
+)
+
+#: Constant emitted by boolean-style queries.
+YES = Atom("yes")
+
+
+def membership_query(relation: str = "R") -> Query:
+    """``{x/U | R(x)}`` — the identity on a unary relation."""
+    return Query(
+        head=VarT("x"),
+        head_type=U,
+        body=Pred(relation, VarT("x")),
+        free_types={"x": U},
+        name="membership",
+    )
+
+
+def projection_query(relation: str = "R") -> Query:
+    """``{x/U | ∃y/U R([x, y])}``."""
+    return Query(
+        head=VarT("x"),
+        head_type=U,
+        body=Exists("y", U, Pred(relation, TupT([VarT("x"), VarT("y")]))),
+        free_types={"x": U},
+        name="projection",
+    )
+
+
+def join_query(left: str = "R", right: str = "S") -> Query:
+    """``{[x,y,z] | R([x,y]) ∧ S([y,z])}`` — the join BK cannot do."""
+    return Query(
+        head=TupT([VarT("x"), VarT("y"), VarT("z")]),
+        head_type=TupleType([U, U, U]),
+        body=And(
+            Pred(left, TupT([VarT("x"), VarT("y")])),
+            Pred(right, TupT([VarT("y"), VarT("z")])),
+        ),
+        free_types={"x": U, "y": U, "z": U},
+        name="join",
+    )
+
+
+def parity_query(relation: str = "R") -> Query:
+    """``{yes}`` iff ``|R|`` is even — via an existential matching.
+
+    ∃M/{[U,U]}: every element of R is paired by M with a *different*
+    element of R, pairs are symmetric, and partners are unique.  Such
+    an M exists iff |R| is even.  Not first-order; a one-set-quantifier
+    tsCALC query — evaluation cost is ``2^(|adom|^2)``, the paper's
+    one-exponential-per-nesting-level in action (E1 measures it).
+    """
+    pair_t = SetType(TupleType([U, U]))
+    x, y, z, m = VarT("x"), VarT("y"), VarT("z"), VarT("M")
+    covered = Forall(
+        "x",
+        U,
+        Or(
+            Not(Pred(relation, x)),
+            Exists("y", U, In(TupT([x, y]), m)),
+        ),
+    )
+    well_formed = Forall(
+        "x",
+        U,
+        Forall(
+            "y",
+            U,
+            Or(
+                Not(In(TupT([x, y]), m)),
+                And(
+                    Pred(relation, x),
+                    Pred(relation, y),
+                    Not(Compare(x, y)),
+                    In(TupT([y, x]), m),
+                ),
+            ),
+        ),
+    )
+    functional = Forall(
+        "x",
+        U,
+        Forall(
+            "y",
+            U,
+            Forall(
+                "z",
+                U,
+                Or(
+                    Not(In(TupT([x, y]), m)),
+                    Not(In(TupT([x, z]), m)),
+                    Compare(y, z),
+                ),
+            ),
+        ),
+    )
+    body = Exists("M", pair_t, And(covered, well_formed, functional))
+    return Query(
+        head=ConstT(YES),
+        head_type=U,
+        body=body,
+        free_types={},
+        name="parity",
+    )
+
+
+def tc_query(relation: str = "R") -> Query:
+    """``{[x,y] | [x,y] in every transitive superset of R}``.
+
+    The powerset-flavoured TC: a universally quantified set variable.
+    """
+    pair_t = SetType(TupleType([U, U]))
+    x, y, s = VarT("x"), VarT("y"), VarT("S")
+    transitive = Forall(
+        "a",
+        U,
+        Forall(
+            "b",
+            U,
+            Forall(
+                "c",
+                U,
+                Or(
+                    Not(In(TupT([VarT("a"), VarT("b")]), s)),
+                    Not(In(TupT([VarT("b"), VarT("c")]), s)),
+                    In(TupT([VarT("a"), VarT("c")]), s),
+                ),
+            ),
+        ),
+    )
+    superset = Forall(
+        "a",
+        U,
+        Forall(
+            "b",
+            U,
+            Or(
+                Not(Pred(relation, TupT([VarT("a"), VarT("b")]))),
+                In(TupT([VarT("a"), VarT("b")]), s),
+            ),
+        ),
+    )
+    body = And(
+        Forall("S", pair_t, Or(Not(And(transitive, superset)), In(TupT([x, y]), s))),
+        # keep (x, y) in the active domain:
+        Exists(
+            "p",
+            U,
+            Or(
+                Pred(relation, TupT([x, VarT("p")])),
+                Pred(relation, TupT([VarT("p"), x])),
+            ),
+        ),
+        Exists(
+            "p",
+            U,
+            Or(
+                Pred(relation, TupT([y, VarT("p")])),
+                Pred(relation, TupT([VarT("p"), y])),
+            ),
+        ),
+    )
+    return Query(
+        head=TupT([x, y]),
+        head_type=TupleType([U, U]),
+        body=body,
+        free_types={"x": U, "y": U},
+        name="tc-calc",
+    )
+
+
+def obj_pair_query(relation: str = "R") -> Query:
+    """A genuinely *untyped* query: ``{x/U | ∃s/{Obj} (x ∈ s ∧ R(x))}``.
+
+    The set variable ranges over heterogeneous sets; under bounded
+    evaluation this reduces to membership, but its type takes it out of
+    tsCALC — the smallest CALC∃ witness for the Theorem 6.3 tests.
+    """
+    return Query(
+        head=VarT("x"),
+        head_type=U,
+        body=Exists(
+            "s",
+            SetType(OBJ),
+            And(In(VarT("x"), VarT("s")), Pred(relation, VarT("x"))),
+        ),
+        free_types={"x": U},
+        name="obj-pair",
+    )
+
+
+class HaltingStages:
+    """Example 6.2's ``f_halt`` as a staged query.
+
+    ``stage(d, atoms, _)`` returns ``{yes}`` iff M halts on ``a^{|d|}``
+    within the capacity bought by ``|adom| + |atoms|`` values — "there
+    exists a halting computation of M ... whose running time is <= the
+    number of active domain and invented objects" (with the quadratic
+    table capacity of Theorem 2.2's encoding).
+    """
+
+    def __init__(self, tm: TM, name: str | None = None):
+        self.tm = tm
+        self.name = name or f"halting<{tm.name}>"
+
+    def capacity(self, database: Database, invented: int) -> int:
+        base = len(database.adom()) + invented
+        return max(1, base * base)
+
+    def stage(self, database: Database, atoms: tuple, budget: Budget) -> SetVal:
+        n = len(database.adom())
+        bound = self.capacity(database, len(atoms))
+        verdict = halts(self.tm, ["a"] * n, max_steps=bound)
+        budget.charge("steps", bound)
+        return SetVal([YES]) if verdict else SetVal([])
+
+
+class CoHaltingStages:
+    """Example 6.2's complement ``f_co-halt = {yes} − f_halt``.
+
+    A *countable-invention* query: with infinitely many invented values
+    every finite computation is visible at once and ``{yes}`` appears
+    exactly when none of them halts.  At a finite stage i the query can
+    only report "has not halted within capacity(i)" — correct in the
+    limit, over-approximate before it (the reason f_co-halt escapes
+    finite invention; see Theorem 6.1).
+    """
+
+    def __init__(self, tm: TM, name: str | None = None):
+        self.tm = tm
+        self.name = name or f"co-halting<{tm.name}>"
+
+    def capacity(self, database: Database, invented: int) -> int:
+        base = len(database.adom()) + invented
+        return max(1, base * base)
+
+    def stage(self, database: Database, atoms: tuple, budget: Budget) -> SetVal:
+        n = len(database.adom())
+        bound = self.capacity(database, len(atoms))
+        verdict = halts(self.tm, ["a"] * n, max_steps=bound)
+        budget.charge("steps", bound)
+        return SetVal([]) if verdict else SetVal([YES])

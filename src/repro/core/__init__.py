@@ -1,0 +1,55 @@
+"""The paper's constructive theorems, executable.  See DESIGN.md §2.6."""
+
+from .alg_simulation import (
+    compile_gtm_to_alg,
+    run_compiled,
+    run_for_all_orderings,
+    working_symbol_atoms,
+)
+from .col_simulation import (
+    compile_gtm_to_col,
+    encode_database_for_col,
+    run_col_for_all_orderings,
+    run_compiled_col,
+)
+from .calc_simulation import (
+    GTMStagedQuery,
+    compile_gtm_to_calc,
+    terminal_stage_prediction,
+)
+from .flattening import (
+    flatten_value,
+    invention_supply,
+    node_count,
+    objects_at_stage,
+    unflatten_value,
+)
+from .classes import QueryFunction, elementary_time_bound, language_chain
+from .equivalence import (
+    ALL_ROUTES,
+    Disagreement,
+    check_agreement,
+    implementations_for,
+)
+from .counters import (
+    singleton_nest,
+    singleton_rank,
+    singleton_succ,
+    von_neumann,
+    von_neumann_rank,
+    von_neumann_succ,
+)
+
+__all__ = [
+    "compile_gtm_to_alg", "run_compiled", "run_for_all_orderings",
+    "working_symbol_atoms",
+    "compile_gtm_to_col", "encode_database_for_col",
+    "run_col_for_all_orderings", "run_compiled_col",
+    "GTMStagedQuery", "compile_gtm_to_calc", "terminal_stage_prediction",
+    "flatten_value", "invention_supply", "node_count", "objects_at_stage",
+    "unflatten_value",
+    "QueryFunction", "elementary_time_bound", "language_chain",
+    "ALL_ROUTES", "Disagreement", "check_agreement", "implementations_for",
+    "singleton_nest", "singleton_rank", "singleton_succ", "von_neumann",
+    "von_neumann_rank", "von_neumann_succ",
+]

@@ -1,0 +1,430 @@
+"""Theorem 4.1(b): compiling a GTM into ``ALG + while − powerset``.
+
+Given an input-order-independent GTM ``M`` computing ``f : D -> T``,
+:func:`compile_gtm_to_alg` emits an algebra program (no powerset!) that
+computes ``f``.  The three issues of the paper's proof map onto three
+pieces of the generated program:
+
+(a) **encoding the input** — the ``EncodeInput`` primitive lays the
+    canonical listing of the database onto a binary relation
+    ``IN = {[pos, sym]}`` whose positions are von-Neumann ordinals
+    (``∅, {∅}, {∅,{∅}}, ...`` — untyped sets, no invented atoms);
+
+(b) **an arbitrarily large ordered index supply** — each loop iteration
+    mints one more ordinal via ``collapse`` (the executable form of the
+    paper's ``σ₂ν₂σ₁₌₂(P×P) − P``), and extends both tape relations
+    with explicit blanks at the new position;
+
+(c) **simulating individual steps** — the configuration lives in
+    relations ``T1, T2 : {[pos, sym]}``, ``H1, H2 : {pos}``,
+    ``ST : {state}``; each δ entry becomes a short chain of selections
+    and products that fires (produces one row ``[q', w1, w2, m1, m2]``)
+    exactly when that entry matches, with α/β handled by set
+    difference against the constant-symbol relation ``WC``.
+
+On loop exit the program checks the machine halted (via the paper's
+``undefine`` operator: a stuck machine makes the whole query ``?``) and
+decodes tape 1 back into an instance with a successor-relation chain
+join.
+
+Genericity.  ``EncodeInput`` by itself is order-sensitive; the paper
+makes the construction internally generic by simulating *all* input
+orderings at once (the ``PERMS`` object).  We reproduce that claim
+executably with :func:`run_for_all_orderings`, which evaluates the
+compiled program under every ordering of ``adom(d)`` and checks the
+outputs coincide — the empirical content of the PERMS argument (see
+DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algebra.ast import (
+    Collapse,
+    Const,
+    Diff,
+    EncodeInput,
+    Eq,
+    EqConst,
+    Expand,
+    Intersect,
+    Member,
+    Product,
+    Program,
+    Project,
+    Select,
+    Undefine,
+    Union,
+    Var,
+)
+from ..algebra.builder import ProgramBuilder
+from ..algebra.rewrites import gate, guard, not_guard
+from ..budget import Budget
+from ..errors import EvaluationError, MachineError
+from ..model.encoding import BLANK
+from ..model.schema import Database, Schema
+from ..model.types import AtomType, RType, TupleType
+from ..model.values import Atom, SetVal
+from ..gtm.machine import ALPHA, BETA, GTM
+
+
+def _state_atom(state: str) -> Atom:
+    return Atom(f"q${state}")
+
+
+def _move_atom(move: str) -> Atom:
+    return Atom(f"m${move}")
+
+
+def _symbol_atom(symbol) -> Atom:
+    """The algebra-side atom for a tape symbol (working symbols become
+    atoms with their own label, matching ``EncodeInput``)."""
+    if isinstance(symbol, Atom):
+        return symbol
+    return Atom(symbol)
+
+
+def concrete_symbols(gtm: GTM) -> list:
+    """All concrete tape symbols of the machine: ``W ∪ C`` as atoms.
+
+    This is the relation α/β matching differences against.
+    """
+    atoms = [Atom(w) for w in sorted(gtm.working)]
+    atoms.extend(sorted(gtm.constants, key=lambda a: a.canon_key()))
+    return atoms
+
+
+def working_symbol_atoms(gtm: GTM) -> list:
+    """Only ``W`` as atoms — what output decoding must strip.
+
+    Constant atoms of ``C`` are legitimate *data* (e.g. the ``even``
+    verdict of the parity machine) and must survive decoding.
+    """
+    return [Atom(w) for w in sorted(gtm.working)]
+
+
+def check_no_symbol_collision(gtm: GTM, database: Database) -> None:
+    """Reject inputs whose atoms collide with working-symbol labels.
+
+    In the paper ``W`` and ``U`` are disjoint sets; our atoms are
+    labelled, so a database atom labelled ``'('`` would be
+    indistinguishable from the punctuation symbol.  Such inputs are
+    outside the modelled universe.
+    """
+    working_labels = {w for w in gtm.working}
+    for atom in database.adom():
+        if isinstance(atom.label, str) and atom.label in working_labels:
+            raise MachineError(
+                f"input atom {atom!r} collides with working symbol "
+                f"{atom.label!r}; relabel the input"
+            )
+
+
+def compile_gtm_to_alg(
+    gtm: GTM,
+    schema: Schema,
+    output_type: RType,
+) -> Program:
+    """Emit an ``ALG+while−powerset`` program computing the GTM's query.
+
+    *schema* is the flat input schema (its predicates become the
+    program's inputs); *output_type* the flat output type used by the
+    in-algebra decoder.
+    """
+    b = ProgramBuilder(inputs=list(schema.names()))
+
+    blank = Atom(BLANK)
+    halt_atom = _state_atom(gtm.halt)
+    wc = Const(SetVal(concrete_symbols(gtm)))
+    ws = Const(SetVal(working_symbol_atoms(gtm)))
+    c_blank = Const(SetVal([blank]))
+    c_halt = Const(SetVal([halt_atom]))
+
+    # --- (a) encode the input ------------------------------------------------
+    b.let("IN", EncodeInput(list(schema.names())))
+    b.let("P", Project(Var("IN"), [1]))
+    b.let("T1", Var("IN"))
+    b.let("T2", Product(Var("P"), c_blank))
+    b.let("H1", Const(SetVal([SetVal([])])))  # ordinal 0 = ∅
+    b.let("H2", Const(SetVal([SetVal([])])))
+    b.let("ST", Const(SetVal([_state_atom(gtm.start)])))
+    b.let("RUNNING", Diff(Var("ST"), c_halt))
+
+    with b.loop("STF", source="ST", cond="RUNNING"):
+        # --- (b) mint one more ordinal index and blank-extend the tapes -----
+        b.let("NEWPOS", Collapse(Var("P")))
+        b.let("P", Union(Var("P"), Var("NEWPOS")))
+        b.let("T1", Union(Var("T1"), Product(Var("NEWPOS"), c_blank)))
+        b.let("T2", Union(Var("T2"), Product(Var("NEWPOS"), c_blank)))
+
+        # --- (c) one machine step -------------------------------------------
+        # Current symbols under the heads.
+        b.let(
+            "CUR1",
+            Project(Select(Product(Var("T1"), Var("H1")), Eq(1, 3)), [2]),
+        )
+        b.let(
+            "CUR2",
+            Project(Select(Product(Var("T2"), Var("H2")), Eq(1, 3)), [2]),
+        )
+        b.let("FRESH1", Diff(Var("CUR1"), wc))
+        b.let("FRESH2", Diff(Var("CUR2"), wc))
+
+        # One firing expression per δ entry; NEXT is their union and has
+        # at most one row [q', w1, w2, m1, m2] (δ is deterministic).
+        next_expr = None
+        for (state, read1, read2), step in sorted(
+            gtm.delta.items(), key=lambda kv: repr(kv[0])
+        ):
+            entry = _entry_expression(b, gtm, state, read1, read2, step)
+            next_expr = entry if next_expr is None else Union(next_expr, entry)
+        if next_expr is None:
+            next_expr = Const(SetVal([]))
+        b.let("NEXT", next_expr)
+        b.let("ST", Project(Var("NEXT"), [1]))
+
+        # Write phase: replace the row under each head.
+        b.let(
+            "OLD1",
+            Project(Select(Product(Var("T1"), Var("H1")), Eq(1, 3)), [1, 2]),
+        )
+        b.let("NEW1", Project(Product(Var("H1"), Var("NEXT")), [1, 3]))
+        b.let("T1", Union(Diff(Var("T1"), Var("OLD1")), Var("NEW1")))
+        b.let(
+            "OLD2",
+            Project(Select(Product(Var("T2"), Var("H2")), Eq(1, 3)), [1, 2]),
+        )
+        b.let("NEW2", Project(Product(Var("H2"), Var("NEXT")), [1, 4]))
+        b.let("T2", Union(Diff(Var("T2"), Var("OLD2")), Var("NEW2")))
+
+        # Move phase.
+        _emit_head_move(b, head="H1", move_col=5)
+        _emit_head_move(b, head="H2", move_col=6)
+
+        b.let("RUNNING", Diff(Var("ST"), c_halt))
+
+    # Undefined unless the machine reached the halting state.
+    b.let("HALTED", Intersect(Var("STF"), c_halt))
+    b.let("CHK", Undefine(Var("HALTED")))
+
+    # --- decode tape 1 back into an instance ---------------------------------
+    _emit_decoder(b, output_type, ws)
+    return b.build()
+
+
+def _entry_expression(b: ProgramBuilder, gtm: GTM, state, read1, read2, step):
+    """The firing expression of one δ entry.
+
+    Evaluates to ``{[q', w1, w2, m1, m2]}`` when the entry matches the
+    current configuration, ``∅`` otherwise.
+    """
+    sq = Select(Var("ST"), EqConst(1, _state_atom(state)))
+
+    if read1 is ALPHA:
+        b1 = Var("FRESH1")
+    else:
+        b1 = Select(Var("CUR1"), EqConst(1, _symbol_atom(read1)))
+
+    if read2 is ALPHA and read1 is ALPHA:
+        b2 = Intersect(Var("CUR2"), b1)
+    elif read2 is ALPHA:
+        b2 = Var("FRESH2")
+    elif read2 is BETA:
+        b2 = Diff(Var("FRESH2"), b1)
+    else:
+        b2 = Select(Var("CUR2"), EqConst(1, _symbol_atom(read2)))
+
+    fire = b.temp(Product(Product(sq, b1), b2), prefix="fire")
+    # fire columns: [q, s1, s2]; α binds s1 when read1 is α, else s2.
+    alpha_col = 2 if read1 is ALPHA else 3
+    beta_col = 3
+
+    columns: list = []  # final projection, in output order
+    expr = fire
+    width = 3
+
+    def append_const(atom: Atom):
+        nonlocal expr, width
+        expr_new = Product(expr, Const(SetVal([atom])))
+        width += 1
+        return expr_new, width
+
+    # q'
+    expr, width = append_const(_state_atom(step.state))
+    columns.append(width)
+    # w1, w2
+    for write in (step.write1, step.write2):
+        if write is ALPHA:
+            columns.append(alpha_col)
+        elif write is BETA:
+            columns.append(beta_col)
+        else:
+            expr, width = append_const(_symbol_atom(write))
+            columns.append(width)
+    # m1, m2
+    for move in (step.move1, step.move2):
+        expr, width = append_const(_move_atom(move))
+        columns.append(width)
+
+    return Project(expr, columns)
+
+
+def _emit_head_move(b: ProgramBuilder, head: str, move_col: int) -> None:
+    """Update a head relation from NEXT's move column.
+
+    Successor (move R) is ``collapse(p ∪ elements(p))`` — the ordinal
+    ``p ∪ {p}``; predecessor (move L) is the maximal element of ``p``
+    (staying at 0 when there is none: one-way tapes).
+    """
+    hm = b.temp(Product(Var(head), Var("NEXT")), prefix="hm")
+    # hm columns: [pos, q', w1, w2, m1, m2]; the move is at 1 + move_col.
+    col = 1 + move_col - 1  # NEXT's move_col shifted by the pos column
+    stay = b.temp(
+        Project(Select(hm, EqConst(col, _move_atom("-"))), [1]), prefix="stay"
+    )
+    right = b.temp(
+        Project(Select(hm, EqConst(col, _move_atom("R"))), [1]), prefix="right"
+    )
+    left = b.temp(
+        Project(Select(hm, EqConst(col, _move_atom("L"))), [1]), prefix="left"
+    )
+    # succ: gate(collapse(right ∪ expand(right)), right)
+    succ_val = b.temp(Collapse(Union(right, Expand(right))), prefix="succv")
+    succ = b.temp(Project(Product(succ_val, right), [1]), prefix="succ")
+    # pred: max element of the ordinal (or stay at 0)
+    elems = b.temp(Expand(left), prefix="elems")
+    dominated = b.temp(
+        Project(Select(Product(elems, elems), Member(1, 2)), [1]), prefix="dom"
+    )
+    pred_max = Diff(elems, dominated)
+    at_zero = gate(left, not_guard(guard(elems)))
+    b.let(head, Union(Union(stay, succ), Union(pred_max, at_zero)))
+
+
+def _emit_decoder(b: ProgramBuilder, output_type: RType, ws: Const) -> None:
+    """Decode the final T1 listing into the answer instance.
+
+    For a set-of-atoms output the data cells are simply the cells that
+    are not working symbols (constant atoms of C are data and stay).
+    For arity-k tuples, rows start at ``'['`` cells and their
+    coordinates are collected by chaining the successor relation.
+    """
+    if isinstance(output_type, AtomType):
+        b.answer(Diff(Project(Var("T1"), [2]), ws))
+        return
+    if not isinstance(output_type, TupleType):
+        raise EvaluationError(
+            f"decoder supports flat output types only, got {output_type!r}"
+        )
+    arity = len(output_type)
+
+    # Successor relation on minted ordinals: q = succ(p) iff p ∈ q and
+    # no r with p ∈ r ∈ q.
+    pp = b.temp(Product(Var("P"), Var("P")), prefix="pp")
+    lt = b.temp(Select(pp, Member(1, 2)), prefix="lt")
+    mid = b.temp(
+        Project(
+            Select(Select(Product(lt, Var("P")), Member(1, 3)), Member(3, 2)),
+            [1, 2],
+        ),
+        prefix="mid",
+    )
+    succrel = b.temp(Diff(lt, mid), prefix="succrel")
+
+    # Row starts: positions holding '['.
+    chain = b.temp(
+        Project(Select(Var("T1"), EqConst(2, Atom("["))), [1]), prefix="row0"
+    )
+    # chain columns: [p0] then grows [p0, a1, ..., ai, p_i].
+    atom_cols: list = []
+    width = 1
+    for _ in range(arity):
+        stepped = b.temp(
+            Project(
+                Select(Product(chain, succrel), Eq(width, width + 1)),
+                list(range(1, width + 1)) + [width + 2],
+            ),
+            prefix="step",
+        )
+        # join the symbol at the new position
+        with_sym = b.temp(
+            Project(
+                Select(Product(stepped, Var("T1")), Eq(width + 1, width + 2)),
+                list(range(1, width + 1)) + [width + 3, width + 1],
+            ),
+            prefix="sym",
+        )
+        # columns now: [p0, a1..a_{i-1}, a_i, p_i]
+        chain = with_sym
+        width += 2
+        atom_cols.append(width - 1)
+        # drop nothing; p_i stays last for the next hop
+        atom_cols = atom_cols  # (explicit: cols 2..width-1 alternate)
+
+    # Check the cell after the last coordinate is ']'.
+    closed = b.temp(
+        Project(
+            Select(Product(chain, succrel), Eq(width, width + 1)),
+            list(range(1, width + 1)) + [width + 2],
+        ),
+        prefix="closed",
+    )
+    ok = b.temp(
+        Select(
+            Project(
+                Select(Product(closed, Var("T1")), Eq(width + 1, width + 2)),
+                list(range(1, width + 1)) + [width + 3],
+            ),
+            EqConst(width + 1, Atom("]")),
+        ),
+        prefix="ok",
+    )
+    # Keep the atom coordinates: they are columns 2, 4, ..., 2*arity.
+    b.answer(Project(ok, [2 * i for i in range(1, arity + 1)]))
+
+
+def run_compiled(
+    program: Program,
+    gtm: GTM,
+    database: Database,
+    budget: Budget | None = None,
+    atom_order: Sequence[Atom] | None = None,
+):
+    """Run a compiled program with the collision guard applied."""
+    from ..algebra.eval import run_program
+
+    check_no_symbol_collision(gtm, database)
+    return run_program(program, database, budget=budget, atom_order=atom_order)
+
+
+def run_for_all_orderings(
+    program: Program,
+    gtm: GTM,
+    database: Database,
+    max_orders: int | None = 24,
+    budget_factory=None,
+):
+    """The PERMS check: evaluate under every input ordering; must agree.
+
+    Returns the common output.  Raises :class:`MachineError` when two
+    orderings disagree — which for an input-order-independent GTM never
+    happens (Theorem 4.1(b)'s genericity argument, checked empirically).
+    """
+    from ..model.ordering import enumerate_orderings
+
+    budget_factory = budget_factory or Budget
+    baseline = None
+    first = True
+    for ordering in enumerate_orderings(database.adom(), limit=max_orders):
+        result = run_compiled(
+            program, gtm, database, budget=budget_factory(), atom_order=ordering
+        )
+        if first:
+            baseline = result
+            first = False
+        elif result != baseline:
+            raise MachineError(
+                f"compiled program is order-sensitive: {baseline} vs {result}"
+            )
+    return baseline

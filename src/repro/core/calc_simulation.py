@@ -1,0 +1,137 @@
+"""Theorem 6.4: tsCALC under terminal invention is C-equivalent.
+
+The paper's construction turns a Turing machine ``M`` computing
+``f ∈ C`` into a tsCALC query ``Q`` whose stage-``n`` evaluation
+``Q|^n[d]`` asserts the existence of a halting computation table of
+``M`` — of type ``{[U, U, U, U]}`` over ``adom(d)`` plus ``n`` invented
+index values.  Once ``n`` is large enough to hold the computation, the
+table itself (full of invented values) appears in an auxiliary part of
+the output, so ``Q|^n`` "contains an invented value" and terminal
+invention stops, returning ``Q|_n = f(d)``.
+
+Evaluating the table-existence formula by brute enumeration is
+hyper-exponentially infeasible even at toy sizes (the formula
+quantifies a set variable over ``2^(m^4)`` candidates), so — per the
+substitution policy in DESIGN.md — :class:`GTMStagedQuery` implements
+the *semantics* of the constructed query directly: its ``stage``
+method computes exactly the value ``Q|^n[d]`` that the formula's naive
+evaluation would produce, by running the machine under the
+stage-``n`` resource bound (tape cells and steps limited to what
+``n`` invented indices can address).  The terminal-invention driver in
+:mod:`repro.calculus.invention` is the *exact* semantics either way;
+experiments verify the compiled queries against direct GTM runs and
+that the terminal stage equals the machine's resource need.
+"""
+
+from __future__ import annotations
+
+from ..budget import Budget
+from ..errors import UNDEFINED
+from ..gtm.machine import GTM
+from ..gtm.run import run_gtm
+from ..model.encoding import decode_instance, encode_database
+from ..model.schema import Database
+from ..model.types import RType
+from ..model.values import SetVal, Tup
+
+
+class GTMStagedQuery:
+    """The staged-query semantics of the Theorem 6.4 construction.
+
+    ``stage(d, atoms, budget)`` returns ``Q|^i[d]`` for ``i =
+    len(atoms)``:
+
+    * if a halting computation of the machine exists using at most
+      ``capacity(i)`` tape cells and time steps — the configurations a
+      table over ``adom ∪ invented`` can index — the result is
+      ``f(d)`` plus one *witness tuple* built from invented atoms (the
+      table leaking into the output, which is what makes the stage
+      terminal);
+    * otherwise the result is ``f``-less and invented-free: ∅.
+
+    ``capacity(i)`` is ``(|adom| + |C| + i)²``: the table's index
+    columns range over pairs of domain elements, as in the proof of
+    Theorem 2.2 where a two-column key addresses quadratically many
+    cells.
+    """
+
+    def __init__(self, gtm: GTM, output_type: RType, name: str | None = None):
+        self.gtm = gtm
+        self.output_type = output_type
+        self.name = name or f"calc<{gtm.name}>"
+
+    def capacity(self, database: Database, invented: int) -> int:
+        base = len(database.adom()) + len(self.gtm.constants) + invented
+        return base * base
+
+    def _witness(self, atoms: tuple):
+        """An output-typed tuple mentioning an invented atom."""
+        from ..model.types import AtomType, TupleType
+
+        marker = atoms[0]
+        if isinstance(self.output_type, TupleType):
+            return Tup([marker] * len(self.output_type))
+        if isinstance(self.output_type, AtomType):
+            return marker
+        raise NotImplementedError(
+            f"witness for output type {self.output_type!r}"
+        )
+
+    def stage(self, database: Database, atoms: tuple, budget: Budget) -> SetVal:
+        from ..model.encoding import canonical_atom_order
+
+        bound = self.capacity(database, len(atoms))
+        order = canonical_atom_order(database)
+        symbols = encode_database(database, order)
+        if len(symbols) > bound:
+            return SetVal([])
+        run_budget = Budget(steps=bound)
+        final = run_gtm(self.gtm, symbols, budget=run_budget)
+        budget.charge("steps", run_budget.spent("steps"))
+        if final is UNDEFINED:
+            return SetVal([])  # no computation fits at this stage
+        if len(final) > bound:
+            return SetVal([])  # the table cannot hold the final tape
+        try:
+            answer = decode_instance(final, self.output_type)
+        except Exception:
+            return SetVal([])
+        if not atoms:
+            # Stage 0 has no invented values to leak; the formula's
+            # auxiliary disjunct is vacuous.
+            return answer
+        return SetVal(set(answer.items) | {self._witness(atoms)})
+
+
+def compile_gtm_to_calc(gtm: GTM, output_type: RType) -> GTMStagedQuery:
+    """Theorem 6.4 compiler entry point (staged-query semantics)."""
+    return GTMStagedQuery(gtm, output_type)
+
+
+def terminal_stage_prediction(
+    query: GTMStagedQuery, database: Database
+) -> int | None:
+    """The stage at which terminal invention should fire for *query*.
+
+    The least ``i >= 1`` whose capacity covers the machine's halting
+    run (``None`` if the machine does not halt within a generous
+    bound).  Used by the E11 experiment to check the driver stops at
+    exactly the predicted stage.
+    """
+    from ..model.encoding import canonical_atom_order
+
+    order = canonical_atom_order(database)
+    symbols = encode_database(database, order)
+    probe = Budget(steps=1_000_000)
+    final = run_gtm(query.gtm, symbols, budget=probe)
+    if final is UNDEFINED:
+        return None
+    steps_needed = probe.spent("steps")
+    cells_needed = max(len(symbols), len(final))
+    need = max(steps_needed, cells_needed)
+    i = 1
+    while query.capacity(database, i) < need:
+        i += 1
+        if i > 10_000:  # pragma: no cover - defensive
+            return None
+    return i

@@ -1,0 +1,355 @@
+"""Theorem 5.1: compiling a GTM into COL (stratified / inflationary).
+
+The generated program keeps the **entire history** of the computation
+— the paper's wrinkle: "the relations T1, T2, and S will record the
+entire history of the computation, rather than simply the 'current'
+configuration", with an extra time column.  Time and tape indices are
+the singleton-nesting counters of the paper's part (b): seeded at the
+atom-free ``∅`` and advanced by ``u ↦ {u}``, minted by rules exactly
+when the machine makes a step (the paper's ``F(a)`` device expressed
+through head set-terms ``{t}``).
+
+Relations (IDB):
+
+* ``S(t, q)`` — state history; ``H1/H2(t, p)`` — head histories;
+* ``T1/T2(t, p, s)`` — tape histories;
+* ``Edge1/Edge2(t, p)`` — the first virgin cell of each tape, advanced
+  (and back-filled with an explicit blank) every step so lookups are
+  total without negation through the recursion;
+* ``HALT(t)`` and the answer extraction rules.
+
+Negation appears only against the EDB relation ``WC`` (the concrete
+symbols, used to recognise "some atom of U − C" for α/β patterns) and
+in inequalities — the program is stratified, and because the EDB is
+stable the inflationary semantics computes the same model, which is the
+executable content of COL^str ≡ COL^inf on these programs.
+
+Input encoding (the paper's part (a), discharged there by "COL can
+simulate tsALG"): :func:`encode_database_for_col` lays the canonical
+listing into the EDB relation ``IN(p, s)``; the same all-orderings
+check as in the algebra compiler is provided by
+:func:`run_col_for_all_orderings`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..budget import Budget
+from ..deductive.ast import ColProgram, ConstD, EqLit, PredLit, Rule, SetD, TupD, VarD
+from ..deductive.inflationary import run_inflationary
+from ..deductive.stratify import run_stratified
+from ..errors import EvaluationError
+from ..gtm.machine import ALPHA, BETA, GTM
+from ..model.encoding import BLANK, encode_database
+from ..model.schema import Database, Schema
+from ..model.types import AtomType, RType, TupleType, parse_type
+from ..model.values import Atom, SetVal, Tup, Value
+from .alg_simulation import (
+    check_no_symbol_collision,
+    concrete_symbols,
+    working_symbol_atoms,
+)
+
+#: The empty set — index zero of the singleton-nesting counter.
+EMPTY = SetVal([])
+
+
+def nest_position(depth: int) -> Value:
+    """``∅`` nested in *depth* singleton braces: the COL-side index k."""
+    value: Value = EMPTY
+    for _ in range(depth):
+        value = SetVal([value])
+    return value
+
+
+def _state_atom(state: str) -> Atom:
+    return Atom(f"q${state}")
+
+
+def col_edb_schema(input_schema: Schema) -> Schema:
+    """The EDB schema seen by compiled programs."""
+    entries = [
+        ("IN", parse_type("[Obj, Obj]")),
+        ("WC", parse_type("U")),
+        ("WS", parse_type("U")),
+        ("EDGE1", parse_type("Obj")),
+    ]
+    return Schema(entries)
+
+
+def encode_database_for_col(
+    gtm: GTM,
+    database: Database,
+    atom_order: Sequence[Atom] | None = None,
+) -> Database:
+    """Build the EDB: the listing as ``IN``, plus ``WC`` and ``EDGE1``."""
+    from ..model.encoding import canonical_atom_order
+
+    check_no_symbol_collision(gtm, database)
+    if atom_order is None:
+        atom_order = canonical_atom_order(database)
+    symbols = encode_database(database, atom_order)
+    rows = []
+    for depth, symbol in enumerate(symbols):
+        value = symbol if isinstance(symbol, Atom) else Atom(symbol)
+        rows.append(Tup([nest_position(depth), value]))
+    edge1 = nest_position(len(symbols))
+    return Database(
+        col_edb_schema(database.schema),
+        {
+            "IN": SetVal(rows),
+            "WC": SetVal(concrete_symbols(gtm)),
+            "WS": SetVal(working_symbol_atoms(gtm)),
+            "EDGE1": SetVal([edge1]),
+        },
+    )
+
+
+def _succ(term) -> SetD:
+    return SetD([term])
+
+
+def compile_gtm_to_col(gtm: GTM, output_type: RType) -> ColProgram:
+    """Emit the COL program simulating *gtm* over the ``IN/WC/EDGE1`` EDB."""
+    rules: list = []
+    t = VarD("t")
+    p = VarD("p")
+    s = VarD("s")
+    blank = ConstD(Atom(BLANK))
+    zero = ConstD(EMPTY)
+
+    # ---- initialisation ------------------------------------------------
+    rules.append(
+        Rule(
+            PredLit("T1", TupD([zero, VarD("p"), VarD("s")])),
+            [PredLit("IN", TupD([VarD("p"), VarD("s")]))],
+        )
+    )
+    rules.append(Rule(PredLit("H1", TupD([zero, zero]))))
+    rules.append(Rule(PredLit("H2", TupD([zero, zero]))))
+    rules.append(Rule(PredLit("S", TupD([zero, ConstD(_state_atom(gtm.start))]))))
+    rules.append(
+        Rule(
+            PredLit("Edge1", TupD([zero, VarD("pe")])),
+            [PredLit("EDGE1", VarD("pe"))],
+        )
+    )
+    rules.append(Rule(PredLit("T2", TupD([zero, zero, blank]))))
+    rules.append(Rule(PredLit("Edge2", TupD([zero, _succ(zero)]))))
+
+    # ---- one rule bundle per δ entry (× head-move variants) ------------
+    for (state, read1, read2), step in sorted(
+        gtm.delta.items(), key=lambda kv: repr(kv[0])
+    ):
+        for p1_term, p1_next in _position_variants(step.move1, "1"):
+            for p2_term, p2_next in _position_variants(step.move2, "2"):
+                rules.extend(
+                    _entry_rules(
+                        gtm,
+                        state,
+                        read1,
+                        read2,
+                        step,
+                        p1_term,
+                        p1_next,
+                        p2_term,
+                        p2_next,
+                    )
+                )
+
+    # ---- answer extraction ----------------------------------------------
+    rules.append(
+        Rule(
+            PredLit("HALT", VarD("t")),
+            [PredLit("S", TupD([VarD("t"), ConstD(_state_atom(gtm.halt))]))],
+        )
+    )
+    rules.extend(_extraction_rules(output_type))
+    return ColProgram(rules, answer="ANS", name=f"col<{gtm.name}>")
+
+
+def _position_variants(move: str, tape: str):
+    """Body/head position-term pairs realising a head move.
+
+    Returns ``(p_term, p_next_term)`` pairs: the pattern used for the
+    head position in the body, and the term for the new position in the
+    head.  Moving left needs two variants (general cell vs. cell 0,
+    where one-way tapes stay put).
+    """
+    p_var = VarD(f"p{tape}")
+    if move == "-":
+        return [(p_var, p_var)]
+    if move == "R":
+        return [(p_var, _succ(p_var))]
+    if move == "L":
+        u_var = VarD(f"u{tape}")
+        return [(_succ(u_var), u_var), (ConstD(EMPTY), ConstD(EMPTY))]
+    raise EvaluationError(f"bad move {move!r}")  # pragma: no cover
+
+
+def _entry_rules(gtm, state, read1, read2, step, p1, p1_next, p2, p2_next):
+    """All rules sharing one δ entry's body (one per head)."""
+    t = VarD("t")
+    t_next = _succ(t)
+    x1, x2 = VarD("x1"), VarD("x2")
+
+    body: list = [
+        PredLit("S", TupD([t, ConstD(_state_atom(state))])),
+        PredLit("H1", TupD([t, p1])),
+        PredLit("H2", TupD([t, p2])),
+    ]
+    if read1 is ALPHA:
+        body.append(PredLit("T1", TupD([t, p1, x1])))
+        body.append(PredLit("WC", x1, positive=False))
+        alpha = x1
+    else:
+        body.append(PredLit("T1", TupD([t, p1, ConstD(_sym_atom(read1))])))
+        alpha = None
+    if read2 is ALPHA and alpha is not None:
+        body.append(PredLit("T2", TupD([t, p2, alpha])))
+    elif read2 is ALPHA:
+        body.append(PredLit("T2", TupD([t, p2, x2])))
+        body.append(PredLit("WC", x2, positive=False))
+        alpha = x2
+    elif read2 is BETA:
+        body.append(PredLit("T2", TupD([t, p2, x2])))
+        body.append(PredLit("WC", x2, positive=False))
+        body.append(EqLit(alpha, x2, positive=False))
+    else:
+        body.append(PredLit("T2", TupD([t, p2, ConstD(_sym_atom(read2))])))
+
+    def resolve(write):
+        if write is ALPHA:
+            return alpha
+        if write is BETA:
+            return x2
+        return ConstD(_sym_atom(write))
+
+    rules = [
+        Rule(PredLit("S", TupD([t_next, ConstD(_state_atom(step.state))])), body),
+        Rule(PredLit("T1", TupD([t_next, p1, resolve(step.write1)])), body),
+        Rule(PredLit("T2", TupD([t_next, p2, resolve(step.write2)])), body),
+        Rule(PredLit("H1", TupD([t_next, p1_next])), body),
+        Rule(PredLit("H2", TupD([t_next, p2_next])), body),
+        # Frames: copy every other cell forward.
+        Rule(
+            PredLit("T1", TupD([t_next, VarD("fp"), VarD("fs")])),
+            body
+            + [
+                PredLit("T1", TupD([t, VarD("fp"), VarD("fs")])),
+                EqLit(VarD("fp"), p1, positive=False),
+            ],
+        ),
+        Rule(
+            PredLit("T2", TupD([t_next, VarD("fp"), VarD("fs")])),
+            body
+            + [
+                PredLit("T2", TupD([t, VarD("fp"), VarD("fs")])),
+                EqLit(VarD("fp"), p2, positive=False),
+            ],
+        ),
+        # Edges: back-fill a blank at the frontier and advance it.
+        Rule(
+            PredLit("T1", TupD([t_next, VarD("pe"), ConstD(Atom(BLANK))])),
+            body + [PredLit("Edge1", TupD([t, VarD("pe")]))],
+        ),
+        Rule(
+            PredLit("Edge1", TupD([t_next, _succ(VarD("pe"))])),
+            body + [PredLit("Edge1", TupD([t, VarD("pe")]))],
+        ),
+        Rule(
+            PredLit("T2", TupD([t_next, VarD("pe"), ConstD(Atom(BLANK))])),
+            body + [PredLit("Edge2", TupD([t, VarD("pe")]))],
+        ),
+        Rule(
+            PredLit("Edge2", TupD([t_next, _succ(VarD("pe"))])),
+            body + [PredLit("Edge2", TupD([t, VarD("pe")]))],
+        ),
+    ]
+    return rules
+
+
+def _sym_atom(symbol) -> Atom:
+    if isinstance(symbol, Atom):
+        return symbol
+    return Atom(symbol)
+
+
+def _extraction_rules(output_type: RType) -> list:
+    t = VarD("t")
+    if isinstance(output_type, AtomType):
+        return [
+            Rule(
+                PredLit("ANS", VarD("x")),
+                [
+                    PredLit("HALT", t),
+                    PredLit("T1", TupD([t, VarD("p"), VarD("x")])),
+                    PredLit("WS", VarD("x"), positive=False),
+                ],
+            )
+        ]
+    if not isinstance(output_type, TupleType):
+        raise EvaluationError(
+            f"extraction supports flat output types only, got {output_type!r}"
+        )
+    arity = len(output_type)
+    body: list = [
+        PredLit("HALT", t),
+        PredLit("T1", TupD([t, VarD("p0"), ConstD(Atom("["))])),
+    ]
+    position = VarD("p0")
+    coords: list = []
+    for index in range(1, arity + 1):
+        position = _succ(position)
+        var = VarD(f"a{index}")
+        coords.append(var)
+        body.append(PredLit("T1", TupD([t, position, var])))
+        body.append(PredLit("WS", var, positive=False))
+    body.append(PredLit("T1", TupD([t, _succ(position), ConstD(Atom("]"))])))
+    return [Rule(PredLit("ANS", TupD(coords)), body)]
+
+
+def run_compiled_col(
+    program: ColProgram,
+    gtm: GTM,
+    database: Database,
+    semantics: str = "stratified",
+    budget: Budget | None = None,
+    atom_order: Sequence[Atom] | None = None,
+):
+    """Run a compiled COL program on a database under either semantics."""
+    edb = encode_database_for_col(gtm, database, atom_order)
+    if semantics == "stratified":
+        return run_stratified(program, edb, budget)
+    if semantics == "inflationary":
+        return run_inflationary(program, edb, budget)
+    raise EvaluationError(f"unknown semantics {semantics!r}")
+
+
+def run_col_for_all_orderings(
+    program: ColProgram,
+    gtm: GTM,
+    database: Database,
+    semantics: str = "stratified",
+    max_orders: int | None = 12,
+    budget_factory=None,
+):
+    """Check the compiled program's output across input orderings."""
+    from ..errors import MachineError
+    from ..model.ordering import enumerate_orderings
+
+    budget_factory = budget_factory or Budget
+    baseline = None
+    first = True
+    for ordering in enumerate_orderings(database.adom(), limit=max_orders):
+        result = run_compiled_col(
+            program, gtm, database, semantics, budget_factory(), ordering
+        )
+        if first:
+            baseline, first = result, False
+        elif result != baseline:
+            raise MachineError(
+                f"compiled COL program is order-sensitive: {baseline} vs {result}"
+            )
+    return baseline

@@ -1,0 +1,82 @@
+"""The paper's index-minting constructions, side by side.
+
+Untyped sets let every language mint "arbitrarily large, finite sets
+... without using invented values" (end of Section 4).  The three
+incarnations used across the compilers:
+
+* **von Neumann ordinals** (``∅; {∅}; {∅,{∅}}; ...``) — the algebra
+  compiler's positions: ``next = collapse(P)``, the executable form of
+  the paper's ``σ₂ν₂σ₁₌₂(P×P) − P``;
+* **singleton nesting** (``∅; {∅}; {{∅}}; ...``) — the COL compiler's
+  indices: ``succ(u) = {u}``, the paper's ``F(a)`` rule set;
+* **seeded counters** (``a; {a}; {a,{a}}; ...``) — the paper's own
+  presentation, seeded at a constant atom.
+
+All three are injective, generically constructible index supplies;
+this module provides them uniformly plus the order/rank utilities the
+experiments compare them with.
+"""
+
+from __future__ import annotations
+
+from ..errors import EvaluationError
+from ..model.ordering import counter_next, counter_rank, counter_sequence
+from ..model.values import SetVal, Value
+
+
+def von_neumann(length: int) -> list:
+    """``∅, {∅}, {∅,{∅}}, ...`` — atom-free von Neumann ordinals."""
+    sequence: list = []
+    for _ in range(length):
+        sequence.append(SetVal(sequence))
+    return sequence
+
+
+def von_neumann_succ(ordinal: SetVal) -> SetVal:
+    """``succ(p) = p ∪ {p}``."""
+    if not isinstance(ordinal, SetVal):
+        raise EvaluationError("von Neumann successor of a non-set")
+    return SetVal(set(ordinal.items) | {ordinal})
+
+
+def von_neumann_rank(value: Value) -> int | None:
+    """Position of *value* in the von Neumann sequence, else ``None``."""
+    if not isinstance(value, SetVal):
+        return None
+    expected = von_neumann(len(value.items) + 1)
+    return len(value.items) if expected[-1] == value else None
+
+
+def singleton_nest(length: int) -> list:
+    """``∅, {∅}, {{∅}}, ...`` — the COL-side singleton chain."""
+    sequence: list = []
+    current: Value = SetVal([])
+    for _ in range(length):
+        sequence.append(current)
+        current = SetVal([current])
+    return sequence
+
+
+def singleton_succ(value: Value) -> SetVal:
+    """``succ(u) = {u}``."""
+    return SetVal([value])
+
+
+def singleton_rank(value: Value) -> int | None:
+    """Nesting depth when *value* is in the singleton chain, else None."""
+    depth = 0
+    current = value
+    while isinstance(current, SetVal):
+        if len(current.items) == 0:
+            return depth
+        if len(current.items) != 1:
+            return None
+        current = next(iter(current.items))
+        depth += 1
+    return None
+
+
+#: Re-exports of the seeded (paper-notation) counter helpers.
+seeded_counter = counter_sequence
+seeded_next = counter_next
+seeded_rank = counter_rank

@@ -1,0 +1,158 @@
+"""The cross-language equivalence harness.
+
+Most of the paper's theorems assert "language X realises the same query
+functions as language Y".  Executably, that means: take one query
+function, produce its implementation in every language via the
+compilers, run all of them on a bank of generated databases, and check
+the outputs coincide.  :func:`implementations_for` assembles the
+implementation bundle for a library GTM; :func:`check_agreement` runs
+the bank.  This is the engine behind the E3/E6/E11/E12 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..budget import Budget
+from ..calculus.invention import terminal_invention
+from ..errors import is_undefined
+from ..gtm.compile import simulate_gtm_conventionally
+from ..gtm.machine import GTM
+from ..gtm.run import gtm_query
+from ..model.schema import Database, Schema
+from ..model.types import RType
+from .alg_simulation import compile_gtm_to_alg, run_compiled
+from .calc_simulation import compile_gtm_to_calc
+from .classes import QueryFunction
+from .col_simulation import compile_gtm_to_col, run_compiled_col
+
+#: All implementation routes offered by the harness.
+ALL_ROUTES = (
+    "gtm",  # direct GTM execution (Section 3)
+    "tm",  # conventional simulation over binary codes (Prop 3.1)
+    "alg_while",  # ALG+while−powerset (Theorem 4.1(b))
+    "col_stratified",  # COL^str (Theorem 5.1)
+    "col_inflationary",  # COL^inf (Theorem 5.1)
+    "calc_terminal",  # tsCALC^ti (Theorem 6.4)
+)
+
+
+def _unlimited() -> Budget:
+    return Budget(steps=None, objects=None, iterations=None, facts=None, stages=None)
+
+
+def implementations_for(
+    gtm: GTM,
+    schema: Schema,
+    output_type: RType,
+    routes: Iterable[str] = ALL_ROUTES,
+    budget_factory=None,
+) -> list:
+    """Build one :class:`QueryFunction` per requested route."""
+    budget_factory = budget_factory or _unlimited
+    routes = tuple(routes)
+    implementations: list = []
+    constants = tuple(gtm.constants)
+
+    if "gtm" in routes:
+        implementations.append(
+            QueryFunction(
+                f"{gtm.name}/gtm",
+                "GTM",
+                lambda d: gtm_query(gtm, d, output_type, budget=budget_factory()),
+                constants,
+            )
+        )
+    if "tm" in routes:
+        implementations.append(
+            QueryFunction(
+                f"{gtm.name}/tm",
+                "TM",
+                lambda d: simulate_gtm_conventionally(
+                    gtm, d, output_type, budget=budget_factory()
+                ),
+                constants,
+            )
+        )
+    if "alg_while" in routes:
+        program = compile_gtm_to_alg(gtm, schema, output_type)
+        implementations.append(
+            QueryFunction(
+                f"{gtm.name}/alg",
+                "ALG+while−powerset",
+                lambda d, _p=program: run_compiled(_p, gtm, d, budget_factory()),
+                constants,
+            )
+        )
+    if "col_stratified" in routes or "col_inflationary" in routes:
+        col_program = compile_gtm_to_col(gtm, output_type)
+        if "col_stratified" in routes:
+            implementations.append(
+                QueryFunction(
+                    f"{gtm.name}/col-str",
+                    "COL^str",
+                    lambda d, _p=col_program: run_compiled_col(
+                        _p, gtm, d, "stratified", budget_factory()
+                    ),
+                    constants,
+                )
+            )
+        if "col_inflationary" in routes:
+            implementations.append(
+                QueryFunction(
+                    f"{gtm.name}/col-inf",
+                    "COL^inf",
+                    lambda d, _p=col_program: run_compiled_col(
+                        _p, gtm, d, "inflationary", budget_factory()
+                    ),
+                    constants,
+                )
+            )
+    if "calc_terminal" in routes:
+        staged = compile_gtm_to_calc(gtm, output_type)
+        implementations.append(
+            QueryFunction(
+                f"{gtm.name}/calc-ti",
+                "tsCALC^ti",
+                lambda d, _q=staged: terminal_invention(_q, d, budget_factory()),
+                constants,
+            )
+        )
+    return implementations
+
+
+class Disagreement(Exception):
+    """Two implementations of one query function disagreed."""
+
+    def __init__(self, query_name, database, results):
+        self.query_name = query_name
+        self.database = database
+        self.results = results
+        lines = [f"{name}: {value}" for name, value in results.items()]
+        super().__init__(
+            f"{query_name} disagrees on {database!r}:\n" + "\n".join(lines)
+        )
+
+
+def check_agreement(
+    implementations: Iterable[QueryFunction],
+    databases: Iterable[Database],
+):
+    """Run every implementation on every database; raise on mismatch.
+
+    Returns ``{database_index: common_result}`` on success.  ``?`` must
+    be common too — an implementation diverging where another answers
+    is a disagreement.
+    """
+    implementations = list(implementations)
+    outcomes: dict = {}
+    for index, database in enumerate(databases):
+        results = {impl.name: impl(database) for impl in implementations}
+        values = list(results.values())
+        baseline = values[0]
+        for value in values[1:]:
+            same_undef = is_undefined(baseline) and is_undefined(value)
+            if not same_undef and value != baseline:
+                raise Disagreement(implementations[0].name, database, results)
+        outcomes[index] = baseline
+    return outcomes

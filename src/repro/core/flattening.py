@@ -1,0 +1,181 @@
+"""Theorem 6.3: untyped sets = invention, via flattening.
+
+The proof of ``CALC ≡ tsCALC^ci`` hinges on *flattening*: every object
+of ``cons_Obj(X)`` can be encoded as an instance of the fixed typed
+type ``{[U, U, U, U]}`` whose rows describe the object's constructor
+tree using **invented values** as node identifiers (the Logical Data
+Model representation [KV84]).  This module implements the encoding and
+its inverse, plus the stage bookkeeping the two directions of the
+theorem rely on:
+
+* direction ``tsCALC^ci ⊑ CALC``: the countable supply of invented
+  values is replaced by ``cons_Obj({a})`` — :func:`invention_supply`
+  produces that countably infinite, atom-cheap supply;
+* direction ``CALC ⊑ tsCALC^ci``: an ``Obj``-typed variable ranging
+  over objects with at most ``k`` constructor nodes is simulated at
+  invention stage ``k`` (one invented id per node) —
+  :func:`node_count` gives the stage an object needs, and
+  :func:`objects_at_stage` the fragment of ``cons_Obj`` visible there.
+
+The E10 experiment uses these to check, on bounded universes, that a
+CALC query's bounded evaluation equals the union over stages of its
+flattened tsCALC simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import EvaluationError
+from ..model.domains import cons_obj_bounded
+from ..model.values import Atom, SetVal, Tup, Value
+
+#: Row-kind tags (constant atoms of the encoding).
+KIND_ATOM = Atom("k$atom")
+KIND_SET = Atom("k$set")
+KIND_EMPTY_SET = Atom("k$set0")
+KIND_TUPLE = Atom("k$tup")
+KIND_TUPLE_END = Atom("k$tupEnd")
+
+#: Placeholder payload for structural rows.
+NIL = Atom("k$nil")
+
+
+def node_count(value: Value) -> int:
+    """Constructor-tree nodes of an object = invented ids its encoding
+    needs = the invention stage at which it becomes representable."""
+    if isinstance(value, Atom):
+        return 1
+    if isinstance(value, SetVal):
+        return 1 + sum(node_count(item) for item in value.items)
+    if isinstance(value, Tup):
+        # A tuple of arity n uses one spine node per coordinate plus an
+        # end marker.
+        return 1 + len(value.items) + sum(node_count(item) for item in value.items)
+    raise EvaluationError(f"not a flattenable object: {value!r}")
+
+
+def flatten_value(value: Value, ids: Sequence[Atom]) -> tuple:
+    """Encode *value* as ``(root_id, rows)`` over the given id supply.
+
+    Rows are 4-tuples ``[node, kind, payload, aux]``:
+
+    * ``[n, k$atom, a, a]`` — node *n* is the atom *a*;
+    * ``[n, k$set0, nil, nil]`` — node *n* is the empty set;
+    * ``[n, k$set, m, m]`` — node *n* is a set with member node *m*
+      (one row per member);
+    * ``[n, k$tup, c, r]`` — node *n* is a tuple cell: coordinate node
+      *c*, rest-of-tuple node *r*;
+    * ``[n, k$tupEnd, nil, nil]`` — end of a tuple spine.
+
+    Raises :class:`EvaluationError` when the supply is too small
+    (fewer than :func:`node_count` ids).
+    """
+    ids = list(ids)
+    rows: list = []
+    counter = {"next": 0}
+
+    def fresh() -> Atom:
+        if counter["next"] >= len(ids):
+            raise EvaluationError(
+                f"id supply exhausted: need {node_count(value)} ids, "
+                f"got {len(ids)}"
+            )
+        atom = ids[counter["next"]]
+        counter["next"] += 1
+        return atom
+
+    def encode(obj: Value) -> Atom:
+        node = fresh()
+        if isinstance(obj, Atom):
+            rows.append(Tup([node, KIND_ATOM, obj, obj]))
+            return node
+        if isinstance(obj, SetVal):
+            if not obj.items:
+                rows.append(Tup([node, KIND_EMPTY_SET, NIL, NIL]))
+                return node
+            for member in obj:
+                member_node = encode(member)
+                rows.append(Tup([node, KIND_SET, member_node, member_node]))
+            return node
+        if isinstance(obj, Tup):
+            spine = node
+            for index, item in enumerate(obj.items):
+                coord_node = encode(item)
+                next_spine = fresh()
+                rows.append(Tup([spine, KIND_TUPLE, coord_node, next_spine]))
+                spine = next_spine
+            rows.append(Tup([spine, KIND_TUPLE_END, NIL, NIL]))
+            return node
+        raise EvaluationError(f"not a flattenable object: {obj!r}")
+
+    root = encode(value)
+    return root, SetVal(rows)
+
+
+def unflatten_value(root: Atom, rows: SetVal) -> Value:
+    """Decode a flattened encoding back into the object."""
+    by_node: dict = {}
+    for row in rows.items:
+        if not isinstance(row, Tup) or len(row) != 4:
+            raise EvaluationError(f"bad encoding row {row!r}")
+        by_node.setdefault(row.items[0], []).append(row)
+
+    def decode(node, seen: frozenset) -> Value:
+        if node in seen:
+            raise EvaluationError("cyclic encoding")
+        node_rows = by_node.get(node)
+        if not node_rows:
+            raise EvaluationError(f"dangling node id {node!r}")
+        kinds = {row.items[1] for row in node_rows}
+        if kinds == {KIND_ATOM}:
+            if len(node_rows) != 1:
+                raise EvaluationError("ambiguous atom node")
+            return node_rows[0].items[2]
+        if kinds == {KIND_EMPTY_SET}:
+            return SetVal([])
+        if kinds == {KIND_SET}:
+            members = [
+                decode(row.items[2], seen | {node}) for row in node_rows
+            ]
+            return SetVal(members)
+        if kinds == {KIND_TUPLE}:
+            items: list = []
+            spine_rows = node_rows
+            current = node
+            visited = set(seen)
+            while True:
+                if current in visited:
+                    raise EvaluationError("cyclic tuple spine")
+                visited.add(current)
+                cell_rows = by_node.get(current)
+                if not cell_rows or len(cell_rows) != 1:
+                    raise EvaluationError("ambiguous tuple spine")
+                row = cell_rows[0]
+                if row.items[1] == KIND_TUPLE_END:
+                    break
+                if row.items[1] != KIND_TUPLE:
+                    raise EvaluationError("mixed tuple spine")
+                items.append(decode(row.items[2], seen | {node}))
+                current = row.items[3]
+            return Tup(items)
+        raise EvaluationError(f"mixed node kinds {kinds!r}")
+
+    return decode(root, frozenset())
+
+
+def invention_supply(seed: Atom, count: int) -> list:
+    """The first *count* members of ``cons_Obj({seed})`` (distinct
+    objects from a single atom): the countably infinite "invented
+    value" supply the CALC side of Theorem 6.3(a) enjoys for free."""
+    return cons_obj_bounded([seed], count)
+
+
+def objects_at_stage(atoms: Iterable[Atom], stage: int, limit: int) -> list:
+    """Objects of ``cons_Obj(atoms)`` representable at invention stage
+    *stage* (node count <= stage), up to *limit* candidates scanned."""
+    return [
+        value
+        for value in cons_obj_bounded(atoms, limit)
+        if node_count(value) <= stage
+    ]

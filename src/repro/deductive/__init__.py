@@ -1,0 +1,60 @@
+"""Deductive languages: COL (str/inf), DATALOG¬, and the BK calculus.
+
+See DESIGN.md Section 2.4.
+"""
+
+from .ast import (
+    ColProgram,
+    ConstD,
+    DTerm,
+    EqLit,
+    FuncLit,
+    FuncT,
+    Literal,
+    PredLit,
+    Rule,
+    SetD,
+    TupD,
+    VarD,
+)
+from .col import Interp, apply_rule, eval_term, fixpoint, match, rule_substitutions
+from .stratify import dependency_edges, run_stratified, stratify
+from .inflationary import run_inflationary
+from .datalog import (
+    DatalogProgram,
+    non_reachable_datalog,
+    run_datalog_inflationary,
+    run_datalog_stratified,
+    transitive_closure_datalog,
+    unstratifiable_program,
+)
+from .bk import (
+    BKAtom,
+    BKProgram,
+    BKRule,
+    BKVar,
+    chain_to_list_program,
+    glb,
+    join_attempt_program,
+    leq,
+    lub,
+    match_leq,
+    reduce_set,
+    run_bk,
+    subobjects,
+)
+
+__all__ = [
+    "ColProgram", "ConstD", "DTerm", "EqLit", "FuncLit", "FuncT", "Literal",
+    "PredLit", "Rule", "SetD", "TupD", "VarD",
+    "Interp", "apply_rule", "eval_term", "fixpoint", "match",
+    "rule_substitutions",
+    "dependency_edges", "run_stratified", "stratify",
+    "run_inflationary",
+    "DatalogProgram", "non_reachable_datalog", "run_datalog_inflationary",
+    "run_datalog_stratified", "transitive_closure_datalog",
+    "unstratifiable_program",
+    "BKAtom", "BKProgram", "BKRule", "BKVar", "chain_to_list_program",
+    "glb", "join_attempt_program", "leq", "lub", "match_leq", "reduce_set",
+    "run_bk", "subobjects",
+]

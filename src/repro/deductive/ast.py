@@ -1,0 +1,299 @@
+"""Abstract syntax of COL (with rtypes) and plain DATALOG¬.
+
+COL [AG87] extends DATALOG with complex-object terms and *data
+functions* — function symbols interpreted as set-valued functions.
+Terms:
+
+* variables, constants, tuple terms ``[t1, ..., tn]``;
+* set terms ``{t1, ..., tn}`` (in heads, and as ground/simple body
+  patterns);
+* ``F(t)`` — the *value* of data function F at t (a set object).
+
+Literals:
+
+* ``P(t)`` — membership of *t* in predicate P (positive or negated);
+* ``t ∈ F(u)`` — membership in a data function's set (positive only in
+  bodies; as a head it *defines* F);
+* ``t1 ≈ t2`` — equality (positive or negated).
+
+Rules must be **range-restricted**: every variable occurs in a positive
+``P(t)`` or ``t ∈ F(u)`` body literal (inside *t*), so naive evaluation
+can instantiate variables from current facts instead of enumerating
+(unbounded, with rtypes) constructive domains.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import TypeCheckError
+from ..model.values import Value, obj as to_obj
+
+
+class DTerm:
+    """Base class of COL terms."""
+
+    __slots__ = ()
+
+    def variables(self) -> set:
+        raise NotImplementedError
+
+
+class VarD(DTerm):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise TypeCheckError("variable names are non-empty strings")
+        self.name = name
+
+    def variables(self) -> set:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class ConstD(DTerm):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = to_obj(value) if not isinstance(value, Value) else value
+
+    def variables(self) -> set:
+        return set()
+
+    def __repr__(self) -> str:
+        return f"{self.value}"
+
+
+class TupD(DTerm):
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable):
+        items = tuple(_as_term(t) for t in items)
+        if not items:
+            raise TypeCheckError("tuple terms need at least one item")
+        self.items = items
+
+    def variables(self) -> set:
+        names: set = set()
+        for item in self.items:
+            names |= item.variables()
+        return names
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(repr(t) for t in self.items) + "]"
+
+
+class SetD(DTerm):
+    """A set term ``{t1, ..., tn}`` (n >= 0)."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable = ()):
+        self.items = tuple(_as_term(t) for t in items)
+
+    def variables(self) -> set:
+        names: set = set()
+        for item in self.items:
+            names |= item.variables()
+        return names
+
+    def __repr__(self) -> str:
+        return "{" + ", ".join(repr(t) for t in self.items) + "}"
+
+
+class FuncT(DTerm):
+    """``F(t)`` used as a *term*: the complete set value of F at t.
+
+    Using a function's value forces F's completion into a strictly
+    lower stratum (like negation) — the COL stratification discipline.
+    """
+
+    __slots__ = ("func", "arg")
+
+    def __init__(self, func: str, arg):
+        self.func = func
+        self.arg = _as_term(arg)
+
+    def variables(self) -> set:
+        return self.arg.variables()
+
+    def __repr__(self) -> str:
+        return f"{self.func}({self.arg!r})"
+
+
+def _as_term(thing) -> DTerm:
+    if isinstance(thing, DTerm):
+        return thing
+    if isinstance(thing, str):
+        return VarD(thing)
+    return ConstD(thing)
+
+
+class Literal:
+    """Base class of body/head literals."""
+
+    __slots__ = ()
+
+    def variables(self) -> set:
+        raise NotImplementedError
+
+
+class PredLit(Literal):
+    """``P(t)`` or ``¬P(t)``."""
+
+    __slots__ = ("name", "term", "positive")
+
+    def __init__(self, name: str, term, positive: bool = True):
+        self.name = name
+        self.term = _as_term(term)
+        self.positive = positive
+
+    def variables(self) -> set:
+        return self.term.variables()
+
+    def __repr__(self) -> str:
+        sign = "" if self.positive else "¬"
+        return f"{sign}{self.name}({self.term!r})"
+
+
+class FuncLit(Literal):
+    """``t ∈ F(u)`` or ``¬(t ∈ F(u))``.
+
+    As a head (positive only) it contributes *t* to the set ``F(u)``.
+    """
+
+    __slots__ = ("func", "arg", "element", "positive")
+
+    def __init__(self, func: str, arg, element, positive: bool = True):
+        self.func = func
+        self.arg = _as_term(arg)
+        self.element = _as_term(element)
+        self.positive = positive
+
+    def variables(self) -> set:
+        return self.arg.variables() | self.element.variables()
+
+    def __repr__(self) -> str:
+        sign = "" if self.positive else "¬"
+        return f"{sign}({self.element!r} ∈ {self.func}({self.arg!r}))"
+
+
+class EqLit(Literal):
+    """``t1 ≈ t2`` or ``t1 ≉ t2`` (evaluated, never generating)."""
+
+    __slots__ = ("left", "right", "positive")
+
+    def __init__(self, left, right, positive: bool = True):
+        self.left = _as_term(left)
+        self.right = _as_term(right)
+        self.positive = positive
+
+    def variables(self) -> set:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        op = "≈" if self.positive else "≉"
+        return f"({self.left!r} {op} {self.right!r})"
+
+
+class Rule:
+    """``head ← body`` with range-restriction checked at construction."""
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head: Literal, body: Iterable[Literal] = ()):
+        body = tuple(body)
+        if isinstance(head, PredLit):
+            if not head.positive:
+                raise TypeCheckError("rule heads must be positive")
+        elif isinstance(head, FuncLit):
+            if not head.positive:
+                raise TypeCheckError("rule heads must be positive")
+        else:
+            raise TypeCheckError(f"bad head literal {head!r}")
+        for literal in body:
+            if not isinstance(literal, Literal):
+                raise TypeCheckError(f"bad body literal {literal!r}")
+        self.head = head
+        self.body = body
+        self._check_range_restriction()
+
+    def _check_range_restriction(self) -> None:
+        bound: set = set()
+        for literal in self.body:
+            if isinstance(literal, PredLit) and literal.positive:
+                bound |= literal.term.variables()
+            elif isinstance(literal, FuncLit) and literal.positive:
+                bound |= literal.element.variables() | literal.arg.variables()
+        all_vars = self.head.variables()
+        for literal in self.body:
+            all_vars |= literal.variables()
+        # Equality can transfer bindings: x ≈ t binds x if t is bound.
+        changed = True
+        while changed:
+            changed = False
+            for literal in self.body:
+                if isinstance(literal, EqLit) and literal.positive:
+                    for one, other in (
+                        (literal.left, literal.right),
+                        (literal.right, literal.left),
+                    ):
+                        if (
+                            isinstance(one, VarD)
+                            and one.name not in bound
+                            and other.variables() <= bound
+                        ):
+                            bound.add(one.name)
+                            changed = True
+        unbound = all_vars - bound
+        if unbound:
+            raise TypeCheckError(
+                f"rule is not range-restricted; unbound variables "
+                f"{sorted(unbound)} in {self!r}"
+            )
+
+    def predicates(self, positive_only: bool = False) -> set:
+        """Predicate names used in the body."""
+        names: set = set()
+        for literal in self.body:
+            if isinstance(literal, PredLit) and (literal.positive or not positive_only):
+                names.add(literal.name)
+        return names
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head!r} ←"
+        return f"{self.head!r} ← " + ", ".join(repr(l) for l in self.body)
+
+
+class ColProgram:
+    """A COL program: rules plus the designated answer predicate."""
+
+    def __init__(
+        self,
+        rules: Iterable[Rule],
+        answer: str = "ANS",
+        name: str = "col-program",
+    ):
+        self.rules = tuple(rules)
+        self.answer = answer
+        self.name = name
+        for rule in self.rules:
+            if not isinstance(rule, Rule):
+                raise TypeCheckError(f"not a Rule: {rule!r}")
+
+    def head_symbols(self) -> set:
+        """Predicates and function names defined by some rule head."""
+        names: set = set()
+        for rule in self.rules:
+            if isinstance(rule.head, PredLit):
+                names.add(("pred", rule.head.name))
+            else:
+                names.add(("func", rule.head.func))
+        return names
+
+    def __repr__(self) -> str:
+        return "\n".join(repr(rule) for rule in self.rules)

@@ -1,0 +1,478 @@
+"""The Bancilhon–Khoshafian calculus (BK) [BK86].
+
+BK's object space is **untyped** with two special objects ⊥ (bottom)
+and ⊤ (top), ordered by the *sub-object* relation ≤:
+
+* ``⊥ ≤ o ≤ ⊤`` for every object;
+* atoms are comparable only to themselves (and ⊥/⊤);
+* named tuples: ``t₁ ≤ t₂`` iff ``attrs(t₁) ⊆ attrs(t₂)`` and
+  componentwise ``t₁[A] ≤ t₂[A]`` — a tuple with *more* attributes is
+  *more* informative;
+* sets (Hoare / lower order): ``S₁ ≤ S₂`` iff every member of S₁ is
+  ≤ some member of S₂.
+
+Rules ``H{p} ← T₁{p₁}, ..., Tₙ{pₙ}`` fire for every valuation θ such
+that each instantiated tail pattern is a **sub-object of some object**
+in the corresponding predicate ("the tails match the database" — by
+sub-object, *not* equality, which is the crucial difference from COL).
+The new database is the least upper bound of the old one with the
+instantiated heads; iteration runs to a fixpoint.
+
+This lax matching is exactly what Example 5.2 exploits: a variable can
+always be instantiated to ⊥, so BK's "join" degenerates to a cross
+product (Proposition 5.3), and the list-building program of Example 5.4
+diverges (Proposition 5.5).  Both are reproduced in the tests and the
+E7/E8 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..budget import Budget
+from ..errors import BudgetExceeded, EvaluationError, UNDEFINED
+from ..model.values import (
+    Atom,
+    BOTTOM,
+    Bottom,
+    NamedTup,
+    SetVal,
+    TOP,
+    Top,
+    Value,
+    obj as to_obj,
+)
+
+# --------------------------------------------------------------------------
+# The sub-object lattice.
+# --------------------------------------------------------------------------
+
+
+def leq(left: Value, right: Value) -> bool:
+    """The sub-object order ``left ≤ right``."""
+    if isinstance(left, Bottom) or isinstance(right, Top):
+        return True
+    if isinstance(right, Bottom):
+        return isinstance(left, Bottom)
+    if isinstance(left, Top):
+        return isinstance(right, Top)
+    if isinstance(left, Atom):
+        return left == right
+    if isinstance(left, NamedTup):
+        if not isinstance(right, NamedTup):
+            return False
+        right_fields = dict(right.fields)
+        for name, value in left.fields:
+            if name not in right_fields:
+                return False
+            if not leq(value, right_fields[name]):
+                return False
+        return True
+    if isinstance(left, SetVal):
+        if not isinstance(right, SetVal):
+            return False
+        return all(
+            any(leq(member, other) for other in right.items) for member in left.items
+        )
+    raise EvaluationError(f"not a BK object: {left!r}")
+
+
+def lub(left: Value, right: Value) -> Value:
+    """Least upper bound in the sub-object lattice (⊤ if incompatible)."""
+    if isinstance(left, Bottom):
+        return right
+    if isinstance(right, Bottom):
+        return left
+    if isinstance(left, Top) or isinstance(right, Top):
+        return TOP
+    if isinstance(left, Atom) and isinstance(right, Atom):
+        return left if left == right else TOP
+    if isinstance(left, NamedTup) and isinstance(right, NamedTup):
+        merged = dict(left.fields)
+        for name, value in right.fields:
+            if name in merged:
+                joined = lub(merged[name], value)
+                merged[name] = joined
+            else:
+                merged[name] = value
+        if any(isinstance(v, Top) for v in merged.values()):
+            return TOP
+        return NamedTup(merged)
+    if isinstance(left, SetVal) and isinstance(right, SetVal):
+        # Hoare order: union, reduced to maximal elements.
+        return reduce_set(SetVal(set(left.items) | set(right.items)))
+    return TOP
+
+
+def glb(left: Value, right: Value) -> Value:
+    """Greatest lower bound (⊥ if the objects share no information)."""
+    if isinstance(left, Top):
+        return right
+    if isinstance(right, Top):
+        return left
+    if isinstance(left, Bottom) or isinstance(right, Bottom):
+        return BOTTOM
+    if isinstance(left, Atom) and isinstance(right, Atom):
+        return left if left == right else BOTTOM
+    if isinstance(left, NamedTup) and isinstance(right, NamedTup):
+        right_fields = dict(right.fields)
+        shared = {}
+        for name, value in left.fields:
+            if name in right_fields:
+                meet = glb(value, right_fields[name])
+                if not isinstance(meet, Bottom):
+                    shared[name] = meet
+        if not shared:
+            return BOTTOM
+        return NamedTup(shared)
+    if isinstance(left, SetVal) and isinstance(right, SetVal):
+        meets = set()
+        for a in left.items:
+            for b in right.items:
+                meet = glb(a, b)
+                if not isinstance(meet, Bottom):
+                    meets.add(meet)
+        return reduce_set(SetVal(meets))
+    return BOTTOM
+
+
+def reduce_set(value: SetVal) -> SetVal:
+    """Keep only ≤-maximal members (the reduced representative).
+
+    Set members are distinct objects and ≤ is antisymmetric on
+    distinct objects, so "dominated by some *other* member" is
+    unambiguous.
+    """
+    members = list(value.items)
+    maximal = [
+        m
+        for m in members
+        if not any(other != m and leq(m, other) for other in members)
+    ]
+    return SetVal(maximal)
+
+
+def subobjects(value: Value, budget: Budget | None = None) -> Iterator[Value]:
+    """Enumerate all sub-objects of *value* (⊥ first).
+
+    Finite for atoms and tuples; exponential for sets (bounded by the
+    budget's ``objects`` counter).
+    """
+    budget = budget or Budget()
+    seen: set = set()
+    for candidate in _subobjects(value, budget):
+        if candidate not in seen:
+            seen.add(candidate)
+            yield candidate
+
+
+def _subobjects(value: Value, budget: Budget) -> Iterator[Value]:
+    budget.charge("objects")
+    yield BOTTOM
+    if isinstance(value, Atom):
+        yield value
+        return
+    if isinstance(value, NamedTup):
+        from itertools import product as iter_product
+
+        per_field = []
+        for name, field_value in value.fields:
+            # A field may take any sub-object value or be absent (None).
+            options = [(name, sub) for sub in _subobjects(field_value, budget)]
+            options.append(None)
+            per_field.append(options)
+        for combo in iter_product(*per_field):
+            chosen: dict = {}
+            for entry in combo:
+                if entry is not None:
+                    name, sub = entry
+                    chosen[name] = sub
+            budget.charge("objects")
+            if chosen:
+                yield NamedTup(chosen)
+        return
+    if isinstance(value, SetVal):
+        from itertools import combinations
+
+        member_subs: list = []
+        for member in value.items:
+            member_subs.extend(_subobjects(member, budget))
+        member_subs = list(dict.fromkeys(member_subs))
+        for size in range(len(member_subs) + 1):
+            for combo in combinations(member_subs, size):
+                budget.charge("objects")
+                yield SetVal(combo)
+        return
+    if isinstance(value, (Bottom, Top)):
+        yield value
+        return
+    raise EvaluationError(f"not a BK object: {value!r}")
+
+
+# --------------------------------------------------------------------------
+# Patterns, rules, programs.
+# --------------------------------------------------------------------------
+
+
+class BKVar:
+    """A variable inside a BK pattern."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def bk_obj(thing):
+    """Coerce plain Python data into a BK object (dicts become named
+    tuples), leaving :class:`BKVar` placeholders in patterns intact."""
+    if isinstance(thing, BKVar):
+        return thing
+    if isinstance(thing, dict):
+        return {name: bk_obj(value) for name, value in thing.items()}
+    if isinstance(thing, (set, frozenset)):
+        return {bk_obj(v) for v in thing}
+    return thing
+
+
+class BKAtom:
+    """One tail or head element: ``P{pattern}``."""
+
+    __slots__ = ("pred", "pattern")
+
+    def __init__(self, pred: str, pattern):
+        self.pred = pred
+        self.pattern = pattern
+
+    def __repr__(self) -> str:
+        return f"{self.pred}{{{self.pattern!r}}}"
+
+
+class BKRule:
+    """``head ← tails`` (one head atom, any number of tails)."""
+
+    __slots__ = ("head", "tails")
+
+    def __init__(self, head: BKAtom, tails: Iterable[BKAtom] = ()):
+        self.head = head
+        self.tails = tuple(tails)
+
+    def __repr__(self) -> str:
+        return f"{self.head!r} ← " + ", ".join(repr(t) for t in self.tails)
+
+
+class BKProgram:
+    """A set of BK rules with a designated answer predicate."""
+
+    def __init__(self, rules: Iterable[BKRule], answer: str = "ANS", name: str = "bk"):
+        self.rules = tuple(rules)
+        self.answer = answer
+        self.name = name
+
+
+def pattern_variables(pattern) -> set:
+    names: set = set()
+    if isinstance(pattern, BKVar):
+        names.add(pattern.name)
+    elif isinstance(pattern, dict):
+        for value in pattern.values():
+            names |= pattern_variables(value)
+    elif isinstance(pattern, (set, frozenset)):
+        for value in pattern:
+            names |= pattern_variables(value)
+    return names
+
+
+def instantiate(pattern, valuation: Mapping) -> Value:
+    """Apply a valuation to a pattern, producing a BK object."""
+    if isinstance(pattern, BKVar):
+        return valuation[pattern.name]
+    if isinstance(pattern, dict):
+        return NamedTup(
+            {name: instantiate(value, valuation) for name, value in pattern.items()}
+        )
+    if isinstance(pattern, (set, frozenset)):
+        return SetVal(instantiate(value, valuation) for value in pattern)
+    if isinstance(pattern, Value):
+        return pattern
+    return to_obj(pattern)
+
+
+def match_leq(pattern, bound: Value, valuation: dict, budget: Budget) -> Iterator[dict]:
+    """Valuations θ (extending *valuation*) with ``θ(pattern) ≤ bound``.
+
+    This is BK's instantiation discipline: variables may take *any*
+    sub-object of what the database offers — including ⊥, which is how
+    Example 5.2 loses the join condition.
+    """
+    if isinstance(pattern, BKVar):
+        if pattern.name in valuation:
+            if leq(valuation[pattern.name], bound):
+                yield valuation
+            return
+        for sub in subobjects(bound, budget):
+            extended = dict(valuation)
+            extended[pattern.name] = sub
+            yield extended
+        return
+    if isinstance(pattern, dict):
+        if not isinstance(bound, NamedTup) and not isinstance(bound, Top):
+            return
+        if isinstance(bound, Top):
+            raise EvaluationError("matching against ⊤ is unbounded")
+        bound_fields = dict(bound.fields)
+        items = sorted(pattern.items())
+        yield from _match_fields(items, bound_fields, valuation, budget)
+        return
+    if isinstance(pattern, (set, frozenset)):
+        if not isinstance(bound, SetVal):
+            return
+        members = list(pattern)
+        yield from _match_members(members, bound, valuation, budget)
+        return
+    concrete = pattern if isinstance(pattern, Value) else to_obj(pattern)
+    if leq(concrete, bound):
+        yield valuation
+
+
+def _match_fields(items, bound_fields: dict, valuation: dict, budget: Budget):
+    if not items:
+        yield valuation
+        return
+    (name, sub_pattern), rest = items[0], items[1:]
+    if name not in bound_fields:
+        # The instantiated tuple would have an attribute the bound
+        # lacks — only ⊥ values keep it a sub-object, and our tuples
+        # drop ⊥ fields; treat as matching against ⊥.
+        for extended in match_leq(sub_pattern, BOTTOM, valuation, budget):
+            yield from _match_fields(rest, bound_fields, extended, budget)
+        return
+    for extended in match_leq(sub_pattern, bound_fields[name], valuation, budget):
+        yield from _match_fields(rest, bound_fields, extended, budget)
+
+
+def _match_members(members, bound: SetVal, valuation: dict, budget: Budget):
+    if not members:
+        yield valuation
+        return
+    first, rest = members[0], members[1:]
+    options = list(bound.items) + [BOTTOM]
+    seen: set = set()
+    for target in options:
+        for extended in match_leq(first, target, valuation, budget):
+            key = tuple(sorted((k, v) for k, v in extended.items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield from _match_members(rest, bound, extended, budget)
+
+
+# --------------------------------------------------------------------------
+# Fixpoint semantics.
+# --------------------------------------------------------------------------
+
+
+def _tail_valuations(rule: BKRule, state: dict, budget: Budget) -> Iterator[dict]:
+    def recurse(tails, valuation):
+        if not tails:
+            yield valuation
+            return
+        tail, rest = tails[0], tails[1:]
+        extent = state.get(tail.pred, set())
+        for bound in extent:
+            for extended in match_leq(tail.pattern, bound, valuation, budget):
+                yield from recurse(rest, extended)
+
+    yield from recurse(list(rule.tails), {})
+
+
+def run_bk(
+    program: BKProgram,
+    database: Mapping,
+    budget: Budget | None = None,
+    max_rounds: int | None = None,
+):
+    """Run a BK program to fixpoint.
+
+    *database* maps predicate names to iterables of BK objects (plain
+    Python data is coerced; dicts become named tuples).  Returns the
+    reduced extent of the answer predicate, or ``?`` if the fixpoint
+    does not stabilise within the budget (Example 5.4's divergence).
+    """
+    budget = budget or Budget()
+    state: dict = {}
+    for name, values in database.items():
+        state[name] = {
+            instantiate(bk_obj(value), {}) for value in values
+        }
+    try:
+        changed = True
+        rounds = 0
+        while changed:
+            budget.charge("iterations")
+            rounds += 1
+            if max_rounds is not None and rounds > max_rounds:
+                return UNDEFINED
+            changed = False
+            for rule in program.rules:
+                for valuation in list(_tail_valuations(rule, state, budget)):
+                    budget.charge("steps")
+                    derived = instantiate(bk_obj(rule.head.pattern), valuation)
+                    extent = state.setdefault(rule.head.pred, set())
+                    if derived in extent or any(
+                        leq(derived, existing) for existing in extent
+                    ):
+                        continue
+                    budget.charge("facts")
+                    # Keep the extent reduced: drop members the new
+                    # object now dominates.
+                    dominated = {e for e in extent if leq(e, derived)}
+                    extent -= dominated
+                    extent.add(derived)
+                    changed = True
+    except BudgetExceeded:
+        return UNDEFINED
+    answer = state.get(program.answer, set())
+    return reduce_set(SetVal(answer))
+
+
+# --------------------------------------------------------------------------
+# The paper's example programs.
+# --------------------------------------------------------------------------
+
+
+def join_attempt_program() -> BKProgram:
+    """Example 5.2: the rule that *looks like* a join.
+
+    ``R{[A:x, C:z]} ← R1{[A:x, B:y]}, R2{[B:y, C:z]}``
+    """
+    x, y, z = BKVar("x"), BKVar("y"), BKVar("z")
+    rule = BKRule(
+        BKAtom("ANS", {"A": x, "C": z}),
+        [BKAtom("R1", {"A": x, "B": y}), BKAtom("R2", {"B": y, "C": z})],
+    )
+    return BKProgram([rule], answer="ANS", name="ex5.2-join")
+
+
+def chain_to_list_program() -> BKProgram:
+    """Example 5.4: the chain-to-list builder that diverges.
+
+    ``LIST{[H:x, T:$]} ← S{[A:$, B:x]}``
+    ``LIST{[H:x, T:[H:y, T:z]]} ← S{[A:y, B:x]}, LIST{[H:y, T:z]}``
+    """
+    x, y, z = BKVar("x"), BKVar("y"), BKVar("z")
+    rules = [
+        BKRule(
+            BKAtom("LIST", {"H": x, "T": "$"}),
+            [BKAtom("S", {"A": "$", "B": x})],
+        ),
+        BKRule(
+            BKAtom("LIST", {"H": x, "T": {"H": y, "T": z}}),
+            [BKAtom("S", {"A": y, "B": x}), BKAtom("LIST", {"H": y, "T": z})],
+        ),
+        BKRule(BKAtom("ANS", BKVar("w")), [BKAtom("LIST", BKVar("w"))]),
+    ]
+    return BKProgram(rules, answer="ANS", name="ex5.4-chain-to-list")

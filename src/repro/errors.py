@@ -1,0 +1,80 @@
+"""Exceptions and the paper's undefined value ``?``.
+
+The paper's languages all "have the ability to return the 'undefined'
+value (?) as output" (Section 2).  We model ``?`` as the singleton
+:data:`UNDEFINED`, distinct from every database object and from ``None``.
+Non-terminating computations (a ``while`` loop that never exits, a COL
+program without a finite minimal model, a calculus query with no terminal
+invention stage) are *observed* through resource budgets: exhausting a
+budget raises :class:`BudgetExceeded`, which evaluators translate into
+``UNDEFINED`` where the paper's semantics demands it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TypeCheckError(ReproError):
+    """A value, expression, or program violates its (r)type discipline."""
+
+
+class SchemaError(ReproError):
+    """A schema or database instance is malformed."""
+
+
+class EvaluationError(ReproError):
+    """A query evaluator was applied to ill-formed input."""
+
+
+class StratificationError(ReproError):
+    """A COL / DATALOG program admits no stratification."""
+
+
+class MachineError(ReproError):
+    """A Turing machine or GTM definition is malformed."""
+
+
+class BudgetExceeded(ReproError):
+    """A resource budget ran out before the computation completed.
+
+    Carries the name of the exhausted resource so experiments can report
+    *which* bound was hit (steps, iterations, enumerated objects, ...).
+    """
+
+    def __init__(self, resource: str, limit: int):
+        super().__init__(f"budget exceeded: {resource} > {limit}")
+        self.resource = resource
+        self.limit = limit
+
+
+class _Undefined:
+    """The paper's undefined query result ``?`` (a unique sentinel)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "?"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (_Undefined, ())
+
+
+#: The undefined value ``?`` returned by queries that do not terminate or
+#: that assign ``?`` to any variable (paper, Section 2).
+UNDEFINED = _Undefined()
+
+
+def is_undefined(value: object) -> bool:
+    """Return ``True`` iff *value* is the undefined query result ``?``."""
+    return value is UNDEFINED

@@ -1,0 +1,16 @@
+"""Generic Turing machines and conventional Turing machines.
+
+See DESIGN.md Section 2.5.
+"""
+
+from .machine import ALPHA, BETA, GTM, Step, is_working
+from .asm import ANY, ATOM, Asm, KEEP
+from .run import Configuration, Tape, check_order_independence, gtm_query, run_gtm
+from . import library
+
+__all__ = [
+    "ALPHA", "BETA", "GTM", "Step", "is_working",
+    "ANY", "ATOM", "Asm", "KEEP",
+    "Configuration", "Tape", "check_order_independence", "gtm_query",
+    "run_gtm", "library",
+]

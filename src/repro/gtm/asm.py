@@ -1,0 +1,196 @@
+"""A tiny assembler for building GTM transition tables.
+
+Hand-writing δ entries is error-prone because a "don't care" on one
+tape must be expanded into one entry per pattern of that tape
+(working symbols, constant atoms, α, and — when tape 1 reads α — β).
+:class:`Asm` tracks the working alphabet and constants, expands
+don't-cares, and provides the common idiom of "keep" writes.
+
+Conventions used by the combinators:
+
+* ``ANY`` as a pattern expands to every tape-pattern valid in that
+  position (for tape 2 this includes α and, when tape 1's pattern is α,
+  also β — covering "some other atom").
+* ``ATOM`` expands to α plus every constant atom: "any element of U".
+* ``KEEP`` as a write means "re-write whatever was read".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import MachineError
+from ..model.encoding import BLANK, PUNCTUATION
+from ..model.values import Atom
+from .machine import ALPHA, BETA, GTM, Step
+
+
+class _Marker:
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: Don't-care pattern: expands to every valid pattern for its tape.
+ANY = _Marker("ANY")
+#: Any element of U: α plus every constant atom.
+ATOM = _Marker("ATOM")
+#: Write marker: re-write the symbol that was read.
+KEEP = _Marker("KEEP")
+
+
+class Asm:
+    """Accumulates δ entries with don't-care expansion."""
+
+    def __init__(self, working: Iterable[str] = (), constants: Iterable[Atom] = ()):
+        self.working = frozenset(working) | set(PUNCTUATION) | {BLANK}
+        self.constants = frozenset(constants)
+        self.delta: dict = {}
+        self.states: set = set()
+
+    def _patterns1(self, spec) -> list:
+        if spec is ANY:
+            return sorted(self.working) + self._const_list() + [ALPHA]
+        if spec is ATOM:
+            return self._const_list() + [ALPHA]
+        return [spec]
+
+    def _patterns2(self, spec, pattern1) -> list:
+        if spec is ANY:
+            base = sorted(self.working) + self._const_list() + [ALPHA]
+            if pattern1 is ALPHA:
+                base.append(BETA)
+            return base
+        if spec is ATOM:
+            base = self._const_list() + [ALPHA]
+            if pattern1 is ALPHA:
+                base.append(BETA)
+            return base
+        return [spec]
+
+    def _const_list(self) -> list:
+        return sorted(self.constants, key=lambda a: a.canon_key())
+
+    def add(
+        self,
+        state: str,
+        read1,
+        read2,
+        new_state: str,
+        write1=KEEP,
+        write2=KEEP,
+        move1: str = "-",
+        move2: str = "-",
+    ) -> None:
+        """Add entries for every expansion of the read patterns.
+
+        Later ``add`` calls never overwrite earlier entries, so specific
+        rules must be added before don't-care fallbacks.
+        """
+        self.states.add(state)
+        self.states.add(new_state)
+        for pattern1 in self._patterns1(read1):
+            for pattern2 in self._patterns2(read2, pattern1):
+                key = (state, pattern1, pattern2)
+                if key in self.delta:
+                    continue
+                resolved1 = pattern1 if write1 is KEEP else write1
+                resolved2 = pattern2 if write2 is KEEP else write2
+                resolved1 = self._legal_write(resolved1, pattern1, pattern2)
+                resolved2 = self._legal_write(resolved2, pattern1, pattern2)
+                self.delta[key] = Step(new_state, resolved1, resolved2, move1, move2)
+
+    def _legal_write(self, write, pattern1, pattern2):
+        """Down-convert template writes that were not read.
+
+        A rule written with ``write=ALPHA`` against an expansion where
+        neither read pattern is α would be ill-formed; such expansions
+        arise when a don't-care covers both the α case (where the
+        template write is wanted) and concrete cases (where the concrete
+        symbol itself should be written).  The caller's intent for the
+        concrete case is "write what the template would have matched",
+        which is the concrete read symbol — but the read position is
+        ambiguous, so we forbid it instead: rules that copy atoms across
+        tapes must use explicit α/β patterns, not don't-cares.
+        """
+        if write is ALPHA and ALPHA not in (pattern1, pattern2):
+            raise MachineError(
+                "write α under a don't-care expansion without an α read; "
+                "spell the atom-copying rule out explicitly"
+            )
+        if write is BETA and BETA not in (pattern1, pattern2):
+            raise MachineError(
+                "write β under a don't-care expansion without a β read; "
+                "spell the atom-copying rule out explicitly"
+            )
+        return write
+
+    def copy12(self, state: str, new_state: str, move1: str = "-", move2: str = "-") -> None:
+        """Copy the atom under tape-1's head onto tape 2 (any old tape-2
+        content), i.e. the 2-tape replication step the Section 3 remark
+        says 1-tape GTMs lack."""
+        # tape-2 old content: working symbol, equal atom, or other atom.
+        for read2 in sorted(self.working):
+            self.add(state, ALPHA, read2, new_state, ALPHA, ALPHA, move1, move2)
+        self.add(state, ALPHA, ALPHA, new_state, ALPHA, ALPHA, move1, move2)
+        self.add(state, ALPHA, BETA, new_state, ALPHA, ALPHA, move1, move2)
+        for constant in self._const_list():
+            self.add(state, constant, ANY, new_state, KEEP, constant, move1, move2)
+
+    def branch_eq12(
+        self,
+        state: str,
+        equal_state: str,
+        diff_state: str,
+        write1_eq=KEEP,
+        write2_eq=KEEP,
+        move1_eq: str = "-",
+        move2_eq: str = "-",
+        write1_diff=KEEP,
+        write2_diff=KEEP,
+        move1_diff: str = "-",
+        move2_diff: str = "-",
+    ) -> None:
+        """Compare the atoms under the two heads; branch on equality.
+
+        Only covers atom/atom configurations; add working-symbol rules
+        separately if they can occur.  ``write*`` may use ALPHA/BETA
+        (bindings: tape-1 atom is α; a differing tape-2 atom is β).
+        """
+        self.add(
+            state, ALPHA, ALPHA, equal_state,
+            write1_eq, write2_eq, move1_eq, move2_eq,
+        )
+        self.add(
+            state, ALPHA, BETA, diff_state,
+            write1_diff, write2_diff, move1_diff, move2_diff,
+        )
+        for c1 in self._const_list():
+            for c2 in self._const_list():
+                target = equal_state if c1 == c2 else diff_state
+                self.add(
+                    state, c1, c2, target,
+                    KEEP, KEEP,
+                    move1_eq if c1 == c2 else move1_diff,
+                    move2_eq if c1 == c2 else move2_diff,
+                )
+            self.add(state, c1, ALPHA, diff_state, KEEP, KEEP, move1_diff, move2_diff)
+            self.add(state, ALPHA, c1, diff_state, KEEP, KEEP, move1_diff, move2_diff)
+
+    def build(self, start: str, halt: str, name: str) -> GTM:
+        """Finish: produce a validated :class:`GTM`."""
+        self.states.add(start)
+        self.states.add(halt)
+        return GTM(
+            states=self.states,
+            working=self.working,
+            constants=self.constants,
+            delta=self.delta,
+            start=start,
+            halt=halt,
+            name=name,
+        )

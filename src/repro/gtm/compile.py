@@ -1,0 +1,197 @@
+"""Proposition 3.1: GTMs and conventional TMs compute the same queries.
+
+The proposition has two directions:
+
+* **C ⊑ GTM**: a conventional machine computing a generic query can be
+  wrapped into a GTM that first binary-encodes ``adom(I) − C``, then
+  simulates the conventional machine, then decodes.
+  :func:`gtm_side_query` realises the wrapped computation: it is the
+  query-level semantics of that GTM (encode → conventional run →
+  decode), executed tape-faithfully through
+  :func:`repro.gtm.tm.tm_query`.
+
+* **GTM ⊑ C**: an input-order-independent GTM is simulated by a
+  conventional machine that manipulates the binary codes; generic
+  transitions become code-comparison subroutines.
+  :func:`simulate_gtm_conventionally` performs exactly that simulation
+  over the coded tape: every GTM step is executed by comparing /
+  copying *codes* only — the simulator never consults atom identity,
+  which is the content of the construction.  (The finite transition
+  table that inlines these subroutines is a mechanical expansion of the
+  same loop; we keep the loop, the paper keeps the table.)
+
+The equivalence experiment (E12) runs both directions against the
+library machines and checks the computed query functions agree.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..budget import Budget
+from ..errors import BudgetExceeded, EvaluationError, UNDEFINED
+from ..model.encoding import BLANK
+from ..model.schema import Database
+from ..model.types import RType
+from ..model.values import Atom
+from .machine import ALPHA, BETA, GTM
+from .run import Tape
+from .tm import decode_from_tm
+
+
+class _CodedCell:
+    """A conventional-tape cell holding a working symbol or an atom *code*."""
+
+    __slots__ = ("kind", "payload")
+
+    def __init__(self, kind: str, payload):
+        self.kind = kind  # "work" | "code"
+        self.payload = payload
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, _CodedCell)
+            and self.kind == other.kind
+            and self.payload == other.payload
+        )
+
+    def __repr__(self):
+        return f"{self.kind}:{self.payload}"
+
+
+def _to_coded(symbols, codes: dict, constants) -> list:
+    constant_set = set(constants)
+    cells = []
+    for symbol in symbols:
+        if isinstance(symbol, Atom) and symbol not in constant_set:
+            cells.append(_CodedCell("code", codes[symbol]))
+        elif isinstance(symbol, Atom):
+            cells.append(_CodedCell("work", f"const:{symbol.label}"))
+        else:
+            cells.append(_CodedCell("work", symbol))
+    return cells
+
+
+def simulate_gtm_conventionally(
+    gtm: GTM,
+    database: Database,
+    output_type: RType,
+    atom_order: Sequence[Atom] | None = None,
+    budget: Budget | None = None,
+):
+    """Run *gtm*'s computation without ever touching atom identity.
+
+    Atoms are replaced by binary codes up front; every δ lookup is
+    performed on the coded cells (pattern shape is decided by "is this
+    cell a code?" and code string equality — operations a conventional
+    TM performs with finitely many states).  The decoded result must
+    equal :func:`repro.gtm.run.gtm_query`'s on every input; that
+    equality *is* Proposition 3.1's GTM ⊑ C direction, checked
+    end-to-end.
+    """
+    from ..model.encoding import canonical_atom_order, encode_database
+    from .tm import atom_codes
+
+    budget = budget or Budget()
+    if atom_order is None:
+        atom_order = canonical_atom_order(database)
+    codes = atom_codes(atom_order, gtm.constants)
+    symbols = encode_database(database, atom_order)
+    tape1 = Tape.from_symbols(_to_coded(symbols, codes, gtm.constants))
+    tape2 = Tape()
+    blank_cell = _CodedCell("work", BLANK)
+    state = gtm.start
+
+    def read(tape: Tape) -> _CodedCell:
+        cell = tape.read()
+        return blank_cell if cell == BLANK else cell
+
+    def classify(cell: _CodedCell):
+        """Pattern key + binding for a coded cell (no atom identity)."""
+        if cell.kind == "code":
+            return None, cell  # a non-constant atom: template territory
+        payload = cell.payload
+        if isinstance(payload, str) and payload.startswith("const:"):
+            label = payload[len("const:"):]
+            return Atom(int(label) if label.isdigit() else label), None
+        return payload, None
+
+    while state != gtm.halt:
+        try:
+            budget.charge("steps")
+        except BudgetExceeded:
+            return UNDEFINED
+        cell1, cell2 = read(tape1), read(tape2)
+        key1, bind1 = classify(cell1)
+        key2, bind2 = classify(cell2)
+        bindings = {}
+        if key1 is None:
+            key1 = ALPHA
+            bindings[ALPHA] = cell1
+        if key2 is None:
+            if ALPHA in bindings and cell2.payload == bindings[ALPHA].payload:
+                key2 = ALPHA
+            elif ALPHA in bindings:
+                key2 = BETA
+                bindings[BETA] = cell2
+            else:
+                key2 = ALPHA
+                bindings[ALPHA] = cell2
+        step = gtm.delta.get((state, key1, key2))
+        if step is None:
+            return UNDEFINED
+
+        def resolve(write):
+            if write in (ALPHA, BETA):
+                return bindings[write]
+            if isinstance(write, Atom):
+                return _CodedCell("work", f"const:{write.label}")
+            return _CodedCell("work", write)
+
+        for tape, write, move in (
+            (tape1, step.write1, step.move1),
+            (tape2, step.write2, step.move2),
+        ):
+            cell = resolve(write)
+            if cell == blank_cell:
+                tape.write(BLANK)
+            else:
+                tape.write(cell)
+            tape.move(move)
+        state = step.state
+
+    # Decode the coded tape back into symbols, then into an instance.
+    final_cells = tape1.contents()
+    final_symbols: list = []
+    for cell in final_cells:
+        if cell == BLANK:
+            continue
+        if cell.kind == "code":
+            final_symbols.extend(cell.payload)
+            final_symbols.append("|")
+        else:
+            final_symbols.append(cell.payload)
+    try:
+        return decode_from_tm(final_symbols, codes, output_type)
+    except EvaluationError:
+        return UNDEFINED
+
+
+def gtm_side_query(
+    compute,
+    database: Database,
+    output_type: RType,
+    constants: Sequence[Atom] = (),
+    atom_order: Sequence[Atom] | None = None,
+):
+    """The C ⊑ GTM direction: wrap a conventional computation as a GTM.
+
+    The wrapping GTM of Proposition 3.1 (i) develops binary codes for
+    ``adom(I) − C``, (ii) simulates the conventional machine on the
+    coded input, (iii) decodes.  Steps (i) and (iii) are the encoding
+    framing already provided by :func:`repro.gtm.tm.tm_query`; this
+    alias exists to make the direction explicit at call sites.
+    """
+    from .tm import tm_query
+
+    return tm_query(compute, database, output_type, constants, atom_order)

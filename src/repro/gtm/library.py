@@ -1,0 +1,197 @@
+"""A library of generic Turing machines computing sample queries.
+
+Each builder returns ``(gtm, input_schema, output_type)`` so callers
+can run it through :func:`repro.gtm.run.gtm_query` or feed it to the
+Theorem 4.1(b) / 5.1 / 6.4 compilers.  The machines are deliberately
+varied in character:
+
+* :func:`identity_gtm` — the trivial query;
+* :func:`is_empty_gtm` — boolean (constant-producing) output;
+* :func:`parity_gtm` — parity of ``|R|``, the classic query outside
+  first-order logic but squarely inside **C**;
+* :func:`reverse_gtm` — per-row atom shuffling (uses α/β templates);
+* :func:`select_eq_gtm` — in-place filtering (σ₁₌₂);
+* :func:`duplicate_gtm` — ``x ↦ [x, x]``, which *requires* the second
+  tape (the Section 3 closing remark: 1-tape GTMs cannot replicate
+  elements of ``adom(d) − C``).
+
+All of them are input-order independent (verified by tests through
+:func:`repro.gtm.run.check_order_independence`).
+"""
+
+from __future__ import annotations
+
+from ..model.encoding import BLANK as BLANK_
+from ..model.schema import Schema
+from ..model.types import parse_type
+from ..model.values import Atom
+from .asm import ANY, ATOM, Asm
+from .machine import ALPHA, BETA
+
+#: The constant atom emitted by boolean machines.
+TRUE_ATOM = Atom("true")
+
+
+def identity_gtm(arity: int = 2) -> tuple:
+    """The identity query on one flat relation of the given arity."""
+    asm = Asm()
+    asm.add("s0", ANY, ANY, "h")
+    gtm = asm.build("s0", "h", f"identity/{arity}")
+    schema = Schema({"R": parse_type("[" + ", ".join(["U"] * arity) + "]")})
+    if arity == 1:
+        schema = Schema({"R": parse_type("U")})
+    return gtm, schema, schema.rtype("R")
+
+
+def is_empty_gtm() -> tuple:
+    """``{true} if R = ∅ else ∅`` for a unary relation R."""
+    asm = Asm(constants=[TRUE_ATOM])
+    asm.add("s0", "(", ANY, "look", move1="R")
+    # Empty: "()" -- overwrite ')' with the marker, then close.
+    asm.add("look", ")", ANY, "close", write1=TRUE_ATOM, move1="R")
+    asm.add("close", BLANK_, ANY, "h", write1=")")
+    # Nonempty: erase everything up to and including ')'.
+    asm.add("erase", ")", ANY, "h", write1=")")
+    asm.add("look", ANY, ANY, "erase", write1=BLANK_, move1="R")
+    asm.add("erase", ANY, ANY, "erase", write1=BLANK_, move1="R")
+    gtm = asm.build("s0", "h", "is_empty")
+    return gtm, Schema({"R": parse_type("U")}), parse_type("U")
+
+
+def parity_gtm() -> tuple:
+    """``{even} if |R| is even else ∅`` for a unary relation R.
+
+    Parity is generic and computable but not expressible without
+    iteration/invention — the canonical witness query of Section 6.
+    """
+    even = Atom("even")
+    asm = Asm(constants=[even])
+    asm.add("s0", "(", ANY, "even", move1="R")
+    # Toggle on each atom of the listing.
+    asm.add("even", ATOM, ANY, "odd", move1="R")
+    asm.add("odd", ATOM, ANY, "even", move1="R")
+    # At ')': erase leftwards to '(' and write the verdict.
+    asm.add("even", ")", ANY, "eraseE", write1=BLANK_, move1="L")
+    asm.add("odd", ")", ANY, "eraseO", write1=BLANK_, move1="L")
+    asm.add("eraseE", ATOM, ANY, "eraseE", write1=BLANK_, move1="L")
+    asm.add("eraseO", ATOM, ANY, "eraseO", write1=BLANK_, move1="L")
+    asm.add("eraseE", "(", ANY, "writeE", move1="R")
+    asm.add("eraseO", "(", ANY, "writeO", move1="R")
+    asm.add("writeE", BLANK_, ANY, "closeE", write1=even, move1="R")
+    asm.add("closeE", BLANK_, ANY, "h", write1=")")
+    asm.add("writeO", BLANK_, ANY, "h", write1=")")
+    gtm = asm.build("s0", "h", "parity")
+    return gtm, Schema({"R": parse_type("U")}), parse_type("U")
+
+
+def reverse_gtm() -> tuple:
+    """``{[y, x] | [x, y] ∈ R}`` for a binary relation R.
+
+    Swaps the coordinates of each row in place, buffering one atom on
+    the second tape — a minimal but genuinely *generic* machine: its δ
+    uses the (α, β) template pair.
+    """
+    asm = Asm()
+    asm.add("s0", "(", ANY, "scan", move1="R")
+    asm.add("scan", "[", ANY, "atx", move1="R")
+    asm.add("scan", ")", ANY, "h")
+    # At x: stash it on tape 2, move to y.
+    asm.copy12("atx", "aty", move1="R")
+    # At y with x on tape 2: write x here, remember y on tape 2.
+    asm.branch_eq12(
+        "aty", "back", "back",
+        write1_eq=ALPHA, write2_eq=ALPHA, move1_eq="L",
+        write1_diff=BETA, write2_diff=ALPHA, move1_diff="L",
+    )
+    # Back at the old x cell with y on tape 2: write y.
+    asm.branch_eq12(
+        "back", "fwd", "fwd",
+        write1_eq=ALPHA, write2_eq=ALPHA, move1_eq="R",
+        write1_diff=BETA, write2_diff=BETA, move1_diff="R",
+    )
+    # Skip over the (now swapped) second coordinate and the ']'.
+    asm.add("fwd", ATOM, ANY, "closebr", move1="R")
+    asm.add("closebr", "]", ANY, "scan", move1="R")
+    gtm = asm.build("s0", "h", "reverse")
+    return gtm, Schema({"R": parse_type("[U, U]")}), parse_type("[U, U]")
+
+
+def select_eq_gtm() -> tuple:
+    """``σ₁₌₂(R)`` for binary R: keep rows ``[x, x]``, blank the rest.
+
+    Exercises the in-place-filter idiom enabled by the blank-skipping
+    listing format.
+    """
+    asm = Asm()
+    asm.add("s0", "(", ANY, "scan", move1="R")
+    asm.add("scan", "[", ANY, "px", move1="R")
+    asm.add("scan", ")", ANY, "h")
+    asm.copy12("px", "py", move1="R")
+    # Compare y against the stashed x.
+    asm.branch_eq12(
+        "py", "keep", "eY",
+        move1_eq="R",
+        write1_diff=BLANK_, move1_diff="L",
+    )
+    asm.add("keep", "]", ANY, "scan", move1="R")
+    # Erase the row: y (done), x, '[', then skip right past the ']'.
+    asm.add("eY", ATOM, ANY, "eBr", write1=BLANK_, move1="L")
+    asm.add("eBr", "[", ANY, "skip1", write1=BLANK_, move1="R")
+    asm.add("skip1", BLANK_, ANY, "skip2", move1="R")
+    asm.add("skip2", BLANK_, ANY, "skip3", move1="R")
+    asm.add("skip3", "]", ANY, "scan", write1=BLANK_, move1="R")
+    gtm = asm.build("s0", "h", "select_eq")
+    return gtm, Schema({"R": parse_type("[U, U]")}), parse_type("[U, U]")
+
+
+def duplicate_gtm() -> tuple:
+    """``{[x, x] | x ∈ R}`` for unary R — the 2-tape-ness witness.
+
+    Copies the input atoms to tape 2 behind a ``#`` marker, then
+    rewrites tape 1 as ``( [a a] [b b] ... )`` consuming tape 2
+    backwards (a listing in reverse order is still a listing).
+    """
+    asm = Asm(working=["#"])
+    asm.add("s0", "(", BLANK_, "copy", write2="#", move1="R", move2="R")
+    asm.copy12("copy", "copy", move1="R", move2="R")
+    # End of input: step tape 2 back onto the last atom, rewind tape 1.
+    asm.add("copy", ")", BLANK_, "rew", move1="L", move2="L")
+    asm.add("rew", ATOM, ANY, "rew", move1="L")
+    asm.add("rew", "(", ANY, "w0", move1="R")
+    # Emit one "[ x x ]" per tape-2 atom (consumed right-to-left).
+    asm.add("w0", ANY, "#", "fin", write1=")")
+    for old1 in ("(", ")", "[", "]", BLANK_, ","):
+        asm.add("w0", old1, ATOM, "w1", write1="[", move1="R")
+    asm.add("w0", ALPHA, ALPHA, "w1", write1="[", move1="R")
+    asm.add("w0", ALPHA, BETA, "w1", write1="[", move1="R")
+    _emit_t2_atom(asm, "w1", "w2", move2="-")
+    _emit_t2_atom(asm, "w2", "w3", move2="L")
+    for old1 in ("(", ")", "[", "]", BLANK_, ","):
+        asm.add("w3", old1, ANY, "w0", write1="]", move1="R")
+    asm.add("w3", ALPHA, ALPHA, "w0", write1="]", move1="R")
+    asm.add("w3", ALPHA, BETA, "w0", write1="]", move1="R")
+    asm.add("w3", ALPHA, "#", "w0", write1="]", move1="R")
+    asm.add("fin", ")", "#", "h")
+    gtm = asm.build("s0", "h", "duplicate")
+    return gtm, Schema({"R": parse_type("U")}), parse_type("[U, U]")
+
+
+def _emit_t2_atom(asm: Asm, state: str, new_state: str, move2: str) -> None:
+    """Write the tape-2 atom onto tape 1 (whatever tape 1 held)."""
+    for old1 in ("(", ")", "[", "]", BLANK_, ","):
+        asm.add(state, old1, ALPHA, new_state, write1=ALPHA, move1="R", move2=move2)
+    asm.add(state, ALPHA, ALPHA, new_state, write1=ALPHA, move1="R", move2=move2)
+    asm.add(state, ALPHA, BETA, new_state, write1=BETA, move1="R", move2=move2)
+
+
+#: Convenience registry for tests / benchmarks.
+def all_machines() -> dict:
+    """Name -> (gtm, schema, output_type) for every library machine."""
+    return {
+        "identity": identity_gtm(),
+        "is_empty": is_empty_gtm(),
+        "parity": parity_gtm(),
+        "reverse": reverse_gtm(),
+        "select_eq": select_eq_gtm(),
+        "duplicate": duplicate_gtm(),
+    }

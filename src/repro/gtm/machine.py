@@ -1,0 +1,220 @@
+"""Generic Turing machines (paper, Section 3).
+
+A GTM is a six-tuple ``M = (K, W, C, δ, s0, h)`` with two one-way
+infinite tapes.  Its alphabet is the *infinite* set ``W ∪ U``: the
+finite working symbols ``W`` (Python strings, including the punctuation
+and the blank) plus every atom of the universal domain **U** (``Atom``
+objects).  A finite ``C ⊂ U`` of constant atoms may be referenced
+explicitly.
+
+The transition function δ maps ``(state, pattern1, pattern2)`` to
+``(state', write1, write2, move1, move2)``.  Patterns over tape symbols
+use the template variables :data:`ALPHA` and :data:`BETA`:
+
+* ``ALPHA`` matches any atom of ``U − C`` and binds it;
+* ``BETA`` (second tape only, and only together with ``ALPHA``) matches
+  any atom of ``U − C`` *different* from the ALPHA binding.
+
+The paper's well-formedness rules are enforced at construction:
+``b = β only if a = α``; α (β) may be *written* only if it was *read*.
+Because patterns never mention atoms outside ``C``, a concrete pair of
+tape symbols matches at most one pattern — δ stays deterministic even
+though it finitely describes infinitely many transitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..errors import MachineError
+from ..model.encoding import BLANK, PUNCTUATION
+from ..model.values import Atom
+
+#: Head movements.
+MOVES = ("L", "R", "-")
+
+
+class _Wildcard:
+    """The α/β template variables of generic transitions."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: Matches (and binds) any atom of U − C.
+ALPHA = _Wildcard("α")
+#: Matches any atom of U − C distinct from the ALPHA binding.
+BETA = _Wildcard("β")
+
+
+def is_working(symbol) -> bool:
+    """Is *symbol* a working symbol (a plain string)?"""
+    return isinstance(symbol, str)
+
+
+@dataclass(frozen=True)
+class Step:
+    """The right-hand side of a δ entry."""
+
+    state: str
+    write1: object
+    write2: object
+    move1: str
+    move2: str
+
+
+class GTM:
+    """A generic Turing machine.
+
+    Parameters
+    ----------
+    states:
+        Finite set of state names (strings).
+    working:
+        The working symbols ``W``.  The punctuation ``( ) [ ] ,`` and the
+        blank are always included.
+    constants:
+        The finite constant set ``C ⊂ U`` (atoms).
+    delta:
+        Mapping ``(state, pattern1, pattern2) -> Step`` (or a 5-tuple).
+    start, halt:
+        The start state ``s0`` and the unique halting state ``h``.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        working: Iterable[str],
+        constants: Iterable[Atom],
+        delta: Mapping,
+        start: str,
+        halt: str,
+        name: str = "gtm",
+    ):
+        self.name = name
+        self.states = frozenset(states)
+        self.working = frozenset(working) | set(PUNCTUATION) | {BLANK}
+        self.constants = frozenset(constants)
+        self.start = start
+        self.halt = halt
+        self.delta = {}
+        for key, value in delta.items():
+            if not isinstance(value, Step):
+                value = Step(*value)
+            self.delta[key] = value
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.start not in self.states:
+            raise MachineError(f"start state {self.start!r} not in K")
+        if self.halt not in self.states:
+            raise MachineError(f"halt state {self.halt!r} not in K")
+        for constant in self.constants:
+            if not isinstance(constant, Atom):
+                raise MachineError("constants must be atoms")
+        for key, step in self.delta.items():
+            state, read1, read2 = key
+            if state not in self.states or state == self.halt:
+                raise MachineError(f"bad source state in δ: {state!r}")
+            if step.state not in self.states:
+                raise MachineError(f"bad target state in δ: {step.state!r}")
+            self._check_pattern(read1, allow_beta=False, where=key)
+            self._check_pattern(read2, allow_beta=True, where=key)
+            if read2 is BETA and read1 is not ALPHA:
+                raise MachineError(f"β without α in δ key {key!r}")
+            reads = {p for p in (read1, read2) if isinstance(p, _Wildcard)}
+            for write in (step.write1, step.write2):
+                self._check_pattern(write, allow_beta=True, where=key)
+                if isinstance(write, _Wildcard) and write not in reads:
+                    raise MachineError(
+                        f"{write!r} written but not read in δ entry {key!r}"
+                    )
+            for move in (step.move1, step.move2):
+                if move not in MOVES:
+                    raise MachineError(f"bad move {move!r} in δ entry {key!r}")
+
+    def _check_pattern(self, pattern, allow_beta: bool, where) -> None:
+        if pattern is ALPHA:
+            return
+        if pattern is BETA:
+            if not allow_beta:
+                raise MachineError(f"β not allowed on the first tape: {where!r}")
+            return
+        if is_working(pattern):
+            if pattern not in self.working:
+                raise MachineError(
+                    f"working symbol {pattern!r} not in W (entry {where!r})"
+                )
+            return
+        if isinstance(pattern, Atom):
+            if pattern not in self.constants:
+                raise MachineError(
+                    f"atom {pattern!r} used in δ but not in C (entry {where!r})"
+                )
+            return
+        raise MachineError(f"bad symbol pattern {pattern!r} in δ entry {where!r}")
+
+    def is_concrete(self, symbol) -> bool:
+        """Is *symbol* a working symbol or a constant atom?"""
+        return is_working(symbol) or symbol in self.constants
+
+    def match(self, state: str, symbol1, symbol2):
+        """Find the δ entry for a concrete configuration.
+
+        Returns ``(step, bindings)`` where *bindings* maps ``ALPHA`` /
+        ``BETA`` to atoms, or ``None`` if no transition applies.  The
+        pattern shape is uniquely determined by which symbols are
+        non-constant atoms, so lookup is a single dict probe.
+        """
+        bindings: dict = {}
+        if self.is_concrete(symbol1):
+            key1 = symbol1
+        else:
+            key1 = ALPHA
+            bindings[ALPHA] = symbol1
+        if self.is_concrete(symbol2):
+            key2 = symbol2
+        elif key1 is ALPHA and symbol2 == symbol1:
+            key2 = ALPHA
+        elif key1 is ALPHA:
+            key2 = BETA
+            bindings[BETA] = symbol2
+        else:
+            # First tape reads a constant, second a fresh atom: the only
+            # pattern that can cover this is (const, α).
+            key2 = ALPHA
+            bindings[ALPHA] = symbol2
+        step = self.delta.get((state, key1, key2))
+        if step is None:
+            return None
+        return step, bindings
+
+    def resolve(self, write, bindings: dict):
+        """Resolve a write pattern against the α/β bindings."""
+        if isinstance(write, _Wildcard):
+            try:
+                return bindings[write]
+            except KeyError:  # pragma: no cover - excluded by validation
+                raise MachineError(f"unbound template {write!r}")
+        return write
+
+    def generic_entries(self) -> list:
+        """The δ entries whose key mentions α (the paper's *generic*
+        transition values)."""
+        return [
+            (key, step)
+            for key, step in self.delta.items()
+            if ALPHA in (key[1], key[2]) or BETA in (key[1], key[2])
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"GTM({self.name!r}, |K|={len(self.states)}, "
+            f"|δ|={len(self.delta)}, C={sorted(str(c) for c in self.constants)})"
+        )

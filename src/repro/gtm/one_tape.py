@@ -1,0 +1,173 @@
+"""One-tape GTMs and the Section 3 closing remark.
+
+    "It is easily verified that if the notion of GTM were modified to
+    have only one tape, then it would be strictly weaker than C.  (This
+    is because a 1-tape GTM is unable to replicate elements of
+    adom(d) − C.)"
+
+We make the remark executable.  A :class:`OneTapeGTM` reads a single
+pattern from ``W ∪ C ∪ {α}`` — there is no second tape, hence no β and
+no way to hold one atom while reading another.  The key invariant
+(:func:`replication_invariant`):
+
+    for every atom ``x ∈ U − C``, the number of occurrences of ``x`` on
+    the tape never increases during a run,
+
+because a step writes at the very cell it read: writing α back keeps
+the count, writing anything else decreases it, and no rule can write an
+atom of ``U − C`` it did not just read *at that cell*.  The runner
+checks the invariant at every step; :func:`duplication_is_impossible`
+turns it into the remark's conclusion — no 1-tape GTM can compute the
+``duplicate`` query ``{x} ↦ {[x, x]}`` for inputs with one occurrence
+of an atom.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+from ..budget import Budget
+from ..errors import BudgetExceeded, MachineError, UNDEFINED
+from ..model.encoding import BLANK, PUNCTUATION
+from ..model.values import Atom
+from .machine import ALPHA, _Wildcard, is_working
+from .run import Tape
+
+
+class OneTapeGTM:
+    """A GTM restricted to a single one-way tape (no β patterns)."""
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        working: Iterable[str],
+        constants: Iterable[Atom],
+        delta: Mapping,
+        start: str,
+        halt: str,
+        name: str = "one-tape-gtm",
+    ):
+        self.name = name
+        self.states = frozenset(states)
+        self.working = frozenset(working) | set(PUNCTUATION) | {BLANK}
+        self.constants = frozenset(constants)
+        self.start = start
+        self.halt = halt
+        self.delta = dict(delta)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.start not in self.states or self.halt not in self.states:
+            raise MachineError("start/halt state missing from K")
+        for (state, read), (new_state, write, move) in self.delta.items():
+            if state not in self.states or state == self.halt:
+                raise MachineError(f"bad source state {state!r}")
+            if new_state not in self.states:
+                raise MachineError(f"bad target state {new_state!r}")
+            for pattern in (read, write):
+                if pattern is ALPHA:
+                    continue
+                if isinstance(pattern, _Wildcard):
+                    raise MachineError("β has no meaning on a single tape")
+                if is_working(pattern):
+                    if pattern not in self.working:
+                        raise MachineError(f"{pattern!r} not in W")
+                elif isinstance(pattern, Atom):
+                    if pattern not in self.constants:
+                        raise MachineError(f"atom {pattern!r} not in C")
+                else:
+                    raise MachineError(f"bad pattern {pattern!r}")
+            if write is ALPHA and read is not ALPHA:
+                raise MachineError("α written but not read")
+            if move not in ("L", "R", "-"):
+                raise MachineError(f"bad move {move!r}")
+
+    def is_concrete(self, symbol) -> bool:
+        return is_working(symbol) or symbol in self.constants
+
+
+def _fresh_atom_counts(tape: Tape, machine: OneTapeGTM) -> Counter:
+    counts: Counter = Counter()
+    for symbol in tape.cells.values():
+        if isinstance(symbol, Atom) and symbol not in machine.constants:
+            counts[symbol] += 1
+    return counts
+
+
+def run_one_tape(
+    machine: OneTapeGTM,
+    input_symbols: Sequence,
+    budget: Budget | None = None,
+    check_invariant: bool = True,
+):
+    """Run a 1-tape GTM; optionally verify the replication invariant.
+
+    Returns the final tape contents or ``UNDEFINED``.  With
+    *check_invariant*, raises :class:`MachineError` if any step ever
+    increases the occurrence count of a non-constant atom — which the
+    validation rules make impossible, so this is a machine-checked proof
+    probe, not a real failure mode.
+    """
+    budget = budget or Budget()
+    tape = Tape.from_symbols(input_symbols)
+    state = machine.start
+    counts = _fresh_atom_counts(tape, machine) if check_invariant else None
+    while state != machine.halt:
+        try:
+            budget.charge("steps")
+        except BudgetExceeded:
+            return UNDEFINED
+        symbol = tape.read()
+        if machine.is_concrete(symbol):
+            entry = machine.delta.get((state, symbol))
+            binding = None
+        else:
+            entry = machine.delta.get((state, ALPHA))
+            binding = symbol
+        if entry is None:
+            return UNDEFINED
+        new_state, write, move = entry
+        tape.write(binding if write is ALPHA else write)
+        tape.move(move)
+        state = new_state
+        if check_invariant:
+            new_counts = _fresh_atom_counts(tape, machine)
+            for atom, count in new_counts.items():
+                if count > counts.get(atom, 0):
+                    raise MachineError(
+                        f"replication invariant violated for {atom!r}"
+                    )
+            counts = new_counts
+    return tape.contents()
+
+
+def duplication_is_impossible(machine: OneTapeGTM, atoms: Sequence[Atom]) -> bool:
+    """Check that *machine* fails the duplicate query on ``{atoms}``.
+
+    The duplicate query's output listing ``( [x x] ... )`` contains two
+    occurrences of each input atom; by the replication invariant a
+    1-tape GTM's tape never holds more occurrences of a non-constant
+    atom than the input did (one each), so the output cannot be correct.
+    This function runs the machine and confirms the mismatch (or
+    divergence) for the given input.
+    """
+    from ..model.encoding import decode_instance
+    from ..model.schema import Database, Schema
+    from ..model.types import parse_type
+    from ..model.values import SetVal, Tup
+
+    schema = Schema({"R": parse_type("U")})
+    database = Database(schema, {"R": set(atoms)})
+    from ..model.encoding import canonical_atom_order, encode_database
+
+    symbols = encode_database(database, canonical_atom_order(database))
+    result = run_one_tape(machine, symbols, Budget(steps=200_000))
+    if result is UNDEFINED:
+        return True
+    expected = SetVal([Tup([a, a]) for a in atoms])
+    try:
+        decoded = decode_instance(result, parse_type("[U, U]"))
+    except Exception:
+        return True
+    return decoded != expected

@@ -1,0 +1,170 @@
+"""Executing GTMs: configurations, runs, and query semantics.
+
+A GTM computes a query function ``f : D -> T`` (paper, Section 3): the
+input instance is enumerated in some order and placed left-justified on
+the first tape; the machine runs to the halting state; if the first
+tape then holds an ordered listing of an instance of ``T``, that is the
+output, otherwise (or if the machine never halts) the output is the
+undefined value ``?``.
+
+:func:`run_gtm` is the raw tape-level runner; :func:`gtm_query` wraps it
+into a database-level query; :func:`check_order_independence` verifies
+the *input-order independent* property over all (or sampled) orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..budget import Budget
+from ..errors import BudgetExceeded, EvaluationError, MachineError, UNDEFINED
+from ..model.encoding import BLANK, decode_instance, encode_database
+from ..model.ordering import enumerate_orderings
+from ..model.schema import Database
+from ..model.types import RType
+from .machine import GTM
+
+
+@dataclass
+class Tape:
+    """A one-way infinite tape (sparse representation)."""
+
+    cells: dict = field(default_factory=dict)
+    head: int = 0
+
+    def read(self):
+        return self.cells.get(self.head, BLANK)
+
+    def write(self, symbol) -> None:
+        if symbol == BLANK:
+            self.cells.pop(self.head, None)
+        else:
+            self.cells[self.head] = symbol
+
+    def move(self, direction: str) -> None:
+        if direction == "R":
+            self.head += 1
+        elif direction == "L":
+            # One-way tape: moving left at the first cell stays put.
+            self.head = max(0, self.head - 1)
+
+    def contents(self) -> list:
+        """Cell contents from 0 through the last non-blank cell."""
+        if not self.cells:
+            return []
+        last = max(self.cells)
+        return [self.cells.get(i, BLANK) for i in range(last + 1)]
+
+    @classmethod
+    def from_symbols(cls, symbols: Sequence) -> "Tape":
+        return cls(cells={i: s for i, s in enumerate(symbols) if s != BLANK})
+
+
+@dataclass
+class Configuration:
+    """A full machine configuration (state + both tapes)."""
+
+    state: str
+    tape1: Tape
+    tape2: Tape
+    steps: int = 0
+
+
+def run_gtm(
+    gtm: GTM,
+    input_symbols: Sequence,
+    budget: Budget | None = None,
+    trace: list | None = None,
+):
+    """Run *gtm* on *input_symbols* (placed on tape 1).
+
+    Returns the final tape-1 contents, or :data:`UNDEFINED` when the
+    machine gets stuck (no applicable transition) or exceeds the step
+    budget (our observation of non-termination).  Pass a list as
+    *trace* to collect per-step ``(state, head1, head2)`` triples.
+    """
+    budget = budget or Budget()
+    config = Configuration("", Tape.from_symbols(input_symbols), Tape())
+    config.state = gtm.start
+    while config.state != gtm.halt:
+        try:
+            budget.charge("steps")
+        except BudgetExceeded:
+            return UNDEFINED
+        symbol1 = config.tape1.read()
+        symbol2 = config.tape2.read()
+        matched = gtm.match(config.state, symbol1, symbol2)
+        if matched is None:
+            return UNDEFINED  # stuck: no transition applies
+        step, bindings = matched
+        config.tape1.write(gtm.resolve(step.write1, bindings))
+        config.tape2.write(gtm.resolve(step.write2, bindings))
+        config.tape1.move(step.move1)
+        config.tape2.move(step.move2)
+        config.state = step.state
+        config.steps += 1
+        if trace is not None:
+            trace.append((config.state, config.tape1.head, config.tape2.head))
+    return config.tape1.contents()
+
+
+def gtm_query(
+    gtm: GTM,
+    database: Database,
+    output_type: RType,
+    atom_order: Sequence | None = None,
+    budget: Budget | None = None,
+):
+    """The query ``f(d)`` computed by *gtm* on *database*.
+
+    Encodes the database in *atom_order* (canonical by default), runs
+    the machine, and decodes tape 1 against *output_type*.  Any failure
+    (stuck machine, budget, malformed output) yields ``?`` exactly as
+    the paper prescribes.
+    """
+    from ..model.encoding import canonical_atom_order
+
+    if atom_order is None:
+        atom_order = canonical_atom_order(database)
+    symbols = encode_database(database, atom_order)
+    final = run_gtm(gtm, symbols, budget=budget)
+    if final is UNDEFINED:
+        return UNDEFINED
+    try:
+        return decode_instance(final, output_type)
+    except EvaluationError:
+        return UNDEFINED
+
+
+def check_order_independence(
+    gtm: GTM,
+    database: Database,
+    output_type: RType,
+    max_orders: int | None = 24,
+    budget_factory=None,
+) -> bool:
+    """Is the machine's output the same for every input ordering?
+
+    Enumerates (up to *max_orders*) orderings of ``adom(d)`` and runs the
+    machine on each listing.  Raises :class:`MachineError` with the two
+    disagreeing orderings if a mismatch is found; returns ``True``
+    otherwise.
+    """
+    budget_factory = budget_factory or Budget
+    baseline = None
+    baseline_order = None
+    for ordering in enumerate_orderings(database.adom(), limit=max_orders):
+        result = gtm_query(
+            gtm, database, output_type, atom_order=ordering, budget=budget_factory()
+        )
+        if baseline_order is None:
+            baseline = result
+            baseline_order = ordering
+            continue
+        if result != baseline:
+            raise MachineError(
+                f"{gtm.name}: output differs between orderings "
+                f"{baseline_order} and {ordering}: {baseline} vs {result}"
+            )
+    return True

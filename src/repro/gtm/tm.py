@@ -1,0 +1,296 @@
+"""Conventional (finite-alphabet) Turing machines.
+
+Used in three roles:
+
+* the computability baseline of Proposition 3.1 — a conventional TM
+  computes the same query as a GTM once atoms are binary-encoded
+  (:func:`tm_query` does the encode/run/decode framing of Section 2);
+* the machine ``M`` inside Example 6.2's halting query (small unary
+  machines from :func:`unary_machines`);
+* plain algorithmic fodder for tests.
+
+Machines are deterministic, multi-tape, with one-way infinite tapes
+(moving left at cell 0 stays put, matching :class:`repro.gtm.run.Tape`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..budget import Budget
+from ..errors import BudgetExceeded, EvaluationError, MachineError, UNDEFINED
+from ..model.encoding import BLANK, decode_instance, encode_database
+from ..model.schema import Database
+from ..model.types import RType
+from ..model.values import Atom
+from .run import Tape
+
+
+@dataclass(frozen=True)
+class TMStep:
+    """Right-hand side of a conventional TM transition."""
+
+    state: str
+    writes: tuple
+    moves: tuple
+
+
+class TM:
+    """A deterministic multi-tape Turing machine over a finite alphabet."""
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        alphabet: Iterable[str],
+        delta: Mapping,
+        start: str,
+        halt: str,
+        tapes: int = 1,
+        name: str = "tm",
+    ):
+        self.name = name
+        self.states = frozenset(states)
+        self.alphabet = frozenset(alphabet) | {BLANK}
+        self.start = start
+        self.halt = halt
+        self.tapes = tapes
+        self.delta = {}
+        for key, value in delta.items():
+            if not isinstance(value, TMStep):
+                state, writes, moves = value
+                value = TMStep(state, tuple(writes), tuple(moves))
+            self.delta[key] = value
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.start not in self.states or self.halt not in self.states:
+            raise MachineError("start/halt state missing from K")
+        if self.tapes < 1:
+            raise MachineError("a TM needs at least one tape")
+        for key, step in self.delta.items():
+            state, reads = key[0], key[1:]
+            if state not in self.states or state == self.halt:
+                raise MachineError(f"bad source state {state!r}")
+            if step.state not in self.states:
+                raise MachineError(f"bad target state {step.state!r}")
+            if len(reads) != self.tapes or len(step.writes) != self.tapes:
+                raise MachineError(f"tape-count mismatch in entry {key!r}")
+            for symbol in tuple(reads) + step.writes:
+                if symbol not in self.alphabet:
+                    raise MachineError(f"symbol {symbol!r} not in alphabet")
+            for move in step.moves:
+                if move not in ("L", "R", "-"):
+                    raise MachineError(f"bad move {move!r}")
+
+
+def run_tm(
+    tm: TM,
+    input_symbols: Sequence[str],
+    budget: Budget | None = None,
+):
+    """Run *tm* with *input_symbols* on tape 1.
+
+    Returns the final tape-1 contents, or ``UNDEFINED`` on divergence
+    (budget) or a stuck configuration.
+    """
+    budget = budget or Budget()
+    tapes = [Tape.from_symbols(input_symbols)] + [Tape() for _ in range(tm.tapes - 1)]
+    state = tm.start
+    while state != tm.halt:
+        try:
+            budget.charge("steps")
+        except BudgetExceeded:
+            return UNDEFINED
+        reads = tuple(tape.read() for tape in tapes)
+        step = tm.delta.get((state,) + reads)
+        if step is None:
+            return UNDEFINED
+        for tape, write, move in zip(tapes, step.writes, step.moves):
+            tape.write(write)
+            tape.move(move)
+        state = step.state
+    return tapes[0].contents()
+
+
+def halts(tm: TM, input_symbols: Sequence[str], max_steps: int) -> bool | None:
+    """Does *tm* halt on the input within *max_steps*?
+
+    ``True`` when it halts within the bound; ``None`` otherwise (still
+    running — or stuck, which total machines never are).  This is the
+    bounded answer the invention stages of Example 6.2 see: stage ``i``
+    can observe halting computations of length up to ``i``.
+    """
+    result = run_tm(tm, input_symbols, Budget(steps=max_steps))
+    return None if result is UNDEFINED else True
+
+
+def atom_codes(atoms: Sequence[Atom], constants: Sequence[Atom] = ()) -> dict:
+    """Fixed binary codes for ``adom − C`` (order-dependent, as §2 allows).
+
+    Atoms are coded as ``0/1`` strings of equal width in the order
+    given; constants keep symbolic identity (they are in the conventional
+    machine's alphabet by assumption).
+    """
+    coded = [a for a in atoms if a not in set(constants)]
+    width = max(1, (len(coded) - 1).bit_length()) if coded else 1
+    return {atom: format(i, f"0{width}b") for i, atom in enumerate(coded)}
+
+
+def encode_for_tm(
+    database: Database,
+    atom_order: Sequence[Atom],
+    constants: Sequence[Atom] = (),
+) -> tuple:
+    """Binary-encode a database listing for a conventional TM.
+
+    Returns ``(symbols, codes)`` where each non-constant atom of the
+    GTM-style listing is replaced by its ``0/1`` code followed by the
+    separator ``|``.  This is the Section 2 framing: "values in
+    ``adom(I) − C`` are encoded using strings over {0, 1}".
+    """
+    codes = atom_codes(atom_order, constants)
+    constant_set = set(constants)
+    symbols: list = []
+    for symbol in encode_database(database, atom_order):
+        if isinstance(symbol, Atom) and symbol not in constant_set:
+            symbols.extend(codes[symbol])
+            symbols.append("|")
+        elif isinstance(symbol, Atom):
+            symbols.append(f"const:{symbol.label}")
+        else:
+            symbols.append(symbol)
+    return symbols, codes
+
+
+def decode_from_tm(
+    symbols: Sequence[str],
+    codes: dict,
+    output_type: RType,
+):
+    """Decode a conventional TM's binary-coded output listing."""
+    reverse = {code: atom for atom, code in codes.items()}
+    decoded: list = []
+    bits: list = []
+    for symbol in symbols:
+        if symbol in ("0", "1"):
+            bits.append(symbol)
+        elif symbol == "|":
+            code = "".join(bits)
+            bits = []
+            if code not in reverse:
+                raise EvaluationError(f"unknown atom code {code!r}")
+            decoded.append(reverse[code])
+        elif isinstance(symbol, str) and symbol.startswith("const:"):
+            label = symbol[len("const:"):]
+            decoded.append(Atom(int(label) if label.isdigit() else label))
+        else:
+            if bits:
+                raise EvaluationError("dangling bits before punctuation")
+            decoded.append(symbol)
+    return decode_instance(decoded, output_type)
+
+
+def tm_query(
+    compute,
+    database: Database,
+    output_type: RType,
+    constants: Sequence[Atom] = (),
+    atom_order: Sequence[Atom] | None = None,
+):
+    """Run a conventional-computation *compute* in the §2 TM framing.
+
+    *compute* is a function from the binary-coded symbol list to a
+    binary-coded output symbol list (a stand-in for an explicit
+    transition table; tests also pass genuine :func:`run_tm` closures).
+    Encoding, decoding, and the undefined-output rule are handled here,
+    so the framing — not the table — is what this checks.
+    """
+    from ..model.encoding import canonical_atom_order
+
+    if atom_order is None:
+        atom_order = canonical_atom_order(database)
+    symbols, codes = encode_for_tm(database, atom_order, constants)
+    result = compute(symbols)
+    if result is UNDEFINED:
+        return UNDEFINED
+    try:
+        return decode_from_tm(result, codes, output_type)
+    except EvaluationError:
+        return UNDEFINED
+
+
+def unary_machines() -> dict:
+    """Small unary-alphabet machines for Example 6.2's halting query.
+
+    Inputs are ``a^n``.  Returns name -> (TM, expected halting set
+    description).
+    """
+    # halts_iff_even: consume pairs of 'a'; halt on blank in the even
+    # state, loop forever in the odd state.
+    halts_even = TM(
+        states={"e", "o", "loop", "h"},
+        alphabet={"a"},
+        delta={
+            ("e", "a"): ("o", ("a",), ("R",)),
+            ("o", "a"): ("e", ("a",), ("R",)),
+            ("e", BLANK): ("h", (BLANK,), ("-",)),
+            ("o", BLANK): ("loop", (BLANK,), ("-",)),
+            ("loop", BLANK): ("loop", (BLANK,), ("-",)),
+            ("loop", "a"): ("loop", ("a",), ("-",)),
+        },
+        start="e",
+        halt="h",
+        name="halts_iff_even",
+    )
+    # always_halts: skip to the end and stop.
+    always = TM(
+        states={"s", "h"},
+        alphabet={"a"},
+        delta={
+            ("s", "a"): ("s", ("a",), ("R",)),
+            ("s", BLANK): ("h", (BLANK,), ("-",)),
+        },
+        start="s",
+        halt="h",
+        name="always_halts",
+    )
+    # never_halts: spin in place.
+    never = TM(
+        states={"s", "h"},
+        alphabet={"a"},
+        delta={
+            ("s", "a"): ("s", ("a",), ("-",)),
+            ("s", BLANK): ("s", (BLANK,), ("-",)),
+        },
+        start="s",
+        halt="h",
+        name="never_halts",
+    )
+    # slow_halt: quadratic-time shuttle — halts, but needs ~n^2 steps,
+    # exercising the "stage must reach the running time" behaviour of
+    # finite invention.
+    slow = TM(
+        states={"fwd", "fwd2", "back", "h"},
+        alphabet={"a", "x"},
+        delta={
+            ("fwd", "a"): ("back", ("x",), ("L",)),
+            ("back", "a"): ("back", ("a",), ("L",)),
+            ("back", "x"): ("fwd2", ("x",), ("R",)),
+            ("back", BLANK): ("fwd2", (BLANK,), ("R",)),
+            ("fwd2", "x"): ("fwd2", ("x",), ("R",)),
+            ("fwd2", "a"): ("back", ("x",), ("L",)),
+            ("fwd2", BLANK): ("h", (BLANK,), ("-",)),
+            ("fwd", BLANK): ("h", (BLANK,), ("-",)),
+            ("fwd", "x"): ("fwd2", ("x",), ("R",)),
+        },
+        start="fwd",
+        halt="h",
+        name="slow_halt",
+    )
+    return {
+        "halts_iff_even": halts_even,
+        "always_halts": always,
+        "never_halts": never,
+        "slow_halt": slow,
+    }

@@ -1,0 +1,83 @@
+"""The complex-object data model: values, (r)types, schemas, genericity.
+
+This package is the substrate every language in the reproduction is
+built on.  See DESIGN.md Section 2.1.
+"""
+
+from .values import (
+    Atom,
+    BOTTOM,
+    Bottom,
+    NamedTup,
+    SetVal,
+    TOP,
+    Top,
+    Tup,
+    Value,
+    adom,
+    canon_key,
+    canonical_sort,
+    contains_any,
+    obj,
+    set_height,
+    value_size,
+)
+from .types import (
+    AtomType,
+    OBJ,
+    ObjType,
+    RType,
+    SetType,
+    TupleType,
+    U,
+    flat_relation_type,
+    infer_rtype,
+    lub_rtype,
+    nested_set_type,
+    parse_type,
+)
+from .domains import cons, cons_obj_bounded, cons_size, hyp
+from .schema import Database, Schema, instance_of
+from .genericity import (
+    Permutation,
+    check_domain_preserving,
+    check_generic,
+    permutations_fixing,
+)
+from .ordering import (
+    counter_next,
+    counter_rank,
+    counter_sequence,
+    enumerate_orderings,
+    order_tuples,
+)
+from .encoding import (
+    BLANK,
+    PUNCTUATION,
+    all_database_encodings,
+    canonical_atom_order,
+    decode_database,
+    decode_instance,
+    encode_database,
+    encode_instance,
+    encode_row,
+    is_atom_symbol,
+)
+
+__all__ = [
+    "Atom", "BOTTOM", "Bottom", "NamedTup", "SetVal", "TOP", "Top", "Tup",
+    "Value", "adom", "canon_key", "canonical_sort", "contains_any", "obj",
+    "set_height", "value_size",
+    "AtomType", "OBJ", "ObjType", "RType", "SetType", "TupleType", "U",
+    "flat_relation_type", "infer_rtype", "lub_rtype", "nested_set_type",
+    "parse_type",
+    "cons", "cons_obj_bounded", "cons_size", "hyp",
+    "Database", "Schema", "instance_of",
+    "Permutation", "check_domain_preserving", "check_generic",
+    "permutations_fixing",
+    "counter_next", "counter_rank", "counter_sequence",
+    "enumerate_orderings", "order_tuples",
+    "BLANK", "PUNCTUATION", "all_database_encodings", "canonical_atom_order",
+    "decode_database", "decode_instance", "encode_database",
+    "encode_instance", "encode_row", "is_atom_symbol",
+]

@@ -1,0 +1,184 @@
+"""Constructive domains ``cons_T(X)`` and the hyper-exponential ladder.
+
+For a type ``T`` and a finite atom set ``X``, the *constructive domain*
+``cons_T(X)`` (paper, Section 4 footnote) is the set of objects of type
+``T`` built only from atoms in ``X``.  For genuine types this set is
+finite but grows hyper-exponentially with the set-nesting height of
+``T`` — exactly the phenomenon behind Theorem 2.2 (each level of nesting
+buys one exponential).  For rtypes mentioning ``Obj`` it is infinite, so
+enumeration must be bounded; :func:`cons_obj_bounded` enumerates the
+objects of ``Obj`` built from ``X`` in canonical order up to a count or
+height limit.
+
+Every enumerator charges the ``objects`` counter of a
+:class:`~repro.budget.Budget`, so run-away enumerations surface as
+:class:`~repro.errors.BudgetExceeded` rather than memory exhaustion.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+from typing import Iterable, Iterator, Sequence
+
+from ..budget import Budget
+from ..errors import EvaluationError
+from .types import AtomType, ObjType, RType, SetType, TupleType
+from .values import Atom, SetVal, Tup, Value, canonical_sort, set_height
+
+
+def hyp(level: int, n: int, cap: int | None = 10**9) -> int:
+    """The hyper-exponential function ``hyp_level(n)`` from Section 2.
+
+    ``hyp_0(n) = n`` and ``hyp_{i+1}(n) = 2 ** hyp_i(n)``.  Because the
+    values explode, *cap* (default 1e9) bounds the result; pass ``None``
+    to compute exactly (dangerous beyond level 2).
+    """
+    if level < 0:
+        raise EvaluationError("hyp level must be non-negative")
+    value = n
+    for _ in range(level):
+        if cap is not None and value > 60:
+            return cap
+        value = 2**value
+        if cap is not None and value > cap:
+            return cap
+    return value
+
+
+def cons_size(rtype: RType, n_atoms: int, cap: int | None = 10**9) -> int:
+    """``|cons_T(X)|`` for ``|X| = n_atoms`` (capped at *cap*).
+
+    Exact combinatorics: ``|cons_U| = n``; ``|cons_{T}| = 2^{|cons_T|}``;
+    ``|cons_[T1..Tk]| = prod |cons_Ti|``.  Raises for rtypes containing
+    ``Obj`` (infinite).
+    """
+    if isinstance(rtype, AtomType):
+        return n_atoms
+    if isinstance(rtype, ObjType):
+        raise EvaluationError("cons(Obj, X) is infinite")
+    if isinstance(rtype, SetType):
+        inner = cons_size(rtype.element, n_atoms, cap)
+        if cap is not None and inner > 60:
+            return cap
+        size = 2**inner
+        return min(size, cap) if cap is not None else size
+    if isinstance(rtype, TupleType):
+        size = 1
+        for comp in rtype.components:
+            size *= cons_size(comp, n_atoms, cap)
+            if cap is not None and size > cap:
+                return cap
+        return size
+    raise EvaluationError(f"unknown rtype {rtype!r}")
+
+
+def cons(
+    rtype: RType,
+    atoms: Iterable[Atom],
+    budget: Budget | None = None,
+) -> Iterator[Value]:
+    """Lazily enumerate ``cons_T(atoms)`` in a deterministic order.
+
+    Only valid for genuine types (no ``Obj``); use
+    :func:`cons_obj_bounded` for the universal rtype.  Charges the
+    budget's ``objects`` counter per yielded object.
+    """
+    if not rtype.is_type():
+        raise EvaluationError(
+            "cons() enumerates types only; Obj has an infinite constructive "
+            "domain — use cons_obj_bounded()"
+        )
+    budget = budget or Budget()
+    atom_list = canonical_sort(set(atoms))
+    for value in _cons_iter(rtype, atom_list):
+        budget.charge("objects")
+        yield value
+
+
+def _cons_iter(rtype: RType, atoms: Sequence[Atom]) -> Iterator[Value]:
+    if isinstance(rtype, AtomType):
+        yield from atoms
+        return
+    if isinstance(rtype, TupleType):
+        # Materialise each component domain once; the cross product is
+        # streamed.  Component domains are finite because rtype is a type.
+        domains = [list(_cons_iter(comp, atoms)) for comp in rtype.components]
+        for combo in product(*domains):
+            yield Tup(combo)
+        return
+    if isinstance(rtype, SetType):
+        members = list(_cons_iter(rtype.element, atoms))
+        for k in range(len(members) + 1):
+            for subset in combinations(members, k):
+                yield SetVal(subset)
+        return
+    raise EvaluationError(f"unknown type {rtype!r}")
+
+
+def cons_obj_bounded(
+    atoms: Iterable[Atom],
+    max_objects: int,
+    max_height: int | None = None,
+    budget: Budget | None = None,
+) -> list:
+    """The first *max_objects* members of ``cons_Obj(atoms)``.
+
+    Enumerates **Obj** restricted to the given atoms in rounds: all
+    atoms first, then tuples and sets of bounded width over everything
+    produced so far, with the width growing each round.  Every object of
+    ``cons_Obj(atoms)`` is produced at *some* round, and the output list
+    (sorted canonically) is deterministic — which is what the calculus
+    evaluator needs when approximating ``Obj``-typed quantifiers.
+
+    *max_height* optionally caps set-nesting height (e.g. to mirror a
+    typed approximation).
+    """
+    budget = budget or Budget()
+    atom_list = canonical_sort(set(atoms))
+    known: list = []
+    known_set: set = set()
+
+    def _add(value: Value) -> bool:
+        if value in known_set:
+            return False
+        budget.charge("objects")
+        known.append(value)
+        known_set.add(value)
+        return True
+
+    for atom in atom_list:
+        if len(known) >= max_objects:
+            return canonical_sort(known)[:max_objects]
+        _add(atom)
+
+    # Grow by alternating tuple- and set-formation rounds over the
+    # current frontier until we have enough objects.  Tuple width and
+    # set width are bounded by the round number, so every object is
+    # eventually produced.
+    round_number = 1
+    while len(known) < max_objects:
+        frontier = list(known)
+        produced = False
+        width = min(round_number + 1, 3)
+        # Tuples of width 1..width over known objects.
+        for w in range(1, width + 1):
+            for combo in product(frontier, repeat=w):
+                candidate = Tup(combo)
+                if _add(candidate):
+                    produced = True
+                if len(known) >= max_objects:
+                    return canonical_sort(known)[:max_objects]
+        # Sets of size 0..width over known objects.
+        for w in range(0, width + 1):
+            for combo in combinations(frontier, w):
+                candidate = SetVal(combo)
+                if max_height is not None and set_height(candidate) > max_height:
+                    continue
+                if _add(candidate):
+                    produced = True
+                if len(known) >= max_objects:
+                    return canonical_sort(known)[:max_objects]
+        if not produced:
+            break
+        round_number += 1
+    return canonical_sort(known)[:max_objects]

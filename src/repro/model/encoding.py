@@ -1,0 +1,212 @@
+"""Linear encodings of flat instances for (generic) Turing machine tapes.
+
+Section 2/3 of the paper fix a convention: an input instance is placed
+on the tape as an ordered listing using the distinguished punctuation
+symbols ``( ) [ ] ,``.  Tape symbols in this library are either
+
+* :class:`~repro.model.values.Atom` objects — elements of **U** that a
+  GTM manipulates directly, or
+* plain Python strings — working/punctuation symbols from the finite
+  set ``W`` (including the punctuation above and the blank
+  :data:`BLANK`).
+
+A flat database ``<P1: I1, ..., Pn: In>`` is encoded as::
+
+    ( row row ... ) ( row ... ) ...   -- one group per predicate
+    row  =  atom                      -- arity-1 set of atoms
+         |  [ atom atom ... ]         -- set of flat tuples
+
+Rows and tuple coordinates are self-delimiting, so the ``,`` separator
+the paper lists is unnecessary; it remains in :data:`PUNCTUATION` (and
+in machines' working alphabets) for fidelity, and the decoder skips
+blanks everywhere — which lets machines *filter in place* by blanking
+out rows.
+
+The row order within each group is a parameter (an *ordering* of the
+active domain induces a lexicographic row order), because GTM behaviour
+may only be *output*-independent of it, never blind to it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..errors import EvaluationError
+from .ordering import enumerate_orderings, order_tuples
+from .schema import Database, Schema
+from .types import RType
+from .values import Atom, SetVal, Tup, Value, canonical_sort
+
+#: The blank tape symbol.
+BLANK = "_"
+
+#: Punctuation required by the paper's encoding convention.
+PUNCTUATION = ("(", ")", "[", "]", ",")
+
+Symbol = object  # Atom | str
+
+
+def is_atom_symbol(symbol: Symbol) -> bool:
+    """Is *symbol* a domain atom (as opposed to a working symbol)?"""
+    return isinstance(symbol, Atom)
+
+
+def encode_row(row: Value) -> list:
+    """Encode one member of a flat instance (an atom or a flat tuple)."""
+    if isinstance(row, Atom):
+        return [row]
+    if isinstance(row, Tup):
+        symbols: list = ["["]
+        for item in row.items:
+            if not isinstance(item, Atom):
+                raise EvaluationError(f"row {row} is not flat")
+            symbols.append(item)
+        symbols.append("]")
+        return symbols
+    raise EvaluationError(f"row {row} is not flat")
+
+
+def encode_instance(instance: SetVal, atom_order: Sequence[Atom]) -> list:
+    """Encode one instance as ``( row row ... )`` ordered by *atom_order*."""
+    symbols: list = ["("]
+    for row in order_tuples(instance.items, atom_order):
+        symbols.extend(encode_row(row))
+    symbols.append(")")
+    return symbols
+
+
+def encode_database(database: Database, atom_order: Sequence[Atom]) -> list:
+    """Encode a flat database as the concatenation of its instance groups."""
+    if not database.schema.is_flat():
+        raise EvaluationError("only flat databases are encoded onto tapes")
+    symbols: list = []
+    for name in database.schema.names():
+        symbols.extend(encode_instance(database[name], atom_order))
+    return symbols
+
+
+def all_database_encodings(
+    database: Database,
+    limit: int | None = None,
+) -> Iterator[tuple]:
+    """Yield ``(ordering, encoding)`` pairs over orderings of ``adom(d)``.
+
+    Used by the GTM input-order-independence check; *limit* caps the
+    number of orderings (there are ``|adom|!`` of them).
+    """
+    for ordering in enumerate_orderings(database.adom(), limit=limit):
+        yield ordering, encode_database(database, ordering)
+
+
+class _SymbolParser:
+    """Recursive-descent parser for encoded instances on a tape."""
+
+    def __init__(self, symbols: Sequence[Symbol]):
+        self.symbols = list(symbols)
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        self._skip_blanks()
+        return self.pos >= len(self.symbols)
+
+    def _skip_blanks(self) -> None:
+        while self.pos < len(self.symbols) and self.symbols[self.pos] == BLANK:
+            self.pos += 1
+
+    def peek(self) -> Symbol:
+        self._skip_blanks()
+        if self.pos >= len(self.symbols):
+            raise EvaluationError("unexpected end of tape while decoding")
+        return self.symbols[self.pos]
+
+    def take(self) -> Symbol:
+        symbol = self.peek()
+        self.pos += 1
+        return symbol
+
+    def expect(self, symbol: str) -> None:
+        got = self.take()
+        if got != symbol:
+            raise EvaluationError(f"expected {symbol!r} on tape, got {got!r}")
+
+    def parse_row(self) -> Value:
+        symbol = self.peek()
+        if isinstance(symbol, Atom):
+            return self.take()
+        if symbol == "[":
+            self.take()
+            items = []
+            while self.peek() != "]":
+                if self.peek() == ",":  # tolerated for fidelity
+                    self.take()
+                    continue
+                items.append(self._take_atom())
+            self.expect("]")
+            if not items:
+                raise EvaluationError("empty tuple on tape")
+            return Tup(items)
+        raise EvaluationError(f"bad row start on tape: {symbol!r}")
+
+    def _take_atom(self) -> Atom:
+        symbol = self.take()
+        if not isinstance(symbol, Atom):
+            raise EvaluationError(f"expected an atom on tape, got {symbol!r}")
+        return symbol
+
+    def parse_instance(self) -> SetVal:
+        self.expect("(")
+        rows: list = []
+        while self.peek() != ")":
+            if self.peek() == ",":  # tolerated for fidelity
+                self.take()
+                continue
+            rows.append(self.parse_row())
+        self.expect(")")
+        return SetVal(rows)
+
+
+def decode_instance(symbols: Sequence[Symbol], rtype: RType) -> SetVal:
+    """Decode one encoded instance and validate it against a flat *rtype*.
+
+    Raises :class:`EvaluationError` if the tape does not hold a
+    well-formed listing of an instance of the type — the case where the
+    paper declares the machine's output undefined.
+    """
+    parser = _SymbolParser(symbols)
+    instance = parser.parse_instance()
+    if not parser.at_end():
+        raise EvaluationError("trailing symbols after encoded instance")
+    for member in instance.items:
+        if not rtype_member_matches(rtype, member):
+            raise EvaluationError(f"decoded member {member} not of type {rtype!r}")
+    return instance
+
+
+def rtype_member_matches(rtype: RType, member: Value) -> bool:
+    """Does *member* belong to the member-type of flat set/relation *rtype*?
+
+    Output types in the paper are flat types ``T``; instances of ``T``
+    are finite subsets of ``dom(T)``, so members are validated against
+    ``T`` itself.
+    """
+    return rtype.matches(member)
+
+
+def decode_database(
+    symbols: Sequence[Symbol],
+    schema: Schema,
+) -> Database:
+    """Decode a full database (one group per predicate, schema order)."""
+    parser = _SymbolParser(symbols)
+    instances: dict = {}
+    for name in schema.names():
+        parser._skip_blanks()
+        instances[name] = parser.parse_instance()
+    if not parser.at_end():
+        raise EvaluationError("trailing symbols after encoded database")
+    return Database(schema, instances)
+
+
+def canonical_atom_order(database: Database) -> tuple:
+    """The canonical ordering of ``adom(d)`` (deterministic default)."""
+    return tuple(canonical_sort(database.adom()))

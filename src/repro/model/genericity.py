@@ -1,0 +1,193 @@
+"""Genericity and domain preservation (paper, Section 2).
+
+A query function ``f`` is *C-generic* when it commutes with every
+permutation of **U** that fixes the finite constant set ``C``; it is
+*domain preserving wrt C* when every output atom comes from the input
+or from ``C``.  Genericity is the defining invariant of every language
+in the paper, so we provide:
+
+* :class:`Permutation` — a finitely-supported permutation of **U**,
+  applicable to objects, instances, and databases;
+* :func:`check_generic` — an empirical C-genericity check of an
+  arbitrary Python-callable query on given databases (used by the E14
+  experiment and the property tests);
+* :func:`check_domain_preserving` — the paper's Definition 2 check.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Iterable, Sequence
+
+from ..errors import EvaluationError, is_undefined
+from .schema import Database
+from .values import Atom, NamedTup, SetVal, Tup, Value, adom
+
+
+class Permutation:
+    """A permutation of **U** with finite support.
+
+    Represented by a bijective finite mapping atom -> atom; every atom
+    outside the mapping is fixed.  Applying a permutation to an object
+    relabels its atoms; this extends naturally to instances and
+    databases, as in the paper.
+    """
+
+    __slots__ = ("mapping",)
+
+    def __init__(self, mapping: dict):
+        mapping = {k: v for k, v in mapping.items() if k != v}
+        for key, value in mapping.items():
+            if not isinstance(key, Atom) or not isinstance(value, Atom):
+                raise EvaluationError("permutations map atoms to atoms")
+        if len(set(mapping.values())) != len(mapping):
+            raise EvaluationError("permutation mapping must be injective")
+        if set(mapping.values()) != set(mapping.keys()):
+            raise EvaluationError(
+                "a finitely-supported permutation must permute its support"
+            )
+        object.__setattr__(self, "mapping", dict(mapping))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Permutation is immutable")
+
+    def __call__(self, thing):
+        """Apply to an atom, object, instance, or database."""
+        if isinstance(thing, Database):
+            return Database(
+                thing.schema,
+                {name: self(thing[name]) for name in thing.schema.names()},
+            )
+        if isinstance(thing, Value):
+            return self._apply_value(thing)
+        raise EvaluationError(f"cannot permute {type(thing).__name__}")
+
+    def _apply_value(self, value: Value) -> Value:
+        if isinstance(value, Atom):
+            return self.mapping.get(value, value)
+        if isinstance(value, Tup):
+            return Tup([self._apply_value(item) for item in value.items])
+        if isinstance(value, SetVal):
+            return SetVal([self._apply_value(item) for item in value.items])
+        if isinstance(value, NamedTup):
+            return NamedTup(
+                {name: self._apply_value(item) for name, item in value.fields}
+            )
+        return value  # Bottom / Top are fixed.
+
+    def inverse(self) -> "Permutation":
+        """The inverse permutation."""
+        return Permutation({v: k for k, v in self.mapping.items()})
+
+    def fixes(self, atoms: Iterable[Atom]) -> bool:
+        """Does this permutation fix every atom in *atoms*?"""
+        return all(self.mapping.get(a, a) == a for a in atoms)
+
+    @classmethod
+    def swap(cls, left: Atom, right: Atom) -> "Permutation":
+        """The transposition exchanging two atoms."""
+        return cls({left: right, right: left})
+
+    @classmethod
+    def from_cycle(cls, atoms: Sequence[Atom]) -> "Permutation":
+        """The cyclic permutation ``a0 -> a1 -> ... -> a0``."""
+        atoms = list(atoms)
+        if len(set(atoms)) != len(atoms):
+            raise EvaluationError("cycle atoms must be distinct")
+        mapping = {atoms[i]: atoms[(i + 1) % len(atoms)] for i in range(len(atoms))}
+        return cls(mapping)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{k}->{v}" for k, v in sorted(
+            self.mapping.items(), key=lambda kv: kv[0].canon_key()))
+        return f"Permutation({pairs})"
+
+
+def permutations_fixing(
+    support: Iterable[Atom],
+    constants: Iterable[Atom] = (),
+    limit: int | None = None,
+    seed: int | None = None,
+) -> list:
+    """Permutations of *support* that fix *constants*.
+
+    With *limit* set, a deterministic sample (seeded) is returned instead
+    of all ``k!`` permutations.
+    """
+    constants = set(constants)
+    movable = sorted(set(support) - constants, key=lambda a: a.canon_key())
+    all_perms = itertools.permutations(movable)
+    result = []
+    for image in all_perms:
+        result.append(Permutation(dict(zip(movable, image))))
+        if limit is not None and len(result) >= limit * 4:
+            break
+    if limit is not None and len(result) > limit:
+        rng = random.Random(seed if seed is not None else 0)
+        result = rng.sample(result, limit)
+    return result
+
+
+def check_generic(
+    query: Callable[[Database], object],
+    databases: Iterable[Database],
+    constants: Iterable[Atom] = (),
+    fresh_atoms: int = 2,
+    max_perms: int = 24,
+    seed: int = 0,
+) -> bool:
+    """Empirically check C-genericity of *query* on the given databases.
+
+    For each database ``d`` and each sampled permutation ``s`` fixing the
+    constants (over ``adom(d)`` plus a few fresh atoms), verifies
+    ``query(s(d)) == s(query(d))``.  ``?`` outputs must map to ``?``.
+    Returns ``True`` if no counterexample is found; raises
+    :class:`EvaluationError` with the witness otherwise.
+    """
+    constants = list(constants)
+    for database in databases:
+        support = set(database.adom()) | {
+            Atom(f"__fresh_{i}") for i in range(fresh_atoms)
+        }
+        perms = permutations_fixing(support, constants, limit=max_perms, seed=seed)
+        baseline = query(database)
+        for perm in perms:
+            permuted_output = query(perm(database))
+            if is_undefined(baseline) or is_undefined(permuted_output):
+                if is_undefined(baseline) != is_undefined(permuted_output):
+                    raise EvaluationError(
+                        f"genericity violated (one side undefined) on {database!r} "
+                        f"with {perm!r}"
+                    )
+                continue
+            if permuted_output != perm(baseline):
+                raise EvaluationError(
+                    f"genericity violated on {database!r} with {perm!r}: "
+                    f"{permuted_output} != {perm(baseline)}"
+                )
+    return True
+
+
+def check_domain_preserving(
+    query: Callable[[Database], object],
+    databases: Iterable[Database],
+    constants: Iterable[Atom] = (),
+) -> bool:
+    """Check ``outdom(f, d) ⊆ indom(f, d) ∪ C`` on the given databases."""
+    constants = set(constants)
+    for database in databases:
+        output = query(database)
+        if is_undefined(output):
+            continue
+        if not isinstance(output, Value):
+            raise EvaluationError(f"query returned a non-object: {output!r}")
+        out_atoms = adom(output)
+        allowed = set(database.adom()) | constants
+        extra = set(out_atoms) - allowed
+        if extra:
+            raise EvaluationError(
+                f"domain preservation violated on {database!r}: "
+                f"invented atoms {sorted(extra, key=lambda a: a.canon_key())}"
+            )
+    return True

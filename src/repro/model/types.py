@@ -1,0 +1,354 @@
+"""Types and relaxed types (rtypes).
+
+Section 2 of the paper defines *types* over the atomic type ``U`` closed
+under set ``{T}`` and tuple ``[T1, ..., Tn]`` construction.  Section 4
+relaxes them to *rtypes* by adding the universal rtype ``Obj`` whose
+domain is all of **Obj** — this is where untyped sets enter: an instance
+of ``{Obj}`` is a finite set of arbitrarily-shaped objects.
+
+The family of types is a proper subset of the family of rtypes, and —
+unlike types — two distinct rtypes can have overlapping domains (e.g.
+``Obj`` and ``U``).
+
+A small grammar is provided so tests and examples can write types
+compactly::
+
+    parse_type("U")            -> AtomType
+    parse_type("Obj")          -> ObjType
+    parse_type("{[U, U]}")     -> SetType(TupleType([AtomType, AtomType]))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..errors import TypeCheckError
+from .values import Atom, SetVal, Tup, Value
+
+
+class RType:
+    """Abstract base for rtypes.  Types are the rtypes with no ``Obj``."""
+
+    __slots__ = ()
+
+    def is_type(self) -> bool:
+        """True iff this rtype is a *type* (mentions no ``Obj``)."""
+        raise NotImplementedError
+
+    def is_flat(self) -> bool:
+        """True iff no set construct occurs (paper, Section 2).
+
+        ``Obj`` is not flat: its domain contains sets.
+        """
+        raise NotImplementedError
+
+    def set_height(self) -> int:
+        """Nesting depth of set constructors (``Obj`` has unbounded depth,
+        reported as ``-1``)."""
+        raise NotImplementedError
+
+    def matches(self, value: Value) -> bool:
+        """Is *value* a member of this rtype's domain?"""
+        raise NotImplementedError
+
+    def __eq__(self, other) -> bool:
+        raise NotImplementedError
+
+    def __hash__(self) -> int:
+        raise NotImplementedError
+
+
+class AtomType(RType):
+    """The basic type ``U`` whose domain is the atomic universe."""
+
+    __slots__ = ()
+
+    def is_type(self) -> bool:
+        return True
+
+    def is_flat(self) -> bool:
+        return True
+
+    def set_height(self) -> int:
+        return 0
+
+    def matches(self, value: Value) -> bool:
+        return isinstance(value, Atom)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, AtomType)
+
+    def __hash__(self) -> int:
+        return hash("AtomType")
+
+    def __repr__(self) -> str:
+        return "U"
+
+
+class ObjType(RType):
+    """The universal rtype ``Obj``: its domain is all of **Obj**."""
+
+    __slots__ = ()
+
+    def is_type(self) -> bool:
+        return False
+
+    def is_flat(self) -> bool:
+        return False
+
+    def set_height(self) -> int:
+        return -1
+
+    def matches(self, value: Value) -> bool:
+        return _is_pure_obj(value)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ObjType)
+
+    def __hash__(self) -> int:
+        return hash("ObjType")
+
+    def __repr__(self) -> str:
+        return "Obj"
+
+
+class SetType(RType):
+    """The set rtype ``{T}``."""
+
+    __slots__ = ("element",)
+
+    def __init__(self, element: RType):
+        if not isinstance(element, RType):
+            raise TypeCheckError("set element type must be an RType")
+        object.__setattr__(self, "element", element)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SetType is immutable")
+
+    def is_type(self) -> bool:
+        return self.element.is_type()
+
+    def is_flat(self) -> bool:
+        return False
+
+    def set_height(self) -> int:
+        inner = self.element.set_height()
+        return -1 if inner < 0 else inner + 1
+
+    def matches(self, value: Value) -> bool:
+        return isinstance(value, SetVal) and all(
+            self.element.matches(item) for item in value.items
+        )
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SetType) and self.element == other.element
+
+    def __hash__(self) -> int:
+        return hash(("SetType", self.element))
+
+    def __repr__(self) -> str:
+        return "{" + repr(self.element) + "}"
+
+
+class TupleType(RType):
+    """The tuple rtype ``[T1, ..., Tn]`` with n >= 1."""
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Iterable[RType]):
+        components = tuple(components)
+        if not components:
+            raise TypeCheckError("tuple types must have at least one component")
+        for comp in components:
+            if not isinstance(comp, RType):
+                raise TypeCheckError("tuple component types must be RTypes")
+        object.__setattr__(self, "components", components)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("TupleType is immutable")
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __getitem__(self, index: int) -> RType:
+        return self.components[index]
+
+    def __iter__(self) -> Iterator[RType]:
+        return iter(self.components)
+
+    def is_type(self) -> bool:
+        return all(comp.is_type() for comp in self.components)
+
+    def is_flat(self) -> bool:
+        return all(comp.is_flat() for comp in self.components)
+
+    def set_height(self) -> int:
+        heights = [comp.set_height() for comp in self.components]
+        return -1 if any(h < 0 for h in heights) else max(heights)
+
+    def matches(self, value: Value) -> bool:
+        return (
+            isinstance(value, Tup)
+            and len(value) == len(self.components)
+            and all(
+                comp.matches(item)
+                for comp, item in zip(self.components, value.items)
+            )
+        )
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TupleType) and self.components == other.components
+
+    def __hash__(self) -> int:
+        return hash(("TupleType", self.components))
+
+    def __repr__(self) -> str:
+        return "[" + ", ".join(repr(c) for c in self.components) + "]"
+
+
+def _is_pure_obj(value: Value) -> bool:
+    """Is *value* in **Obj** proper (no BK-only ⊥/⊤/named tuples inside)?"""
+    if isinstance(value, Atom):
+        return True
+    if isinstance(value, Tup):
+        return all(_is_pure_obj(item) for item in value.items)
+    if isinstance(value, SetVal):
+        return all(_is_pure_obj(item) for item in value.items)
+    return False
+
+
+#: Shared instances of the two atomic rtypes.
+U = AtomType()
+OBJ = ObjType()
+
+
+def flat_relation_type(arity: int) -> SetType:
+    """The type ``{[U, ..., U]}`` of a flat relation with *arity* columns.
+
+    For ``arity == 0`` this is not expressible; the paper's flat
+    relations always have arity >= 1.
+    """
+    if arity < 1:
+        raise TypeCheckError("flat relations have arity >= 1")
+    return SetType(TupleType([U] * arity))
+
+
+def nested_set_type(height: int, base: RType = U) -> RType:
+    """``{...{base}...}`` with *height* set constructors.
+
+    ``nested_set_type(0)`` is *base* itself.  These towers drive the
+    hyper-exponential hierarchy (Theorem 2.2).
+    """
+    if height < 0:
+        raise TypeCheckError("height must be non-negative")
+    result = base
+    for _ in range(height):
+        result = SetType(result)
+    return result
+
+
+def parse_type(text: str) -> RType:
+    """Parse the compact type grammar: ``U``, ``Obj``, ``{T}``, ``[T, T]``.
+
+    >>> parse_type("{[U, {U}]}")
+    {[U, {U}]}
+    """
+    parser = _TypeParser(text)
+    result = parser.parse()
+    parser.expect_end()
+    return result
+
+
+class _TypeParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self) -> str:
+        self._skip_ws()
+        if self.pos >= len(self.text):
+            raise TypeCheckError(f"unexpected end of type: {self.text!r}")
+        return self.text[self.pos]
+
+    def parse(self) -> RType:
+        char = self._peek()
+        if char == "{":
+            self.pos += 1
+            inner = self.parse()
+            self._expect("}")
+            return SetType(inner)
+        if char == "[":
+            self.pos += 1
+            components = [self.parse()]
+            while self._peek() == ",":
+                self.pos += 1
+                components.append(self.parse())
+            self._expect("]")
+            return TupleType(components)
+        # A word: U or Obj.
+        start = self.pos
+        while self.pos < len(self.text) and self.text[self.pos].isalpha():
+            self.pos += 1
+        word = self.text[start : self.pos]
+        if word == "U":
+            return U
+        if word == "Obj":
+            return OBJ
+        raise TypeCheckError(f"unknown type name {word!r} in {self.text!r}")
+
+    def _expect(self, char: str) -> None:
+        if self._peek() != char:
+            raise TypeCheckError(
+                f"expected {char!r} at position {self.pos} of {self.text!r}"
+            )
+        self.pos += 1
+
+    def expect_end(self) -> None:
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise TypeCheckError(f"trailing input in type {self.text!r}")
+
+
+def infer_rtype(value: Value) -> RType:
+    """The most specific rtype of a single object.
+
+    Heterogeneous sets infer as ``{Obj}``; homogeneous ones recurse.
+    """
+    if isinstance(value, Atom):
+        return U
+    if isinstance(value, Tup):
+        return TupleType([infer_rtype(item) for item in value.items])
+    if isinstance(value, SetVal):
+        member_types = {infer_rtype(item) for item in value.items}
+        if not member_types:
+            return SetType(OBJ)
+        if len(member_types) == 1:
+            return SetType(next(iter(member_types)))
+        return SetType(OBJ)
+    raise TypeCheckError(f"no rtype for {value!r} (BK-only value?)")
+
+
+def lub_rtype(left: RType, right: RType) -> RType:
+    """A least-upper-bound-ish join of two rtypes.
+
+    Used by the relaxed algebra's static typing: the union of an
+    instance of ``T1`` and an instance of ``T2`` is an instance of
+    ``lub_rtype(T1, T2)`` (``Obj`` when the shapes disagree).
+    """
+    if left == right:
+        return left
+    if isinstance(left, SetType) and isinstance(right, SetType):
+        return SetType(lub_rtype(left.element, right.element))
+    if (
+        isinstance(left, TupleType)
+        and isinstance(right, TupleType)
+        and len(left) == len(right)
+    ):
+        return TupleType(
+            [lub_rtype(a, b) for a, b in zip(left.components, right.components)]
+        )
+    return OBJ

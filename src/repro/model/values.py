@@ -1,0 +1,450 @@
+"""The value universe **Obj**: atoms, tuples, and finite sets.
+
+The paper (Section 4) defines **Obj** as the smallest set containing the
+universal atomic domain **U** and closed under finite tuple and finite
+set formation.  We realise it with three immutable, hashable classes:
+
+* :class:`Atom` — an element of **U**.  Labels are Python ``str`` or
+  ``int``; the label space is unbounded, standing in for the countably
+  infinite **U**.
+* :class:`Tup` — a positional tuple ``[X1, ..., Xn]``, n >= 1.
+* :class:`SetVal` — a finite set ``{X1, ..., Xn}``, n >= 0.
+
+Two extensions used *only* by the Bancilhon–Khoshafian calculus
+(:mod:`repro.deductive.bk`) also live here so that one canonical ordering
+covers every value the library manipulates:
+
+* :class:`Bottom` / :class:`Top` — BK's least and greatest objects;
+* :class:`NamedTup` — BK's named-attribute tuples ``[A: x, B: y]``.
+
+All values are deeply immutable and hashable, so they can be members of
+Python sets/dicts, and a **canonical total order** (:func:`canon_key`)
+makes enumeration deterministic.  The order is: Bottom < atoms <
+positional tuples < named tuples < sets < Top, with lexicographic
+comparison inside each kind.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Union
+
+from ..errors import TypeCheckError
+
+AtomLabel = Union[str, int]
+
+# Kind ranks for the canonical order.
+_RANK_BOTTOM = 0
+_RANK_ATOM = 1
+_RANK_TUP = 2
+_RANK_NAMED = 3
+_RANK_SET = 4
+_RANK_TOP = 5
+
+
+class Value:
+    """Abstract base for every member of **Obj** (plus BK's ⊥/⊤)."""
+
+    __slots__ = ()
+
+    def canon_key(self):
+        """A key tuple inducing the canonical total order on values."""
+        raise NotImplementedError
+
+    def __lt__(self, other: "Value") -> bool:
+        if not isinstance(other, Value):
+            return NotImplemented
+        return self.canon_key() < other.canon_key()
+
+    def __le__(self, other: "Value") -> bool:
+        if not isinstance(other, Value):
+            return NotImplemented
+        return self.canon_key() <= other.canon_key()
+
+    def __gt__(self, other: "Value") -> bool:
+        if not isinstance(other, Value):
+            return NotImplemented
+        return self.canon_key() > other.canon_key()
+
+    def __ge__(self, other: "Value") -> bool:
+        if not isinstance(other, Value):
+            return NotImplemented
+        return self.canon_key() >= other.canon_key()
+
+
+class Atom(Value):
+    """An element of the universal atomic domain **U**.
+
+    >>> Atom("alice") == Atom("alice")
+    True
+    >>> Atom(1) < Atom("a")     # ints sort before strings
+    True
+    """
+
+    __slots__ = ("label", "_hash")
+
+    def __init__(self, label: AtomLabel):
+        if not isinstance(label, (str, int)) or isinstance(label, bool):
+            raise TypeCheckError(
+                f"atom labels must be str or int, got {type(label).__name__}"
+            )
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "_hash", hash(("Atom", label)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Atom is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Atom) and self.label == other.label
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def canon_key(self):
+        # ints before strs, then by value; the (0/1, ...) pair keeps the
+        # comparison type-safe.
+        if isinstance(self.label, int):
+            return (_RANK_ATOM, 0, self.label, "")
+        return (_RANK_ATOM, 1, 0, self.label)
+
+    def __repr__(self) -> str:
+        return f"Atom({self.label!r})"
+
+    def __str__(self) -> str:
+        return str(self.label)
+
+
+class Tup(Value):
+    """A positional tuple ``[X1, ..., Xn]`` with n >= 1.
+
+    Coordinates are identified by position (the paper keeps BK/FAD's
+    named attributes out of the core model; see :class:`NamedTup` for the
+    BK variant).
+    """
+
+    __slots__ = ("items", "_hash")
+
+    def __init__(self, items: Iterable[Value]):
+        items = tuple(items)
+        if not items:
+            raise TypeCheckError("tuples must have at least one coordinate")
+        for item in items:
+            if not isinstance(item, Value):
+                raise TypeCheckError(
+                    f"tuple coordinate must be a Value, got {type(item).__name__}"
+                )
+        object.__setattr__(self, "items", items)
+        object.__setattr__(self, "_hash", hash(("Tup", items)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Tup is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Tup) and self.items == other.items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int) -> Value:
+        return self.items[index]
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self.items)
+
+    def canon_key(self):
+        return (_RANK_TUP, len(self.items), tuple(x.canon_key() for x in self.items))
+
+    def __repr__(self) -> str:
+        return f"Tup({list(self.items)!r})"
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(str(x) for x in self.items) + "]"
+
+
+class SetVal(Value):
+    """A finite set ``{X1, ..., Xn}`` of values (possibly heterogeneous).
+
+    This is the construct the whole paper revolves around: nothing here
+    requires the members to share a type.
+    """
+
+    __slots__ = ("items", "_hash")
+
+    def __init__(self, items: Iterable[Value] = ()):
+        items = frozenset(items)
+        for item in items:
+            if not isinstance(item, Value):
+                raise TypeCheckError(
+                    f"set member must be a Value, got {type(item).__name__}"
+                )
+        object.__setattr__(self, "items", items)
+        object.__setattr__(self, "_hash", hash(("SetVal", items)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SetVal is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SetVal) and self.items == other.items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __contains__(self, value: Value) -> bool:
+        return value in self.items
+
+    def __iter__(self) -> Iterator[Value]:
+        """Iterate members in canonical order (deterministic)."""
+        return iter(sorted(self.items, key=lambda v: v.canon_key()))
+
+    def canon_key(self):
+        member_keys = sorted(x.canon_key() for x in self.items)
+        return (_RANK_SET, len(self.items), tuple(member_keys))
+
+    def __repr__(self) -> str:
+        return f"SetVal({sorted(self.items, key=lambda v: v.canon_key())!r})"
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(x) for x in self) + "}"
+
+
+class Bottom(Value):
+    """BK's least object ⊥ (matches anything during BK instantiation)."""
+
+    __slots__ = ("_hash",)
+
+    def __init__(self):
+        object.__setattr__(self, "_hash", hash("Bottom"))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Bottom is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Bottom)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def canon_key(self):
+        return (_RANK_BOTTOM,)
+
+    def __repr__(self) -> str:
+        return "BOTTOM"
+
+    def __str__(self) -> str:
+        return "⊥"
+
+
+class Top(Value):
+    """BK's greatest object ⊤ (the inconsistent object)."""
+
+    __slots__ = ("_hash",)
+
+    def __init__(self):
+        object.__setattr__(self, "_hash", hash("Top"))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Top is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Top)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def canon_key(self):
+        return (_RANK_TOP,)
+
+    def __repr__(self) -> str:
+        return "TOP"
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+#: Shared singleton instances (BK code should use these).
+BOTTOM = Bottom()
+TOP = Top()
+
+
+class NamedTup(Value):
+    """A named-attribute tuple ``[A: x, B: y]`` as used by BK.
+
+    Attribute names are strings; the attribute *set* is part of the
+    value's identity (BK's sub-object order compares tuples with
+    different attribute sets).
+    """
+
+    __slots__ = ("fields", "_hash")
+
+    def __init__(self, fields: dict):
+        frozen = tuple(sorted(fields.items()))
+        for name, item in frozen:
+            if not isinstance(name, str):
+                raise TypeCheckError("attribute names must be strings")
+            if not isinstance(item, Value):
+                raise TypeCheckError(
+                    f"attribute value must be a Value, got {type(item).__name__}"
+                )
+        object.__setattr__(self, "fields", frozen)
+        object.__setattr__(self, "_hash", hash(("NamedTup", frozen)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("NamedTup is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, NamedTup) and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def attributes(self) -> tuple:
+        """The sorted attribute names."""
+        return tuple(name for name, _ in self.fields)
+
+    def get(self, name: str) -> Value | None:
+        """The value of attribute *name*, or ``None`` if absent."""
+        for field_name, value in self.fields:
+            if field_name == name:
+                return value
+        return None
+
+    def as_dict(self) -> dict:
+        return dict(self.fields)
+
+    def canon_key(self):
+        return (
+            _RANK_NAMED,
+            len(self.fields),
+            tuple((name, value.canon_key()) for name, value in self.fields),
+        )
+
+    def __repr__(self) -> str:
+        return f"NamedTup({dict(self.fields)!r})"
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{name}: {value}" for name, value in self.fields)
+        return f"[{inner}]"
+
+
+def obj(value) -> Value:
+    """Coerce a plain Python value into a member of **Obj**.
+
+    * ``str`` / ``int`` -> :class:`Atom`
+    * ``tuple`` / ``list`` -> :class:`Tup` (recursively)
+    * ``set`` / ``frozenset`` -> :class:`SetVal` (recursively)
+    * ``dict`` -> :class:`NamedTup` (recursively; BK only)
+    * a :class:`Value` is returned unchanged.
+
+    >>> obj({("a", 1), ("b", 2)}) == SetVal(
+    ...     [Tup([Atom("a"), Atom(1)]), Tup([Atom("b"), Atom(2)])])
+    True
+    """
+    if isinstance(value, Value):
+        return value
+    if isinstance(value, bool):
+        raise TypeCheckError("booleans are not objects; use atoms")
+    if isinstance(value, (str, int)):
+        return Atom(value)
+    if isinstance(value, (tuple, list)):
+        return Tup([obj(x) for x in value])
+    if isinstance(value, (set, frozenset)):
+        return SetVal([obj(x) for x in value])
+    if isinstance(value, dict):
+        return NamedTup({name: obj(x) for name, x in value.items()})
+    raise TypeCheckError(f"cannot coerce {type(value).__name__} into an object")
+
+
+def canon_key(value: Value):
+    """Module-level alias for ``value.canon_key()`` (usable as sort key)."""
+    return value.canon_key()
+
+
+def canonical_sort(values: Iterable[Value]) -> list:
+    """Sort *values* into the canonical total order."""
+    return sorted(values, key=canon_key)
+
+
+def adom(value: Value) -> frozenset:
+    """The atomic (active) domain of an object: the atoms used to build it.
+
+    ⊥ and ⊤ contribute no atoms.
+    """
+    atoms: set = set()
+    _collect_atoms(value, atoms)
+    return frozenset(atoms)
+
+
+def _collect_atoms(value: Value, out: set) -> None:
+    if isinstance(value, Atom):
+        out.add(value)
+    elif isinstance(value, Tup):
+        for item in value.items:
+            _collect_atoms(item, out)
+    elif isinstance(value, SetVal):
+        for item in value.items:
+            _collect_atoms(item, out)
+    elif isinstance(value, NamedTup):
+        for _, item in value.fields:
+            _collect_atoms(item, out)
+    elif isinstance(value, (Bottom, Top)):
+        pass
+    else:  # pragma: no cover - defensive
+        raise TypeCheckError(f"not an object: {value!r}")
+
+
+def set_height(value: Value) -> int:
+    """The nesting height of *set* constructors in the object.
+
+    Atoms and ⊥/⊤ have height 0; a tuple has the max height of its
+    coordinates; a set has 1 + the max height of its members (1 for the
+    empty set).  This is the quantity that drives the hyper-exponential
+    hierarchy of Section 2.
+    """
+    if isinstance(value, (Atom, Bottom, Top)):
+        return 0
+    if isinstance(value, Tup):
+        return max(set_height(item) for item in value.items)
+    if isinstance(value, NamedTup):
+        if not value.fields:
+            return 0
+        return max(set_height(item) for _, item in value.fields)
+    if isinstance(value, SetVal):
+        if not value.items:
+            return 1
+        return 1 + max(set_height(item) for item in value.items)
+    raise TypeCheckError(f"not an object: {value!r}")
+
+
+def value_size(value: Value) -> int:
+    """The number of constructor nodes in the object (a length measure)."""
+    if isinstance(value, (Atom, Bottom, Top)):
+        return 1
+    if isinstance(value, Tup):
+        return 1 + sum(value_size(item) for item in value.items)
+    if isinstance(value, NamedTup):
+        return 1 + sum(value_size(item) for _, item in value.fields)
+    if isinstance(value, SetVal):
+        return 1 + sum(value_size(item) for item in value.items)
+    raise TypeCheckError(f"not an object: {value!r}")
+
+
+def contains_any(value: Value, atoms: frozenset | set) -> bool:
+    """Does the object mention any atom from *atoms*?
+
+    Used by the invention semantics of Section 6 to delete output objects
+    containing invented values.
+    """
+    if isinstance(value, Atom):
+        return value in atoms
+    if isinstance(value, Tup):
+        return any(contains_any(item, atoms) for item in value.items)
+    if isinstance(value, NamedTup):
+        return any(contains_any(item, atoms) for _, item in value.fields)
+    if isinstance(value, SetVal):
+        return any(contains_any(item, atoms) for item in value.items)
+    return False

@@ -1,0 +1,23 @@
+"""Instance and workload generators.  See DESIGN.md Section 2.7."""
+
+from .generators import (
+    atoms,
+    binary_schema,
+    chain_for_bk,
+    chain_graph,
+    cycle_graph,
+    join_pair,
+    random_binary_pairs,
+    random_graph,
+    suite_binary,
+    suite_unary,
+    two_binary_schema,
+    unary_instance,
+    unary_schema,
+)
+
+__all__ = [
+    "atoms", "binary_schema", "chain_for_bk", "chain_graph", "cycle_graph",
+    "join_pair", "random_binary_pairs", "random_graph", "suite_binary",
+    "suite_unary", "two_binary_schema", "unary_instance", "unary_schema",
+]

@@ -1,0 +1,146 @@
+"""Workload generators: seeded random instances for tests and benches.
+
+Sizes stay deliberately small — every language here pays at least one
+exponential somewhere (that is the paper's subject matter), and several
+pay ``|adom|!`` in the all-orderings checks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from ..model.schema import Database, Schema
+from ..model.types import parse_type
+from ..model.values import Atom, SetVal, Tup
+
+
+def unary_schema(name: str = "R") -> Schema:
+    return Schema({name: parse_type("U")})
+
+
+def binary_schema(name: str = "R") -> Schema:
+    return Schema({name: parse_type("[U, U]")})
+
+
+def two_binary_schema(left: str = "R", right: str = "S") -> Schema:
+    return Schema({left: parse_type("[U, U]"), right: parse_type("[U, U]")})
+
+
+def atoms(count: int, prefix: str = "a") -> list:
+    """``count`` distinct atoms ``a0, a1, ...``."""
+    return [Atom(f"{prefix}{i}") for i in range(count)]
+
+
+def unary_instance(size: int, name: str = "R", prefix: str = "a") -> Database:
+    """A unary relation with *size* distinct atoms."""
+    return Database(unary_schema(name), {name: set(atoms(size, prefix))})
+
+
+def random_graph(
+    nodes: int,
+    edges: int,
+    seed: int = 0,
+    name: str = "R",
+) -> Database:
+    """A random directed graph as a binary relation (no self-loops)."""
+    rng = random.Random(seed)
+    node_atoms = atoms(nodes)
+    possible = [
+        (a, b) for a in node_atoms for b in node_atoms if a != b
+    ]
+    rng.shuffle(possible)
+    chosen = possible[: min(edges, len(possible))]
+    rows = {Tup([a, b]) for a, b in chosen}
+    return Database(binary_schema(name), {name: SetVal(rows)})
+
+
+def chain_graph(length: int, name: str = "R") -> Database:
+    """The path ``a0 -> a1 -> ... -> a_length``."""
+    node_atoms = atoms(length + 1)
+    rows = {
+        Tup([node_atoms[i], node_atoms[i + 1]]) for i in range(length)
+    }
+    return Database(binary_schema(name), {name: SetVal(rows)})
+
+
+def cycle_graph(length: int, name: str = "R") -> Database:
+    """A directed cycle of the given length."""
+    node_atoms = atoms(length)
+    rows = {
+        Tup([node_atoms[i], node_atoms[(i + 1) % length]])
+        for i in range(length)
+    }
+    return Database(binary_schema(name), {name: SetVal(rows)})
+
+
+def random_binary_pairs(
+    size: int,
+    atom_pool: int,
+    seed: int = 0,
+    name: str = "R",
+    allow_equal: bool = True,
+) -> Database:
+    """*size* random pairs over a pool of *atom_pool* atoms."""
+    rng = random.Random(seed)
+    pool = atoms(atom_pool)
+    rows = set()
+    guard = 0
+    while len(rows) < size and guard < size * 50:
+        guard += 1
+        a, b = rng.choice(pool), rng.choice(pool)
+        if not allow_equal and a == b:
+            continue
+        rows.add(Tup([a, b]))
+    return Database(binary_schema(name), {name: SetVal(rows)})
+
+
+def join_pair(
+    left_size: int,
+    right_size: int,
+    overlap: int,
+    seed: int = 0,
+) -> Database:
+    """Two binary relations sharing *overlap* join keys on B."""
+    rng = random.Random(seed)
+    a_pool = atoms(left_size + 2, "l")
+    b_pool = atoms(max(overlap, 1) + 3, "b")
+    c_pool = atoms(right_size + 2, "r")
+    left_rows = {
+        Tup([rng.choice(a_pool), b_pool[i % len(b_pool)]])
+        for i in range(left_size)
+    }
+    right_rows = {
+        Tup([b_pool[i % max(overlap, 1)], rng.choice(c_pool)])
+        for i in range(right_size)
+    }
+    return Database(
+        two_binary_schema(), {"R": SetVal(left_rows), "S": SetVal(right_rows)}
+    )
+
+
+def chain_for_bk(length: int) -> dict:
+    """Example 5.4's chain ``$ -> 1 -> 2 -> ... -> #`` as BK data."""
+    links: list = []
+    previous = "$"
+    for i in range(1, length + 1):
+        links.append({"A": previous, "B": i})
+        previous = i
+    links.append({"A": previous, "B": "#"})
+    return {"S": links}
+
+
+def suite_unary(sizes: Iterable[int] = (0, 1, 2, 3, 4)) -> list:
+    """A small bank of unary databases (the default agreement bank)."""
+    return [unary_instance(size) for size in sizes]
+
+
+def suite_binary(seed: int = 7) -> list:
+    """A small bank of binary databases."""
+    return [
+        random_binary_pairs(0, 2, seed),
+        random_binary_pairs(2, 3, seed + 1),
+        random_binary_pairs(3, 3, seed + 2),
+        chain_graph(3),
+        cycle_graph(3),
+    ]

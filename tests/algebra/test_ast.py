@@ -1,0 +1,130 @@
+"""Unit tests for the algebra AST and program validation."""
+
+import pytest
+
+from repro.algebra.ast import (
+    Assign,
+    Const,
+    Diff,
+    Eq,
+    EqConst,
+    Member,
+    Nest,
+    Powerset,
+    Product,
+    Program,
+    Project,
+    Select,
+    Undefine,
+    Union,
+    Var,
+    While,
+)
+from repro.errors import TypeCheckError
+from repro.model.values import Atom, SetVal
+
+
+class TestNodes:
+    def test_var_name(self):
+        with pytest.raises(TypeCheckError):
+            Var("")
+
+    def test_const_must_be_instance(self):
+        Const(SetVal([Atom(1)]))
+        Const({1, 2})  # coerced
+        with pytest.raises(TypeCheckError):
+            Const(Atom(1))  # an object, not an instance
+
+    def test_project_cols(self):
+        with pytest.raises(TypeCheckError):
+            Project(Var("R"), [])
+        with pytest.raises(TypeCheckError):
+            Project(Var("R"), [0])
+
+    def test_select_conditions(self):
+        Select(Var("R"), Eq(1, 2))
+        Select(Var("R"), [Eq(1, 2), EqConst(1, 5)])
+        with pytest.raises(TypeCheckError):
+            Select(Var("R"), ["bogus"])
+
+    def test_member_tuple_lhs(self):
+        Member((1, 2), 3)
+        with pytest.raises(TypeCheckError):
+            Member((1,), 3)  # tuple lhs needs >= 2 cols
+
+    def test_nest_normalises_cols(self):
+        assert Nest(Var("R"), [3, 1, 3]).cols == (1, 3)
+
+    def test_operand_type_checked(self):
+        with pytest.raises(TypeCheckError):
+            Union(Var("R"), "not an expr")
+        with pytest.raises(TypeCheckError):
+            Undefine("nope")
+
+
+class TestWhile:
+    def test_target_not_assigned_in_body(self):
+        with pytest.raises(TypeCheckError):
+            While("z", "x", "y", [Assign("z", Var("x"))])
+
+    def test_nested_target_conflict(self):
+        with pytest.raises(TypeCheckError):
+            While("z", "x", "y", [While("z", "x", "y", [])])
+
+
+class TestProgramValidation:
+    def test_use_before_assignment(self):
+        with pytest.raises(TypeCheckError):
+            Program([Assign("a", Var("missing"))])
+
+    def test_inputs_are_preassigned(self):
+        Program([Assign("ANS", Var("R"))], input_names=["R"])
+
+    def test_inputs_not_reassignable(self):
+        with pytest.raises(TypeCheckError):
+            Program(
+                [Assign("R", Const(set())), Assign("ANS", Var("R"))],
+                input_names=["R"],
+            )
+
+    def test_answer_must_be_assigned(self):
+        with pytest.raises(TypeCheckError):
+            Program([Assign("a", Const(set()))])
+
+    def test_while_vars_must_predate_loop(self):
+        with pytest.raises(TypeCheckError):
+            Program(
+                [
+                    Assign("x", Const(set())),
+                    While("z", "x", "y", [Assign("y", Const(set()))]),
+                    Assign("ANS", Var("z")),
+                ]
+            )
+
+    def test_valid_while_program(self):
+        program = Program(
+            [
+                Assign("x", Var("R")),
+                Assign("y", Var("R")),
+                While("z", "x", "y", [Assign("y", Diff(Var("y"), Var("y")))]),
+                Assign("ANS", Var("z")),
+            ],
+            input_names=["R"],
+        )
+        assert program.ans_var == "ANS"
+
+    def test_body_definitions_visible_after_loop(self):
+        Program(
+            [
+                Assign("x", Var("R")),
+                Assign("y", Var("R")),
+                While("z", "x", "y", [Assign("w", Var("x")),
+                                      Assign("y", Diff(Var("y"), Var("y")))]),
+                Assign("ANS", Var("w")),
+            ],
+            input_names=["R"],
+        )
+
+    def test_repr_lists_statements(self):
+        program = Program([Assign("ANS", Var("R"))], input_names=["R"])
+        assert "ANS := R" in repr(program)

@@ -1,0 +1,296 @@
+"""Unit tests for the algebra evaluator (relaxed dynamic semantics)."""
+
+import pytest
+
+from repro.algebra.ast import (
+    Assign,
+    Collapse,
+    Const,
+    Diff,
+    EncodeInput,
+    Eq,
+    EqConst,
+    Expand,
+    Intersect,
+    Member,
+    Nest,
+    Powerset,
+    Product,
+    Program,
+    Project,
+    Select,
+    Undefine,
+    Union,
+    Unnest,
+    Var,
+    While,
+)
+from repro.algebra.eval import coordinate, counter_sequence_empty, eval_expr, run_program
+from repro.budget import Budget
+from repro.errors import UNDEFINED
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal, Tup
+
+
+def ev(expr, **vars):
+    env = dict(vars)
+    return eval_expr(expr, env, Budget())
+
+
+def rel(*rows):
+    from repro.model.values import obj
+
+    return SetVal([obj(r) for r in rows])
+
+
+class TestSetOperators:
+    def test_union(self):
+        assert ev(Union(Var("a"), Var("b")), a=rel(1), b=rel(2)) == rel(1, 2)
+
+    def test_heterogeneous_union(self):
+        mixed = ev(Union(Var("a"), Var("b")), a=rel(1), b=rel((1, 2)))
+        assert len(mixed) == 2  # an untyped instance
+
+    def test_diff(self):
+        assert ev(Diff(Var("a"), Var("b")), a=rel(1, 2), b=rel(2)) == rel(1)
+
+    def test_intersect(self):
+        assert ev(Intersect(Var("a"), Var("b")), a=rel(1, 2), b=rel(2, 3)) == rel(2)
+
+
+class TestProduct:
+    def test_pairs_of_atoms(self):
+        out = ev(Product(Var("a"), Var("b")), a=rel(1), b=rel(2))
+        assert out == rel((1, 2))
+
+    def test_flattens_coordinates(self):
+        out = ev(Product(Var("a"), Var("b")), a=rel((1, 2)), b=rel((3, 4)))
+        assert out == rel((1, 2, 3, 4))
+
+    def test_mixed_shapes(self):
+        out = ev(Product(Var("a"), Var("b")), a=rel(1), b=rel((2, 3)))
+        assert out == rel((1, 2, 3))
+
+    def test_empty(self):
+        assert ev(Product(Var("a"), Var("b")), a=rel(), b=rel(1)) == rel()
+
+
+class TestSelect:
+    def test_eq_cols(self):
+        out = ev(Select(Var("r"), Eq(1, 2)), r=rel((1, 1), (1, 2)))
+        assert out == rel((1, 1))
+
+    def test_eq_const(self):
+        out = ev(Select(Var("r"), EqConst(2, 5)), r=rel((1, 5), (1, 6)))
+        assert out == rel((1, 5))
+
+    def test_conjunction(self):
+        out = ev(
+            Select(Var("r"), [Eq(1, 2), EqConst(1, 3)]),
+            r=rel((3, 3), (3, 4), (2, 2)),
+        )
+        assert out == rel((3, 3))
+
+    def test_membership(self):
+        row = Tup([Atom(1), SetVal([Atom(1), Atom(2)])])
+        out = ev(Select(Var("r"), Member(1, 2)), r=SetVal([row]))
+        assert out == SetVal([row])
+
+    def test_tuple_membership(self):
+        container = SetVal([Tup([Atom(1), Atom(2)])])
+        row = Tup([Atom(1), Atom(2), container])
+        out = ev(Select(Var("r"), Member((1, 2), 3)), r=SetVal([row]))
+        assert out == SetVal([row])
+
+    def test_wrong_shape_ignored(self):
+        # Relaxed semantics: members without the coordinate are dropped.
+        out = ev(Select(Var("r"), Eq(1, 2)), r=rel(7, (1, 1)))
+        assert out == rel((1, 1))
+
+    def test_bare_member_coordinate_one(self):
+        out = ev(Select(Var("r"), EqConst(1, 7)), r=rel(7, 8))
+        assert out == rel(7)
+
+
+class TestProject:
+    def test_single_column_gives_bare_values(self):
+        assert ev(Project(Var("r"), [1]), r=rel((1, 2), (3, 4))) == rel(1, 3)
+
+    def test_multi_column(self):
+        assert ev(Project(Var("r"), [2, 1]), r=rel((1, 2))) == rel((2, 1))
+
+    def test_duplicate_columns(self):
+        assert ev(Project(Var("r"), [1, 1]), r=rel(5)) == rel((5, 5))
+
+    def test_out_of_range_ignored(self):
+        assert ev(Project(Var("r"), [3]), r=rel((1, 2), (1, 2, 3))) == rel(3)
+
+
+class TestNestUnnest:
+    def test_nest_groups(self):
+        out = ev(Nest(Var("r"), [2]), r=rel((1, 2), (1, 3), (4, 5)))
+        assert out == SetVal(
+            [
+                Tup([Atom(1), SetVal([Atom(2), Atom(3)])]),
+                Tup([Atom(4), SetVal([Atom(5)])]),
+            ]
+        )
+
+    def test_nest_everything_collapses_to_set(self):
+        out = ev(Nest(Var("r"), [1, 2]), r=rel((1, 2), (3, 4)))
+        assert out == SetVal([SetVal([Tup([Atom(1), Atom(2)]), Tup([Atom(3), Atom(4)])])])
+
+    def test_unnest_inverts_nest(self):
+        original = rel((1, 2), (1, 3), (4, 5))
+        nested = ev(Nest(Var("r"), [2]), r=original)
+        assert ev(Unnest(Var("n"), 2), n=nested) == original
+
+    def test_unnest_bare_sets_flattens(self):
+        out = ev(Unnest(Var("r"), 1), r=SetVal([SetVal([Atom(1), Atom(2)])]))
+        assert out == rel(1, 2)
+
+    def test_unnest_non_set_ignored(self):
+        out = ev(Unnest(Var("r"), 2), r=rel((1, 2)))
+        assert out == rel()
+
+
+class TestVerticalOperators:
+    def test_powerset(self):
+        out = ev(Powerset(Var("r")), r=rel(1, 2))
+        assert len(out) == 4
+        assert SetVal([]) in out
+        assert SetVal([Atom(1), Atom(2)]) in out
+
+    def test_collapse(self):
+        out = ev(Collapse(Var("r")), r=rel(1, 2))
+        assert out == SetVal([SetVal([Atom(1), Atom(2)])])
+
+    def test_collapse_empty_gives_singleton_empty_set(self):
+        assert ev(Collapse(Var("r")), r=rel()) == SetVal([SetVal([])])
+
+    def test_expand(self):
+        out = ev(Expand(Var("r")), r=SetVal([SetVal([Atom(1)]), SetVal([Atom(2)])]))
+        assert out == rel(1, 2)
+
+    def test_expand_ignores_non_sets(self):
+        out = ev(Expand(Var("r")), r=SetVal([Atom(1), SetVal([Atom(2)])]))
+        assert out == rel(2)
+
+    def test_collapse_expand_inverse(self):
+        original = rel(1, (2, 3))
+        assert ev(Expand(Collapse(Var("r"))), r=original) == original
+
+
+class TestUndefine:
+    def test_nonempty_passes_through(self):
+        assert ev(Undefine(Var("r")), r=rel(1)) == rel(1)
+
+    def test_empty_gives_undefined(self):
+        assert ev(Undefine(Var("r")), r=rel()) is UNDEFINED
+
+
+class TestPrograms:
+    def test_simple_program(self, binary_db):
+        program = Program(
+            [Assign("ANS", Project(Var("R"), [1]))], input_names=["R"]
+        )
+        assert run_program(program, binary_db) == rel(1, 2, 3)
+
+    def test_undefined_propagates(self, binary_db):
+        program = Program(
+            [
+                Assign("empty", Diff(Var("R"), Var("R"))),
+                Assign("mid", Undefine(Var("empty"))),
+                Assign("ANS", Var("R")),
+            ],
+            input_names=["R"],
+        )
+        assert run_program(program, binary_db) is UNDEFINED
+
+    def test_while_loop_runs(self, binary_db):
+        # Drain R one "layer" at a time (delta trick).
+        program = Program(
+            [
+                Assign("acc", Var("R")),
+                Assign("delta", Var("R")),
+                While(
+                    "OUT",
+                    "acc",
+                    "delta",
+                    [Assign("delta", Diff(Var("delta"), Var("delta")))],
+                ),
+                Assign("ANS", Var("OUT")),
+            ],
+            input_names=["R"],
+        )
+        assert run_program(program, binary_db) == binary_db["R"]
+
+    def test_nonterminating_while_is_undefined(self, binary_db):
+        program = Program(
+            [
+                Assign("x", Var("R")),
+                Assign("y", Var("R")),
+                While("OUT", "x", "y", [Assign("x", Var("x"))]),
+                Assign("ANS", Var("OUT")),
+            ],
+            input_names=["R"],
+        )
+        assert run_program(program, binary_db, Budget(iterations=100)) is UNDEFINED
+
+    def test_zero_iteration_while(self, binary_db):
+        program = Program(
+            [
+                Assign("x", Var("R")),
+                Assign("y", Diff(Var("R"), Var("R"))),
+                While("OUT", "x", "y", [Assign("x", Diff(Var("x"), Var("x")))]),
+                Assign("ANS", Var("OUT")),
+            ],
+            input_names=["R"],
+        )
+        # Condition empty at entry: body never runs; OUT = initial x.
+        assert run_program(program, binary_db) == binary_db["R"]
+
+
+class TestEncodeInput:
+    def test_positions_are_von_neumann(self, unary_db):
+        program = Program(
+            [Assign("ANS", EncodeInput(["R"]))], input_names=["R"]
+        )
+        out = run_program(program, unary_db)
+        positions = {row.items[0] for row in out.items}
+        expected = set(counter_sequence_empty(len(out)))
+        assert positions == expected
+
+    def test_symbols_cover_listing(self, unary_db):
+        program = Program(
+            [Assign("ANS", EncodeInput(["R"]))], input_names=["R"]
+        )
+        out = run_program(program, unary_db)
+        symbols = {row.items[1] for row in out.items}
+        assert Atom("(") in symbols and Atom(")") in symbols
+        assert {Atom(1), Atom(2), Atom(3)} <= symbols
+
+    def test_atom_order_override(self, unary_db):
+        program = Program(
+            [Assign("ANS", EncodeInput(["R"]))], input_names=["R"]
+        )
+        default = run_program(program, unary_db)
+        reordered = run_program(
+            program, unary_db, atom_order=[Atom(3), Atom(2), Atom(1)]
+        )
+        assert default != reordered  # the listing moved ...
+        assert {r.items[1] for r in default.items} == {
+            r.items[1] for r in reordered.items
+        }  # ... but the symbols are the same
+
+
+class TestCoordinateHelper:
+    def test_tuple_coordinates(self):
+        row = Tup([Atom(1), Atom(2)])
+        assert coordinate(row, 1) == Atom(1)
+        assert coordinate(row, 3) is None
+
+    def test_bare_member(self):
+        assert coordinate(Atom(5), 1) == Atom(5)
+        assert coordinate(Atom(5), 2) is None

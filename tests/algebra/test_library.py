@@ -1,0 +1,146 @@
+"""Unit tests for the stock algebra queries."""
+
+import pytest
+
+from repro.algebra.ast import Powerset, Program, Assign, Var
+from repro.algebra.eval import run_program
+from repro.algebra.library import (
+    active_domain,
+    counter_prefix,
+    heterogeneous_union,
+    natural_join,
+    nested_while_tc_pairs,
+    powerset_via_while,
+    transitive_closure,
+    transitive_closure_powerset,
+    undefine_if_empty,
+)
+from repro.algebra.typing import typecheck
+from repro.budget import Budget
+from repro.errors import TypeCheckError, UNDEFINED
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal, Tup
+from repro.workloads import chain_graph, cycle_graph, random_binary_pairs
+
+
+def _unlimited():
+    return Budget(steps=None, objects=None, iterations=None)
+
+
+class TestJoinAndBasics:
+    def test_natural_join(self):
+        schema = Schema({"R": parse_type("[U, U]"), "S": parse_type("[U, U]")})
+        database = Database(schema, {"R": {(1, 2), (8, 9)}, "S": {(2, 3), (2, 4)}})
+        out = run_program(natural_join(), database)
+        assert out == SetVal(
+            [Tup([Atom(1), Atom(2), Atom(3)]), Tup([Atom(1), Atom(2), Atom(4)])]
+        )
+
+    def test_active_domain(self, binary_db):
+        out = run_program(active_domain(), binary_db)
+        assert out == SetVal([Atom(1), Atom(2), Atom(3)])
+
+    def test_undefine_if_empty(self):
+        schema = Schema({"R": parse_type("U")})
+        empty = Database(schema, {"R": set()})
+        full = Database(schema, {"R": {1}})
+        assert run_program(undefine_if_empty(), empty) is UNDEFINED
+        assert run_program(undefine_if_empty(), full) == SetVal([Atom(1)])
+
+
+class TestTransitiveClosure:
+    def test_chain(self):
+        database = chain_graph(3)
+        out = run_program(transitive_closure(), database)
+        assert len(out) == 6  # all ordered pairs i < j over 4 nodes
+
+    def test_cycle_saturates(self):
+        database = cycle_graph(3)
+        out = run_program(transitive_closure(), database)
+        assert len(out) == 9
+
+    def test_empty(self):
+        schema = Schema({"R": parse_type("[U, U]")})
+        database = Database(schema, {"R": set()})
+        assert run_program(transitive_closure(), database) == SetVal([])
+
+    def test_powerset_variant_agrees(self):
+        for seed in range(3):
+            database = random_binary_pairs(3, 3, seed)
+            via_while = run_program(transitive_closure(), database)
+            via_powerset = run_program(
+                transitive_closure_powerset(), database, _unlimited()
+            )
+            assert via_while == via_powerset
+
+    def test_powerset_variant_is_loop_free(self, binary_db):
+        from repro.algebra.typing import classify
+
+        info = classify(transitive_closure_powerset(), binary_db.schema)
+        assert not info.uses_while and info.uses_powerset
+
+
+class TestPowersetViaWhile:
+    def test_matches_powerset_operator(self):
+        schema = Schema({"R": parse_type("U")})
+        database = Database(schema, {"R": {1, 2, 3}})
+        direct = run_program(
+            Program([Assign("ANS", Powerset(Var("R")))], input_names=["R"]),
+            database,
+        )
+        simulated = run_program(powerset_via_while(), database, _unlimited())
+        assert simulated == direct
+        assert len(simulated) == 8
+
+    def test_empty_input(self):
+        schema = Schema({"R": parse_type("U")})
+        database = Database(schema, {"R": set()})
+        out = run_program(powerset_via_while(), database)
+        assert out == SetVal([SetVal([])])
+
+    def test_no_powerset_operator_used(self):
+        from repro.algebra.typing import classify
+
+        schema = Schema({"R": parse_type("U")})
+        info = classify(powerset_via_while(), schema)
+        assert info.uses_while and not info.uses_powerset
+
+
+class TestCounterPrefix:
+    def test_mints_r_plus_one_indices(self):
+        schema = Schema({"R": parse_type("U")})
+        for size in range(4):
+            database = Database(schema, {"R": set(range(size))})
+            out = run_program(counter_prefix(), database, _unlimited())
+            assert len(out) == size + 1
+
+    def test_indices_are_atom_free(self):
+        from repro.model.values import adom
+
+        schema = Schema({"R": parse_type("U")})
+        database = Database(schema, {"R": {1, 2}})
+        out = run_program(counter_prefix(), database, _unlimited())
+        for index in out.items:
+            assert adom(index) == frozenset()
+
+
+class TestHeterogeneousUnion:
+    def test_runs_in_relaxed_mode(self):
+        schema = Schema({"R": parse_type("U"), "S": parse_type("[U, U]")})
+        database = Database(schema, {"R": {1}, "S": {(2, 3)}})
+        out = run_program(heterogeneous_union(), database)
+        assert len(out) == 2
+
+    def test_rejected_by_typed_checker(self):
+        schema = Schema({"R": parse_type("U"), "S": parse_type("[U, U]")})
+        with pytest.raises(TypeCheckError):
+            typecheck(heterogeneous_union(), schema, typed_only=True)
+
+
+class TestNestedWhile:
+    def test_computes_symmetric_closure_pairs(self):
+        database = chain_graph(2)
+        out = run_program(nested_while_tc_pairs(), database)
+        # TC ∪ TC⁻¹ of a 2-chain: 3 forward + 3 backward pairs.
+        assert len(out) == 6

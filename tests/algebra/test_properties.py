@@ -1,0 +1,136 @@
+"""Property-based tests: algebraic laws and genericity of the operators.
+
+The relaxed algebra's operators must themselves be generic — applying a
+permutation of U to the operands and to the result commutes.  We verify
+this for every operator over random heterogeneous instances, plus the
+standard algebraic identities the evaluator should satisfy.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.ast import (
+    Collapse,
+    Diff,
+    Eq,
+    Expand,
+    Intersect,
+    Nest,
+    Powerset,
+    Product,
+    Project,
+    Select,
+    Union,
+    Unnest,
+    Var,
+)
+from repro.algebra.eval import eval_expr
+from repro.budget import Budget
+from repro.model.genericity import Permutation
+from repro.model.values import Atom, SetVal, Tup
+
+
+def _atoms():
+    return st.integers(0, 4).map(Atom)
+
+
+def _members():
+    return st.one_of(
+        _atoms(),
+        st.tuples(_atoms(), _atoms()).map(lambda t: Tup(list(t))),
+        st.lists(_atoms(), max_size=2).map(SetVal),
+    )
+
+
+def _instances():
+    return st.lists(_members(), max_size=5).map(SetVal)
+
+
+def _perms():
+    return st.permutations(list(range(5))).map(
+        lambda image: Permutation({Atom(i): Atom(j) for i, j in enumerate(image)})
+    )
+
+
+def ev(expr, **vars):
+    return eval_expr(expr, dict(vars), Budget(objects=None, steps=None))
+
+
+class TestAlgebraicLaws:
+    @given(_instances(), _instances())
+    @settings(max_examples=80)
+    def test_union_commutes(self, a, b):
+        assert ev(Union(Var("a"), Var("b")), a=a, b=b) == ev(
+            Union(Var("b"), Var("a")), a=a, b=b
+        )
+
+    @given(_instances(), _instances(), _instances())
+    @settings(max_examples=60)
+    def test_union_associates(self, a, b, c):
+        left = ev(Union(Union(Var("a"), Var("b")), Var("c")), a=a, b=b, c=c)
+        right = ev(Union(Var("a"), Union(Var("b"), Var("c"))), a=a, b=b, c=c)
+        assert left == right
+
+    @given(_instances(), _instances())
+    @settings(max_examples=80)
+    def test_diff_intersect_complement(self, a, b):
+        diff = ev(Diff(Var("a"), Var("b")), a=a, b=b)
+        inter = ev(Intersect(Var("a"), Var("b")), a=a, b=b)
+        assert ev(Union(Var("d"), Var("i")), d=diff, i=inter) == a
+
+    @given(_instances())
+    @settings(max_examples=80)
+    def test_collapse_expand_inverse(self, a):
+        assert ev(Expand(Collapse(Var("a"))), a=a) == a
+
+    @given(st.lists(st.tuples(_atoms(), _atoms()), max_size=5))
+    @settings(max_examples=80)
+    def test_nest_unnest_inverse_on_relations(self, rows):
+        relation = SetVal([Tup(list(r)) for r in rows])
+        nested = ev(Nest(Var("r"), [2]), r=relation)
+        assert ev(Unnest(Var("n"), 2), n=nested) == relation
+
+    @given(_instances())
+    @settings(max_examples=60)
+    def test_powerset_size(self, a):
+        result = ev(Powerset(Var("a")), a=a)
+        assert len(result) == 2 ** len(a)
+
+    @given(_instances())
+    @settings(max_examples=60)
+    def test_select_true_is_identity_on_right_shapes(self, a):
+        # σ[1=1] keeps exactly the members exposing coordinate 1 — all.
+        assert ev(Select(Var("a"), Eq(1, 1)), a=a) == a
+
+    @given(_instances(), _instances())
+    @settings(max_examples=60)
+    def test_product_size(self, a, b):
+        result = ev(Product(Var("a"), Var("b")), a=a, b=b)
+        # Distinct pairs may collapse only if coordinate tuples equal;
+        # with distinct member pairs they never do.
+        assert len(result) <= len(a) * len(b)
+        if a and b:
+            assert len(result) >= 1
+
+
+class TestOperatorGenericity:
+    @given(_instances(), _instances(), _perms())
+    @settings(max_examples=60)
+    def test_binary_ops_commute_with_permutations(self, a, b, perm):
+        for op in (Union, Diff, Intersect, Product):
+            direct = perm(ev(op(Var("a"), Var("b")), a=a, b=b))
+            permuted = ev(op(Var("a"), Var("b")), a=perm(a), b=perm(b))
+            assert direct == permuted
+
+    @given(_instances(), _perms())
+    @settings(max_examples=60)
+    def test_unary_ops_commute_with_permutations(self, a, perm):
+        for expr in (
+            Powerset(Var("a")),
+            Collapse(Var("a")),
+            Expand(Var("a")),
+            Project(Var("a"), [1]),
+            Select(Var("a"), Eq(1, 1)),
+            Nest(Var("a"), [1]),
+        ):
+            assert perm(ev(expr, a=a)) == ev(expr, a=perm(a))

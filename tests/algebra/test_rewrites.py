@@ -1,0 +1,152 @@
+"""Unit tests for the nested-while collapse (Theorem 4.1(b)(iii))."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.ast import (
+    Assign,
+    Const,
+    Diff,
+    Program,
+    Project,
+    Union,
+    Var,
+    While,
+)
+from repro.algebra.eval import eval_expr, run_program
+from repro.algebra.library import nested_while_tc_pairs, transitive_closure
+from repro.algebra.rewrites import MARK, gate, guard, not_guard, unnest_whiles
+from repro.algebra.typing import classify
+from repro.budget import Budget
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal, Tup
+from repro.workloads import random_binary_pairs
+
+
+def ev(expr, **vars):
+    return eval_expr(expr, dict(vars), Budget())
+
+
+def rel(*labels):
+    return SetVal([Atom(l) for l in labels])
+
+
+class TestGatePrimitives:
+    def test_guard(self):
+        assert ev(guard(Var("e")), e=rel("x")) == SetVal([MARK])
+        assert ev(guard(Var("e")), e=rel()) == SetVal([])
+
+    def test_not_guard(self):
+        assert ev(not_guard(guard(Var("e"))), e=rel()) == SetVal([MARK])
+        assert ev(not_guard(guard(Var("e"))), e=rel("x")) == SetVal([])
+
+    def test_gate_passes_when_open(self):
+        assert ev(gate(Var("e"), guard(Var("g"))), e=rel("a", "b"), g=rel("x")) == rel(
+            "a", "b"
+        )
+
+    def test_gate_blocks_when_closed(self):
+        assert ev(gate(Var("e"), guard(Var("g"))), e=rel("a"), g=rel()) == rel()
+
+    def test_gate_is_arity_agnostic(self):
+        pairs = SetVal([Tup([Atom(1), Atom(2)])])
+        assert ev(gate(Var("e"), guard(Var("g"))), e=pairs, g=rel("x")) == pairs
+
+    def test_gate_of_empty_is_empty(self):
+        assert ev(gate(Var("e"), guard(Var("g"))), e=rel(), g=rel("x")) == rel()
+
+
+class TestUnnestWhiles:
+    def test_flat_program_unchanged_semantically(self, binary_db):
+        program = transitive_closure()
+        flattened = unnest_whiles(program)
+        assert run_program(program, binary_db) == run_program(flattened, binary_db)
+
+    def test_nested_becomes_unnested(self, binary_db):
+        program = nested_while_tc_pairs()
+        assert classify(program, binary_db.schema).while_nesting == 2
+        flattened = unnest_whiles(program)
+        assert classify(flattened, binary_db.schema).while_nesting == 1
+
+    def test_no_powerset_introduced(self, binary_db):
+        flattened = unnest_whiles(nested_while_tc_pairs())
+        assert not classify(flattened, binary_db.schema).uses_powerset
+
+    def test_equivalence_on_nested_program(self):
+        program = nested_while_tc_pairs()
+        flattened = unnest_whiles(program)
+        for seed in range(4):
+            database = random_binary_pairs(3, 4, seed)
+            assert run_program(program, database) == run_program(flattened, database)
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_equivalence_random_graphs(self, seed):
+        program = nested_while_tc_pairs()
+        flattened = unnest_whiles(program)
+        database = random_binary_pairs(4, 5, seed)
+        assert run_program(program, database) == run_program(flattened, database)
+
+    def test_triple_nesting(self):
+        # Build a 3-deep nest by hand; all levels must collapse.
+        inner = While("i2", "x", "y2", [Assign("y2", Diff(Var("y2"), Var("y2")))])
+        middle = While(
+            "i1",
+            "x",
+            "y1",
+            [Assign("y2", Var("x")), inner, Assign("y1", Diff(Var("y1"), Var("y1")))],
+        )
+        program = Program(
+            [
+                Assign("x", Var("R")),
+                Assign("y1", Var("R")),
+                Assign("y0", Var("R")),
+                While(
+                    "out",
+                    "x",
+                    "y0",
+                    [middle, Assign("y0", Diff(Var("y0"), Var("y0")))],
+                ),
+                Assign("ANS", Var("out")),
+            ],
+            input_names=["R"],
+        )
+        schema = Schema({"R": parse_type("U")})
+        database = Database(schema, {"R": {1, 2}})
+        assert classify(program, schema).while_nesting == 3
+        flattened = unnest_whiles(program)
+        assert classify(flattened, schema).while_nesting == 1
+        assert run_program(program, database) == run_program(flattened, database)
+
+    def test_zero_iteration_outer_loop(self):
+        # Outer condition empty at entry: collapse must also skip.
+        program = Program(
+            [
+                Assign("x", Var("R")),
+                Assign("empty", Diff(Var("R"), Var("R"))),
+                Assign("y2", Var("R")),
+                While(
+                    "out",
+                    "x",
+                    "empty",
+                    [
+                        While("z", "x", "y2", [
+                            Assign("y2", Diff(Var("y2"), Var("y2")))
+                        ]),
+                    ],
+                ),
+                Assign("ANS", Var("out")),
+            ],
+            input_names=["R"],
+        )
+        schema = Schema({"R": parse_type("U")})
+        database = Database(schema, {"R": {1}})
+        flattened = unnest_whiles(program)
+        assert run_program(program, database) == run_program(flattened, database)
+
+    def test_idempotent_on_flat(self, binary_db):
+        program = transitive_closure()
+        once = unnest_whiles(program)
+        twice = unnest_whiles(once)
+        assert run_program(once, binary_db) == run_program(twice, binary_db)

@@ -1,0 +1,197 @@
+"""Unit tests for static typing and fragment classification."""
+
+import pytest
+
+from repro.algebra.ast import (
+    Assign,
+    Collapse,
+    Const,
+    Diff,
+    EncodeInput,
+    Eq,
+    EqConst,
+    Expand,
+    Member,
+    Nest,
+    Powerset,
+    Product,
+    Program,
+    Project,
+    Select,
+    Undefine,
+    Union,
+    Unnest,
+    Var,
+    While,
+)
+from repro.algebra.typing import classify, infer_member_type, typecheck
+from repro.errors import TypeCheckError
+from repro.model.schema import Schema
+from repro.model.types import OBJ, SetType, TupleType, U, parse_type
+
+
+def _schema(**preds):
+    return Schema({name: parse_type(text) for name, text in preds.items()})
+
+
+def _program(*statements, inputs=("R",)):
+    return Program(list(statements), input_names=list(inputs))
+
+
+class TestInference:
+    def test_inputs_seed_environment(self):
+        schema = _schema(R="[U, U]")
+        env = typecheck(_program(Assign("ANS", Var("R"))), schema)
+        assert env["ANS"] == parse_type("[U, U]")
+
+    def test_product(self):
+        schema = _schema(R="[U, U]")
+        env = typecheck(
+            _program(Assign("ANS", Product(Var("R"), Var("R")))), schema
+        )
+        assert env["ANS"] == parse_type("[U, U, U, U]")
+
+    def test_project_single_column_is_bare(self):
+        schema = _schema(R="[U, U]")
+        env = typecheck(_program(Assign("ANS", Project(Var("R"), [1]))), schema)
+        assert env["ANS"] == U
+
+    def test_nest(self):
+        schema = _schema(R="[U, U]")
+        env = typecheck(_program(Assign("ANS", Nest(Var("R"), [2]))), schema)
+        assert env["ANS"] == TupleType([U, SetType(U)])
+
+    def test_unnest(self):
+        schema = _schema(R="[U, {U}]")
+        env = typecheck(_program(Assign("ANS", Unnest(Var("R"), 2))), schema)
+        assert env["ANS"] == parse_type("[U, U]")
+
+    def test_powerset_and_collapse(self):
+        schema = _schema(R="U")
+        env = typecheck(
+            _program(
+                Assign("p", Powerset(Var("R"))),
+                Assign("c", Collapse(Var("R"))),
+                Assign("ANS", Expand(Var("c"))),
+            ),
+            schema,
+        )
+        assert env["p"] == SetType(U)
+        assert env["c"] == SetType(U)
+        assert env["ANS"] == U
+
+    def test_heterogeneous_union_widens_to_obj(self):
+        schema = _schema(R="U", S="[U, U]")
+        env = typecheck(
+            _program(Assign("ANS", Union(Var("R"), Var("S"))), inputs=("R", "S")),
+            schema,
+        )
+        assert env["ANS"] == OBJ
+
+
+class TestTypedOnlyDiscipline:
+    def test_homogeneous_passes(self):
+        schema = _schema(R="[U, U]")
+        typecheck(_program(Assign("ANS", Union(Var("R"), Var("R")))), schema,
+                  typed_only=True)
+
+    def test_heterogeneous_union_rejected(self):
+        schema = _schema(R="U", S="[U, U]")
+        with pytest.raises(TypeCheckError):
+            typecheck(
+                _program(Assign("ANS", Union(Var("R"), Var("S"))),
+                         inputs=("R", "S")),
+                schema,
+                typed_only=True,
+            )
+
+    def test_out_of_range_coordinate_rejected(self):
+        schema = _schema(R="[U, U]")
+        with pytest.raises(TypeCheckError):
+            typecheck(
+                _program(Assign("ANS", Project(Var("R"), [5]))),
+                schema,
+                typed_only=True,
+            )
+
+    def test_membership_on_non_set_rejected(self):
+        schema = _schema(R="[U, U]")
+        with pytest.raises(TypeCheckError):
+            typecheck(
+                _program(Assign("ANS", Select(Var("R"), Member(1, 2)))),
+                schema,
+                typed_only=True,
+            )
+
+    def test_encode_input_rejected(self):
+        schema = _schema(R="[U, U]")
+        with pytest.raises(TypeCheckError):
+            typecheck(
+                _program(Assign("ANS", EncodeInput(["R"]))),
+                schema,
+                typed_only=True,
+            )
+
+    def test_obj_input_rejected(self):
+        schema = _schema(R="{Obj}")
+        with pytest.raises(TypeCheckError):
+            typecheck(_program(Assign("ANS", Var("R"))), schema, typed_only=True)
+
+    def test_relaxed_mode_accepts_all_of_the_above(self):
+        schema = _schema(R="[U, U]", S="U")
+        typecheck(
+            _program(
+                Assign("a", Union(Var("R"), Var("S"))),
+                Assign("b", Project(Var("a"), [5])),
+                Assign("ANS", EncodeInput(["R"])),
+                inputs=("R", "S"),
+            ),
+            schema,
+        )
+
+    def test_while_type_stability_enforced(self):
+        schema = _schema(R="U")
+        program = _program(
+            Assign("x", Var("R")),
+            Assign("y", Var("R")),
+            While("z", "x", "y", [
+                Assign("y", Collapse(Var("y"))),  # type changes each pass!
+            ]),
+            Assign("ANS", Var("z")),
+        )
+        with pytest.raises(TypeCheckError):
+            typecheck(program, schema, typed_only=True)
+        # Relaxed inference converges (widening to Obj).
+        env = typecheck(program, schema, typed_only=False)
+        assert env["z"] == OBJ or env["z"] == U  # widened somewhere stable
+
+
+class TestClassification:
+    def test_flat_typed(self, binary_db):
+        program = _program(Assign("ANS", Project(Var("R"), [1])))
+        info = classify(program, binary_db.schema)
+        assert info.fragment == "tsALG"
+        assert not info.uses_while
+
+    def test_while_and_powerset_flags(self, binary_db):
+        from repro.algebra.library import (
+            nested_while_tc_pairs,
+            transitive_closure,
+            transitive_closure_powerset,
+        )
+
+        tc = classify(transitive_closure(), binary_db.schema)
+        assert tc.uses_while and not tc.uses_powerset
+        assert tc.while_nesting == 1
+        assert tc.fragment.endswith("unnested-while−powerset")
+
+        tcp = classify(transitive_closure_powerset(), binary_db.schema)
+        assert tcp.uses_powerset and not tcp.uses_while
+
+        nested = classify(nested_while_tc_pairs(), binary_db.schema)
+        assert nested.while_nesting == 2
+        assert "+while" in nested.fragment
+
+    def test_encode_input_flag(self, binary_db):
+        program = _program(Assign("ANS", EncodeInput(["R"])))
+        assert classify(program, binary_db.schema).uses_encode_input

@@ -1,0 +1,149 @@
+"""Unit tests for the calculus AST."""
+
+import pytest
+
+from repro.calculus.ast import (
+    And,
+    Compare,
+    ConstT,
+    Exists,
+    Forall,
+    In,
+    Not,
+    Or,
+    Pred,
+    Query,
+    TupT,
+    VarT,
+)
+from repro.errors import TypeCheckError
+from repro.model.types import OBJ, SetType, TupleType, U, parse_type
+from repro.model.values import Atom
+
+
+class TestTerms:
+    def test_var_names(self):
+        with pytest.raises(TypeCheckError):
+            VarT("")
+
+    def test_const_coercion(self):
+        assert ConstT(5).value == Atom(5)
+
+    def test_tuple_terms(self):
+        term = TupT([VarT("x"), ConstT(1)])
+        assert term.variables() == {"x"}
+        with pytest.raises(TypeCheckError):
+            TupT([])
+
+    def test_strings_coerce_to_vars_in_formulas(self):
+        formula = Compare("x", "y")
+        assert formula.free_variables() == {"x", "y"}
+
+
+class TestFormulas:
+    def test_free_variables(self):
+        formula = And(
+            Pred("R", TupT([VarT("x"), VarT("y")])),
+            Exists("y", U, Compare(VarT("y"), VarT("z"))),
+        )
+        assert formula.free_variables() == {"x", "y", "z"}
+
+    def test_connective_flattening(self):
+        formula = And(Compare("a", "b"), And(Compare("c", "d"), Compare("e", "f")))
+        assert len(formula.parts) == 3
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(TypeCheckError):
+            And()
+        with pytest.raises(TypeCheckError):
+            Or()
+
+    def test_quantifier_binding(self):
+        formula = Forall("x", U, Compare(VarT("x"), VarT("x")))
+        assert formula.free_variables() == set()
+
+
+class TestQuery:
+    def test_free_types_must_cover(self):
+        with pytest.raises(TypeCheckError):
+            Query(VarT("x"), U, Pred("R", VarT("x")), free_types={})
+
+    def test_no_extra_free_types(self):
+        with pytest.raises(TypeCheckError):
+            Query(
+                VarT("x"),
+                U,
+                Pred("R", VarT("x")),
+                free_types={"x": U, "ghost": U},
+            )
+
+    def test_constants_collected(self):
+        query = Query(
+            ConstT("c"),
+            U,
+            Compare(ConstT("a"), ConstT("b")),
+            free_types={},
+        )
+        assert query.constants() == frozenset({Atom("a"), Atom("b"), Atom("c")})
+
+    def test_is_typed(self):
+        typed = Query(VarT("x"), U, Pred("R", VarT("x")), free_types={"x": U})
+        assert typed.is_typed()
+        untyped = Query(
+            VarT("x"),
+            U,
+            Exists("s", SetType(OBJ), In(VarT("x"), VarT("s"))),
+            free_types={"x": U},
+        )
+        assert not untyped.is_typed()
+
+
+class TestCalcExistentialFragment:
+    def test_positive_existential_obj(self):
+        query = Query(
+            VarT("x"),
+            U,
+            Exists("s", SetType(OBJ), In(VarT("x"), VarT("s"))),
+            free_types={"x": U},
+        )
+        assert query.is_existential_obj()
+
+    def test_universal_obj_excluded(self):
+        query = Query(
+            VarT("x"),
+            U,
+            Forall("s", SetType(OBJ), In(VarT("x"), VarT("s"))),
+            free_types={"x": U},
+        )
+        assert not query.is_existential_obj()
+
+    def test_negated_existential_obj_excluded(self):
+        query = Query(
+            VarT("x"),
+            U,
+            Not(Exists("s", SetType(OBJ), In(VarT("x"), VarT("s")))),
+            free_types={"x": U},
+        )
+        assert not query.is_existential_obj()
+
+    def test_double_negation_restores_polarity(self):
+        query = Query(
+            VarT("x"),
+            U,
+            Not(Not(Exists("s", SetType(OBJ), In(VarT("x"), VarT("s"))))),
+            free_types={"x": U},
+        )
+        assert query.is_existential_obj()
+
+    def test_obj_typed_free_var_excluded(self):
+        query = Query(
+            VarT("s"),
+            SetType(OBJ),
+            In(ConstT(1), VarT("s")),
+            free_types={"s": SetType(OBJ)},
+        )
+        assert not query.is_existential_obj()
+
+    def test_typed_queries_are_trivially_in_fragment(self):
+        query = Query(VarT("x"), U, Pred("R", VarT("x")), free_types={"x": U})
+        assert query.is_existential_obj()

@@ -1,0 +1,163 @@
+"""Unit tests for limited-interpretation calculus evaluation."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.calculus.ast import (
+    And,
+    Compare,
+    ConstT,
+    Exists,
+    Forall,
+    In,
+    Not,
+    Or,
+    Pred,
+    Query,
+    TupT,
+    VarT,
+)
+from repro.calculus.eval import Evaluator, evaluate_query
+from repro.errors import BudgetExceeded
+from repro.model.schema import Database, Schema
+from repro.model.types import OBJ, SetType, TupleType, U, parse_type
+from repro.model.values import Atom, SetVal, Tup
+
+
+def _unary(*labels):
+    return Database(Schema({"R": parse_type("U")}), {"R": set(labels)})
+
+
+def _binary(rows):
+    return Database(Schema({"R": parse_type("[U, U]")}), {"R": rows})
+
+
+class TestAtomsAndConnectives:
+    def test_membership_query(self):
+        query = Query(VarT("x"), U, Pred("R", VarT("x")), {"x": U})
+        assert evaluate_query(query, _unary(1, 2)) == SetVal([Atom(1), Atom(2)])
+
+    def test_negation(self):
+        query = Query(VarT("x"), U, Not(Pred("R", VarT("x"))), {"x": U})
+        # Limited interpretation: x ranges over adom = {1, 2}, both in R.
+        assert evaluate_query(query, _unary(1, 2)) == SetVal([])
+
+    def test_negation_sees_constants(self):
+        query = Query(
+            VarT("x"),
+            U,
+            And(Not(Pred("R", VarT("x"))), Compare(VarT("x"), ConstT("c"))),
+            {"x": U},
+        )
+        # The constant c extends the domain.
+        assert evaluate_query(query, _unary(1)) == SetVal([Atom("c")])
+
+    def test_disjunction(self):
+        query = Query(
+            VarT("x"),
+            U,
+            Or(Compare(VarT("x"), ConstT(1)), Compare(VarT("x"), ConstT(2))),
+            {"x": U},
+        )
+        assert evaluate_query(query, _unary(1, 2, 3)) == SetVal([Atom(1), Atom(2)])
+
+    def test_equality_on_tuples(self):
+        query = Query(
+            TupT([VarT("x"), VarT("y")]),
+            TupleType([U, U]),
+            And(Pred("R", TupT([VarT("x"), VarT("y")])), Compare(VarT("x"), VarT("y"))),
+            {"x": U, "y": U},
+        )
+        out = evaluate_query(query, _binary({(1, 1), (1, 2)}))
+        assert out == SetVal([Tup([Atom(1), Atom(1)])])
+
+
+class TestQuantifiers:
+    def test_exists(self):
+        query = Query(
+            VarT("x"),
+            U,
+            Exists("y", U, Pred("R", TupT([VarT("x"), VarT("y")]))),
+            {"x": U},
+        )
+        assert evaluate_query(query, _binary({(1, 2), (3, 4)})) == SetVal(
+            [Atom(1), Atom(3)]
+        )
+
+    def test_forall(self):
+        # Atoms related to every domain element.
+        query = Query(
+            VarT("x"),
+            U,
+            Forall("y", U, Pred("R", TupT([VarT("x"), VarT("y")]))),
+            {"x": U},
+        )
+        database = _binary({(1, 1), (1, 2), (2, 1)})
+        assert evaluate_query(query, database) == SetVal([Atom(1)])
+
+    def test_set_typed_quantifier(self):
+        # ∃s/{U}: x ∈ s ∧ 1 ∈ s — true for every domain atom.
+        query = Query(
+            VarT("x"),
+            U,
+            Exists("s", SetType(U), And(In(VarT("x"), VarT("s")),
+                                        In(ConstT(1), VarT("s")))),
+            {"x": U},
+        )
+        out = evaluate_query(query, _unary(1, 2))
+        assert out == SetVal([Atom(1), Atom(2)])
+
+    def test_variable_shadowing(self):
+        # Inner ∃x shadows the free x; outer binding must survive.
+        query = Query(
+            VarT("x"),
+            U,
+            And(
+                Pred("R", VarT("x")),
+                Exists("x", U, Compare(VarT("x"), ConstT(1))),
+            ),
+            {"x": U},
+        )
+        assert evaluate_query(query, _unary(1, 2)) == SetVal([Atom(1), Atom(2)])
+
+    def test_membership_on_non_set_is_false(self):
+        query = Query(
+            VarT("x"), U, In(VarT("x"), VarT("x")), {"x": U}
+        )
+        assert evaluate_query(query, _unary(1)) == SetVal([])
+
+
+class TestObjApproximation:
+    def test_obj_bound_controls_domain(self):
+        query = Query(
+            VarT("x"),
+            U,
+            Exists("s", SetType(OBJ), In(VarT("x"), VarT("s"))),
+            {"x": U},
+        )
+        out = evaluate_query(query, _unary(1, 2), obj_bound=40)
+        assert out == SetVal([Atom(1), Atom(2)])
+
+    def test_evaluator_domain_caching(self):
+        query = Query(VarT("x"), U, Pred("R", VarT("x")), {"x": U})
+        evaluator = Evaluator(query, _unary(1))
+        first = evaluator.domain(U)
+        second = evaluator.domain(U)
+        assert first is second
+
+
+class TestBudgets:
+    def test_budget_enforced(self):
+        query = Query(
+            VarT("x"),
+            U,
+            Exists("s", SetType(U), In(VarT("x"), VarT("s"))),
+            {"x": U},
+        )
+        with pytest.raises(BudgetExceeded):
+            evaluate_query(query, _unary(1, 2, 3, 4), budget=Budget(steps=10))
+
+    def test_extension_atoms_extend_domains(self):
+        query = Query(VarT("x"), U, Compare(VarT("x"), VarT("x")), {"x": U})
+        extended = evaluate_query(query, _unary(1), extension_atoms=[Atom("ι0")])
+        assert Atom("ι0") in extended

@@ -1,0 +1,130 @@
+"""Unit tests for the invention semantics (Section 6)."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.calculus.ast import Compare, ConstT, Not, Pred, Query, VarT
+from repro.calculus.invention import (
+    FormulaStages,
+    countable_invention,
+    finite_invention,
+    invented_atoms,
+    lower_stage,
+    no_invention,
+    terminal_invention,
+    upper_stage,
+)
+from repro.errors import EvaluationError, UNDEFINED, is_undefined
+from repro.model.schema import Database, Schema
+from repro.model.types import U, parse_type
+from repro.model.values import Atom, SetVal
+
+
+def _unary(*labels):
+    return Database(Schema({"R": parse_type("U")}), {"R": set(labels)})
+
+
+#: {x | ¬R(x)} — its value grows with every invented atom.
+def _non_r_query():
+    return Query(VarT("x"), U, Not(Pred("R", VarT("x"))), {"x": U})
+
+
+class TestStages:
+    def test_invented_atoms_distinct(self):
+        atoms = invented_atoms(5)
+        assert len(set(atoms)) == 5
+
+    def test_upper_stage_sees_invented(self):
+        query = _non_r_query()
+        upper = upper_stage(query, _unary(1), 2)
+        assert Atom("ι0") in upper and Atom("ι1") in upper
+
+    def test_lower_stage_deletes_invented(self):
+        query = _non_r_query()
+        lower = lower_stage(query, _unary(1), 2)
+        assert lower == SetVal([])
+
+    def test_stage_zero_is_plain_semantics(self):
+        query = _non_r_query()
+        assert upper_stage(query, _unary(1), 0) == no_invention(query, _unary(1))
+
+    def test_collision_guard(self):
+        query = _non_r_query()
+        with pytest.raises(EvaluationError):
+            upper_stage(query, _unary("ι0"), 1)
+
+
+class TestFiniteInvention:
+    def test_union_over_stages(self):
+        query = _non_r_query()
+        # Every stage's lower value is empty here (all invented objects
+        # are deleted, and adom is fully in R).
+        assert finite_invention(query, _unary(1), stages=3) == SetVal([])
+
+    def test_monotone_in_stages(self):
+        class Threshold:
+            """{yes} once at least 2 invented atoms are available."""
+
+            name = "threshold"
+
+            def stage(self, database, atoms, budget):
+                return SetVal([Atom("yes")]) if len(atoms) >= 2 else SetVal([])
+
+        query = Threshold()
+        assert finite_invention(query, _unary(1), stages=1) == SetVal([])
+        assert finite_invention(query, _unary(1), stages=2) == SetVal([Atom("yes")])
+        assert finite_invention(query, _unary(1), stages=5) == SetVal([Atom("yes")])
+
+
+class TestCountableInvention:
+    def test_single_large_stage(self):
+        class CountsStage:
+            name = "counts"
+
+            def stage(self, database, atoms, budget):
+                return SetVal([Atom(len(atoms))])
+
+        assert countable_invention(CountsStage(), _unary(1), stage=7) == SetVal(
+            [Atom(7)]
+        )
+
+
+class TestTerminalInvention:
+    def test_fires_at_least_stage_with_invented_output(self):
+        query = _non_r_query()
+        # Q|^1 already contains ι0 (an invented atom not in R), so the
+        # terminal stage is 1 and the answer is Q|_1 = ∅.
+        stages_seen = []
+        answer = terminal_invention(
+            query, _unary(1), on_stage=lambda i, u: stages_seen.append(i)
+        )
+        assert answer == SetVal([])
+        assert stages_seen == [0, 1]
+
+    def test_no_terminal_stage_is_undefined(self):
+        # R(x) never mentions invented atoms.
+        query = Query(VarT("x"), U, Pred("R", VarT("x")), {"x": U})
+        answer = terminal_invention(query, _unary(1), Budget(stages=5))
+        assert is_undefined(answer)
+
+    def test_custom_staged_query(self):
+        class FiresAtThree:
+            name = "fires-at-3"
+
+            def stage(self, database, atoms, budget):
+                if len(atoms) >= 3:
+                    return SetVal([Atom("answer"), atoms[0]])
+                return SetVal([Atom("too-early")])
+
+        fired = []
+        answer = terminal_invention(
+            FiresAtThree(), _unary(1), on_stage=lambda i, u: fired.append(i)
+        )
+        # Invented atom leaks at stage 3; answer keeps only clean objects.
+        assert answer == SetVal([Atom("answer")])
+        assert fired[-1] == 3
+
+    def test_formula_stages_adapter(self):
+        adapter = FormulaStages(_non_r_query())
+        out = adapter.stage(_unary(1), invented_atoms(1), Budget())
+        assert Atom("ι0") in out

@@ -1,0 +1,128 @@
+"""Unit tests for the stock calculus queries (incl. Example 6.2)."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.calculus.eval import evaluate_query
+from repro.calculus.invention import (
+    countable_invention,
+    finite_invention,
+    upper_stage,
+)
+from repro.calculus.library import (
+    CoHaltingStages,
+    HaltingStages,
+    YES,
+    join_query,
+    membership_query,
+    obj_pair_query,
+    parity_query,
+    projection_query,
+    tc_query,
+)
+from repro.gtm.tm import unary_machines
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal
+from repro.workloads import chain_graph, unary_instance
+
+
+def _unlimited():
+    return Budget(steps=None, objects=None)
+
+
+class TestFirstOrderQueries:
+    def test_membership(self, unary_db):
+        assert evaluate_query(membership_query(), unary_db) == unary_db["R"]
+
+    def test_projection(self, binary_db):
+        out = evaluate_query(projection_query(), binary_db)
+        assert out == SetVal([Atom(1), Atom(2), Atom(3)])
+
+    def test_join(self):
+        schema = Schema({"R": parse_type("[U, U]"), "S": parse_type("[U, U]")})
+        database = Database(schema, {"R": {(1, 2)}, "S": {(2, 3), (4, 5)}})
+        out = evaluate_query(join_query(), database)
+        assert len(out) == 1
+
+
+class TestParity:
+    @pytest.mark.parametrize("size,expected", [(0, True), (1, False), (2, True), (3, False)])
+    def test_parity(self, size, expected):
+        out = evaluate_query(parity_query(), unary_instance(size), budget=_unlimited())
+        assert (out == SetVal([YES])) == expected
+
+    def test_parity_is_typed(self):
+        assert parity_query().is_typed()
+
+
+class TestTransitiveClosure:
+    def test_chain(self):
+        out = evaluate_query(tc_query(), chain_graph(2), budget=_unlimited())
+        assert len(out) == 3
+
+    def test_agrees_with_algebra(self):
+        from repro.algebra.eval import run_program
+        from repro.algebra.library import transitive_closure
+
+        database = chain_graph(2)
+        assert evaluate_query(tc_query(), database, budget=_unlimited()) == run_program(
+            transitive_closure(), database
+        )
+
+
+class TestObjQuery:
+    def test_reduces_to_membership(self, unary_db):
+        out = evaluate_query(obj_pair_query(), unary_db, obj_bound=30)
+        assert out == unary_db["R"]
+
+    def test_fragment(self):
+        query = obj_pair_query()
+        assert not query.is_typed()
+        assert query.is_existential_obj()
+
+
+class TestExample62:
+    """The halting query and its complement, at bounded stages."""
+
+    def test_halting_machine_eventually_visible(self):
+        machines = unary_machines()
+        halting = HaltingStages(machines["slow_halt"])
+        database = unary_instance(3)  # slow_halt needs ~n^2 shuttle steps
+        values = [upper_stage(halting, database, i) for i in range(6)]
+        # Once visible, stays visible (monotone in the stage).
+        seen = [v == SetVal([YES]) for v in values]
+        assert seen[-1] is True
+        assert seen == sorted(seen)
+
+    def test_never_halting_invisible_at_all_stages(self):
+        machines = unary_machines()
+        halting = HaltingStages(machines["never_halts"])
+        database = unary_instance(2)
+        for stage in range(5):
+            assert upper_stage(halting, database, stage) == SetVal([])
+
+    def test_finite_invention_decides_halting(self):
+        machines = unary_machines()
+        halting = HaltingStages(machines["halts_iff_even"])
+        assert finite_invention(halting, unary_instance(2), 4) == SetVal([YES])
+        assert finite_invention(halting, unary_instance(3), 4) == SetVal([])
+
+    def test_co_halting_needs_countable_invention(self):
+        machines = unary_machines()
+        co_halt = CoHaltingStages(machines["slow_halt"])
+        database = unary_instance(2)
+        # slow_halt needs ~3n steps > capacity(0) = n^2 at n = 2: stage 0
+        # wrongly says "not halted", so the finite-invention union is
+        # polluted — the Theorem 6.1 gap made visible...
+        assert upper_stage(co_halt, database, 0) == SetVal([YES])
+        assert finite_invention(co_halt, database, 6) == SetVal([YES])  # wrong!
+        # ...whereas the countable-invention limit stabilises correctly.
+        assert countable_invention(co_halt, database, stage=8) == SetVal([])
+
+    def test_co_halting_correct_for_divergent_machine(self):
+        machines = unary_machines()
+        co_halt = CoHaltingStages(machines["never_halts"])
+        assert countable_invention(co_halt, unary_instance(3), stage=8) == SetVal(
+            [YES]
+        )

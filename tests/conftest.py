@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.model import Atom, Database, Schema, SetVal, Tup, parse_type
+
+
+@pytest.fixture
+def unlimited():
+    """Factory for budgets with no limits (provably terminating runs)."""
+
+    def make() -> Budget:
+        return Budget(
+            steps=None, objects=None, iterations=None, facts=None, stages=None
+        )
+
+    return make
+
+
+@pytest.fixture
+def binary_db():
+    """A small binary relation R = {(1,2), (2,3), (3,3)}."""
+    schema = Schema({"R": parse_type("[U, U]")})
+    return Database(schema, {"R": {(1, 2), (2, 3), (3, 3)}})
+
+
+@pytest.fixture
+def unary_db():
+    """A small unary relation R = {1, 2, 3}."""
+    schema = Schema({"R": parse_type("U")})
+    return Database(schema, {"R": {1, 2, 3}})
+
+
+def atoms(*labels):
+    return [Atom(label) for label in labels]
+
+
+def pairs(*tuples):
+    return SetVal([Tup([Atom(a), Atom(b)]) for a, b in tuples])

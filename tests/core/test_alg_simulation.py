@@ -1,0 +1,100 @@
+"""Unit tests for the Theorem 4.1(b) compiler (GTM -> ALG+while)."""
+
+import pytest
+
+from repro.algebra.typing import classify
+from repro.budget import Budget
+from repro.core.alg_simulation import (
+    check_no_symbol_collision,
+    compile_gtm_to_alg,
+    concrete_symbols,
+    run_compiled,
+    run_for_all_orderings,
+    working_symbol_atoms,
+)
+from repro.errors import MachineError, is_undefined
+from repro.gtm.library import all_machines, parity_gtm
+from repro.gtm.run import gtm_query
+from repro.model.schema import Database
+from repro.model.values import Atom
+
+
+def _unlimited():
+    return Budget(steps=None, objects=None, iterations=None)
+
+
+def _databases_for(name, schema):
+    if name in ("identity", "reverse", "select_eq"):
+        data = [set(), {(1, 2)}, {(1, 1), (2, 3), (4, 4)}]
+    else:
+        data = [set(), {1}, {1, 2}]
+    return [Database(schema, {"R": rows}) for rows in data]
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("name", sorted(all_machines()))
+    def test_agreement_with_direct_run(self, name):
+        gtm, schema, output_type = all_machines()[name]
+        program = compile_gtm_to_alg(gtm, schema, output_type)
+        for database in _databases_for(name, schema):
+            direct = gtm_query(gtm, database, output_type)
+            compiled = run_compiled(program, gtm, database, _unlimited())
+            assert direct == compiled or (
+                is_undefined(direct) and is_undefined(compiled)
+            )
+
+    def test_fragment_is_while_without_powerset(self):
+        gtm, schema, output_type = parity_gtm()
+        program = compile_gtm_to_alg(gtm, schema, output_type)
+        info = classify(program, schema)
+        assert info.uses_while
+        assert info.while_nesting == 1  # unnested!
+        assert not info.uses_powerset
+        assert info.uses_encode_input
+
+    def test_stuck_machine_is_undefined(self):
+        # A machine with no transitions at all gets stuck immediately.
+        from repro.gtm.machine import GTM
+
+        stuck = GTM(
+            states={"s", "h"}, working=[], constants=[], delta={},
+            start="s", halt="h",
+        )
+        _, schema, output_type = parity_gtm()
+        program = compile_gtm_to_alg(stuck, schema, output_type)
+        database = Database(schema, {"R": {1}})
+        assert is_undefined(run_compiled(program, stuck, database, _unlimited()))
+
+
+class TestOrderings:
+    def test_all_orderings_agree(self):
+        gtm, schema, output_type = parity_gtm()
+        program = compile_gtm_to_alg(gtm, schema, output_type)
+        database = Database(schema, {"R": {1, 2, 3}})
+        common = run_for_all_orderings(
+            program, gtm, database, max_orders=6, budget_factory=_unlimited
+        )
+        assert common == gtm_query(gtm, database, output_type)
+
+
+class TestCollisionGuard:
+    def test_working_label_collision_rejected(self):
+        gtm, schema, output_type = parity_gtm()
+        database = Database(schema, {"R": {"(", "x"}})
+        with pytest.raises(MachineError):
+            check_no_symbol_collision(gtm, database)
+
+    def test_clean_inputs_pass(self):
+        gtm, schema, output_type = parity_gtm()
+        database = Database(schema, {"R": {"x", "y"}})
+        check_no_symbol_collision(gtm, database)
+
+
+class TestSymbolSets:
+    def test_constants_are_data_not_working(self):
+        gtm, _, _ = parity_gtm()
+        working = set(working_symbol_atoms(gtm))
+        concrete = set(concrete_symbols(gtm))
+        assert Atom("even") in concrete
+        assert Atom("even") not in working
+        assert working < concrete

@@ -1,0 +1,100 @@
+"""Unit tests for the Theorem 6.4 machinery (terminal invention)."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.calculus.invention import terminal_invention, upper_stage
+from repro.core.calc_simulation import (
+    GTMStagedQuery,
+    compile_gtm_to_calc,
+    terminal_stage_prediction,
+)
+from repro.errors import is_undefined
+from repro.gtm.library import all_machines, duplicate_gtm, parity_gtm
+from repro.gtm.run import gtm_query
+from repro.model.schema import Database
+from repro.model.values import SetVal, contains_any
+
+
+def _databases_for(name, schema):
+    if name in ("identity", "reverse", "select_eq"):
+        data = [set(), {(1, 2)}, {(3, 3), (4, 5)}]
+    else:
+        data = [set(), {1}, {1, 2}]
+    return [Database(schema, {"R": rows}) for rows in data]
+
+
+class TestTerminalInvention:
+    @pytest.mark.parametrize("name", sorted(all_machines()))
+    def test_agreement_with_direct_run(self, name):
+        gtm, schema, output_type = all_machines()[name]
+        staged = compile_gtm_to_calc(gtm, output_type)
+        for database in _databases_for(name, schema):
+            direct = gtm_query(gtm, database, output_type)
+            via_ti = terminal_invention(staged, database, Budget(stages=64))
+            assert direct == via_ti
+
+    def test_terminal_stage_matches_prediction(self):
+        gtm, schema, output_type = duplicate_gtm()
+        staged = compile_gtm_to_calc(gtm, output_type)
+        database = Database(schema, {"R": {1, 2, 3}})
+        fired = []
+        terminal_invention(
+            staged, database, on_stage=lambda i, u: fired.append(i)
+        )
+        assert fired[-1] == terminal_stage_prediction(staged, database)
+
+    def test_witness_tuples_carry_invented_atoms(self):
+        gtm, schema, output_type = parity_gtm()
+        staged = compile_gtm_to_calc(gtm, output_type)
+        database = Database(schema, {"R": {1, 2}})
+        from repro.calculus.invention import invented_atoms
+
+        atoms = invented_atoms(3)
+        upper = staged.stage(database, atoms, Budget())
+        assert any(contains_any(member, set(atoms)) for member in upper.items)
+
+    def test_stage_zero_never_terminal(self):
+        gtm, schema, output_type = parity_gtm()
+        staged = compile_gtm_to_calc(gtm, output_type)
+        database = Database(schema, {"R": {1, 2}})
+        upper0 = upper_stage(staged, database, 0)
+        # No invented atoms exist at stage 0, so nothing can leak.
+        from repro.calculus.invention import invented_atoms
+
+        assert not any(
+            contains_any(member, set(invented_atoms(5))) for member in upper0.items
+        )
+
+    def test_insufficient_capacity_returns_empty(self):
+        gtm, schema, output_type = duplicate_gtm()
+        staged = compile_gtm_to_calc(gtm, output_type)
+        # A big input with stage 0: the run cannot fit.
+        database = Database(schema, {"R": set(range(3))})
+        need = terminal_stage_prediction(staged, database)
+        assert need >= 1
+        for stage in range(need):
+            upper = upper_stage(staged, database, stage)
+            assert upper == SetVal([])
+
+    def test_diverging_query_is_undefined(self):
+        class NeverTerminal:
+            name = "never"
+
+            def stage(self, database, atoms, budget):
+                return SetVal([])
+
+        out = terminal_invention(
+            NeverTerminal(), Database(parity_gtm()[1], {"R": {1}}), Budget(stages=6)
+        )
+        assert is_undefined(out)
+
+
+class TestCapacity:
+    def test_quadratic_in_domain_plus_stage(self):
+        gtm, schema, output_type = parity_gtm()
+        staged = GTMStagedQuery(gtm, output_type)
+        database = Database(schema, {"R": {1, 2}})
+        base = len(database.adom()) + len(gtm.constants)
+        assert staged.capacity(database, 0) == base * base
+        assert staged.capacity(database, 3) == (base + 3) ** 2

@@ -1,0 +1,119 @@
+"""Unit tests for the Theorem 5.1 compiler (GTM -> COL)."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.core.col_simulation import (
+    compile_gtm_to_col,
+    encode_database_for_col,
+    nest_position,
+    run_col_for_all_orderings,
+    run_compiled_col,
+)
+from repro.deductive.stratify import stratify
+from repro.errors import is_undefined
+from repro.gtm.library import all_machines, is_empty_gtm, parity_gtm
+from repro.gtm.run import gtm_query
+from repro.model.schema import Database
+from repro.model.values import Atom, SetVal
+
+
+def _unlimited():
+    return Budget(steps=None, objects=None, iterations=None, facts=None)
+
+
+def _databases_for(name, schema):
+    if name in ("identity", "reverse", "select_eq"):
+        data = [set(), {(1, 2), (3, 3)}]
+    else:
+        data = [set(), {1, 2}]
+    return [Database(schema, {"R": rows}) for rows in data]
+
+
+class TestEncoding:
+    def test_nest_position_injective(self):
+        positions = [nest_position(i) for i in range(8)]
+        assert len(set(positions)) == 8
+
+    def test_edb_contents(self):
+        gtm, schema, output_type = parity_gtm()
+        database = Database(schema, {"R": {1, 2}})
+        edb = encode_database_for_col(gtm, database)
+        assert len(edb["IN"]) == 4  # ( 1 2 )
+        assert Atom("(") in {row.items[1] for row in edb["IN"].items}
+        assert Atom("even") in edb["WC"]
+        assert Atom("even") not in edb["WS"]
+        assert len(edb["EDGE1"]) == 1
+
+
+class TestCompiledPrograms:
+    @pytest.mark.parametrize("name", sorted(all_machines()))
+    def test_stratified_agrees_with_direct(self, name):
+        gtm, schema, output_type = all_machines()[name]
+        program = compile_gtm_to_col(gtm, output_type)
+        for database in _databases_for(name, schema):
+            direct = gtm_query(gtm, database, output_type)
+            compiled = run_compiled_col(
+                program, gtm, database, "stratified", _unlimited()
+            )
+            assert direct == compiled
+
+    @pytest.mark.parametrize("name", ["parity", "reverse"])
+    def test_inflationary_agrees_with_stratified(self, name):
+        gtm, schema, output_type = all_machines()[name]
+        program = compile_gtm_to_col(gtm, output_type)
+        for database in _databases_for(name, schema):
+            stratified = run_compiled_col(
+                program, gtm, database, "stratified", _unlimited()
+            )
+            inflationary = run_compiled_col(
+                program, gtm, database, "inflationary", _unlimited()
+            )
+            assert stratified == inflationary
+
+    def test_programs_are_stratifiable(self):
+        gtm, _, output_type = parity_gtm()
+        program = compile_gtm_to_col(gtm, output_type)
+        strata = stratify(program)
+        assert len(strata) >= 1
+
+    def test_divergence_is_undefined(self):
+        # A genuinely diverging machine: spins on '(' forever.  Its COL
+        # program has no finite minimal model ("we view the output to be
+        # undefined"), observed through the budget.
+        from repro.gtm.machine import GTM
+        from repro.model.encoding import BLANK
+
+        spinner = GTM(
+            states={"s", "h"},
+            working=[],
+            constants=[],
+            delta={("s", "(", BLANK): ("s", "(", BLANK, "-", "-")},
+            start="s",
+            halt="h",
+        )
+        _, schema, output_type = is_empty_gtm()
+        program = compile_gtm_to_col(spinner, output_type)
+        database = Database(schema, {"R": {1, 2}})
+        out = run_compiled_col(
+            program, spinner, database, "stratified", Budget(facts=2000)
+        )
+        assert is_undefined(out)
+
+    def test_order_independence(self):
+        gtm, schema, output_type = parity_gtm()
+        program = compile_gtm_to_col(gtm, output_type)
+        database = Database(schema, {"R": {1, 2}})
+        common = run_col_for_all_orderings(
+            program, gtm, database, max_orders=2, budget_factory=_unlimited
+        )
+        assert common == gtm_query(gtm, database, output_type)
+
+    def test_bad_semantics_name(self):
+        from repro.errors import EvaluationError
+
+        gtm, schema, output_type = parity_gtm()
+        program = compile_gtm_to_col(gtm, output_type)
+        database = Database(schema, {"R": {1}})
+        with pytest.raises(EvaluationError):
+            run_compiled_col(program, gtm, database, "magic")

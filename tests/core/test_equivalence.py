@@ -1,0 +1,104 @@
+"""Unit tests for the cross-language equivalence harness."""
+
+import pytest
+
+from repro.core.classes import QueryFunction, elementary_time_bound, language_chain
+from repro.core.counters import (
+    singleton_nest,
+    singleton_rank,
+    singleton_succ,
+    von_neumann,
+    von_neumann_rank,
+    von_neumann_succ,
+)
+from repro.core.equivalence import (
+    ALL_ROUTES,
+    Disagreement,
+    check_agreement,
+    implementations_for,
+)
+from repro.gtm.library import is_empty_gtm
+from repro.model.values import SetVal
+from repro.workloads import suite_unary
+
+
+class TestImplementationsFor:
+    def test_all_routes_built(self):
+        gtm, schema, output_type = is_empty_gtm()
+        impls = implementations_for(gtm, schema, output_type)
+        assert len(impls) == len(ALL_ROUTES)
+        languages = {impl.language for impl in impls}
+        assert "GTM" in languages and "COL^str" in languages
+
+    def test_route_subset(self):
+        gtm, schema, output_type = is_empty_gtm()
+        impls = implementations_for(gtm, schema, output_type, routes=["gtm", "tm"])
+        assert len(impls) == 2
+
+
+class TestCheckAgreement:
+    def test_agreement_passes(self):
+        gtm, schema, output_type = is_empty_gtm()
+        impls = implementations_for(
+            gtm, schema, output_type, routes=["gtm", "tm", "calc_terminal"]
+        )
+        outcomes = check_agreement(impls, suite_unary((0, 1, 2)))
+        assert len(outcomes) == 3
+
+    def test_disagreement_raised(self):
+        gtm, schema, output_type = is_empty_gtm()
+        impls = implementations_for(gtm, schema, output_type, routes=["gtm"])
+        broken = QueryFunction(
+            "broken", "lies", lambda d: SetVal([]), constants=()
+        )
+        with pytest.raises(Disagreement):
+            check_agreement(impls + [broken], suite_unary((0,)))
+
+
+class TestClasses:
+    def test_language_chain_shape(self):
+        chain = language_chain()
+        assert [entry[0] for entry in chain] == ["E", "C", "beyond-C"]
+        # C contains the while-algebra and both COL semantics.
+        c_members = chain[1][1]
+        assert "COL^str" in c_members and "COL^inf" in c_members
+
+    def test_elementary_bound(self):
+        assert elementary_time_bound(0, 9) == 9
+        assert elementary_time_bound(2, 2) == 16
+
+    def test_query_function_checks(self, unary_db):
+        qf = QueryFunction("id", "test", lambda d: d["R"])
+        assert qf.check_generic([unary_db], max_perms=6)
+        assert qf.check_domain_preserving([unary_db])
+
+
+class TestCounters:
+    def test_von_neumann_injective(self):
+        assert len(set(von_neumann(8))) == 8
+
+    def test_von_neumann_succ_matches_sequence(self):
+        seq = von_neumann(6)
+        for i in range(5):
+            assert von_neumann_succ(seq[i]) == seq[i + 1]
+
+    def test_von_neumann_rank(self):
+        seq = von_neumann(5)
+        assert [von_neumann_rank(v) for v in seq] == list(range(5))
+        assert von_neumann_rank(SetVal([von_neumann(3)[2]])) is None
+
+    def test_singleton_injective(self):
+        assert len(set(singleton_nest(8))) == 8
+
+    def test_singleton_succ_and_rank(self):
+        seq = singleton_nest(6)
+        for i in range(5):
+            assert singleton_succ(seq[i]) == seq[i + 1]
+        assert [singleton_rank(v) for v in seq] == list(range(6))
+        assert singleton_rank(SetVal([SetVal([]), SetVal([SetVal([])])])) is None
+
+    def test_counters_are_atom_free(self):
+        from repro.model.values import adom
+
+        for value in von_neumann(5) + singleton_nest(5):
+            assert adom(value) == frozenset()

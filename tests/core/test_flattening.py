@@ -1,0 +1,107 @@
+"""Unit tests for the Theorem 6.3 flattening machinery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.flattening import (
+    flatten_value,
+    invention_supply,
+    node_count,
+    objects_at_stage,
+    unflatten_value,
+)
+from repro.errors import EvaluationError
+from repro.model.domains import cons_obj_bounded
+from repro.model.values import Atom, SetVal, Tup, adom
+
+
+def _ids(count):
+    return [Atom(f"ι{i}") for i in range(count)]
+
+
+def _obj_strategy():
+    atoms = st.sampled_from([Atom("a"), Atom("b"), Atom(1)])
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            st.lists(children, min_size=1, max_size=3).map(Tup),
+            st.lists(children, min_size=0, max_size=3).map(SetVal),
+        ),
+        max_leaves=6,
+    )
+
+
+class TestNodeCount:
+    def test_atom(self):
+        assert node_count(Atom("a")) == 1
+
+    def test_set(self):
+        assert node_count(SetVal([])) == 1
+        assert node_count(SetVal([Atom("a"), Atom("b")])) == 3
+
+    def test_tuple_includes_spine(self):
+        # [a, b]: root spine + end marker (2) + two atom nodes... the
+        # exact formula: 1 + arity + coordinate nodes.
+        assert node_count(Tup([Atom("a"), Atom("b")])) == 5
+
+
+class TestRoundTrip:
+    def test_atom(self):
+        root, rows = flatten_value(Atom("a"), _ids(5))
+        assert unflatten_value(root, rows) == Atom("a")
+
+    def test_empty_set(self):
+        root, rows = flatten_value(SetVal([]), _ids(5))
+        assert unflatten_value(root, rows) == SetVal([])
+
+    def test_nested(self):
+        value = SetVal([Tup([Atom("a"), SetVal([Atom("b")])]), Atom("c")])
+        root, rows = flatten_value(value, _ids(node_count(value)))
+        assert unflatten_value(root, rows) == value
+
+    def test_rows_are_quadruples_over_flat_type(self):
+        from repro.model.types import parse_type
+
+        value = Tup([Atom("a"), Atom("b")])
+        _, rows = flatten_value(value, _ids(10))
+        quad = parse_type("[U, U, U, U]")
+        assert all(quad.matches(row) for row in rows.items)
+
+    @given(_obj_strategy())
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_random(self, value):
+        ids = _ids(node_count(value))
+        root, rows = flatten_value(value, ids)
+        assert unflatten_value(root, rows) == value
+
+    @given(_obj_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_exactly_node_count_ids_needed(self, value):
+        need = node_count(value)
+        flatten_value(value, _ids(need))  # enough
+        if need > 0:
+            with pytest.raises(EvaluationError):
+                flatten_value(value, _ids(need - 1))  # one too few
+
+    def test_bad_encoding_rejected(self):
+        root, rows = flatten_value(Atom("a"), _ids(3))
+        with pytest.raises(EvaluationError):
+            unflatten_value(Atom("ι99"), rows)  # dangling root
+
+
+class TestSupply:
+    def test_invention_supply_distinct_from_one_atom(self):
+        supply = invention_supply(Atom("seed"), 20)
+        assert len(set(supply)) == 20
+        for value in supply:
+            assert adom(value) <= frozenset({Atom("seed")})
+
+    def test_objects_at_stage_monotone(self):
+        atoms = [Atom("a")]
+        small = set(objects_at_stage(atoms, 2, limit=30))
+        large = set(objects_at_stage(atoms, 5, limit=30))
+        assert small <= large
+
+    def test_stage_bound_respected(self):
+        for value in objects_at_stage([Atom("a")], 3, limit=40):
+            assert node_count(value) <= 3

@@ -1,0 +1,107 @@
+"""Unit tests for the COL AST (terms, literals, rules)."""
+
+import pytest
+
+from repro.deductive.ast import (
+    ColProgram,
+    ConstD,
+    EqLit,
+    FuncLit,
+    FuncT,
+    PredLit,
+    Rule,
+    SetD,
+    TupD,
+    VarD,
+)
+from repro.errors import TypeCheckError
+from repro.model.values import Atom
+
+
+class TestTerms:
+    def test_string_coercion(self):
+        term = TupD(["x", "y"])
+        assert term.variables() == {"x", "y"}
+
+    def test_const_coercion(self):
+        assert ConstD(5).value == Atom(5)
+
+    def test_set_terms(self):
+        term = SetD(["u"])
+        assert term.variables() == {"u"}
+        assert SetD([]).variables() == set()
+
+    def test_func_term(self):
+        term = FuncT("F", "x")
+        assert term.variables() == {"x"}
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(TypeCheckError):
+            TupD([])
+
+
+class TestLiterals:
+    def test_pred_literal_vars(self):
+        literal = PredLit("R", TupD(["x", ConstD(1)]))
+        assert literal.variables() == {"x"}
+
+    def test_func_literal_vars(self):
+        literal = FuncLit("F", "a", "e")
+        assert literal.variables() == {"a", "e"}
+
+    def test_repr_shows_negation(self):
+        assert repr(PredLit("R", "x", positive=False)).startswith("¬")
+
+
+class TestRangeRestriction:
+    def test_positive_pred_binds(self):
+        Rule(PredLit("ANS", "x"), [PredLit("R", "x")])
+
+    def test_unbound_head_var_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Rule(PredLit("ANS", "x"), [])
+
+    def test_negative_literal_does_not_bind(self):
+        with pytest.raises(TypeCheckError):
+            Rule(PredLit("ANS", "x"), [PredLit("R", "x", positive=False)])
+
+    def test_func_literal_binds_both_sides(self):
+        Rule(PredLit("ANS", TupD(["a", "e"])), [FuncLit("F", "a", "e")])
+
+    def test_equality_transfers_bindings(self):
+        Rule(
+            PredLit("ANS", "y"),
+            [PredLit("R", "x"), EqLit("y", "x")],
+        )
+
+    def test_equality_chain(self):
+        Rule(
+            PredLit("ANS", "z"),
+            [PredLit("R", "x"), EqLit("y", "x"), EqLit("z", "y")],
+        )
+
+    def test_unbound_in_negation_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Rule(
+                PredLit("ANS", "x"),
+                [PredLit("R", "x"), PredLit("S", "y", positive=False)],
+            )
+
+    def test_negative_head_rejected(self):
+        with pytest.raises(TypeCheckError):
+            Rule(PredLit("ANS", "x", positive=False), [PredLit("R", "x")])
+
+
+class TestProgram:
+    def test_head_symbols(self):
+        program = ColProgram(
+            [
+                Rule(PredLit("P", "x"), [PredLit("R", "x")]),
+                Rule(FuncLit("F", ConstD("a"), "x"), [PredLit("R", "x")]),
+            ]
+        )
+        assert program.head_symbols() == {("pred", "P"), ("func", "F")}
+
+    def test_rules_validated(self):
+        with pytest.raises(TypeCheckError):
+            ColProgram(["not a rule"])

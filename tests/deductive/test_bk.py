@@ -1,0 +1,226 @@
+"""Unit tests for the Bancilhon–Khoshafian calculus."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.budget import Budget
+from repro.deductive.bk import (
+    BKAtom,
+    BKProgram,
+    BKRule,
+    BKVar,
+    chain_to_list_program,
+    glb,
+    instantiate,
+    join_attempt_program,
+    leq,
+    lub,
+    match_leq,
+    reduce_set,
+    run_bk,
+    subobjects,
+)
+from repro.errors import is_undefined
+from repro.model.values import Atom, BOTTOM, NamedTup, SetVal, TOP
+from repro.workloads import chain_for_bk
+
+
+def _bk_value_strategy():
+    atoms = st.sampled_from([Atom(1), Atom(2), Atom("a")])
+    return st.recursive(
+        st.one_of(atoms, st.just(BOTTOM)),
+        lambda children: st.one_of(
+            st.dictionaries(
+                st.sampled_from(["A", "B", "C"]), children, min_size=1, max_size=2
+            ).map(NamedTup),
+            st.lists(children, max_size=2).map(SetVal),
+        ),
+        max_leaves=4,
+    )
+
+
+class TestSubObjectOrder:
+    def test_bottom_below_everything(self):
+        for value in (Atom(1), NamedTup({"A": Atom(1)}), SetVal([Atom(1)]), TOP):
+            assert leq(BOTTOM, value)
+
+    def test_top_above_everything(self):
+        for value in (Atom(1), NamedTup({"A": Atom(1)}), SetVal([]), BOTTOM):
+            assert leq(value, TOP)
+
+    def test_atoms_only_self_comparable(self):
+        assert leq(Atom(1), Atom(1))
+        assert not leq(Atom(1), Atom(2))
+
+    def test_tuple_attribute_subset(self):
+        smaller = NamedTup({"A": Atom(1)})
+        bigger = NamedTup({"A": Atom(1), "B": Atom(2)})
+        assert leq(smaller, bigger)
+        assert not leq(bigger, smaller)
+
+    def test_tuple_componentwise(self):
+        assert leq(NamedTup({"A": BOTTOM}), NamedTup({"A": Atom(1)}))
+        assert not leq(NamedTup({"A": Atom(2)}), NamedTup({"A": Atom(1)}))
+
+    def test_set_hoare_order(self):
+        assert leq(SetVal([Atom(1)]), SetVal([Atom(1), Atom(2)]))
+        assert leq(SetVal([]), SetVal([Atom(1)]))
+        assert not leq(SetVal([Atom(3)]), SetVal([Atom(1), Atom(2)]))
+        # Hoare order: each member dominated by *some* member.
+        assert leq(SetVal([BOTTOM, Atom(1)]), SetVal([Atom(1)]))
+
+    @given(_bk_value_strategy())
+    @settings(max_examples=100)
+    def test_reflexive(self, value):
+        assert leq(value, value)
+
+    @given(_bk_value_strategy(), _bk_value_strategy(), _bk_value_strategy())
+    @settings(max_examples=100)
+    def test_transitive(self, a, b, c):
+        if leq(a, b) and leq(b, c):
+            assert leq(a, c)
+
+
+class TestLubGlb:
+    def test_lub_atoms(self):
+        assert lub(Atom(1), Atom(1)) == Atom(1)
+        assert lub(Atom(1), Atom(2)) == TOP
+
+    def test_lub_with_bottom(self):
+        assert lub(BOTTOM, Atom(1)) == Atom(1)
+
+    def test_lub_merges_tuples(self):
+        merged = lub(NamedTup({"A": Atom(1)}), NamedTup({"B": Atom(2)}))
+        assert merged == NamedTup({"A": Atom(1), "B": Atom(2)})
+
+    def test_lub_conflicting_tuples(self):
+        assert lub(NamedTup({"A": Atom(1)}), NamedTup({"A": Atom(2)})) == TOP
+
+    def test_glb_atoms(self):
+        assert glb(Atom(1), Atom(1)) == Atom(1)
+        assert glb(Atom(1), Atom(2)) == BOTTOM
+
+    def test_glb_tuples_shared_fields(self):
+        meet = glb(
+            NamedTup({"A": Atom(1), "B": Atom(2)}),
+            NamedTup({"A": Atom(1), "C": Atom(3)}),
+        )
+        assert meet == NamedTup({"A": Atom(1)})
+
+    @given(_bk_value_strategy(), _bk_value_strategy())
+    @settings(max_examples=100)
+    def test_lub_is_upper_bound(self, a, b):
+        join = lub(a, b)
+        assert leq(a, join) and leq(b, join)
+
+    @given(_bk_value_strategy(), _bk_value_strategy())
+    @settings(max_examples=100)
+    def test_glb_is_lower_bound(self, a, b):
+        meet = glb(a, b)
+        assert leq(meet, a) and leq(meet, b)
+
+    @given(_bk_value_strategy())
+    @settings(max_examples=50)
+    def test_lub_idempotent_up_to_equivalence(self, a):
+        # Sets are identified up to Hoare equivalence ({1, ⊥} ≈ {1});
+        # lub reduces, so idempotence holds in the quotient order.
+        join = lub(a, a)
+        assert leq(join, a) and leq(a, join)
+
+
+class TestSubobjects:
+    def test_atom(self):
+        assert set(subobjects(Atom(1))) == {BOTTOM, Atom(1)}
+
+    def test_all_below(self):
+        value = NamedTup({"A": Atom(1), "B": SetVal([Atom(2)])})
+        for sub in subobjects(value, Budget(objects=None)):
+            assert leq(sub, value)
+
+    def test_count_for_flat_tuple(self):
+        value = NamedTup({"A": Atom(1), "B": Atom(2)})
+        # ⊥ plus tuples over ({⊥,1,absent} × {⊥,2,absent}) minus empty.
+        assert len(list(subobjects(value))) == 9
+
+
+class TestReduceSet:
+    def test_keeps_maximal(self):
+        reduced = reduce_set(SetVal([Atom(1), BOTTOM]))
+        assert reduced == SetVal([Atom(1)])
+
+    def test_incomparable_kept(self):
+        reduced = reduce_set(SetVal([Atom(1), Atom(2)]))
+        assert len(reduced) == 2
+
+
+class TestMatching:
+    def test_variable_matches_any_subobject(self):
+        valuations = list(
+            match_leq(BKVar("x"), Atom(1), {}, Budget())
+        )
+        bound = {v["x"] for v in valuations}
+        assert bound == {BOTTOM, Atom(1)}
+
+    def test_dict_pattern(self):
+        bound = NamedTup({"A": Atom(1), "B": Atom(2)})
+        valuations = list(
+            match_leq({"A": BKVar("x")}, bound, {}, Budget())
+        )
+        assert {v["x"] for v in valuations} == {BOTTOM, Atom(1)}
+
+    def test_missing_attribute_matches_bottom_only(self):
+        bound = NamedTup({"A": Atom(1)})
+        valuations = list(
+            match_leq({"Z": BKVar("x")}, bound, {}, Budget())
+        )
+        assert {v["x"] for v in valuations} == {BOTTOM}
+
+    def test_instantiate(self):
+        value = instantiate({"A": BKVar("x")}, {"x": Atom(1)})
+        assert value == NamedTup({"A": Atom(1)})
+
+
+class TestPropositions:
+    def test_join_attempt_computes_cross_product(self):
+        """Proposition 5.3 via Example 5.2."""
+        out = run_bk(
+            join_attempt_program(),
+            {
+                "R1": [{"A": 1, "B": 2}],
+                "R2": [{"B": 2, "C": 3}, {"B": 4, "C": 5}],
+            },
+            Budget(objects=None, steps=None),
+        )
+        assert NamedTup({"A": Atom(1), "C": Atom(3)}) in out
+        # The spurious tuple that proves BK cannot join:
+        assert NamedTup({"A": Atom(1), "C": Atom(5)}) in out
+
+    def test_join_attempt_superset_of_true_join(self):
+        out = run_bk(
+            join_attempt_program(),
+            {
+                "R1": [{"A": 1, "B": 2}, {"A": 6, "B": 7}],
+                "R2": [{"B": 2, "C": 3}],
+            },
+            Budget(objects=None, steps=None),
+        )
+        assert NamedTup({"A": Atom(1), "C": Atom(3)}) in out  # true join pair
+        assert NamedTup({"A": Atom(6), "C": Atom(3)}) in out  # cross pollution
+
+    def test_chain_to_list_diverges(self):
+        """Proposition 5.5 via Example 5.4."""
+        out = run_bk(
+            chain_to_list_program(),
+            chain_for_bk(2),
+            Budget(iterations=5, steps=100_000, objects=200_000, facts=None),
+        )
+        assert is_undefined(out)
+
+    def test_monotone_queries_still_work(self):
+        # BK *can* do monotone selection-flavoured things.
+        program = BKProgram(
+            [BKRule(BKAtom("ANS", {"A": BKVar("x")}),
+                    [BKAtom("R", {"A": BKVar("x")})])]
+        )
+        out = run_bk(program, {"R": [{"A": 1, "B": 2}]}, Budget(objects=None))
+        assert NamedTup({"A": Atom(1)}) in out

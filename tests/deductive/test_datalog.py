@@ -1,0 +1,85 @@
+"""Unit tests for the flat DATALOG¬ layer."""
+
+import pytest
+
+from repro.deductive.ast import FuncLit, PredLit, Rule, SetD, TupD
+from repro.deductive.datalog import (
+    DatalogProgram,
+    non_reachable_datalog,
+    run_datalog_inflationary,
+    run_datalog_stratified,
+    transitive_closure_datalog,
+    unstratifiable_program,
+)
+from repro.errors import StratificationError, TypeCheckError
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal, Tup
+from repro.workloads import chain_graph, cycle_graph
+
+
+class TestFlatnessValidation:
+    def test_set_terms_rejected(self):
+        with pytest.raises(TypeCheckError):
+            DatalogProgram(
+                [Rule(PredLit("P", SetD(["x"])), [PredLit("R", "x")])]
+            )
+
+    def test_functions_rejected(self):
+        with pytest.raises(TypeCheckError):
+            DatalogProgram(
+                [Rule(PredLit("P", "x"), [FuncLit("F", "a", "x")])]
+            )
+
+    def test_nested_tuples_rejected(self):
+        with pytest.raises(TypeCheckError):
+            DatalogProgram(
+                [
+                    Rule(
+                        PredLit("P", TupD([TupD(["x", "y"]), "z"])),
+                        [PredLit("R", "x"), PredLit("R", "y"), PredLit("R", "z")],
+                    )
+                ]
+            )
+
+
+class TestStandardPrograms:
+    def test_tc_on_chain(self):
+        out = run_datalog_stratified(transitive_closure_datalog(), chain_graph(3))
+        assert len(out) == 6
+
+    def test_tc_on_cycle(self):
+        out = run_datalog_stratified(transitive_closure_datalog(), cycle_graph(3))
+        assert len(out) == 9
+
+    def test_tc_both_semantics_agree(self):
+        program = transitive_closure_datalog()
+        for database in (chain_graph(3), cycle_graph(4)):
+            assert run_datalog_stratified(program, database) == (
+                run_datalog_inflationary(program, database)
+            )
+
+    def test_non_reachable(self):
+        database = chain_graph(2)  # nodes a0 a1 a2
+        out = run_datalog_stratified(non_reachable_datalog(), database)
+        # 9 ordered pairs − 3 reachable = 6.
+        assert len(out) == 6
+        assert Tup([Atom("a2"), Atom("a0")]) in out
+
+    def test_win_move_separates_semantics(self):
+        program = unstratifiable_program()
+        schema = Schema({"move": parse_type("[U, U]")})
+        database = Database(schema, {"move": {(1, 2), (2, 3), (3, 4)}})
+        with pytest.raises(StratificationError):
+            run_datalog_stratified(program, database)
+        out = run_datalog_inflationary(program, database)
+        assert out == SetVal([Atom(1), Atom(2), Atom(3)])
+
+    def test_tc_agrees_with_algebra(self):
+        from repro.algebra.eval import run_program
+        from repro.algebra.library import transitive_closure
+
+        for database in (chain_graph(3), cycle_graph(3)):
+            assert run_datalog_stratified(
+                transitive_closure_datalog(), database
+            ) == run_program(transitive_closure(), database)

@@ -1,0 +1,120 @@
+"""Unit tests for the inflationary COL semantics."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.deductive.ast import ColProgram, ConstD, FuncLit, PredLit, Rule, SetD, TupD
+from repro.deductive.inflationary import run_inflationary
+from repro.deductive.stratify import run_stratified
+from repro.errors import is_undefined
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal
+
+
+def _db(**instances):
+    schema = Schema(
+        {
+            name: parse_type("[U, U]") if name == "move" else parse_type("U")
+            for name in instances
+        }
+    )
+    return Database(schema, instances)
+
+
+class TestInflationary:
+    def test_agrees_with_stratified_on_edb_negation(self):
+        # Negation on EDB relations: the two semantics coincide (this is
+        # the shape of the Theorem 5.1 compiled programs).
+        program = ColProgram(
+            [
+                Rule(
+                    PredLit("ANS", "x"),
+                    [PredLit("R", "x"), PredLit("S", "x", positive=False)],
+                ),
+            ]
+        )
+        database = _db(R={1, 2, 3}, S={1})
+        assert run_inflationary(program, database) == run_stratified(
+            program, database
+        )
+
+    def test_differs_from_stratified_on_idb_negation(self):
+        # Negation on a predicate derived in the same run: inflation
+        # races the negation (round-1 snapshot lacks 'small'), while
+        # stratification waits for it — the semantics genuinely differ
+        # even on stratifiable programs.
+        program = ColProgram(
+            [
+                Rule(PredLit("small", ConstD(1))),
+                Rule(
+                    PredLit("ANS", "x"),
+                    [PredLit("R", "x"), PredLit("small", "x", positive=False)],
+                ),
+            ]
+        )
+        database = _db(R={1, 2, 3})
+        stratified = run_stratified(program, database)
+        inflationary = run_inflationary(program, database)
+        assert stratified == SetVal([Atom(2), Atom(3)])
+        assert inflationary == SetVal([Atom(1), Atom(2), Atom(3)])
+
+    def test_defined_for_unstratifiable_programs(self):
+        program = ColProgram(
+            [
+                Rule(
+                    PredLit("win", "x"),
+                    [
+                        PredLit("move", TupD(["x", "y"])),
+                        PredLit("win", "y", positive=False),
+                    ],
+                ),
+                Rule(PredLit("ANS", "x"), [PredLit("win", "x")]),
+            ]
+        )
+        database = _db(move={(1, 2), (2, 3)})
+        out = run_inflationary(program, database)
+        # Inflationary round 1: win(1), win(2) (no win facts yet);
+        # nothing retracts — the standard inflationary value.
+        assert out == SetVal([Atom(1), Atom(2)])
+
+    def test_snapshot_semantics(self):
+        # Within a round, all rules see the same snapshot: P and Q both
+        # derive from R before either sees the other's additions.
+        program = ColProgram(
+            [
+                Rule(PredLit("P", "x"), [PredLit("R", "x"),
+                                         PredLit("Q", "x", positive=False)]),
+                Rule(PredLit("Q", "x"), [PredLit("R", "x"),
+                                         PredLit("P", "x", positive=False)]),
+                Rule(PredLit("ANS", "x"), [PredLit("P", "x"), PredLit("Q", "x")]),
+            ]
+        )
+        out = run_inflationary(program, _db(R={1}))
+        # Round 1 snapshot has neither P nor Q, so both fire: ANS = {1}.
+        assert out == SetVal([Atom(1)])
+
+    def test_divergence_is_undefined(self):
+        program = ColProgram(
+            [
+                Rule(FuncLit("F", ConstD("a"), ConstD("a"))),
+                Rule(
+                    FuncLit("F", ConstD("a"), SetD(["u"])),
+                    [FuncLit("F", ConstD("a"), "u")],
+                ),
+                Rule(PredLit("ANS", "e"), [FuncLit("F", ConstD("a"), "e")]),
+            ]
+        )
+        out = run_inflationary(program, _db(R={1}), Budget(facts=100))
+        assert is_undefined(out)
+
+    def test_inflation_never_retracts(self):
+        program = ColProgram(
+            [
+                Rule(PredLit("ANS", "x"),
+                     [PredLit("R", "x"), PredLit("ANS", "x", positive=False)]),
+            ]
+        )
+        # Stratified rejects (negative self-cycle); inflationary answers.
+        out = run_inflationary(program, _db(R={1, 2}))
+        assert out == SetVal([Atom(1), Atom(2)])

@@ -1,0 +1,161 @@
+"""Unit tests for COL stratification."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.deductive.ast import (
+    ColProgram,
+    ConstD,
+    FuncLit,
+    FuncT,
+    PredLit,
+    Rule,
+    TupD,
+    VarD,
+)
+from repro.deductive.stratify import dependency_edges, run_stratified, stratify
+from repro.errors import StratificationError, UNDEFINED, is_undefined
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal
+
+
+def _db(**instances):
+    schema = Schema({name: parse_type("U") for name in instances})
+    return Database(schema, instances)
+
+
+class TestDependencyEdges:
+    def test_positive_and_negative(self):
+        program = ColProgram(
+            [
+                Rule(PredLit("P", "x"), [PredLit("R", "x")]),
+                Rule(
+                    PredLit("Q", "x"),
+                    [PredLit("R", "x"), PredLit("P", "x", positive=False)],
+                ),
+            ]
+        )
+        edges = dependency_edges(program)
+        assert (("pred", "R"), ("pred", "P"), False) in edges
+        assert (("pred", "P"), ("pred", "Q"), True) in edges
+
+    def test_function_value_term_is_negative_edge(self):
+        program = ColProgram(
+            [
+                Rule(FuncLit("F", ConstD("a"), "x"), [PredLit("R", "x")]),
+                Rule(
+                    PredLit("P", FuncT("F", ConstD("a"))),
+                    [PredLit("R", "x")],
+                ),
+            ]
+        )
+        edges = dependency_edges(program)
+        assert (("func", "F"), ("pred", "P"), True) in edges
+
+    def test_membership_literal_is_positive_edge(self):
+        program = ColProgram(
+            [
+                Rule(PredLit("P", "e"), [FuncLit("F", "a", "e")]),
+            ]
+        )
+        edges = dependency_edges(program)
+        assert (("func", "F"), ("pred", "P"), False) in edges
+
+
+class TestStratify:
+    def test_two_strata(self):
+        program = ColProgram(
+            [
+                Rule(PredLit("P", "x"), [PredLit("R", "x")]),
+                Rule(
+                    PredLit("ANS", "x"),
+                    [PredLit("R", "x"), PredLit("P", "x", positive=False)],
+                ),
+            ]
+        )
+        strata = stratify(program)
+        assert len(strata) == 2
+
+    def test_recursion_through_membership_allowed(self):
+        # The Theorem 5.1 counter: F defined in terms of its own members.
+        program = ColProgram(
+            [
+                Rule(
+                    FuncLit("F", ConstD("a"), SetDHelper()),
+                    [FuncLit("F", ConstD("a"), "u")],
+                ),
+                Rule(PredLit("ANS", "x"), [PredLit("R", "x")]),
+            ]
+        )
+        stratify(program)  # must not raise
+
+    def test_negative_cycle_rejected(self):
+        program = ColProgram(
+            [
+                Rule(
+                    PredLit("win", "x"),
+                    [
+                        PredLit("move", TupD(["x", "y"])),
+                        PredLit("win", "y", positive=False),
+                    ],
+                )
+            ]
+        )
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_function_completion_cycle_rejected(self):
+        # F's definition uses F's *value* as a term: no stratification.
+        program = ColProgram(
+            [
+                Rule(
+                    FuncLit("F", ConstD("a"), FuncT("F", ConstD("a"))),
+                    [PredLit("R", "x")],
+                ),
+            ]
+        )
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+
+def SetDHelper():
+    from repro.deductive.ast import SetD
+
+    return SetD(["u"])
+
+
+class TestRunStratified:
+    def test_negation_against_lower_stratum(self):
+        program = ColProgram(
+            [
+                Rule(PredLit("small", ConstD(1))),
+                Rule(
+                    PredLit("ANS", "x"),
+                    [PredLit("R", "x"), PredLit("small", "x", positive=False)],
+                ),
+            ]
+        )
+        out = run_stratified(program, _db(R={1, 2, 3}))
+        assert out == SetVal([Atom(2), Atom(3)])
+
+    def test_divergence_is_undefined(self):
+        program = ColProgram(
+            [
+                Rule(
+                    FuncLit("F", ConstD("a"), SetDHelper()),
+                    [FuncLit("F", ConstD("a"), "u")],
+                ),
+                Rule(FuncLit("F", ConstD("a"), ConstD("a"))),
+                Rule(PredLit("ANS", "e"), [FuncLit("F", ConstD("a"), "e")]),
+            ]
+        )
+        out = run_stratified(program, _db(R={1}), Budget(facts=100))
+        assert is_undefined(out)
+
+    def test_empty_answer_predicate(self):
+        program = ColProgram(
+            [Rule(PredLit("other", "x"), [PredLit("R", "x")])],
+            answer="ANS",
+        )
+        assert run_stratified(program, _db(R={1})) == SetVal([])

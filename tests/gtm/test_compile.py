@@ -1,0 +1,62 @@
+"""Unit tests for Proposition 3.1's two directions."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.errors import is_undefined
+from repro.gtm.compile import gtm_side_query, simulate_gtm_conventionally
+from repro.gtm.library import all_machines
+from repro.gtm.run import gtm_query
+from repro.model.schema import Database
+from repro.workloads import suite_binary, suite_unary
+
+
+def _databases_for(name, schema):
+    if name in ("identity", "reverse", "select_eq"):
+        data = [set(), {(1, 2)}, {(1, 1), (2, 3)}, {(4, 4), (4, 5), (5, 4)}]
+    else:
+        data = [set(), {1}, {1, 2}, {1, 2, 3}]
+    return [Database(schema, {"R": rows}) for rows in data]
+
+
+class TestGtmToConventional:
+    """GTM ⊑ C: the coded simulation never consults atom identity."""
+
+    @pytest.mark.parametrize("name", sorted(all_machines()))
+    def test_agreement(self, name):
+        gtm, schema, output_type = all_machines()[name]
+        for database in _databases_for(name, schema):
+            direct = gtm_query(gtm, database, output_type)
+            coded = simulate_gtm_conventionally(gtm, database, output_type)
+            assert direct == coded or (is_undefined(direct) and is_undefined(coded))
+
+    def test_budget_respected(self):
+        gtm, schema, output_type = all_machines()["duplicate"]
+        database = Database(schema, {"R": {1, 2, 3}})
+        out = simulate_gtm_conventionally(
+            gtm, database, output_type, budget=Budget(steps=3)
+        )
+        assert is_undefined(out)
+
+
+class TestConventionalToGtm:
+    """C ⊑ GTM: the encode/decode wrapping of a conventional computation."""
+
+    def test_identity_wrapping(self, unary_db):
+        out = gtm_side_query(
+            lambda symbols: symbols, unary_db, unary_db.schema.rtype("R")
+        )
+        assert out == unary_db["R"]
+
+    def test_wrapped_computation_sees_codes_not_atoms(self, unary_db):
+        seen = []
+
+        def probe(symbols):
+            seen.extend(symbols)
+            return symbols
+
+        gtm_side_query(probe, unary_db, unary_db.schema.rtype("R"))
+        from repro.model.values import Atom
+
+        assert not any(isinstance(s, Atom) for s in seen)
+        assert set("01") & set(s for s in seen if isinstance(s, str) and len(s) == 1)

@@ -1,0 +1,134 @@
+"""Unit tests for the stock GTM library."""
+
+import pytest
+
+from repro.gtm.library import (
+    TRUE_ATOM,
+    all_machines,
+    duplicate_gtm,
+    identity_gtm,
+    is_empty_gtm,
+    parity_gtm,
+    reverse_gtm,
+    select_eq_gtm,
+)
+from repro.gtm.run import check_order_independence, gtm_query
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal, Tup
+
+
+def _run(triple, data):
+    gtm, schema, output_type = triple
+    database = Database(schema, data)
+    return gtm_query(gtm, database, output_type)
+
+
+class TestIdentity:
+    def test_binary(self):
+        out = _run(identity_gtm(2), {"R": {(1, 2), (3, 4)}})
+        assert out == SetVal([Tup([Atom(1), Atom(2)]), Tup([Atom(3), Atom(4)])])
+
+    def test_unary(self):
+        out = _run(identity_gtm(1), {"R": {1, 2}})
+        assert out == SetVal([Atom(1), Atom(2)])
+
+    def test_empty(self):
+        assert _run(identity_gtm(2), {"R": set()}) == SetVal([])
+
+
+class TestIsEmpty:
+    def test_empty(self):
+        assert _run(is_empty_gtm(), {"R": set()}) == SetVal([TRUE_ATOM])
+
+    def test_nonempty(self):
+        assert _run(is_empty_gtm(), {"R": {1, 2, 3}}) == SetVal([])
+
+    def test_singleton(self):
+        assert _run(is_empty_gtm(), {"R": {1}}) == SetVal([])
+
+
+class TestParity:
+    @pytest.mark.parametrize("size", range(7))
+    def test_sizes(self, size):
+        out = _run(parity_gtm(), {"R": set(range(size))})
+        expected = SetVal([Atom("even")]) if size % 2 == 0 else SetVal([])
+        assert out == expected
+
+    def test_constant_atom_in_input(self):
+        # The constant 'even' may legitimately occur in the input.
+        out = _run(parity_gtm(), {"R": {"even", "x"}})
+        assert out == SetVal([Atom("even")])
+
+
+class TestReverse:
+    def test_swaps(self):
+        out = _run(reverse_gtm(), {"R": {(1, 2)}})
+        assert out == SetVal([Tup([Atom(2), Atom(1)])])
+
+    def test_self_loops_fixed(self):
+        out = _run(reverse_gtm(), {"R": {(5, 5)}})
+        assert out == SetVal([Tup([Atom(5), Atom(5)])])
+
+    def test_involution(self):
+        gtm, schema, output_type = reverse_gtm()
+        database = Database(schema, {"R": {(1, 2), (3, 4), (5, 5)}})
+        once = gtm_query(gtm, database, output_type)
+        twice = gtm_query(
+            gtm, Database(schema, {"R": once}), output_type
+        )
+        assert twice == database["R"]
+
+    def test_empty(self):
+        assert _run(reverse_gtm(), {"R": set()}) == SetVal([])
+
+
+class TestSelectEq:
+    def test_filters(self):
+        out = _run(select_eq_gtm(), {"R": {(1, 1), (1, 2), (3, 3)}})
+        assert out == SetVal([Tup([Atom(1), Atom(1)]), Tup([Atom(3), Atom(3)])])
+
+    def test_nothing_matches(self):
+        assert _run(select_eq_gtm(), {"R": {(1, 2), (3, 4)}}) == SetVal([])
+
+    def test_everything_matches(self):
+        out = _run(select_eq_gtm(), {"R": {(7, 7)}})
+        assert len(out) == 1
+
+
+class TestDuplicate:
+    @pytest.mark.parametrize("size", range(5))
+    def test_sizes(self, size):
+        out = _run(duplicate_gtm(), {"R": set(range(size))})
+        assert out == SetVal([Tup([Atom(i), Atom(i)]) for i in range(size)])
+
+
+class TestOrderIndependence:
+    @pytest.mark.parametrize("name", sorted(all_machines()))
+    def test_every_machine(self, name):
+        gtm, schema, output_type = all_machines()[name]
+        if name in ("identity", "reverse", "select_eq"):
+            data = {"R": {(1, 2), (2, 2), (3, 1)}}
+        else:
+            data = {"R": {1, 2, 3}}
+        database = Database(schema, data)
+        assert check_order_independence(gtm, database, output_type, max_orders=6)
+
+
+class TestGenericity:
+    @pytest.mark.parametrize("name", sorted(all_machines()))
+    def test_every_machine_is_c_generic(self, name):
+        from repro.model.genericity import check_generic
+
+        gtm, schema, output_type = all_machines()[name]
+        if name in ("identity", "reverse", "select_eq"):
+            data = {"R": {(1, 2), (2, 2)}}
+        else:
+            data = {"R": {1, 2}}
+        database = Database(schema, data)
+        assert check_generic(
+            lambda d: gtm_query(gtm, d, output_type),
+            [database],
+            constants=list(gtm.constants),
+            max_perms=8,
+        )

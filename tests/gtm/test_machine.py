@@ -1,0 +1,140 @@
+"""Unit tests for GTM definitions and pattern matching."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.gtm.machine import ALPHA, BETA, GTM, Step, is_working
+from repro.model.values import Atom
+
+
+def _minimal(delta, constants=(), working=()):
+    return GTM(
+        states={"s", "h"},
+        working=working,
+        constants=constants,
+        delta=delta,
+        start="s",
+        halt="h",
+    )
+
+
+class TestValidation:
+    def test_trivial_machine(self):
+        gtm = _minimal({("s", "(", "("): ("h", "(", "(", "-", "-")})
+        assert gtm.start == "s"
+
+    def test_beta_requires_alpha(self):
+        with pytest.raises(MachineError):
+            _minimal({("s", "(", BETA): ("h", "(", BETA, "-", "-")})
+
+    def test_beta_not_on_first_tape(self):
+        with pytest.raises(MachineError):
+            _minimal({("s", BETA, ALPHA): ("h", "(", "(", "-", "-")})
+
+    def test_alpha_written_only_if_read(self):
+        with pytest.raises(MachineError):
+            _minimal({("s", "(", "("): ("h", ALPHA, "(", "-", "-")})
+
+    def test_beta_written_only_if_read(self):
+        with pytest.raises(MachineError):
+            _minimal({("s", ALPHA, ALPHA): ("h", BETA, ALPHA, "-", "-")})
+
+    def test_atoms_in_delta_must_be_constants(self):
+        with pytest.raises(MachineError):
+            _minimal({("s", Atom("c"), "("): ("h", "(", "(", "-", "-")})
+        _minimal(
+            {("s", Atom("c"), "("): ("h", "(", "(", "-", "-")},
+            constants=[Atom("c")],
+        )
+
+    def test_halt_state_has_no_outgoing(self):
+        with pytest.raises(MachineError):
+            _minimal({("h", "(", "("): ("h", "(", "(", "-", "-")})
+
+    def test_unknown_states_rejected(self):
+        with pytest.raises(MachineError):
+            _minimal({("ghost", "(", "("): ("h", "(", "(", "-", "-")})
+        with pytest.raises(MachineError):
+            _minimal({("s", "(", "("): ("ghost", "(", "(", "-", "-")})
+
+    def test_bad_moves_rejected(self):
+        with pytest.raises(MachineError):
+            _minimal({("s", "(", "("): ("h", "(", "(", "X", "-")})
+
+    def test_unknown_working_symbol_rejected(self):
+        with pytest.raises(MachineError):
+            _minimal({("s", "?", "("): ("h", "(", "(", "-", "-")})
+
+    def test_punctuation_always_in_working(self):
+        gtm = _minimal({})
+        for symbol in ("(", ")", "[", "]", ","):
+            assert symbol in gtm.working
+
+
+class TestMatching:
+    def test_concrete_lookup(self):
+        gtm = _minimal({("s", "(", ")"): ("h", "(", ")", "-", "-")})
+        step, bindings = gtm.match("s", "(", ")")
+        assert step.state == "h"
+        assert bindings == {}
+
+    def test_alpha_binds_fresh_atom(self):
+        gtm = _minimal({("s", ALPHA, "_"): ("h", ALPHA, ALPHA, "-", "-")})
+        step, bindings = gtm.match("s", Atom("x"), "_")
+        assert bindings == {ALPHA: Atom("x")}
+        assert gtm.resolve(step.write2, bindings) == Atom("x")
+
+    def test_alpha_alpha_means_equal(self):
+        gtm = _minimal(
+            {
+                ("s", ALPHA, ALPHA): ("h", ALPHA, ALPHA, "-", "-"),
+                ("s", ALPHA, BETA): ("s", ALPHA, BETA, "-", "-"),
+            }
+        )
+        step_equal, _ = gtm.match("s", Atom("x"), Atom("x"))
+        step_diff, bindings = gtm.match("s", Atom("x"), Atom("y"))
+        assert step_equal.state == "h"
+        assert step_diff.state == "s"
+        assert bindings == {ALPHA: Atom("x"), BETA: Atom("y")}
+
+    def test_constant_atoms_are_concrete(self):
+        c = Atom("c")
+        gtm = _minimal(
+            {
+                ("s", c, "_"): ("h", c, "_", "-", "-"),
+                ("s", ALPHA, "_"): ("s", ALPHA, "_", "-", "-"),
+            },
+            constants=[c],
+        )
+        step_const, _ = gtm.match("s", c, "_")
+        step_fresh, _ = gtm.match("s", Atom("other"), "_")
+        assert step_const.state == "h"
+        assert step_fresh.state == "s"
+
+    def test_const_alpha_pattern(self):
+        gtm = _minimal({("s", "(", ALPHA): ("h", "(", ALPHA, "-", "-")})
+        step, bindings = gtm.match("s", "(", Atom("z"))
+        assert bindings == {ALPHA: Atom("z")}
+
+    def test_no_transition_returns_none(self):
+        gtm = _minimal({})
+        assert gtm.match("s", "(", "(") is None
+
+    def test_generic_entries_listed(self):
+        gtm = _minimal(
+            {
+                ("s", ALPHA, "_"): ("h", ALPHA, "_", "-", "-"),
+                ("s", "(", "("): ("h", "(", "(", "-", "-"),
+            }
+        )
+        assert len(gtm.generic_entries()) == 1
+
+
+class TestHelpers:
+    def test_is_working(self):
+        assert is_working("(")
+        assert not is_working(Atom("("))
+
+    def test_step_from_tuple(self):
+        gtm = _minimal({("s", "(", "("): ("h", "(", "(", "-", "-")})
+        assert isinstance(gtm.delta[("s", "(", "(")], Step)

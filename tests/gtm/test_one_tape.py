@@ -1,0 +1,138 @@
+"""Unit tests for 1-tape GTMs and the Section 3 closing remark."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.errors import MachineError, is_undefined
+from repro.gtm.machine import ALPHA, BETA
+from repro.gtm.one_tape import (
+    OneTapeGTM,
+    duplication_is_impossible,
+    run_one_tape,
+)
+from repro.model.encoding import BLANK
+from repro.model.values import Atom
+
+
+def _scanner():
+    """Scan to ')' and halt (an identity-ish 1-tape machine)."""
+    return OneTapeGTM(
+        states={"s", "go", "h"},
+        working=[],
+        constants=[],
+        delta={
+            ("s", "("): ("go", "(", "R"),
+            ("go", ALPHA): ("go", ALPHA, "R"),
+            ("go", "["): ("go", "[", "R"),
+            ("go", "]"): ("go", "]", "R"),
+            ("go", ")"): ("h", ")", "-"),
+        },
+        start="s",
+        halt="h",
+    )
+
+
+class TestValidation:
+    def test_beta_meaningless(self):
+        with pytest.raises(MachineError):
+            OneTapeGTM(
+                states={"s", "h"},
+                working=[],
+                constants=[],
+                delta={("s", BETA): ("h", BETA, "-")},
+                start="s",
+                halt="h",
+            )
+
+    def test_alpha_write_requires_read(self):
+        with pytest.raises(MachineError):
+            OneTapeGTM(
+                states={"s", "h"},
+                working=[],
+                constants=[],
+                delta={("s", "("): ("h", ALPHA, "-")},
+                start="s",
+                halt="h",
+            )
+
+
+class TestRunner:
+    def test_scan(self):
+        out = run_one_tape(_scanner(), ["(", Atom(1), Atom(2), ")"])
+        assert out == ["(", Atom(1), Atom(2), ")"]
+
+    def test_stuck_is_undefined(self):
+        assert is_undefined(run_one_tape(_scanner(), [")"]))
+
+    def test_budget_is_undefined(self):
+        spinner = OneTapeGTM(
+            states={"s", "h"},
+            working=[],
+            constants=[],
+            delta={("s", BLANK): ("s", BLANK, "-")},
+            start="s",
+            halt="h",
+        )
+        assert is_undefined(run_one_tape(spinner, [], Budget(steps=20)))
+
+
+class TestReplicationInvariant:
+    def test_holds_during_scan(self):
+        # check_invariant=True raises if ever violated; completing the
+        # run is the machine-checked proof probe.
+        out = run_one_tape(
+            _scanner(), ["(", Atom(1), ")"], check_invariant=True
+        )
+        assert out is not None
+
+    def test_erasing_decreases_counts(self):
+        eraser = OneTapeGTM(
+            states={"s", "go", "h"},
+            working=[],
+            constants=[],
+            delta={
+                ("s", "("): ("go", "(", "R"),
+                ("go", ALPHA): ("go", BLANK, "R"),
+                ("go", ")"): ("h", ")", "-"),
+            },
+            start="s",
+            halt="h",
+        )
+        out = run_one_tape(eraser, ["(", Atom(1), ")"], check_invariant=True)
+        assert Atom(1) not in out
+
+    def test_atom_can_move_but_not_double(self):
+        # A machine shifting an atom right by one cell: reads α, blanks
+        # it, then writes... it *cannot* — α may only be written where
+        # it was read.  The best it can do is keep it in place.
+        mover_attempt = OneTapeGTM(
+            states={"s", "h"},
+            working=[],
+            constants=[],
+            delta={("s", ALPHA): ("h", ALPHA, "R")},
+            start="s",
+            halt="h",
+        )
+        out = run_one_tape(mover_attempt, [Atom(9)], check_invariant=True)
+        assert out.count(Atom(9)) == 1
+
+
+class TestDuplicationImpossibility:
+    def test_scanner_fails_duplicate(self):
+        assert duplication_is_impossible(_scanner(), [Atom(7)])
+
+    def test_multiple_atoms(self):
+        assert duplication_is_impossible(_scanner(), [Atom(1), Atom(2)])
+
+    def test_two_tape_machine_succeeds_for_contrast(self):
+        from repro.gtm.library import duplicate_gtm
+        from repro.gtm.run import gtm_query
+        from repro.model.schema import Database
+
+        gtm, schema, output_type = duplicate_gtm()
+        database = Database(schema, {"R": {7}})
+        out = gtm_query(gtm, database, output_type)
+        # The 2-tape machine genuinely replicates the atom.
+        from repro.model.values import SetVal, Tup
+
+        assert out == SetVal([Tup([Atom(7), Atom(7)])])

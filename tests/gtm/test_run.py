@@ -1,0 +1,158 @@
+"""Unit tests for GTM execution and query semantics."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.errors import MachineError, UNDEFINED, is_undefined
+from repro.gtm.machine import ALPHA, GTM
+from repro.gtm.run import Tape, check_order_independence, gtm_query, run_gtm
+from repro.model.encoding import BLANK
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal
+
+
+class TestTape:
+    def test_read_write(self):
+        tape = Tape()
+        assert tape.read() == BLANK
+        tape.write("x")
+        assert tape.read() == "x"
+
+    def test_blank_write_clears(self):
+        tape = Tape.from_symbols(["a", "b"])
+        tape.write(BLANK)
+        assert tape.read() == BLANK
+        assert tape.contents() == [BLANK, "b"]
+
+    def test_one_way_left_boundary(self):
+        tape = Tape()
+        tape.move("L")
+        assert tape.head == 0
+        tape.move("R")
+        tape.move("L")
+        assert tape.head == 0
+
+    def test_contents_trims_trailing_blanks(self):
+        tape = Tape.from_symbols(["a", BLANK, "b"])
+        assert tape.contents() == ["a", BLANK, "b"]
+        assert Tape().contents() == []
+
+
+def _eraser():
+    """A machine that blanks its input and halts at ')' (keeps parens)."""
+    return GTM(
+        states={"s", "go", "h"},
+        working=[],
+        constants=[],
+        delta={
+            ("s", "(", BLANK): ("go", "(", BLANK, "R", "-"),
+            ("go", ALPHA, BLANK): ("go", BLANK, BLANK, "R", "-"),
+            ("go", ")", BLANK): ("h", ")", BLANK, "-", "-"),
+        },
+        start="s",
+        halt="h",
+    )
+
+
+class TestRunGtm:
+    def test_erases(self):
+        out = run_gtm(_eraser(), ["(", Atom(1), Atom(2), ")"])
+        assert out == ["(", BLANK, BLANK, ")"]
+
+    def test_stuck_is_undefined(self):
+        out = run_gtm(_eraser(), ["[", Atom(1)])
+        assert is_undefined(out)
+
+    def test_budget_is_undefined(self):
+        spinner = GTM(
+            states={"s", "h"},
+            working=[],
+            constants=[],
+            delta={("s", BLANK, BLANK): ("s", BLANK, BLANK, "-", "-")},
+            start="s",
+            halt="h",
+        )
+        assert is_undefined(run_gtm(spinner, [], Budget(steps=100)))
+
+    def test_trace_collection(self):
+        trace = []
+        run_gtm(_eraser(), ["(", Atom(1), ")"], trace=trace)
+        assert len(trace) == 3
+        assert trace[-1][0] == "h"
+
+    def test_immediate_halt(self):
+        instant = GTM(
+            states={"h"}, working=[], constants=[], delta={}, start="h", halt="h"
+        )
+        assert run_gtm(instant, ["(", ")"]) == ["(", ")"]
+
+
+class TestGtmQuery:
+    def test_decodes_output(self):
+        schema = Schema({"R": parse_type("U")})
+        database = Database(schema, {"R": {1, 2}})
+        out = gtm_query(_eraser(), database, parse_type("U"))
+        assert out == SetVal([])
+
+    def test_malformed_output_is_undefined(self):
+        mangler = GTM(
+            states={"s", "h"},
+            working=[],
+            constants=[],
+            delta={("s", "(", BLANK): ("h", "[", BLANK, "-", "-")},
+            start="s",
+            halt="h",
+        )
+        schema = Schema({"R": parse_type("U")})
+        database = Database(schema, {"R": {1}})
+        assert is_undefined(gtm_query(mangler, database, parse_type("U")))
+
+    def test_explicit_order(self):
+        schema = Schema({"R": parse_type("U")})
+        database = Database(schema, {"R": {1, 2}})
+        out = gtm_query(
+            _eraser(), database, parse_type("U"), atom_order=[Atom(2), Atom(1)]
+        )
+        assert out == SetVal([])
+
+
+class TestOrderIndependence:
+    def test_eraser_is_order_independent(self):
+        schema = Schema({"R": parse_type("U")})
+        database = Database(schema, {"R": {1, 2, 3}})
+        assert check_order_independence(_eraser(), database, parse_type("U"))
+
+    def test_order_dependent_machine_caught(self):
+        # Halts on the first data atom, keeping only the rest: the
+        # output depends on which atom came first.
+        first_dropper = GTM(
+            states={"s", "h"},
+            working=[],
+            constants=[],
+            delta={
+                ("s", "(", BLANK): ("h", BLANK, BLANK, "R", "-"),
+            },
+            start="s",
+            halt="h",
+        )
+        # This machine outputs garbage either way; build a sharper one:
+        keep_first = GTM(
+            states={"s", "scan", "z", "h"},
+            working=[],
+            constants=[],
+            delta={
+                ("s", "(", BLANK): ("scan", "(", BLANK, "R", "-"),
+                # keep the first atom, erase the rest
+                ("scan", ALPHA, BLANK): ("z", ALPHA, BLANK, "R", "-"),
+                ("z", ALPHA, BLANK): ("z", BLANK, BLANK, "R", "-"),
+                ("z", ")", BLANK): ("h", ")", BLANK, "-", "-"),
+                ("scan", ")", BLANK): ("h", ")", BLANK, "-", "-"),
+            },
+            start="s",
+            halt="h",
+        )
+        schema = Schema({"R": parse_type("U")})
+        database = Database(schema, {"R": {1, 2}})
+        with pytest.raises(MachineError):
+            check_order_independence(keep_first, database, parse_type("U"))

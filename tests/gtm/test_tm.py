@@ -1,0 +1,118 @@
+"""Unit tests for conventional Turing machines and the §2 framing."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.errors import MachineError, UNDEFINED, is_undefined
+from repro.gtm.tm import (
+    TM,
+    atom_codes,
+    decode_from_tm,
+    encode_for_tm,
+    halts,
+    run_tm,
+    tm_query,
+    unary_machines,
+)
+from repro.model.encoding import BLANK
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal
+
+
+class TestTMValidation:
+    def test_needs_valid_states(self):
+        with pytest.raises(MachineError):
+            TM({"s"}, {"a"}, {}, start="s", halt="missing")
+
+    def test_tape_count_checked(self):
+        with pytest.raises(MachineError):
+            TM(
+                {"s", "h"},
+                {"a"},
+                {("s", "a", "a"): ("h", ("a",), ("-",))},
+                start="s",
+                halt="h",
+                tapes=1,
+            )
+
+    def test_alphabet_checked(self):
+        with pytest.raises(MachineError):
+            TM(
+                {"s", "h"},
+                {"a"},
+                {("s", "z"): ("h", ("z",), ("-",))},
+                start="s",
+                halt="h",
+            )
+
+
+class TestRunTM:
+    def test_simple_scan(self):
+        machines = unary_machines()
+        out = run_tm(machines["always_halts"], ["a", "a"])
+        assert out == ["a", "a"]
+
+    def test_divergence(self):
+        machines = unary_machines()
+        out = run_tm(machines["never_halts"], ["a"], Budget(steps=50))
+        assert is_undefined(out)
+
+    def test_stuck(self):
+        tm = TM(
+            {"s", "h"},
+            {"a"},
+            {("s", "a"): ("h", ("a",), ("-",))},
+            start="s",
+            halt="h",
+        )
+        assert is_undefined(run_tm(tm, []))  # blank has no transition
+
+
+class TestHalts:
+    def test_even_machine(self):
+        machines = unary_machines()
+        assert halts(machines["halts_iff_even"], ["a"] * 4, 100) is True
+        assert halts(machines["halts_iff_even"], ["a"] * 3, 100) is None
+
+    def test_bound_matters(self):
+        machines = unary_machines()
+        assert halts(machines["slow_halt"], ["a"] * 5, 3) is None
+        assert halts(machines["slow_halt"], ["a"] * 5, 1000) is True
+
+
+class TestEncoding:
+    def test_atom_codes_fixed_width(self):
+        codes = atom_codes([Atom(i) for i in range(5)])
+        widths = {len(code) for code in codes.values()}
+        assert len(widths) == 1
+        assert len(set(codes.values())) == 5
+
+    def test_constants_not_coded(self):
+        c = Atom("c")
+        codes = atom_codes([Atom(1), c], constants=[c])
+        assert c not in codes
+
+    def test_roundtrip(self):
+        schema = Schema({"R": parse_type("[U, U]")})
+        database = Database(schema, {"R": {(1, 2), (3, 4)}})
+        order = sorted(database.adom(), key=lambda a: a.canon_key())
+        symbols, codes = encode_for_tm(database, order)
+        decoded = decode_from_tm(symbols, codes, parse_type("[U, U]"))
+        assert decoded == database["R"]
+
+    def test_tm_query_identity(self):
+        schema = Schema({"R": parse_type("U")})
+        database = Database(schema, {"R": {1, 2}})
+        out = tm_query(lambda symbols: symbols, database, parse_type("U"))
+        assert out == database["R"]
+
+    def test_tm_query_undefined(self):
+        schema = Schema({"R": parse_type("U")})
+        database = Database(schema, {"R": {1}})
+        assert is_undefined(
+            tm_query(lambda symbols: UNDEFINED, database, parse_type("U"))
+        )
+        assert is_undefined(
+            tm_query(lambda symbols: ["garbage"], database, parse_type("U"))
+        )

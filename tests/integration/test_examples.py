@@ -1,0 +1,17 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip()  # every example narrates what it does

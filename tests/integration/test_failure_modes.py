@@ -1,0 +1,154 @@
+"""Failure injection: every evaluator must degrade to ``?``, never lie.
+
+The paper's semantics funnels all abnormal outcomes (divergence,
+malformed machine output, infinite models) into the single undefined
+value.  These tests inject each failure mode and check the funnel.
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.errors import UNDEFINED, is_undefined
+from repro.gtm.machine import ALPHA, GTM
+from repro.model.encoding import BLANK
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal
+
+
+def _spinner():
+    """A GTM that never halts (spins on '(')."""
+    return GTM(
+        states={"s", "h"},
+        working=[],
+        constants=[],
+        delta={("s", "(", BLANK): ("s", "(", BLANK, "-", "-")},
+        start="s",
+        halt="h",
+    )
+
+
+def _unary_db(*labels):
+    return Database(Schema({"R": parse_type("U")}), {"R": set(labels)})
+
+
+class TestDivergenceFunnels:
+    def test_gtm_runner(self):
+        from repro.gtm.run import gtm_query
+
+        out = gtm_query(
+            _spinner(), _unary_db(1), parse_type("U"), budget=Budget(steps=500)
+        )
+        assert is_undefined(out)
+
+    def test_conventional_simulation(self):
+        from repro.gtm.compile import simulate_gtm_conventionally
+
+        out = simulate_gtm_conventionally(
+            _spinner(), _unary_db(1), parse_type("U"), budget=Budget(steps=500)
+        )
+        assert is_undefined(out)
+
+    def test_compiled_algebra(self):
+        from repro.core.alg_simulation import compile_gtm_to_alg, run_compiled
+
+        schema = Schema({"R": parse_type("U")})
+        program = compile_gtm_to_alg(_spinner(), schema, parse_type("U"))
+        out = run_compiled(
+            program, _spinner(), _unary_db(1), Budget(iterations=60, objects=None)
+        )
+        assert is_undefined(out)
+
+    def test_compiled_col_both_semantics(self):
+        from repro.core.col_simulation import compile_gtm_to_col, run_compiled_col
+
+        program = compile_gtm_to_col(_spinner(), parse_type("U"))
+        for semantics in ("stratified", "inflationary"):
+            out = run_compiled_col(
+                program,
+                _spinner(),
+                _unary_db(1),
+                semantics,
+                Budget(facts=1500, steps=None),
+            )
+            assert is_undefined(out), semantics
+
+    def test_terminal_invention(self):
+        from repro.calculus.invention import terminal_invention
+        from repro.core.calc_simulation import compile_gtm_to_calc
+
+        staged = compile_gtm_to_calc(_spinner(), parse_type("U"))
+        out = terminal_invention(staged, _unary_db(1), Budget(stages=5, steps=None))
+        assert is_undefined(out)
+
+
+class TestMalformedOutputFunnels:
+    def test_garbage_tape_is_undefined_everywhere(self):
+        # Halt immediately after scribbling a stray ']' — not a listing.
+        scribbler = GTM(
+            states={"s", "h"},
+            working=[],
+            constants=[],
+            delta={("s", "(", BLANK): ("h", "]", BLANK, "-", "-")},
+            start="s",
+            halt="h",
+        )
+        from repro.core.alg_simulation import compile_gtm_to_alg, run_compiled
+        from repro.gtm.run import gtm_query
+
+        schema = Schema({"R": parse_type("U")})
+        database = _unary_db(1)
+        assert is_undefined(gtm_query(scribbler, database, parse_type("U")))
+        # The algebra decoder for set-of-atoms output keeps only
+        # non-working cells, so for type U it still decodes (the paper's
+        # "contents not an ordered listing" clause is about *structure*;
+        # a lone ']' leaves no data cells).  For tuple outputs the chain
+        # join finds no well-formed row either way:
+        program = compile_gtm_to_alg(scribbler, schema, parse_type("[U, U]"))
+        out = run_compiled(
+            program, scribbler, database, Budget(steps=None, objects=None)
+        )
+        assert out == SetVal([]) or is_undefined(out)
+
+
+class TestUndefinedIsViral:
+    def test_algebra_assignment(self, binary_db):
+        from repro.algebra.ast import Assign, Diff, Program, Undefine, Var
+        from repro.algebra.eval import run_program
+
+        program = Program(
+            [
+                Assign("e", Diff(Var("R"), Var("R"))),
+                Assign("u", Undefine(Var("e"))),
+                Assign("ANS", Var("R")),  # never reached
+            ],
+            input_names=["R"],
+        )
+        assert is_undefined(run_program(program, binary_db))
+
+    def test_budget_exhaustion_is_quiet_not_raised(self, binary_db):
+        from repro.algebra.eval import run_program
+        from repro.algebra.library import transitive_closure
+
+        # Tiny budget: the evaluator reports ?, it does not crash.
+        out = run_program(transitive_closure(), binary_db, Budget(steps=3))
+        assert is_undefined(out)
+
+
+class TestCollisionGuards:
+    def test_invented_namespace_guard(self):
+        from repro.calculus.invention import upper_stage
+        from repro.calculus.library import membership_query
+        from repro.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            upper_stage(membership_query(), _unary_db("ι0"), 1)
+
+    def test_working_symbol_guard_in_col(self):
+        from repro.core.col_simulation import encode_database_for_col
+        from repro.errors import MachineError
+        from repro.gtm.library import parity_gtm
+
+        gtm, schema, _ = parity_gtm()
+        with pytest.raises(MachineError):
+            encode_database_for_col(gtm, Database(schema, {"R": {"["}}))

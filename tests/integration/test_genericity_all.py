@@ -1,0 +1,125 @@
+"""E14 as a test: every evaluator in the library is C-generic.
+
+Section 2: "All queries in the languages discussed here are generic and
+domain preserving."  We verify this empirically for one representative
+query per language, using the permutation-commutation checker.
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.model.genericity import check_domain_preserving, check_generic
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.workloads import chain_graph, random_binary_pairs, unary_instance
+
+
+def _unlimited():
+    return Budget(steps=None, objects=None, iterations=None, facts=None)
+
+
+BINARY_BANK = [random_binary_pairs(3, 3, seed) for seed in (1, 2)] + [chain_graph(2)]
+UNARY_BANK = [unary_instance(n) for n in (2, 3)]
+
+
+class TestAlgebraGenericity:
+    def test_transitive_closure(self):
+        from repro.algebra.eval import run_program
+        from repro.algebra.library import transitive_closure
+
+        program = transitive_closure()
+        assert check_generic(
+            lambda d: run_program(program, d), BINARY_BANK, max_perms=6
+        )
+        assert check_domain_preserving(
+            lambda d: run_program(program, d), BINARY_BANK
+        )
+
+    def test_powerset_via_while(self):
+        from repro.algebra.eval import run_program
+        from repro.algebra.library import powerset_via_while
+
+        program = powerset_via_while()
+        assert check_generic(
+            lambda d: run_program(program, d, _unlimited()), UNARY_BANK, max_perms=6
+        )
+
+    def test_compiled_gtm_program(self):
+        from repro.core.alg_simulation import compile_gtm_to_alg, run_compiled
+        from repro.gtm.library import parity_gtm
+
+        gtm, schema, output_type = parity_gtm()
+        program = compile_gtm_to_alg(gtm, schema, output_type)
+        assert check_generic(
+            lambda d: run_compiled(program, gtm, d, _unlimited()),
+            UNARY_BANK,
+            constants=list(gtm.constants),
+            max_perms=6,
+        )
+
+
+class TestCalculusGenericity:
+    def test_parity(self):
+        from repro.calculus.eval import evaluate_query
+        from repro.calculus.library import parity_query
+
+        query = parity_query()
+        assert check_generic(
+            lambda d: evaluate_query(query, d, budget=_unlimited()),
+            UNARY_BANK,
+            constants=sorted(query.constants(), key=lambda a: a.canon_key()),
+            max_perms=6,
+        )
+
+    def test_terminal_invention(self):
+        from repro.calculus.invention import terminal_invention
+        from repro.core.calc_simulation import compile_gtm_to_calc
+        from repro.gtm.library import duplicate_gtm
+
+        gtm, schema, output_type = duplicate_gtm()
+        staged = compile_gtm_to_calc(gtm, output_type)
+        assert check_generic(
+            lambda d: terminal_invention(staged, d, Budget(stages=64)),
+            UNARY_BANK,
+            max_perms=6,
+        )
+
+
+class TestDeductiveGenericity:
+    def test_datalog_tc(self):
+        from repro.deductive.datalog import (
+            run_datalog_stratified,
+            transitive_closure_datalog,
+        )
+
+        program = transitive_closure_datalog()
+        assert check_generic(
+            lambda d: run_datalog_stratified(program, d), BINARY_BANK, max_perms=6
+        )
+
+    def test_compiled_col_program(self):
+        from repro.core.col_simulation import compile_gtm_to_col, run_compiled_col
+        from repro.gtm.library import is_empty_gtm
+
+        gtm, schema, output_type = is_empty_gtm()
+        program = compile_gtm_to_col(gtm, output_type)
+        assert check_generic(
+            lambda d: run_compiled_col(program, gtm, d, "stratified", _unlimited()),
+            UNARY_BANK,
+            constants=list(gtm.constants),
+            max_perms=4,
+        )
+
+
+class TestMachineGenericity:
+    def test_gtm_queries(self):
+        from repro.gtm.library import reverse_gtm
+        from repro.gtm.run import gtm_query
+
+        gtm, schema, output_type = reverse_gtm()
+        assert check_generic(
+            lambda d: gtm_query(gtm, d, output_type), BINARY_BANK, max_perms=6
+        )
+        assert check_domain_preserving(
+            lambda d: gtm_query(gtm, d, output_type), BINARY_BANK
+        )

@@ -1,0 +1,200 @@
+"""Integration tests: each of the paper's headline results end-to-end.
+
+One test (class) per theorem / proposition, exercising the full
+pipeline the corresponding experiment (EXPERIMENTS.md) automates.
+"""
+
+import pytest
+
+from repro.budget import Budget
+from repro.core.equivalence import check_agreement, implementations_for
+from repro.errors import StratificationError, is_undefined
+from repro.gtm.library import all_machines
+from repro.model.schema import Database
+from repro.model.values import Atom, NamedTup, SetVal
+
+
+def _unlimited():
+    return Budget(steps=None, objects=None, iterations=None, facts=None, stages=None)
+
+
+def _databases_for(name, schema):
+    if name in ("identity", "reverse", "select_eq"):
+        data = [set(), {(1, 2)}, {(1, 1), (2, 3)}]
+    else:
+        data = [set(), {1}, {1, 2}]
+    return [Database(schema, {"R": rows}) for rows in data]
+
+
+class TestTheorem21And41a:
+    """tsALG ≡ tsCALC ≡ DATALOG on elementary queries; ALG ≡ tsALG."""
+
+    def test_join_all_languages(self):
+        from repro.algebra.eval import run_program
+        from repro.algebra.library import natural_join
+        from repro.calculus.eval import evaluate_query
+        from repro.calculus.library import join_query
+        from repro.deductive.ast import PredLit, Rule, TupD
+        from repro.deductive.datalog import DatalogProgram, run_datalog_stratified
+        from repro.model.schema import Schema
+        from repro.model.types import parse_type
+
+        schema = Schema({"R": parse_type("[U, U]"), "S": parse_type("[U, U]")})
+        database = Database(
+            schema, {"R": {(1, 2), (5, 6)}, "S": {(2, 3), (2, 4), (9, 9)}}
+        )
+        algebra = run_program(natural_join(), database)
+        calculus = evaluate_query(join_query(), database)
+        datalog = run_datalog_stratified(
+            DatalogProgram(
+                [
+                    Rule(
+                        PredLit("ANS", TupD(["x", "y", "z"])),
+                        [PredLit("R", TupD(["x", "y"])), PredLit("S", TupD(["y", "z"]))],
+                    )
+                ]
+            ),
+            database,
+        )
+        assert algebra == calculus == datalog
+
+    def test_tc_all_languages(self):
+        from repro.algebra.eval import run_program
+        from repro.algebra.library import transitive_closure, transitive_closure_powerset
+        from repro.calculus.eval import evaluate_query
+        from repro.calculus.library import tc_query
+        from repro.deductive.datalog import (
+            run_datalog_stratified,
+            transitive_closure_datalog,
+        )
+        from repro.workloads import chain_graph
+
+        database = chain_graph(2)
+        results = {
+            "alg-while": run_program(transitive_closure(), database),
+            "alg-powerset": run_program(
+                transitive_closure_powerset(), database, _unlimited()
+            ),
+            "calc": evaluate_query(tc_query(), database, budget=_unlimited()),
+            "datalog": run_datalog_stratified(transitive_closure_datalog(), database),
+        }
+        values = list(results.values())
+        assert all(v == values[0] for v in values), results
+
+
+class TestTheorem41b:
+    """ALG+while−powerset is C-equivalent."""
+
+    @pytest.mark.parametrize("name", ["parity", "reverse", "duplicate"])
+    def test_machines_via_algebra(self, name):
+        gtm, schema, output_type = all_machines()[name]
+        impls = implementations_for(
+            gtm, schema, output_type, routes=["gtm", "alg_while"]
+        )
+        check_agreement(impls, _databases_for(name, schema))
+
+    def test_unnesting_preserves_compiled_programs(self):
+        # The compiled program is already unnested; the Thm 4.1(b)(iii)
+        # rewrite must be a semantic no-op on it.
+        from repro.algebra.rewrites import unnest_whiles
+        from repro.core.alg_simulation import compile_gtm_to_alg, run_compiled
+
+        gtm, schema, output_type = all_machines()["is_empty"]
+        program = compile_gtm_to_alg(gtm, schema, output_type)
+        flat = unnest_whiles(program)
+        database = Database(schema, {"R": {1}})
+        assert run_compiled(program, gtm, database, _unlimited()) == run_compiled(
+            flat, gtm, database, _unlimited()
+        )
+
+
+class TestTheorem51:
+    """COL^str ≡ COL^inf ≡ C."""
+
+    @pytest.mark.parametrize("name", ["parity", "select_eq"])
+    def test_machines_via_col(self, name):
+        gtm, schema, output_type = all_machines()[name]
+        impls = implementations_for(
+            gtm, schema, output_type,
+            routes=["gtm", "col_stratified", "col_inflationary"],
+        )
+        check_agreement(impls, _databases_for(name, schema))
+
+    def test_flat_contrast_win_move(self):
+        # On flat DATALOG¬ the semantics differ (win-move); with untyped
+        # sets the compiled programs agree — both facts in one test.
+        from repro.deductive.datalog import (
+            run_datalog_inflationary,
+            run_datalog_stratified,
+            unstratifiable_program,
+        )
+        from repro.model.schema import Schema
+        from repro.model.types import parse_type
+
+        program = unstratifiable_program()
+        database = Database(
+            Schema({"move": parse_type("[U, U]")}), {"move": {(1, 2)}}
+        )
+        with pytest.raises(StratificationError):
+            run_datalog_stratified(program, database)
+        assert run_datalog_inflationary(program, database) is not None
+
+
+class TestProposition31:
+    """GTM ⇄ conventional TM."""
+
+    @pytest.mark.parametrize("name", sorted(all_machines()))
+    def test_roundtrip(self, name):
+        gtm, schema, output_type = all_machines()[name]
+        impls = implementations_for(gtm, schema, output_type, routes=["gtm", "tm"])
+        check_agreement(impls, _databases_for(name, schema))
+
+
+class TestProposition53And55:
+    """BK cannot join; BK cannot build lists from chains."""
+
+    def test_join_pollution(self):
+        from repro.deductive.bk import join_attempt_program, run_bk
+
+        out = run_bk(
+            join_attempt_program(),
+            {"R1": [{"A": 1, "B": 2}], "R2": [{"B": 2, "C": 3}, {"B": 4, "C": 5}]},
+            Budget(objects=None, steps=None),
+        )
+        true_join = {NamedTup({"A": Atom(1), "C": Atom(3)})}
+        assert set(out.items) > true_join  # strictly more: the pollution
+
+    def test_chain_divergence(self):
+        from repro.deductive.bk import chain_to_list_program, run_bk
+        from repro.workloads import chain_for_bk
+
+        out = run_bk(
+            chain_to_list_program(),
+            chain_for_bk(1),
+            Budget(iterations=5, steps=60_000, objects=150_000, facts=None),
+        )
+        assert is_undefined(out)
+
+
+class TestTheorem64:
+    """tsCALC^ti is C-equivalent."""
+
+    @pytest.mark.parametrize("name", ["parity", "is_empty", "duplicate"])
+    def test_machines_via_terminal_invention(self, name):
+        gtm, schema, output_type = all_machines()[name]
+        impls = implementations_for(
+            gtm, schema, output_type, routes=["gtm", "calc_terminal"]
+        )
+        check_agreement(impls, _databases_for(name, schema))
+
+
+class TestGrandAgreement:
+    """All six routes at once on the parity query (the headline demo)."""
+
+    def test_six_routes(self):
+        gtm, schema, output_type = all_machines()["parity"]
+        impls = implementations_for(gtm, schema, output_type)
+        outcomes = check_agreement(impls, _databases_for("parity", schema))
+        assert outcomes[0] == SetVal([Atom("even")])  # |R| = 0
+        assert outcomes[1] == SetVal([])  # |R| = 1
+        assert outcomes[2] == SetVal([Atom("even")])  # |R| = 2

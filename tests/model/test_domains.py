@@ -1,0 +1,121 @@
+"""Unit tests for constructive domains and the hyper-exponential ladder."""
+
+import pytest
+
+from repro.budget import Budget
+from repro.errors import BudgetExceeded, EvaluationError
+from repro.model.domains import cons, cons_obj_bounded, cons_size, hyp
+from repro.model.types import OBJ, SetType, parse_type
+from repro.model.values import Atom, SetVal, adom, canonical_sort
+
+
+class TestHyp:
+    def test_base(self):
+        assert hyp(0, 7) == 7
+
+    def test_tower(self):
+        assert hyp(1, 3) == 8
+        assert hyp(2, 2) == 16
+        assert hyp(3, 1) == 16
+
+    def test_cap(self):
+        assert hyp(3, 10, cap=1000) == 1000
+
+    def test_exact_when_uncapped(self):
+        assert hyp(2, 3) == 2**8
+
+    def test_negative_level(self):
+        with pytest.raises(EvaluationError):
+            hyp(-1, 3)
+
+
+class TestConsSize:
+    def test_atoms(self):
+        assert cons_size(parse_type("U"), 5) == 5
+
+    def test_tuple(self):
+        assert cons_size(parse_type("[U, U]"), 3) == 9
+
+    def test_set_is_exponential(self):
+        assert cons_size(parse_type("{U}"), 4) == 16
+
+    def test_each_nesting_level_is_one_exponential(self):
+        # |cons| for {U}, {{U}}, {{{U}}} at n=2: 4, 16, 65536 — the
+        # Theorem 2.2 ladder.
+        assert cons_size(parse_type("{U}"), 2) == 4
+        assert cons_size(parse_type("{{U}}"), 2) == 16
+        assert cons_size(parse_type("{{{U}}}"), 2) == 65536
+
+    def test_cap(self):
+        assert cons_size(parse_type("{{{U}}}"), 4, cap=10**6) == 10**6
+
+    def test_obj_is_infinite(self):
+        with pytest.raises(EvaluationError):
+            cons_size(OBJ, 3)
+
+
+class TestConsEnumeration:
+    def test_matches_size(self):
+        atoms = [Atom(i) for i in range(3)]
+        for text in ["U", "{U}", "[U, U]", "{[U, U]}"]:
+            rtype = parse_type(text)
+            values = list(cons(rtype, atoms))
+            assert len(values) == cons_size(rtype, 3)
+            assert len(set(values)) == len(values)
+
+    def test_members_have_right_type(self):
+        rtype = parse_type("{[U, U]}")
+        for value in cons(rtype, [Atom(0), Atom(1)]):
+            assert rtype.matches(value)
+
+    def test_members_use_only_given_atoms(self):
+        atoms = frozenset([Atom(0), Atom(1)])
+        for value in cons(parse_type("{U}"), atoms):
+            assert adom(value) <= atoms
+
+    def test_rejects_obj(self):
+        with pytest.raises(EvaluationError):
+            list(cons(SetType(OBJ), [Atom(0)]))
+
+    def test_budget_charged(self):
+        budget = Budget(objects=3)
+        with pytest.raises(BudgetExceeded):
+            list(cons(parse_type("{U}"), [Atom(0), Atom(1)], budget))
+
+    def test_deterministic(self):
+        atoms = [Atom(2), Atom(0), Atom(1)]
+        first = list(cons(parse_type("{U}"), atoms))
+        second = list(cons(parse_type("{U}"), list(reversed(atoms))))
+        assert first == second
+
+
+class TestConsObjBounded:
+    def test_distinct_and_bounded(self):
+        values = cons_obj_bounded([Atom("a")], 25)
+        assert len(values) == 25
+        assert len(set(values)) == 25
+
+    def test_atoms_included(self):
+        values = cons_obj_bounded([Atom("a"), Atom("b")], 10)
+        assert Atom("a") in values and Atom("b") in values
+
+    def test_only_given_atoms(self):
+        atoms = frozenset([Atom("a")])
+        for value in cons_obj_bounded([Atom("a")], 30):
+            assert adom(value) <= atoms
+
+    def test_empty_atom_set_still_yields_sets(self):
+        # cons_Obj(∅) contains ∅, {∅}, ... — pure set objects.
+        values = cons_obj_bounded([], 5)
+        assert SetVal([]) in values
+        assert len(values) == 5
+
+    def test_height_cap(self):
+        from repro.model.values import set_height
+
+        values = cons_obj_bounded([Atom("a")], 40, max_height=1)
+        assert all(set_height(v) <= 1 for v in values)
+
+    def test_canonical_output(self):
+        values = cons_obj_bounded([Atom("a")], 12)
+        assert values == canonical_sort(values)

@@ -1,0 +1,123 @@
+"""Unit tests for tape encodings of flat instances."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EvaluationError
+from repro.model.encoding import (
+    BLANK,
+    all_database_encodings,
+    canonical_atom_order,
+    decode_database,
+    decode_instance,
+    encode_database,
+    encode_instance,
+    encode_row,
+)
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal, Tup
+
+
+def _binary(rows):
+    return Database(Schema({"R": parse_type("[U, U]")}), {"R": rows})
+
+
+class TestEncodeRow:
+    def test_atom_row(self):
+        assert encode_row(Atom("a")) == [Atom("a")]
+
+    def test_tuple_row(self):
+        assert encode_row(Tup([Atom("a"), Atom("b")])) == [
+            "[", Atom("a"), Atom("b"), "]",
+        ]
+
+    def test_non_flat_rejected(self):
+        with pytest.raises(EvaluationError):
+            encode_row(Tup([SetVal([Atom("a")])]))
+        with pytest.raises(EvaluationError):
+            encode_row(SetVal([Atom("a")]))
+
+
+class TestRoundTrips:
+    def test_binary_roundtrip(self):
+        database = _binary({(1, 2), (3, 4)})
+        order = canonical_atom_order(database)
+        symbols = encode_database(database, order)
+        assert decode_database(symbols, database.schema) == database
+
+    def test_unary_roundtrip(self):
+        schema = Schema({"R": parse_type("U")})
+        database = Database(schema, {"R": {1, 2, 3}})
+        symbols = encode_database(database, canonical_atom_order(database))
+        assert decode_database(symbols, schema) == database
+
+    def test_multi_predicate_roundtrip(self):
+        schema = Schema({"R": parse_type("[U, U]"), "S": parse_type("U")})
+        database = Database(schema, {"R": {(1, 2)}, "S": {3}})
+        symbols = encode_database(database, canonical_atom_order(database))
+        assert decode_database(symbols, schema) == database
+
+    def test_empty_instances(self):
+        database = _binary(set())
+        symbols = encode_database(database, ())
+        assert symbols == ["(", ")"]
+        assert decode_database(symbols, database.schema) == database
+
+    @given(st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=6))
+    @settings(max_examples=60)
+    def test_roundtrip_random(self, rows):
+        database = _binary(rows)
+        order = canonical_atom_order(database)
+        symbols = encode_database(database, order)
+        assert decode_database(symbols, database.schema) == database
+
+
+class TestDecoding:
+    def test_blanks_skipped_everywhere(self):
+        symbols = ["(", BLANK, "[", Atom(1), BLANK, Atom(2), "]", BLANK, ")"]
+        decoded = decode_instance(symbols, parse_type("[U, U]"))
+        assert decoded == SetVal([Tup([Atom(1), Atom(2)])])
+
+    def test_commas_tolerated(self):
+        symbols = ["(", "[", Atom(1), ",", Atom(2), "]", ",", ")"]
+        decoded = decode_instance(symbols, parse_type("[U, U]"))
+        assert len(decoded) == 1
+
+    def test_type_mismatch_rejected(self):
+        symbols = ["(", "[", Atom(1), Atom(2), "]", ")"]
+        with pytest.raises(EvaluationError):
+            decode_instance(symbols, parse_type("[U, U, U]"))
+
+    def test_malformed_rejected(self):
+        for symbols in (
+            ["(", "["],  # truncated
+            ["[", Atom(1), "]"],  # no instance parens
+            ["(", ")", Atom(1)],  # trailing garbage
+            ["(", "[", "]", ")"],  # empty tuple
+        ):
+            with pytest.raises(EvaluationError):
+                decode_instance(symbols, parse_type("[U, U]"))
+
+
+class TestOrderings:
+    def test_encoding_depends_on_order(self):
+        database = _binary({(1, 2), (2, 1)})
+        orders = list(all_database_encodings(database))
+        encodings = {tuple(repr(s) for s in enc) for _, enc in orders}
+        assert len(encodings) > 1  # different orders, different listings
+
+    def test_decoded_value_does_not(self):
+        database = _binary({(1, 2), (2, 1)})
+        for _, encoding in all_database_encodings(database):
+            assert decode_database(encoding, database.schema) == database
+
+    def test_limit(self):
+        database = _binary({(1, 2), (3, 4)})
+        assert len(list(all_database_encodings(database, limit=3))) == 3
+
+    def test_non_flat_rejected(self):
+        schema = Schema({"R": parse_type("{U}")})
+        database = Database(schema, {"R": [SetVal([Atom(1)])]})
+        with pytest.raises(EvaluationError):
+            encode_database(database, ())

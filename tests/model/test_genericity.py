@@ -1,0 +1,147 @@
+"""Unit tests for permutations, C-genericity, and domain preservation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EvaluationError, UNDEFINED
+from repro.model.genericity import (
+    Permutation,
+    check_domain_preserving,
+    check_generic,
+    permutations_fixing,
+)
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal, Tup
+
+
+def _db(rows):
+    return Database(Schema({"R": parse_type("[U, U]")}), {"R": rows})
+
+
+class TestPermutation:
+    def test_swap(self):
+        perm = Permutation.swap(Atom("a"), Atom("b"))
+        assert perm(Atom("a")) == Atom("b")
+        assert perm(Atom("c")) == Atom("c")
+
+    def test_must_be_bijective(self):
+        with pytest.raises(EvaluationError):
+            Permutation({Atom("a"): Atom("c"), Atom("b"): Atom("c")})
+
+    def test_must_permute_support(self):
+        # a -> b without b -> a is not a finitely-supported permutation.
+        with pytest.raises(EvaluationError):
+            Permutation({Atom("a"): Atom("b")})
+
+    def test_cycle(self):
+        perm = Permutation.from_cycle([Atom(1), Atom(2), Atom(3)])
+        assert perm(Atom(1)) == Atom(2)
+        assert perm(Atom(3)) == Atom(1)
+
+    def test_inverse(self):
+        perm = Permutation.from_cycle([Atom(1), Atom(2), Atom(3)])
+        inverse = perm.inverse()
+        for atom in [Atom(1), Atom(2), Atom(3), Atom(9)]:
+            assert inverse(perm(atom)) == atom
+
+    def test_applies_deeply(self):
+        perm = Permutation.swap(Atom(1), Atom(2))
+        value = SetVal([Tup([Atom(1), SetVal([Atom(2)])])])
+        assert perm(value) == SetVal([Tup([Atom(2), SetVal([Atom(1)])])])
+
+    def test_applies_to_database(self):
+        perm = Permutation.swap(Atom(1), Atom(2))
+        permuted = perm(_db({(1, 2)}))
+        assert Tup([Atom(2), Atom(1)]) in permuted["R"]
+
+    def test_fixes(self):
+        perm = Permutation.swap(Atom(1), Atom(2))
+        assert perm.fixes([Atom(3)])
+        assert not perm.fixes([Atom(1)])
+
+    @given(st.permutations(list(range(4))))
+    @settings(max_examples=50)
+    def test_is_homomorphism_on_sets(self, image):
+        mapping = {Atom(i): Atom(j) for i, j in enumerate(image)}
+        perm = Permutation(mapping)
+        left = SetVal([Atom(0), Atom(1)])
+        right = SetVal([Atom(2), Atom(3)])
+        union = SetVal(set(left.items) | set(right.items))
+        assert perm(union) == SetVal(set(perm(left).items) | set(perm(right).items))
+
+
+class TestPermutationsFixing:
+    def test_counts(self):
+        perms = permutations_fixing([Atom(i) for i in range(3)])
+        assert len(perms) == 6
+
+    def test_respects_constants(self):
+        perms = permutations_fixing(
+            [Atom(i) for i in range(3)], constants=[Atom(0)]
+        )
+        assert len(perms) == 2
+        assert all(p.fixes([Atom(0)]) for p in perms)
+
+    def test_limit(self):
+        perms = permutations_fixing([Atom(i) for i in range(5)], limit=10)
+        assert len(perms) == 10
+
+
+class TestCheckGeneric:
+    def test_generic_query_passes(self):
+        def identity(db):
+            return db["R"]
+
+        assert check_generic(identity, [_db({(1, 2), (2, 3)})])
+
+    def test_non_generic_query_caught(self):
+        special = Atom(1)
+
+        def leaky(db):
+            # Singles out a specific atom: not generic.
+            return SetVal([t for t in db["R"].items if t.items[0] == special])
+
+        with pytest.raises(EvaluationError):
+            check_generic(leaky, [_db({(1, 2), (2, 3)})])
+
+    def test_c_generic_with_constants(self):
+        special = Atom(1)
+
+        def leaky(db):
+            return SetVal([t for t in db["R"].items if t.items[0] == special])
+
+        # Declaring 1 a constant makes the same query C-generic.
+        assert check_generic(leaky, [_db({(1, 2), (2, 3)})], constants=[special])
+
+    def test_undefined_must_be_stable(self):
+        def flaky(db):
+            return UNDEFINED if Atom(1) in db.adom() else db["R"]
+
+        with pytest.raises(EvaluationError):
+            check_generic(flaky, [_db({(1, 2)})])
+
+
+class TestDomainPreservation:
+    def test_preserving(self):
+        assert check_domain_preserving(lambda db: db["R"], [_db({(1, 2)})])
+
+    def test_inventing_caught(self):
+        def inventor(db):
+            return SetVal([Atom("brand-new")])
+
+        with pytest.raises(EvaluationError):
+            check_domain_preserving(inventor, [_db({(1, 2)})])
+
+    def test_constants_allowed(self):
+        marker = Atom("c")
+
+        def with_constant(db):
+            return SetVal([marker])
+
+        assert check_domain_preserving(
+            with_constant, [_db({(1, 2)})], constants=[marker]
+        )
+
+    def test_undefined_ok(self):
+        assert check_domain_preserving(lambda db: UNDEFINED, [_db({(1, 2)})])

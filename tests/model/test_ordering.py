@@ -1,0 +1,102 @@
+"""Unit tests for orderings and the counter sequence."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.model.ordering import (
+    counter_next,
+    counter_rank,
+    counter_sequence,
+    enumerate_orderings,
+    order_tuples,
+)
+from repro.model.values import Atom, SetVal, Tup
+
+
+class TestCounterSequence:
+    def test_shape(self):
+        a = Atom("a")
+        seq = counter_sequence(a, 4)
+        assert seq[0] == a
+        assert seq[1] == SetVal([a])
+        assert seq[2] == SetVal([a, SetVal([a])])
+        assert seq[3] == SetVal(seq[:3])
+
+    def test_all_distinct(self):
+        seq = counter_sequence(Atom("a"), 8)
+        assert len(set(seq)) == 8
+
+    def test_no_new_atoms(self):
+        from repro.model.values import adom
+
+        a = Atom("a")
+        for value in counter_sequence(a, 5)[1:]:
+            assert adom(value) == frozenset({a})
+
+    def test_empty_seed_works(self):
+        # Seeding at ∅ gives a completely atom-free index supply.
+        seq = counter_sequence(SetVal([]), 3)
+        from repro.model.values import adom
+
+        assert all(adom(v) == frozenset() for v in seq)
+
+    def test_negative_length(self):
+        with pytest.raises(EvaluationError):
+            counter_sequence(Atom("a"), -1)
+
+
+class TestCounterNext:
+    def test_next_is_set_of_all(self):
+        seq = counter_sequence(Atom("a"), 3)
+        assert counter_next(seq) == SetVal(seq)
+
+    def test_next_extends_sequence(self):
+        seq = counter_sequence(Atom("a"), 3)
+        assert counter_next(seq) == counter_sequence(Atom("a"), 4)[3]
+
+
+class TestCounterRank:
+    def test_ranks(self):
+        a = Atom("a")
+        seq = counter_sequence(a, 5)
+        for rank, value in enumerate(seq):
+            assert counter_rank(value, a) == rank
+
+    def test_non_member(self):
+        assert counter_rank(Atom("b"), Atom("a")) is None
+        assert counter_rank(SetVal([Atom("b")]), Atom("a")) is None
+
+
+class TestEnumerateOrderings:
+    def test_all(self):
+        atoms = [Atom(i) for i in range(3)]
+        orderings = list(enumerate_orderings(atoms))
+        assert len(orderings) == 6
+        assert len(set(orderings)) == 6
+
+    def test_limit(self):
+        atoms = [Atom(i) for i in range(4)]
+        assert len(list(enumerate_orderings(atoms, limit=5))) == 5
+
+    def test_starts_canonical(self):
+        atoms = [Atom(2), Atom(0), Atom(1)]
+        first = next(enumerate_orderings(atoms))
+        assert first == (Atom(0), Atom(1), Atom(2))
+
+
+class TestOrderTuples:
+    def test_orders_by_given_atom_order(self):
+        rows = [Tup([Atom("b"), Atom("x")]), Tup([Atom("a"), Atom("x")])]
+        forward = order_tuples(rows, [Atom("a"), Atom("b"), Atom("x")])
+        backward = order_tuples(rows, [Atom("b"), Atom("a"), Atom("x")])
+        assert forward[0].items[0] == Atom("a")
+        assert backward[0].items[0] == Atom("b")
+
+    def test_bare_atoms(self):
+        rows = [Atom("b"), Atom("a")]
+        assert order_tuples(rows, [Atom("b"), Atom("a")]) == [Atom("b"), Atom("a")]
+
+    def test_unlisted_atoms_sort_after(self):
+        rows = [Atom("zzz"), Atom("a")]
+        ordered = order_tuples(rows, [Atom("a")])
+        assert ordered == [Atom("a"), Atom("zzz")]

@@ -1,0 +1,150 @@
+"""Unit tests for types and rtypes."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.model.types import (
+    AtomType,
+    OBJ,
+    ObjType,
+    SetType,
+    TupleType,
+    U,
+    flat_relation_type,
+    infer_rtype,
+    lub_rtype,
+    nested_set_type,
+    parse_type,
+)
+from repro.model.values import Atom, BOTTOM, NamedTup, SetVal, Tup
+
+
+class TestParsing:
+    def test_atoms(self):
+        assert parse_type("U") == U
+        assert parse_type("Obj") == OBJ
+
+    def test_nested(self):
+        parsed = parse_type("{[U, {U}]}")
+        assert parsed == SetType(TupleType([U, SetType(U)]))
+
+    def test_whitespace_tolerant(self):
+        assert parse_type(" [ U , U ] ") == TupleType([U, U])
+
+    def test_repr_round_trip(self):
+        for text in ["U", "Obj", "{U}", "[U, U]", "{[U, {Obj}]}"]:
+            assert parse_type(repr(parse_type(text))) == parse_type(text)
+
+    def test_errors(self):
+        for bad in ["", "X", "{U", "[U,]", "[]", "U junk", "{}"]:
+            with pytest.raises(TypeCheckError):
+                parse_type(bad)
+
+
+class TestTypeVsRType:
+    def test_is_type(self):
+        assert parse_type("{[U, U]}").is_type()
+        assert not parse_type("{Obj}").is_type()
+        assert not parse_type("[U, Obj]").is_type()
+
+    def test_types_are_proper_subset_of_rtypes(self):
+        # Every parsed expression is an rtype; only some are types.
+        rtypes = [parse_type(t) for t in ["U", "{U}", "Obj", "{Obj}"]]
+        assert [r.is_type() for r in rtypes] == [True, True, False, False]
+
+    def test_overlapping_domains(self):
+        # Unlike types, two distinct rtypes can share members (paper §4).
+        atom = Atom("a")
+        assert U.matches(atom) and OBJ.matches(atom)
+        assert U != OBJ
+
+
+class TestFlatness:
+    def test_flat(self):
+        assert parse_type("U").is_flat()
+        assert parse_type("[U, U]").is_flat()
+        assert not parse_type("{U}").is_flat()
+        assert not parse_type("Obj").is_flat()
+        assert not parse_type("[U, {U}]").is_flat()
+
+
+class TestSetHeight:
+    def test_heights(self):
+        assert parse_type("U").set_height() == 0
+        assert parse_type("{U}").set_height() == 1
+        assert parse_type("{{U}}").set_height() == 2
+        assert parse_type("[{U}, U]").set_height() == 1
+
+    def test_obj_is_unbounded(self):
+        assert parse_type("Obj").set_height() == -1
+        assert parse_type("{Obj}").set_height() == -1
+
+
+class TestMatching:
+    def test_atom_type(self):
+        assert U.matches(Atom(1))
+        assert not U.matches(Tup([Atom(1)]))
+
+    def test_set_type(self):
+        t = parse_type("{U}")
+        assert t.matches(SetVal([Atom(1), Atom(2)]))
+        assert t.matches(SetVal([]))
+        assert not t.matches(SetVal([Tup([Atom(1)])]))
+
+    def test_tuple_type(self):
+        t = parse_type("[U, U]")
+        assert t.matches(Tup([Atom(1), Atom(2)]))
+        assert not t.matches(Tup([Atom(1)]))
+        assert not t.matches(Atom(1))
+
+    def test_obj_matches_heterogeneous(self):
+        mixed = SetVal([Atom(1), Tup([Atom(1), Atom(2)])])
+        assert parse_type("{Obj}").matches(mixed)
+        assert parse_type("Obj").matches(mixed)
+
+    def test_obj_rejects_bk_values(self):
+        assert not OBJ.matches(BOTTOM)
+        assert not OBJ.matches(NamedTup({"A": Atom(1)}))
+        assert not OBJ.matches(SetVal([BOTTOM]))
+
+
+class TestHelpers:
+    def test_flat_relation_type(self):
+        assert flat_relation_type(2) == parse_type("{[U, U]}")
+        with pytest.raises(TypeCheckError):
+            flat_relation_type(0)
+
+    def test_nested_set_type(self):
+        assert nested_set_type(0) == U
+        assert nested_set_type(3) == parse_type("{{{U}}}")
+        with pytest.raises(TypeCheckError):
+            nested_set_type(-1)
+
+    def test_infer_rtype(self):
+        assert infer_rtype(Atom(1)) == U
+        assert infer_rtype(Tup([Atom(1), Atom(2)])) == TupleType([U, U])
+        assert infer_rtype(SetVal([Atom(1)])) == SetType(U)
+        # Heterogeneous sets infer as {Obj}.
+        mixed = SetVal([Atom(1), Tup([Atom(1), Atom(2)])])
+        assert infer_rtype(mixed) == SetType(OBJ)
+        assert infer_rtype(SetVal([])) == SetType(OBJ)
+
+    def test_lub_rtype(self):
+        assert lub_rtype(U, U) == U
+        assert lub_rtype(U, OBJ) == OBJ
+        assert lub_rtype(parse_type("{U}"), parse_type("{U}")) == parse_type("{U}")
+        assert lub_rtype(parse_type("{U}"), parse_type("{[U, U]}")) == parse_type(
+            "{Obj}"
+        )
+        assert lub_rtype(parse_type("[U, U]"), parse_type("[U, U, U]")) == OBJ
+
+
+class TestEqualityAndHash:
+    def test_structural_equality(self):
+        assert parse_type("{[U, U]}") == parse_type("{[U, U]}")
+        assert hash(parse_type("{U}")) == hash(parse_type("{U}"))
+
+    def test_immutability(self):
+        t = parse_type("{U}")
+        with pytest.raises(AttributeError):
+            t.element = OBJ

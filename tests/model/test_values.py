@@ -1,0 +1,241 @@
+"""Unit tests for the value universe Obj."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TypeCheckError
+from repro.model.values import (
+    Atom,
+    BOTTOM,
+    Bottom,
+    NamedTup,
+    SetVal,
+    TOP,
+    Top,
+    Tup,
+    adom,
+    canon_key,
+    canonical_sort,
+    contains_any,
+    obj,
+    set_height,
+    value_size,
+)
+
+
+# ---------------------------------------------------------------------------
+# Construction and identity.
+# ---------------------------------------------------------------------------
+
+
+class TestAtom:
+    def test_equality_by_label(self):
+        assert Atom("a") == Atom("a")
+        assert Atom("a") != Atom("b")
+        assert Atom(1) != Atom("1")
+
+    def test_hashable(self):
+        assert len({Atom("a"), Atom("a"), Atom("b")}) == 2
+
+    def test_label_types(self):
+        with pytest.raises(TypeCheckError):
+            Atom(3.14)
+        with pytest.raises(TypeCheckError):
+            Atom(True)
+        with pytest.raises(TypeCheckError):
+            Atom(None)
+
+    def test_immutable(self):
+        atom = Atom("a")
+        with pytest.raises(AttributeError):
+            atom.label = "b"
+
+    def test_str(self):
+        assert str(Atom("hello")) == "hello"
+        assert str(Atom(42)) == "42"
+
+
+class TestTup:
+    def test_needs_items(self):
+        with pytest.raises(TypeCheckError):
+            Tup([])
+
+    def test_items_must_be_values(self):
+        with pytest.raises(TypeCheckError):
+            Tup(["raw string"])
+
+    def test_equality_is_positional(self):
+        assert Tup([Atom(1), Atom(2)]) == Tup([Atom(1), Atom(2)])
+        assert Tup([Atom(1), Atom(2)]) != Tup([Atom(2), Atom(1)])
+
+    def test_len_and_index(self):
+        t = Tup([Atom("x"), Atom("y")])
+        assert len(t) == 2
+        assert t[0] == Atom("x")
+        assert list(t) == [Atom("x"), Atom("y")]
+
+    def test_arity_one_tuple_differs_from_atom(self):
+        assert Tup([Atom("x")]) != Atom("x")
+
+
+class TestSetVal:
+    def test_empty_allowed(self):
+        assert len(SetVal()) == 0
+
+    def test_duplicates_collapse(self):
+        assert len(SetVal([Atom(1), Atom(1), Atom(2)])) == 2
+
+    def test_unordered_equality(self):
+        assert SetVal([Atom(1), Atom(2)]) == SetVal([Atom(2), Atom(1)])
+
+    def test_membership(self):
+        s = SetVal([Atom(1)])
+        assert Atom(1) in s
+        assert Atom(2) not in s
+
+    def test_heterogeneous_members(self):
+        # The whole point of the paper: no type restriction on members.
+        mixed = SetVal([Atom(1), Tup([Atom(1), Atom(2)]), SetVal([Atom(3)])])
+        assert len(mixed) == 3
+
+    def test_iteration_is_canonical(self):
+        s = SetVal([Atom("b"), Atom("a"), Atom("c")])
+        assert [str(x) for x in s] == ["a", "b", "c"]
+
+    def test_sets_of_sets(self):
+        inner = SetVal([Atom(1)])
+        outer = SetVal([inner, SetVal([])])
+        assert inner in outer
+        assert SetVal([]) in outer
+
+
+class TestNamedTupAndLatticePoints:
+    def test_named_fields_sorted(self):
+        t1 = NamedTup({"B": Atom(2), "A": Atom(1)})
+        t2 = NamedTup({"A": Atom(1), "B": Atom(2)})
+        assert t1 == t2
+        assert t1.attributes() == ("A", "B")
+
+    def test_get(self):
+        t = NamedTup({"A": Atom(1)})
+        assert t.get("A") == Atom(1)
+        assert t.get("Z") is None
+
+    def test_bottom_top_singletons(self):
+        assert Bottom() == BOTTOM
+        assert Top() == TOP
+        assert BOTTOM != TOP
+
+
+# ---------------------------------------------------------------------------
+# The canonical total order.
+# ---------------------------------------------------------------------------
+
+
+def _value_strategy(max_depth=3):
+    atoms = st.one_of(
+        st.integers(min_value=0, max_value=5).map(Atom),
+        st.sampled_from(["a", "b", "c"]).map(Atom),
+    )
+    return st.recursive(
+        atoms,
+        lambda children: st.one_of(
+            st.lists(children, min_size=1, max_size=3).map(Tup),
+            st.lists(children, min_size=0, max_size=3).map(SetVal),
+        ),
+        max_leaves=8,
+    )
+
+
+class TestCanonicalOrder:
+    def test_kind_ranks(self):
+        assert BOTTOM < Atom(0) < Tup([Atom(0)]) < SetVal([]) < TOP
+        assert Atom(0) < NamedTup({"A": Atom(0)}) < SetVal([])
+
+    def test_ints_before_strings(self):
+        assert Atom(99) < Atom("a")
+
+    @given(_value_strategy(), _value_strategy())
+    @settings(max_examples=200)
+    def test_total_and_consistent(self, left, right):
+        # Exactly one of <, ==, > holds.
+        relations = [left < right, left == right, right < left]
+        assert sum(bool(r) for r in relations) == 1
+
+    @given(_value_strategy(), _value_strategy())
+    @settings(max_examples=200)
+    def test_key_agrees_with_equality(self, left, right):
+        assert (canon_key(left) == canon_key(right)) == (left == right)
+
+    @given(st.lists(_value_strategy(), max_size=6))
+    @settings(max_examples=100)
+    def test_sort_is_deterministic(self, values):
+        assert canonical_sort(values) == canonical_sort(list(reversed(values)))
+
+
+# ---------------------------------------------------------------------------
+# Structural measures.
+# ---------------------------------------------------------------------------
+
+
+class TestMeasures:
+    def test_adom_collects_atoms(self):
+        value = SetVal([Tup([Atom(1), SetVal([Atom(2)])]), Atom(3)])
+        assert adom(value) == frozenset({Atom(1), Atom(2), Atom(3)})
+
+    def test_adom_ignores_lattice_points(self):
+        assert adom(BOTTOM) == frozenset()
+        assert adom(NamedTup({"A": Atom(5)})) == frozenset({Atom(5)})
+
+    def test_set_height(self):
+        assert set_height(Atom(1)) == 0
+        assert set_height(Tup([Atom(1)])) == 0
+        assert set_height(SetVal([])) == 1
+        assert set_height(SetVal([SetVal([Atom(1)])])) == 2
+        assert set_height(Tup([SetVal([Atom(1)]), Atom(2)])) == 1
+
+    def test_value_size(self):
+        assert value_size(Atom(1)) == 1
+        assert value_size(Tup([Atom(1), Atom(2)])) == 3
+        assert value_size(SetVal([Atom(1), Atom(2)])) == 3
+
+    def test_contains_any(self):
+        marker = Atom("marker")
+        value = SetVal([Tup([Atom(1), marker])])
+        assert contains_any(value, {marker})
+        assert not contains_any(value, {Atom("other")})
+
+    @given(_value_strategy())
+    @settings(max_examples=100)
+    def test_height_bounded_by_size(self, value):
+        assert set_height(value) <= value_size(value)
+
+
+# ---------------------------------------------------------------------------
+# Coercion from plain Python.
+# ---------------------------------------------------------------------------
+
+
+class TestObjCoercion:
+    def test_scalars(self):
+        assert obj("a") == Atom("a")
+        assert obj(3) == Atom(3)
+
+    def test_containers(self):
+        assert obj((1, 2)) == Tup([Atom(1), Atom(2)])
+        assert obj({1, 2}) == SetVal([Atom(1), Atom(2)])
+        assert obj({"A": 1}) == NamedTup({"A": Atom(1)})
+
+    def test_nested(self):
+        value = obj({(1, 2), (3, 4)})
+        assert value == SetVal([Tup([Atom(1), Atom(2)]), Tup([Atom(3), Atom(4)])])
+
+    def test_passthrough(self):
+        atom = Atom("x")
+        assert obj(atom) is atom
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(TypeCheckError):
+            obj(True)
+        with pytest.raises(TypeCheckError):
+            obj(1.5)

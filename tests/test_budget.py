@@ -1,0 +1,79 @@
+"""Unit tests for budgets and the undefined value."""
+
+import pickle
+
+import pytest
+
+from repro.budget import Budget, DEFAULT_LIMITS
+from repro.errors import BudgetExceeded, UNDEFINED, is_undefined
+
+
+class TestBudget:
+    def test_charge_within_limit(self):
+        budget = Budget(steps=10)
+        for _ in range(10):
+            budget.charge("steps")
+        assert budget.spent("steps") == 10
+        assert budget.remaining("steps") == 0
+
+    def test_charge_past_limit(self):
+        budget = Budget(steps=3)
+        with pytest.raises(BudgetExceeded) as info:
+            for _ in range(4):
+                budget.charge("steps")
+        assert info.value.resource == "steps"
+        assert info.value.limit == 3
+
+    def test_unlimited_resource(self):
+        budget = Budget(steps=None)
+        budget.charge("steps", 10**9)
+        assert budget.remaining("steps") is None
+
+    def test_bulk_charge(self):
+        budget = Budget(objects=100)
+        budget.charge("objects", 60)
+        with pytest.raises(BudgetExceeded):
+            budget.charge("objects", 41)
+
+    def test_independent_counters(self):
+        budget = Budget(steps=5, iterations=5)
+        budget.charge("steps", 5)
+        budget.charge("iterations", 2)  # still fine
+        assert budget.spent("iterations") == 2
+
+    def test_reset(self):
+        budget = Budget(steps=5)
+        budget.charge("steps", 5)
+        budget.reset()
+        budget.charge("steps", 5)  # no raise
+
+    def test_factories(self):
+        tiny = Budget.tiny()
+        assert tiny.steps < DEFAULT_LIMITS["steps"]
+        unlimited = Budget.unlimited()
+        assert unlimited.steps is None
+
+    def test_defaults_are_generous(self):
+        budget = Budget()
+        budget.charge("steps", DEFAULT_LIMITS["steps"])
+        with pytest.raises(BudgetExceeded):
+            budget.charge("steps")
+
+
+class TestUndefined:
+    def test_singleton(self):
+        assert UNDEFINED is type(UNDEFINED)()
+
+    def test_falsy(self):
+        assert not UNDEFINED
+
+    def test_is_undefined(self):
+        assert is_undefined(UNDEFINED)
+        assert not is_undefined(None)
+        assert not is_undefined(0)
+
+    def test_repr(self):
+        assert repr(UNDEFINED) == "?"
+
+    def test_pickle_round_trip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(UNDEFINED)) is UNDEFINED

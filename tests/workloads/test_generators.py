@@ -1,0 +1,58 @@
+"""Unit tests for the workload generators."""
+
+from repro.model.values import Atom, Tup
+from repro.workloads import (
+    atoms,
+    chain_for_bk,
+    chain_graph,
+    cycle_graph,
+    join_pair,
+    random_binary_pairs,
+    random_graph,
+    suite_binary,
+    suite_unary,
+    unary_instance,
+)
+
+
+class TestShapes:
+    def test_atoms(self):
+        assert atoms(3) == [Atom("a0"), Atom("a1"), Atom("a2")]
+
+    def test_unary_instance(self):
+        assert len(unary_instance(4)["R"]) == 4
+
+    def test_chain(self):
+        db = chain_graph(3)
+        assert len(db["R"]) == 3
+        assert Tup([Atom("a0"), Atom("a1")]) in db["R"]
+
+    def test_cycle(self):
+        db = cycle_graph(4)
+        assert len(db["R"]) == 4
+        assert Tup([Atom("a3"), Atom("a0")]) in db["R"]
+
+    def test_random_graph_no_self_loops(self):
+        db = random_graph(4, 8, seed=1)
+        for row in db["R"].items:
+            assert row.items[0] != row.items[1]
+
+    def test_join_pair_schema(self):
+        db = join_pair(3, 3, overlap=2, seed=0)
+        assert set(db.schema.names()) == {"R", "S"}
+
+    def test_chain_for_bk(self):
+        data = chain_for_bk(2)
+        assert len(data["S"]) == 3
+        assert data["S"][0]["A"] == "$"
+        assert data["S"][-1]["B"] == "#"
+
+
+class TestDeterminism:
+    def test_seeded(self):
+        assert random_binary_pairs(4, 4, seed=7) == random_binary_pairs(4, 4, seed=7)
+        assert random_binary_pairs(4, 4, seed=7) != random_binary_pairs(4, 4, seed=8)
+
+    def test_suites_are_stable(self):
+        assert suite_unary() == suite_unary()
+        assert suite_binary() == suite_binary()
