@@ -1,0 +1,171 @@
+"""Engine before/after — semi-naive vs naive, interning on vs off.
+
+Quantifies what :mod:`repro.engine` buys on the deductive workloads of
+E6-E8 and records the numbers into ``BENCH_engine.json`` (via the
+session collector in ``conftest.py``):
+
+* transitive closure on a length-48 chain (the E6 workload scaled to
+  where asymptotics show): naive re-joins the full TC relation every
+  round — O(n³) candidate matches per round — while semi-naive joins
+  only the last frontier; required to be at least 2x here, typically
+  well above 10x;
+* the same contrast under the inflationary semantics, where the naive
+  driver additionally pays a full interpretation copy per round;
+* the E7 BK join rule and the E8 chain prefix under the dirty-predicate
+  rule index, against ``naive=True``;
+* value interning on/off on the TC workload (equality-heavy: every
+  derived pair is re-compared against the full relation each round).
+
+Every measured pair also cross-checks result equality, so the speed
+numbers can never come from computing something different.
+"""
+
+import time
+
+from repro.budget import Budget
+from repro.deductive.bk import chain_to_list_program, join_attempt_program, run_bk
+from repro.deductive.datalog import (
+    run_datalog_inflationary,
+    run_datalog_stratified,
+    transitive_closure_datalog,
+)
+from repro.engine.intern import interned
+from repro.workloads import chain_for_bk, chain_graph
+
+TC_LENGTH = 48
+
+
+def _unlimited():
+    return Budget(steps=None, objects=None, iterations=None, facts=None)
+
+
+def _best_of(fn, repeats: int = 3) -> tuple:
+    """(best wall seconds, last result) over *repeats* runs."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None or elapsed < best else best
+    return best, result
+
+
+class TestSeminaiveSpeedup:
+    def test_tc_stratified(self, engine_record):
+        program = transitive_closure_datalog()
+        database = chain_graph(TC_LENGTH)
+        naive_time, naive_result = _best_of(
+            lambda: run_datalog_stratified(program, database, _unlimited(), naive=True)
+        )
+        semi_time, semi_result = _best_of(
+            lambda: run_datalog_stratified(program, database, _unlimited())
+        )
+        assert semi_result == naive_result
+        speedup = naive_time / semi_time
+        engine_record(
+            "seminaive_tc_stratified",
+            workload=f"chain({TC_LENGTH}) transitive closure, stratified",
+            naive_seconds=round(naive_time, 4),
+            seminaive_seconds=round(semi_time, 4),
+            speedup=round(speedup, 2),
+        )
+        assert speedup >= 2.0
+
+    def test_tc_inflationary(self, engine_record):
+        program = transitive_closure_datalog()
+        database = chain_graph(TC_LENGTH)
+        naive_time, naive_result = _best_of(
+            lambda: run_datalog_inflationary(program, database, _unlimited(), naive=True)
+        )
+        semi_time, semi_result = _best_of(
+            lambda: run_datalog_inflationary(program, database, _unlimited())
+        )
+        assert semi_result == naive_result
+        speedup = naive_time / semi_time
+        engine_record(
+            "seminaive_tc_inflationary",
+            workload=f"chain({TC_LENGTH}) transitive closure, inflationary",
+            naive_seconds=round(naive_time, 4),
+            seminaive_seconds=round(semi_time, 4),
+            speedup=round(speedup, 2),
+        )
+        assert speedup >= 2.0
+
+
+class TestBKRuleIndex:
+    def test_e7_join(self, engine_record):
+        program = join_attempt_program()
+        data = {
+            "R1": [{"A": f"a{i}", "B": f"b{i}"} for i in range(3)],
+            "R2": [{"B": "b0", "C": f"c{j}"} for j in range(3)],
+        }
+        budget = Budget(objects=None, steps=None, facts=None, iterations=None)
+        naive_time, naive_result = _best_of(
+            lambda: run_bk(program, data, budget, naive=True)
+        )
+        indexed_time, indexed_result = _best_of(lambda: run_bk(program, data, budget))
+        assert indexed_result == naive_result
+        engine_record(
+            "bk_e7_join_rule_index",
+            workload="E7 join-attempt, 3x3",
+            naive_seconds=round(naive_time, 4),
+            indexed_seconds=round(indexed_time, 4),
+            speedup=round(naive_time / indexed_time, 2),
+        )
+
+    def test_e8_chain_prefix(self, engine_record):
+        program = chain_to_list_program()
+        data = chain_for_bk(3)
+        budget_factory = lambda: Budget(
+            objects=None, steps=None, facts=None, iterations=None
+        )
+        naive_time, naive_result = _best_of(
+            lambda: run_bk(program, data, budget_factory(), max_rounds=4, naive=True)
+        )
+        indexed_time, indexed_result = _best_of(
+            lambda: run_bk(program, data, budget_factory(), max_rounds=4)
+        )
+        assert indexed_result == naive_result
+        engine_record(
+            "bk_e8_chain_rule_index",
+            workload="E8 chain-to-list, length 3, 4 rounds",
+            naive_seconds=round(naive_time, 4),
+            indexed_seconds=round(indexed_time, 4),
+            speedup=round(naive_time / indexed_time, 2),
+        )
+
+
+class TestInterning:
+    def test_bk_chain_interned(self, engine_record):
+        # The E8 chain-to-list rounds rebuild the same nested list
+        # objects constantly (hit rates above 95%) — the dedup-heavy
+        # case interning is for.
+        program = chain_to_list_program()
+        data = chain_for_bk(3)
+        budget_factory = lambda: Budget(
+            objects=None, steps=None, facts=None, iterations=None
+        )
+        plain_time, plain_result = _best_of(
+            lambda: run_bk(program, data, budget_factory(), max_rounds=4)
+        )
+
+        def interned_run():
+            with interned() as interner:
+                out = run_bk(program, data, budget_factory(), max_rounds=4)
+                interned_run.stats = interner.stats()
+                return out
+
+        interned_time, interned_result = _best_of(interned_run)
+        assert interned_result == plain_result
+        stats = interned_run.stats
+        engine_record(
+            "interning_bk_chain",
+            workload="E8 chain-to-list, length 3, 4 rounds",
+            plain_seconds=round(plain_time, 4),
+            interned_seconds=round(interned_time, 4),
+            speedup=round(plain_time / interned_time, 2),
+            intern_hits=stats.hits,
+            intern_misses=stats.misses,
+            intern_hit_rate=round(stats.hit_rate(), 4),
+        )

@@ -3,11 +3,23 @@
 Each ``bench_eNN_*.py`` file regenerates one row-group of the paper's
 "results" (EXPERIMENTS.md): a pytest-benchmark measurement plus shape
 assertions (who wins / how fast it grows), never absolute numbers.
+
+``bench_engine.py`` additionally records before/after timings of the
+:mod:`repro.engine` paths (naive vs semi-naive fixpoints, interning on
+vs off) through the session-scoped :func:`engine_record` fixture; when
+any were recorded, the session writes them to ``BENCH_engine.json`` at
+the repository root.
 """
+
+import json
+import pathlib
 
 import pytest
 
 from repro.budget import Budget
+
+#: name -> measurement dict, filled by the ``engine_record`` fixture.
+_ENGINE_RECORDS: dict = {}
 
 
 @pytest.fixture
@@ -18,3 +30,20 @@ def unlimited():
         )
 
     return make
+
+
+@pytest.fixture(scope="session")
+def engine_record():
+    """Record one engine before/after measurement for BENCH_engine.json."""
+
+    def record(name: str, **fields) -> None:
+        _ENGINE_RECORDS[name] = fields
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _ENGINE_RECORDS:
+        return
+    out = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    out.write_text(json.dumps(_ENGINE_RECORDS, indent=2, sort_keys=True) + "\n")

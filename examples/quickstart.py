@@ -64,6 +64,37 @@ def main() -> None:
     print("\nBK 'join' on R1={[A:1,B:2]}, R2={[B:2,C:3],[B:4,C:5]}:")
     print("          ", bk_answer, " <- note the spurious [A:1, C:5]")
 
+    # 5. The engine harness: run a suite of queries with sub-budgets,
+    # timeouts observed as `?`, and cache/interner statistics.  (These
+    # closures cannot cross process boundaries, so the runner silently
+    # uses its serial path — same semantics, one report.)
+    from repro.engine import MemoCache, RunTask, run_suite
+
+    cache = MemoCache()
+
+    def cached_tc(length, budget=None):
+        from repro.deductive.datalog import (
+            run_datalog_stratified,
+            transitive_closure_datalog,
+        )
+        from repro.workloads import chain_graph
+
+        program = transitive_closure_datalog()
+        return cache.run(
+            lambda d: run_datalog_stratified(program, d, budget),
+            program,
+            chain_graph(length),
+        )
+
+    report = run_suite(
+        [RunTask(f"tc-{n}", cached_tc, (n,)) for n in (6, 6, 8)],
+        budget=Budget(),
+        timeout=30.0,
+        cache=cache,
+    )
+    print("\nengine.run_suite over three TC tasks:")
+    print(report.summary())
+
 
 if __name__ == "__main__":
     main()

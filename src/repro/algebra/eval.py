@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Mapping
 
 from ..budget import Budget
+from ..engine.cache import LRUCache
 from ..errors import BudgetExceeded, EvaluationError, UNDEFINED
 from ..model.schema import Database
 from ..model.values import Atom, SetVal, Tup, Value
@@ -311,17 +312,31 @@ def _eval_unnest(expr: Unnest, env, budget: Budget) -> SetVal:
     return SetVal(members)
 
 
+#: Powerset results keyed by operand.  Powerset is the algebra's only
+#: exponential constructor and the simulation pipelines apply it to the
+#: same encoded sets repeatedly; memoizing the *construction* is safe
+#: because values are immutable.  The budget is still charged in full
+#: on every evaluation — a cached powerset is no less an observation of
+#: exponential growth, so the ``?``-semantics is unchanged.
+_POWERSET_MEMO = LRUCache(max_entries=128)
+
+
 def _eval_powerset(expr: Powerset, env, budget: Budget) -> SetVal:
     from itertools import combinations
 
     operand = eval_expr(expr.operand, env, budget)
     elements = list(operand.items)
     budget.charge("objects", 2 ** min(len(elements), 62))
+    cached = _POWERSET_MEMO.get(operand)
+    if cached is not None:
+        return cached
     subsets = []
     for size in range(len(elements) + 1):
         for combo in combinations(elements, size):
             subsets.append(SetVal(combo))
-    return SetVal(subsets)
+    result = SetVal(subsets)
+    _POWERSET_MEMO.put(operand, result)
+    return result
 
 
 def _eval_encode_input(expr: EncodeInput, env, budget: Budget) -> SetVal:

@@ -10,6 +10,20 @@ of named counters; charging past a limit raises
 Budgets are deliberately explicit — every evaluator takes one — so that
 experiments can report exactly which resource a diverging computation
 exhausted, and so tests can use tiny budgets to exercise the ``?`` paths.
+
+Two helpers support the :mod:`repro.engine` runner:
+
+* :meth:`Budget.remaining` — units of a resource still chargeable;
+* :meth:`Budget.child` — a fresh budget whose limits default to this
+  budget's *remaining* allowances, so a parent budget can be split
+  across parallel tasks (each task charges its own child; the parent is
+  not charged by children — the runner aggregates child spend into its
+  :class:`~repro.engine.runner.RunReport` instead).  Keyword overrides
+  replace individual limits, e.g. ``budget.child(stages=4)``.
+
+A failed :meth:`Budget.charge` raises :class:`BudgetExceeded` *without*
+recording the failed amount, so :meth:`spent` never over-reports past
+the limit after an exception.
 """
 
 from __future__ import annotations
@@ -47,17 +61,42 @@ class Budget:
     def charge(self, resource: str, amount: int = 1) -> None:
         """Consume *amount* units of *resource*.
 
-        Raises :class:`BudgetExceeded` if the limit would be passed.
+        Raises :class:`BudgetExceeded` if the limit would be passed; a
+        failed charge is *not* recorded, so :meth:`spent` reports only
+        what was actually consumed.
         """
         limit = getattr(self, resource)
         used = self._spent.get(resource, 0) + amount
-        self._spent[resource] = used
         if limit is not None and used > limit:
             raise BudgetExceeded(resource, limit)
+        self._spent[resource] = used
 
     def spent(self, resource: str) -> int:
         """Units of *resource* consumed so far."""
         return self._spent.get(resource, 0)
+
+    def spent_all(self) -> dict:
+        """A snapshot of every non-zero counter (resource -> units)."""
+        return dict(self._spent)
+
+    def child(self, **overrides) -> "Budget":
+        """A fresh budget bounded by this budget's remaining allowances.
+
+        Each limit defaults to ``self.remaining(resource)`` (``None``
+        stays unlimited); keyword arguments override individual limits.
+        Children start with zero spend and charge independently — use
+        them to hand sub-budgets to parallel tasks without sharing a
+        mutable counter across processes.
+        """
+        limits = {}
+        for resource in DEFAULT_LIMITS:
+            if resource in overrides:
+                limits[resource] = overrides.pop(resource)
+            else:
+                limits[resource] = self.remaining(resource)
+        if overrides:
+            raise TypeError(f"unknown budget resources: {sorted(overrides)}")
+        return Budget(**limits)
 
     def remaining(self, resource: str) -> int | None:
         """Units of *resource* left, or ``None`` if unlimited."""

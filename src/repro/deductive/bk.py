@@ -139,15 +139,23 @@ def glb(left: Value, right: Value) -> Value:
 def reduce_set(value: SetVal) -> SetVal:
     """Keep only ≤-maximal members (the reduced representative).
 
-    Set members are distinct objects and ≤ is antisymmetric on
-    distinct objects, so "dominated by some *other* member" is
-    unambiguous.
+    The Hoare order on sets is a *preorder*: distinct objects can
+    dominate each other (``{⊥, a} ≤ {a} ≤ {⊥, a}``), so "drop anything
+    dominated by another member" would delete whole equivalence
+    classes.  A member is dropped iff it is strictly dominated, or
+    equivalent to a member with a smaller canonical key — exactly one
+    representative of each maximal class survives.
     """
     members = list(value.items)
     maximal = [
         m
         for m in members
-        if not any(other != m and leq(m, other) for other in members)
+        if not any(
+            other != m
+            and leq(m, other)
+            and (not leq(other, m) or other.canon_key() < m.canon_key())
+            for other in members
+        )
     ]
     return SetVal(maximal)
 
@@ -394,6 +402,7 @@ def run_bk(
     database: Mapping,
     budget: Budget | None = None,
     max_rounds: int | None = None,
+    naive: bool = False,
 ):
     """Run a BK program to fixpoint.
 
@@ -401,6 +410,13 @@ def run_bk(
     Python data is coerced; dicts become named tuples).  Returns the
     reduced extent of the answer predicate, or ``?`` if the fixpoint
     does not stabilise within the budget (Example 5.4's divergence).
+
+    Matching keeps BK's lax sub-object discipline, but rounds after the
+    first only re-evaluate rules whose tail predicates changed last
+    round (a dirty-predicate index keyed on head predicates of fired
+    rules).  Sound because a rule's valuations are a function of its
+    tail extents, and a changed extent always marks its predicate
+    dirty; ``naive=True`` re-evaluates every rule every round.
     """
     budget = budget or Budget()
     state: dict = {}
@@ -411,13 +427,24 @@ def run_bk(
     try:
         changed = True
         rounds = 0
+        dirty: set | None = None  # None = first round: evaluate everything
         while changed:
             budget.charge("iterations")
             rounds += 1
             if max_rounds is not None and rounds > max_rounds:
                 return UNDEFINED
             changed = False
+            next_dirty: set = set()
             for rule in program.rules:
+                if (
+                    not naive
+                    and dirty is not None
+                    and not any(tail.pred in dirty for tail in rule.tails)
+                ):
+                    # No tail extent changed last round (tail-less rules
+                    # are settled in round one), so the valuations — and
+                    # the already-recorded heads — are unchanged.
+                    continue
                 for valuation in list(_tail_valuations(rule, state, budget)):
                     budget.charge("steps")
                     derived = instantiate(bk_obj(rule.head.pattern), valuation)
@@ -433,6 +460,8 @@ def run_bk(
                     extent -= dominated
                     extent.add(derived)
                     changed = True
+                    next_dirty.add(rule.head.pred)
+            dirty = next_dirty
     except BudgetExceeded:
         return UNDEFINED
     answer = state.get(program.answer, set())

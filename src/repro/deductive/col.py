@@ -254,6 +254,92 @@ def _literal_order(body) -> list:
     return generators + equalities + negations
 
 
+def extend_with_literal(
+    literal,
+    substitutions: list,
+    interp: Interp,
+    neg: Interp,
+    budget: Budget,
+    exclude_facts: set | None = None,
+    exclude_pairs: set | None = None,
+) -> list:
+    """One join/filter step: extensions of *substitutions* satisfying
+    *literal*.
+
+    This is the shared kernel of the naive driver below and the
+    semi-naive driver in :mod:`repro.engine.seminaive`.  For positive
+    generators, *exclude_facts* (resp. *exclude_pairs* of ``(arg,
+    element)`` for function literals) removes candidates — the
+    semi-naive scheme uses it to restrict earlier join positions to
+    pre-delta facts so no substitution is derived twice in a round.
+    """
+    next_substitutions: list = []
+    if isinstance(literal, PredLit) and literal.positive:
+        for subst in substitutions:
+            facts = _candidate_facts(literal, interp, subst)
+            for fact in facts:
+                if exclude_facts is not None and fact in exclude_facts:
+                    continue
+                budget.charge("steps")
+                next_substitutions.extend(match(literal.term, fact, subst))
+    elif isinstance(literal, FuncLit) and literal.positive:
+        graph = interp.funcs.get(literal.func, {})
+        for subst in substitutions:
+            for arg, elements in graph.items():
+                for arg_subst in match(literal.arg, arg, subst):
+                    for element in elements:
+                        if (
+                            exclude_pairs is not None
+                            and (arg, element) in exclude_pairs
+                        ):
+                            continue
+                        budget.charge("steps")
+                        next_substitutions.extend(
+                            match(literal.element, element, arg_subst)
+                        )
+    elif isinstance(literal, PredLit):
+        for subst in substitutions:
+            value = eval_term(literal.term, subst, neg)
+            if value not in neg.preds.get(literal.name, set()):
+                next_substitutions.append(subst)
+    elif isinstance(literal, FuncLit):
+        for subst in substitutions:
+            arg = eval_term(literal.arg, subst, neg)
+            element = eval_term(literal.element, subst, neg)
+            if element not in neg.funcs.get(literal.func, {}).get(arg, set()):
+                next_substitutions.append(subst)
+    elif isinstance(literal, EqLit):
+        for subst in substitutions:
+            # A positive equality with one unbound variable side is a
+            # binder: x ≈ t assigns x the value of t.
+            binder = None
+            if literal.positive:
+                for var_side, val_side in (
+                    (literal.left, literal.right),
+                    (literal.right, literal.left),
+                ):
+                    if (
+                        isinstance(var_side, VarD)
+                        and var_side.name not in subst
+                        and val_side.variables() <= set(subst)
+                    ):
+                        binder = (var_side.name, val_side)
+                        break
+            if binder is not None:
+                name, val_side = binder
+                extended = dict(subst)
+                extended[name] = eval_term(val_side, subst, neg)
+                next_substitutions.append(extended)
+                continue
+            left = eval_term(literal.left, subst, neg)
+            right = eval_term(literal.right, subst, neg)
+            if (left == right) == literal.positive:
+                next_substitutions.append(subst)
+    else:  # pragma: no cover - defensive
+        raise EvaluationError(f"unknown literal {literal!r}")
+    return next_substitutions
+
+
 def rule_substitutions(
     rule: Rule,
     interp: Interp,
@@ -271,64 +357,7 @@ def rule_substitutions(
     substitutions = [dict()]
     for literal in _literal_order(rule.body):
         budget.charge("steps")
-        next_substitutions: list = []
-        if isinstance(literal, PredLit) and literal.positive:
-            for subst in substitutions:
-                facts = _candidate_facts(literal, interp, subst)
-                for fact in facts:
-                    budget.charge("steps")
-                    next_substitutions.extend(match(literal.term, fact, subst))
-        elif isinstance(literal, FuncLit) and literal.positive:
-            graph = interp.funcs.get(literal.func, {})
-            for subst in substitutions:
-                for arg, elements in graph.items():
-                    for arg_subst in match(literal.arg, arg, subst):
-                        for element in elements:
-                            budget.charge("steps")
-                            next_substitutions.extend(
-                                match(literal.element, element, arg_subst)
-                            )
-        elif isinstance(literal, PredLit):
-            for subst in substitutions:
-                value = eval_term(literal.term, subst, neg)
-                if value not in neg.preds.get(literal.name, set()):
-                    next_substitutions.append(subst)
-        elif isinstance(literal, FuncLit):
-            for subst in substitutions:
-                arg = eval_term(literal.arg, subst, neg)
-                element = eval_term(literal.element, subst, neg)
-                if element not in neg.funcs.get(literal.func, {}).get(arg, set()):
-                    next_substitutions.append(subst)
-        elif isinstance(literal, EqLit):
-            for subst in substitutions:
-                # A positive equality with one unbound variable side is a
-                # binder: x ≈ t assigns x the value of t.
-                binder = None
-                if literal.positive:
-                    for var_side, val_side in (
-                        (literal.left, literal.right),
-                        (literal.right, literal.left),
-                    ):
-                        if (
-                            isinstance(var_side, VarD)
-                            and var_side.name not in subst
-                            and val_side.variables() <= set(subst)
-                        ):
-                            binder = (var_side.name, val_side)
-                            break
-                if binder is not None:
-                    name, val_side = binder
-                    extended = dict(subst)
-                    extended[name] = eval_term(val_side, subst, neg)
-                    next_substitutions.append(extended)
-                    continue
-                left = eval_term(literal.left, subst, neg)
-                right = eval_term(literal.right, subst, neg)
-                if (left == right) == literal.positive:
-                    next_substitutions.append(subst)
-        else:  # pragma: no cover - defensive
-            raise EvaluationError(f"unknown literal {literal!r}")
-        substitutions = next_substitutions
+        substitutions = extend_with_literal(literal, substitutions, interp, neg, budget)
         if not substitutions:
             return
     yield from substitutions

@@ -62,14 +62,24 @@ class DatalogProgram(ColProgram):
                     _check_flat_term(literal.right, "body")
 
 
-def run_datalog_stratified(program: DatalogProgram, database: Database, budget: Budget | None = None):
+def run_datalog_stratified(
+    program: DatalogProgram,
+    database: Database,
+    budget: Budget | None = None,
+    naive: bool = False,
+):
     """Stratified semantics (raises on unstratifiable programs)."""
-    return run_stratified(program, database, budget)
+    return run_stratified(program, database, budget, naive=naive)
 
 
-def run_datalog_inflationary(program: DatalogProgram, database: Database, budget: Budget | None = None):
+def run_datalog_inflationary(
+    program: DatalogProgram,
+    database: Database,
+    budget: Budget | None = None,
+    naive: bool = False,
+):
     """Inflationary semantics (defined for every program)."""
-    return run_inflationary(program, database, budget)
+    return run_inflationary(program, database, budget, naive=naive)
 
 
 def transitive_closure_datalog(relation: str = "R", answer: str = "ANS") -> DatalogProgram:

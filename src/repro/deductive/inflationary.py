@@ -27,15 +27,29 @@ def run_inflationary(
     program: ColProgram,
     database: Database,
     budget: Budget | None = None,
+    naive: bool = False,
 ):
     """COL^inf semantics: the answer instance, or ``?`` on divergence.
 
     One round applies every rule against a *snapshot* of the current
     interpretation (the standard simultaneous inflationary operator);
     rounds repeat until nothing new is derived.
+
+    Rounds run delta-driven by default (the semi-naive driver buffers a
+    round's derivations instead of copying the interpretation, see
+    :mod:`repro.engine.seminaive`); ``naive=True`` selects the original
+    copy-per-round driver.
     """
     budget = budget or Budget()
     interp = Interp.from_database(database)
+    if not naive:
+        from ..engine.seminaive import seminaive_inflationary_fixpoint
+
+        try:
+            seminaive_inflationary_fixpoint(program.rules, interp, budget)
+        except BudgetExceeded:
+            return UNDEFINED
+        return interp.instance(program.answer)
     try:
         changed = True
         while changed:

@@ -22,7 +22,7 @@ from ..budget import Budget
 from ..errors import BudgetExceeded, StratificationError, UNDEFINED
 from ..model.schema import Database
 from .ast import ColProgram, DTerm, EqLit, FuncLit, FuncT, PredLit, SetD, TupD
-from .col import Interp, fixpoint
+from .col import Interp
 
 
 def _function_value_terms(term: DTerm) -> set:
@@ -113,6 +113,7 @@ def run_stratified(
     program: ColProgram,
     database: Database,
     budget: Budget | None = None,
+    naive: bool = False,
 ):
     """COL^str semantics: the answer instance, or ``?`` on divergence.
 
@@ -122,14 +123,21 @@ def run_stratified(
     machines encode arbitrary computations); the budget observes this
     and the program's value is then ``?``, matching "in this case, we
     view the output to be undefined".
+
+    Strata run semi-naive by default (:mod:`repro.engine.seminaive`);
+    ``naive=True`` selects the original full-re-join driver.
     """
+    from ..engine.seminaive import seminaive_fixpoint
+
     budget = budget or Budget()
     strata = stratify(program)
     interp = Interp.from_database(database)
     try:
         for rules in strata:
             frozen = interp.copy()
-            fixpoint(rules, interp, budget, negation_interp=frozen)
+            seminaive_fixpoint(
+                rules, interp, budget, negation_interp=frozen, naive=naive
+            )
     except BudgetExceeded:
         return UNDEFINED
     return interp.instance(program.answer)

@@ -1,0 +1,55 @@
+"""repro.engine — the shared execution runtime.
+
+Four pieces, usable independently and composed by the benchmark and
+example harnesses:
+
+* :mod:`~repro.engine.intern` — hash-consing of the value universe
+  (one canonical object per distinct structure, pointer-fast equality);
+* :mod:`~repro.engine.seminaive` — delta-driven fixpoint drivers, the
+  default evaluation strategy of the deductive semantics;
+* :mod:`~repro.engine.cache` — genericity-aware memoization keyed on
+  canonicalised databases (:mod:`~repro.engine.canon`), so
+  permuted-isomorphic inputs share one entry;
+* :mod:`~repro.engine.runner` — a process-parallel suite runner with
+  per-task sub-budgets, wall-clock timeouts observed as ``?``, and
+  structured :class:`~repro.engine.runner.RunReport` output.
+"""
+
+from .cache import CacheStats, LRUCache, MemoCache, program_fingerprint
+from .canon import Renaming, canonical_atom, canonicalise_database
+from .intern import (
+    InternStats,
+    Interner,
+    disable_interning,
+    enable_interning,
+    intern_stats,
+    intern_value,
+    interned,
+    interning_enabled,
+)
+from .runner import RunReport, RunTask, TaskReport, run_suite
+from .seminaive import seminaive_fixpoint, seminaive_inflationary_fixpoint
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "MemoCache",
+    "program_fingerprint",
+    "Renaming",
+    "canonical_atom",
+    "canonicalise_database",
+    "InternStats",
+    "Interner",
+    "disable_interning",
+    "enable_interning",
+    "intern_stats",
+    "intern_value",
+    "interned",
+    "interning_enabled",
+    "RunReport",
+    "RunTask",
+    "TaskReport",
+    "run_suite",
+    "seminaive_fixpoint",
+    "seminaive_inflationary_fixpoint",
+]

@@ -1,0 +1,186 @@
+"""Memoization for generic queries, plus a generic bounded LRU.
+
+:class:`MemoCache` memoizes query evaluation keyed by ``(program
+fingerprint, canonicalised database)``.  Canonicalisation
+(:mod:`repro.engine.canon`) renames movable atoms to a fixed canonical
+alphabet, so *permuted-isomorphic* inputs share one entry: by
+C-genericity the cached canonical answer, renamed back through the
+querying database's own renaming, **is** the query's answer.  This is
+the cache the paper's semantics licences — genericity is exactly the
+statement that a query cannot distinguish such inputs.
+
+Requirements on a cached query (checked by the caller, not the cache):
+
+* **C-generic** for the declared constants, and
+* **domain preserving** wrt those constants (output atoms come from the
+  input or C), so the stored canonical answer renames back completely.
+
+Queries that *invent* atoms (the Section 6 invention semantics) are
+neither, so callers must pass ``generic=False`` — the cache then counts
+a bypass and evaluates directly.  ``?`` results are cached too:
+divergence is also permutation-invariant.
+
+:class:`LRUCache` is the unexciting sibling: a bounded exact-key
+mapping used for operator-level memoization (the algebra's ``Powerset``)
+and anywhere else a plain bounded dict is wanted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..errors import is_undefined
+from ..model.schema import Database
+from ..model.values import Atom, Value
+from .canon import canonicalise_database
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/bypass/eviction counters (mutable, cheap to snapshot)."""
+
+    hits: int = 0
+    misses: int = 0
+    bypasses: int = 0
+    evictions: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bypasses": self.bypasses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate(), 4),
+        }
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction."""
+
+    __slots__ = ("_entries", "max_entries", "stats")
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._entries: OrderedDict = OrderedDict()
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def get(self, key, default=None):
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+def program_fingerprint(program) -> str:
+    """A stable fingerprint of a program's full syntax.
+
+    Uses the program's ``fingerprint_payload()`` when it defines one
+    (``GTM`` does — its ``repr`` is only a summary), else its ``repr``;
+    the program classes with structural reprs (``ColProgram``, algebra
+    ``Program``) need nothing extra.  The concrete class name is mixed
+    in, so two programs with the same rules but different classes
+    (e.g. a ``DatalogProgram`` and a hand-built ``ColProgram``)
+    fingerprint differently — deliberately conservative.
+    """
+    body = (
+        program.fingerprint_payload()
+        if hasattr(program, "fingerprint_payload")
+        else repr(program)
+    )
+    payload = f"{type(program).__module__}.{type(program).__qualname__}\n{body}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class MemoCache:
+    """Genericity-aware memoization of ``fn(database)`` calls.
+
+    Entries are LRU-bounded; values are stored in canonical atom space
+    and renamed back on every hit (see the module docstring for why
+    that is sound).
+    """
+
+    def __init__(self, max_entries: int = 256):
+        self._entries: OrderedDict = OrderedDict()
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def run(
+        self,
+        fn: Callable[[Database], object],
+        program,
+        database: Database,
+        *,
+        constants: Iterable[Atom] = (),
+        generic: bool = True,
+        extra_key=(),
+    ):
+        """Evaluate ``fn(database)``, consulting the cache when allowed.
+
+        *program* supplies the fingerprint; *constants* the set C the
+        query is generic with respect to; *extra_key* distinguishes
+        evaluation modes of one program (e.g. ``"stratified"`` vs
+        ``"inflationary"``).  With ``generic=False`` the call bypasses
+        the cache entirely (counted in :attr:`stats`).
+        """
+        if not generic:
+            self.stats.bypasses += 1
+            return fn(database)
+        constants = tuple(constants)
+        canon_db, renaming = canonicalise_database(database, constants)
+        key = (program_fingerprint(program), extra_key, canon_db)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            canonical_result = self._entries[key]
+            if is_undefined(canonical_result) or not isinstance(
+                canonical_result, Value
+            ):
+                return canonical_result
+            return renaming.inverse()(canonical_result)
+        self.stats.misses += 1
+        result = fn(database)
+        if is_undefined(result) or isinstance(result, Value):
+            canonical_result = (
+                result if is_undefined(result) else renaming(result)
+            )
+            self._entries[key] = canonical_result
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return result
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

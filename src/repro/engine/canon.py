@@ -1,0 +1,232 @@
+"""Canonical renaming of databases under C-genericity.
+
+A C-generic query (paper, Section 2; :mod:`repro.model.genericity`)
+commutes with every permutation of **U** fixing the constant set C, so
+two databases that differ only by such a permutation have
+permutation-related answers.  The memo cache (:mod:`repro.engine.cache`)
+exploits this by keying entries on a *canonical form*: atoms outside C
+are renamed to positional placeholders ``§0, §1, ...`` chosen so that
+permuted-isomorphic databases produce the **same** renamed database.
+
+The renaming is found with colour refinement (1-WL): each atom starts
+from a label-independent signature — where it occurs, per predicate and
+per structural path — and signatures are refined with co-occurrence
+information until the partition stabilises.  Atoms in singleton colour
+classes are then fully determined; small ambiguous classes are resolved
+exactly by brute-force minimisation over signature-respecting orders,
+larger ones fall back to label order.
+
+Soundness does not depend on the renaming being canonical: the cache
+key *is* the renamed database, so a hit certifies that the two inputs
+are genuinely related by a C-fixing permutation — an imperfect renaming
+can only lower the hit rate, never produce a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from ..model.schema import Database
+from ..model.values import Atom, NamedTup, SetVal, Tup, Value
+
+#: Upper bound on the number of signature-respecting orders tried when
+#: colour refinement leaves ambiguous classes.  720 = 6! keeps the
+#: worst case trivial while making the renaming exact on every workload
+#: whose automorphism classes are small.
+MAX_TIEBREAK_ORDERS = 720
+
+_CANON_PREFIX = "§"  # §
+
+
+def canonical_atom(index: int) -> Atom:
+    """The *index*-th canonical placeholder atom ``§index``."""
+    return Atom(f"{_CANON_PREFIX}{index}")
+
+
+class Renaming:
+    """A finite injective atom -> atom map, applied structurally.
+
+    Unlike :class:`repro.model.genericity.Permutation` the image need
+    not equal the support (we map real atoms onto the disjoint canonical
+    alphabet), so this is its non-permutation sibling.
+    """
+
+    __slots__ = ("mapping",)
+
+    def __init__(self, mapping: dict):
+        self.mapping = dict(mapping)
+
+    def __call__(self, thing):
+        if isinstance(thing, Database):
+            return Database(
+                thing.schema,
+                {name: self(thing[name]) for name in thing.schema.names()},
+            )
+        return self._apply(thing)
+
+    def _apply(self, value: Value) -> Value:
+        if isinstance(value, Atom):
+            return self.mapping.get(value, value)
+        if isinstance(value, Tup):
+            return Tup([self._apply(item) for item in value.items])
+        if isinstance(value, SetVal):
+            return SetVal(self._apply(item) for item in value.items)
+        if isinstance(value, NamedTup):
+            return NamedTup({name: self._apply(item) for name, item in value.fields})
+        return value  # ⊥ / ⊤
+
+    def inverse(self) -> "Renaming":
+        return Renaming({v: k for k, v in self.mapping.items()})
+
+
+def _atom_paths(value: Value, path: tuple, out: dict) -> None:
+    """Record each atom's structural paths inside one fact.
+
+    Tuple coordinates contribute their position, set membership the
+    unordered marker ``∈`` (sets have no positions), named attributes
+    their name — all label-independent descriptors.
+    """
+    if isinstance(value, Atom):
+        out.setdefault(value, []).append(path)
+    elif isinstance(value, Tup):
+        for index, item in enumerate(value.items):
+            _atom_paths(item, path + (index,), out)
+    elif isinstance(value, SetVal):
+        for item in value.items:
+            _atom_paths(item, path + ("∈",), out)
+    elif isinstance(value, NamedTup):
+        for name, item in value.fields:
+            _atom_paths(item, path + (name,), out)
+
+
+def _token(payload) -> str:
+    """A deterministic, orderable colour token for a signature payload."""
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()[:24]
+
+
+def _refine_colours(database: Database, constants: frozenset) -> dict:
+    """Colour-refinement signatures for every atom of ``adom(d)``.
+
+    Constants keep their own labels as colours (they are fixed by the
+    permutations genericity quantifies over, so using their labels is
+    both allowed and what distinguishes them).  All other colours are
+    built purely from predicate names, structural paths, and previously
+    assigned colours — never from movable labels.
+    """
+    facts = []  # (pred name, {atom: [paths]})
+    for name in database.schema.names():
+        for member in database[name].items:
+            paths: dict = {}
+            _atom_paths(member, (), paths)
+            facts.append((name, paths))
+
+    atoms = set(database.adom())
+    colour = {}
+    for atom in atoms:
+        if atom in constants:
+            colour[atom] = _token(("const", atom.label))
+        else:
+            colour[atom] = _token("movable")
+
+    for _ in range(max(1, len(atoms))):
+        new_colour = {}
+        occurrences: dict = {atom: [] for atom in atoms}
+        for pred, paths in facts:
+            for atom, own_paths in paths.items():
+                # Paths mix ints ("coordinate 2") with strings ("∈",
+                # attribute names); sort by repr for a type-safe,
+                # deterministic order.
+                neighbourhood = sorted(
+                    (
+                        (tuple(sorted(other_paths, key=repr)), colour[other])
+                        for other, other_paths in paths.items()
+                        if other != atom
+                    ),
+                    key=repr,
+                )
+                occurrences[atom].append(
+                    (pred, tuple(sorted(own_paths, key=repr)), tuple(neighbourhood))
+                )
+        for atom in atoms:
+            new_colour[atom] = _token(
+                (colour[atom], tuple(sorted(occurrences[atom], key=repr)))
+            )
+        if len(set(new_colour.values())) == len(set(colour.values())):
+            colour = new_colour
+            break
+        colour = new_colour
+    return colour
+
+
+def _database_key(database: Database):
+    """A total-order key on databases (for tie-break minimisation)."""
+    return tuple(
+        (name, database[name].canon_key()) for name in database.schema.names()
+    )
+
+
+def _orders(groups: list) -> Iterable[list]:
+    """All atom orders that respect the colour grouping."""
+    from itertools import permutations, product
+
+    per_group = [list(permutations(group)) for group in groups]
+    for combo in product(*per_group):
+        yield [atom for group in combo for atom in group]
+
+
+def canonicalise_database(
+    database: Database, constants: Iterable[Atom] = ()
+) -> tuple:
+    """``(canonical database, renaming)`` under C-genericity.
+
+    The renaming maps movable atoms (``adom(d)`` minus *constants*) onto
+    the canonical alphabet ``§0, §1, ...``; constants stay themselves.
+    Apply ``renaming.inverse()`` to a cached canonical answer to obtain
+    the answer for *database*.
+    """
+    constants = frozenset(constants)
+    movable = sorted(set(database.adom()) - constants, key=lambda a: a.canon_key())
+    if not movable:
+        return database, Renaming({})
+
+    colour = _refine_colours(database, constants)
+    groups: dict = {}
+    for atom in movable:
+        groups.setdefault(colour[atom], []).append(atom)
+    ordered_groups = [
+        sorted(groups[c], key=lambda a: a.canon_key()) for c in sorted(groups)
+    ]
+
+    combinations = 1
+    for group in ordered_groups:
+        for i in range(2, len(group) + 1):
+            combinations *= i
+        if combinations > MAX_TIEBREAK_ORDERS:
+            break
+
+    if combinations == 1:
+        order = [atom for group in ordered_groups for atom in group]
+        renaming = Renaming(
+            {atom: canonical_atom(i) for i, atom in enumerate(order)}
+        )
+        return renaming(database), renaming
+    if combinations <= MAX_TIEBREAK_ORDERS:
+        # Exact: minimise the renamed database over all colour-respecting
+        # orders.  Every permuted-isomorphic input yields the same
+        # minimum, because colours are permutation-invariant.
+        best = None
+        for order in _orders(ordered_groups):
+            renaming = Renaming(
+                {atom: canonical_atom(i) for i, atom in enumerate(order)}
+            )
+            renamed = renaming(database)
+            key = _database_key(renamed)
+            if best is None or key < best[0]:
+                best = (key, renamed, renaming)
+        return best[1], best[2]
+    # Fallback: deterministic but label-dependent within ambiguous
+    # classes — permuted inputs may miss the cache, never corrupt it.
+    order = [atom for group in ordered_groups for atom in group]
+    renaming = Renaming({atom: canonical_atom(i) for i, atom in enumerate(order)})
+    return renaming(database), renaming

@@ -1,0 +1,179 @@
+"""Hash-consing interner for the value universe.
+
+The paper's PERMS-style constructions (Theorem 4.1(b)) and the deep
+machine-history facts of Theorem 5.1 build the *same* nested
+``SetVal``/``Tup`` structures over and over; every fixpoint round then
+re-compares them member by member.  Hash-consing gives each structurally
+distinct value a single canonical Python object, so
+
+* equality short-circuits to a pointer comparison (every value class'
+  ``__eq__`` starts with ``self is other``),
+* hashes are computed once per distinct structure ever built, and
+* memory stays proportional to the number of *distinct* objects.
+
+The interner plugs into :mod:`repro.model.values` through the
+``set_interner`` hook — value construction consults it inside
+``__new__`` and returns the canonical instance on a hit.  Interned and
+non-interned values are indistinguishable observationally: they compare
+equal and hash identically, which :mod:`tests.engine.test_intern`
+verifies as an invariant.
+
+Usage::
+
+    from repro.engine import intern
+
+    intern.enable_interning()          # process-wide, until disabled
+    ...
+    print(intern.intern_stats())       # InternStats(hits=..., misses=...)
+    intern.disable_interning()
+
+    with intern.interned():            # scoped
+        ...
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from ..model import values as _values
+from ..model.values import NamedTup, SetVal, Tup, Value
+
+#: Default bound on the number of canonical instances kept alive.  Past
+#: the bound new structures are built un-interned (counted as skips)
+#: rather than evicting — eviction would break the "one canonical
+#: instance" identity guarantee for values still in use.
+DEFAULT_MAX_ENTRIES = 1_000_000
+
+
+@dataclass(frozen=True)
+class InternStats:
+    """A snapshot of interner effectiveness counters."""
+
+    hits: int
+    misses: int
+    skips: int
+    size: int
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "skips": self.skips,
+            "size": self.size,
+            "hit_rate": round(self.hit_rate(), 4),
+        }
+
+
+class Interner:
+    """A bounded hash-consing table keyed by structural identity.
+
+    Keys are the ``("Atom", label)`` / ``("Tup", items)`` / ... tuples
+    the value classes build during construction; entries are the
+    canonical instances.  The table is append-only up to ``max_entries``
+    (see :data:`DEFAULT_MAX_ENTRIES` for why there is no eviction).
+    """
+
+    __slots__ = ("_table", "max_entries", "hits", "misses", "skips")
+
+    def __init__(self, max_entries: int | None = DEFAULT_MAX_ENTRIES):
+        self._table: dict = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.skips = 0
+
+    def lookup(self, key):
+        cached = self._table.get(key)
+        if cached is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return cached
+
+    def store(self, key, value) -> None:
+        if self.max_entries is not None and len(self._table) >= self.max_entries:
+            self.skips += 1
+            return
+        self._table[key] = value
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def stats(self) -> InternStats:
+        return InternStats(
+            hits=self.hits, misses=self.misses, skips=self.skips, size=len(self._table)
+        )
+
+    def clear(self) -> None:
+        self._table.clear()
+        self.hits = self.misses = self.skips = 0
+
+
+_lock = threading.Lock()
+
+
+def enable_interning(max_entries: int | None = DEFAULT_MAX_ENTRIES) -> Interner:
+    """Install a fresh process-wide interner and return it.
+
+    If one is already installed it is kept (and returned) so nested
+    enables compose; pass through :func:`disable_interning` to swap.
+    """
+    with _lock:
+        current = _values.get_interner()
+        if current is None:
+            current = Interner(max_entries=max_entries)
+            _values.set_interner(current)
+        return current
+
+
+def disable_interning() -> None:
+    """Remove the process-wide interner (existing values stay valid)."""
+    with _lock:
+        _values.set_interner(None)
+
+
+def interning_enabled() -> bool:
+    return _values.get_interner() is not None
+
+
+def intern_stats() -> InternStats:
+    """Counters of the installed interner (zeros when disabled)."""
+    interner = _values.get_interner()
+    if interner is None:
+        return InternStats(hits=0, misses=0, skips=0, size=0)
+    return interner.stats()
+
+
+@contextmanager
+def interned(max_entries: int | None = DEFAULT_MAX_ENTRIES):
+    """Context manager: interning enabled inside, prior state restored after."""
+    previous = _values.get_interner()
+    interner = previous if previous is not None else Interner(max_entries=max_entries)
+    _values.set_interner(interner)
+    try:
+        yield interner
+    finally:
+        _values.set_interner(previous)
+
+
+def intern_value(value: Value) -> Value:
+    """Rebuild *value* bottom-up through the interner, returning the
+    canonical instance (requires interning to be enabled; otherwise the
+    rebuild is a structural copy that still deduplicates shared
+    subtrees within this call via construction)."""
+    if isinstance(value, Tup):
+        return Tup([intern_value(item) for item in value.items])
+    if isinstance(value, SetVal):
+        return SetVal(intern_value(item) for item in value.items)
+    if isinstance(value, NamedTup):
+        return NamedTup({name: intern_value(item) for name, item in value.fields})
+    # Atoms intern through their own constructor; ⊥/⊤ are singletons.
+    if isinstance(value, _values.Atom):
+        return _values.Atom(value.label)
+    return value

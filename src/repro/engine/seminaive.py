@@ -1,0 +1,321 @@
+"""Semi-naive (delta-driven) fixpoint evaluation for COL / DATALOG¬.
+
+The naive drivers in :mod:`repro.deductive` re-join *every* rule against
+*every* fact each round, so a fixpoint that runs r rounds over n facts
+does O(r·n) matching work per rule even when a round derived a single
+new fact.  The classic fix is **semi-naive evaluation**: track the
+*delta* (facts first derived last round) and only compute substitutions
+that use at least one delta fact — everything else was already derived.
+
+The textbook scheme is implemented exactly: for a rule with positive
+generators ``L1, ..., Lk``, round r computes, for each position i, the
+joins with
+
+* ``Li`` drawn from **Δ** (last round's new facts),
+* ``L1..Li-1`` drawn from old facts only (full minus Δ), and
+* ``Li+1..Lk`` drawn from the full interpretation,
+
+so every new substitution is found exactly once per round.  Negated
+literals and equalities are filters, evaluated exactly as the naive
+driver evaluates them.
+
+Two drivers cover the repository's two semantics:
+
+* :func:`seminaive_fixpoint` — cumulative, for the **stratified**
+  semantics: within a stratum negation and function values are frozen
+  (monotone evaluation), so delta-driving is unconditionally sound and
+  reaches the identical least fixpoint.
+* :func:`seminaive_inflationary_fixpoint` — the simultaneous
+  (snapshot) operator of the **inflationary** semantics, with the
+  per-round ``Interp.copy()`` of the naive driver replaced by a pending
+  buffer: rules match against the un-mutated interpretation and the
+  round's derivations are flushed afterwards.  Rules whose terms use
+  function *values* ``F(t)`` are re-evaluated in full every round (the
+  value of ``F`` can grow without any single fact matching a body
+  position), which keeps the driver exact on every COL program.
+
+Both drivers take ``naive=True`` as an escape hatch that delegates to
+the original drivers, and both are cross-checked against them in
+``tests/engine/test_seminaive.py`` on the E6/E7/E8 workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..budget import Budget
+from ..deductive.ast import EqLit, FuncLit, FuncT, PredLit, Rule, SetD, TupD
+from ..deductive.col import (
+    Interp,
+    eval_term,
+    extend_with_literal,
+    fixpoint as naive_fixpoint,
+    match,
+    rule_substitutions,
+)
+
+
+class Delta:
+    """The facts first derived in one fixpoint round."""
+
+    __slots__ = ("preds", "funcs")
+
+    def __init__(self):
+        self.preds: dict = {}
+        self.funcs: dict = {}
+
+    def add_pred(self, name: str, value) -> None:
+        self.preds.setdefault(name, set()).add(value)
+
+    def add_func(self, name: str, arg, element) -> None:
+        self.funcs.setdefault(name, set()).add((arg, element))
+
+    def empty(self) -> bool:
+        return not self.preds and not self.funcs
+
+    def touches(self, pred_names: set, func_names: set) -> bool:
+        return bool(
+            (pred_names and not pred_names.isdisjoint(self.preds))
+            or (func_names and not func_names.isdisjoint(self.funcs))
+        )
+
+
+def _mentions_function_value(rule: Rule) -> bool:
+    """Does any term of *rule* use a data function's value ``F(t)``?"""
+
+    def walk(term) -> bool:
+        if isinstance(term, FuncT):
+            return True
+        if isinstance(term, (TupD, SetD)):
+            return any(walk(item) for item in term.items)
+        return False
+
+    terms = []
+    head = rule.head
+    if isinstance(head, PredLit):
+        terms.append(head.term)
+    else:
+        terms.extend([head.arg, head.element])
+    for literal in rule.body:
+        if isinstance(literal, PredLit):
+            terms.append(literal.term)
+        elif isinstance(literal, FuncLit):
+            terms.extend([literal.arg, literal.element])
+        elif isinstance(literal, EqLit):
+            terms.extend([literal.left, literal.right])
+    return any(walk(term) for term in terms)
+
+
+def _rule_profile(rule: Rule) -> tuple:
+    """(positive body preds, positive body funcs, post-join literals)."""
+    preds = {
+        l.name for l in rule.body if isinstance(l, PredLit) and l.positive
+    }
+    funcs = {
+        l.func for l in rule.body if isinstance(l, FuncLit) and l.positive
+    }
+    generators = [
+        l for l in rule.body if isinstance(l, (PredLit, FuncLit)) and l.positive
+    ]
+    filters = [
+        l
+        for l in rule.body
+        if not (isinstance(l, (PredLit, FuncLit)) and l.positive)
+    ]
+    # Binding equalities before negations, as in the naive literal order.
+    filters.sort(key=lambda l: 0 if isinstance(l, EqLit) and l.positive else 1)
+    return preds, funcs, generators, filters
+
+
+def _delta_substitutions(
+    rule: Rule,
+    generators: list,
+    filters: list,
+    interp: Interp,
+    delta: Delta,
+    budget: Budget,
+    neg: Interp,
+) -> list:
+    """All substitutions of *rule* that use at least one delta fact."""
+    results: list = []
+    for index, delta_literal in enumerate(generators):
+        budget.charge("steps")
+        # Seed the join from the delta occurrence of position `index`.
+        seeds: list = []
+        if isinstance(delta_literal, PredLit):
+            for fact in delta.preds.get(delta_literal.name, ()):
+                budget.charge("steps")
+                seeds.extend(match(delta_literal.term, fact, {}))
+        else:
+            for arg, element in delta.funcs.get(delta_literal.func, ()):
+                for arg_subst in match(delta_literal.arg, arg, {}):
+                    budget.charge("steps")
+                    seeds.extend(match(delta_literal.element, element, arg_subst))
+        if not seeds:
+            continue
+        substitutions = seeds
+        for position, literal in enumerate(generators):
+            if position == index:
+                continue
+            if position < index:
+                # Earlier positions: old facts only, so a substitution
+                # with several delta facts is found at exactly one index.
+                if isinstance(literal, PredLit):
+                    substitutions = extend_with_literal(
+                        literal,
+                        substitutions,
+                        interp,
+                        neg,
+                        budget,
+                        exclude_facts=delta.preds.get(literal.name),
+                    )
+                else:
+                    substitutions = extend_with_literal(
+                        literal,
+                        substitutions,
+                        interp,
+                        neg,
+                        budget,
+                        exclude_pairs=delta.funcs.get(literal.func),
+                    )
+            else:
+                substitutions = extend_with_literal(
+                    literal, substitutions, interp, neg, budget
+                )
+            if not substitutions:
+                break
+        if not substitutions:
+            continue
+        for literal in filters:
+            substitutions = extend_with_literal(
+                literal, substitutions, interp, neg, budget
+            )
+            if not substitutions:
+                break
+        results.extend(substitutions)
+    return results
+
+
+def _consequence(rule: Rule, subst: dict, eval_interp: Interp) -> tuple:
+    head = rule.head
+    if isinstance(head, PredLit):
+        return ("pred", head.name, eval_term(head.term, subst, eval_interp))
+    return (
+        "func",
+        head.func,
+        eval_term(head.arg, subst, eval_interp),
+        eval_term(head.element, subst, eval_interp),
+    )
+
+
+def _apply_consequence(fact: tuple, interp: Interp, budget: Budget, delta: Delta) -> bool:
+    if fact[0] == "pred":
+        _, name, value = fact
+        if interp.add_pred(name, value):
+            budget.charge("facts")
+            delta.add_pred(name, value)
+            return True
+        return False
+    _, name, arg, element = fact
+    if interp.add_func(name, arg, element):
+        budget.charge("facts")
+        delta.add_func(name, arg, element)
+        return True
+    return False
+
+
+def seminaive_fixpoint(
+    rules: Iterable[Rule],
+    interp: Interp,
+    budget: Budget,
+    negation_interp: Interp | None = None,
+    naive: bool = False,
+) -> Interp:
+    """Delta-driven replacement for :func:`repro.deductive.col.fixpoint`.
+
+    Intended for the stratified discipline, where *negation_interp* is
+    the frozen union of lower strata (rule bodies are then monotone in
+    *interp* and the least fixpoint is strategy-independent).  With
+    ``naive=True`` the original driver runs instead.
+    """
+    if naive:
+        return naive_fixpoint(rules, interp, budget, negation_interp)
+    neg = negation_interp if negation_interp is not None else interp
+    rules = list(rules)
+    profiles = [_rule_profile(rule) for rule in rules]
+
+    # Round 1: one full cumulative pass seeds the delta.
+    budget.charge("iterations")
+    delta = Delta()
+    for rule in rules:
+        for subst in list(rule_substitutions(rule, interp, budget, neg)):
+            _apply_consequence(_consequence(rule, subst, interp), interp, budget, delta)
+
+    while not delta.empty():
+        budget.charge("iterations")
+        new_delta = Delta()
+        for rule, (preds, funcs, generators, filters) in zip(rules, profiles):
+            if not generators:
+                continue  # ground bodies were settled in round 1
+            if not delta.touches(preds, funcs):
+                continue  # rule-body index: no delta fact feeds this rule
+            substitutions = _delta_substitutions(
+                rule, generators, filters, interp, delta, budget, neg
+            )
+            for subst in substitutions:
+                _apply_consequence(
+                    _consequence(rule, subst, interp), interp, budget, new_delta
+                )
+        delta = new_delta
+    return interp
+
+
+def seminaive_inflationary_fixpoint(
+    rules: Iterable[Rule],
+    interp: Interp,
+    budget: Budget,
+) -> Interp:
+    """The simultaneous inflationary operator, delta-driven.
+
+    Matches run against the round-start interpretation (negation
+    included — the inflationary semantics evaluates ``¬`` against the
+    current snapshot); derivations are buffered and flushed between
+    rounds, replacing the naive driver's per-round full copy.  Rules
+    using function values are re-run in full each round (see module
+    docstring); everything else is delta-driven.
+    """
+    rules = list(rules)
+    profiles = [_rule_profile(rule) for rule in rules]
+    unsafe = [_mentions_function_value(rule) for rule in rules]
+
+    budget.charge("iterations")
+    pending = []
+    for rule in rules:
+        for subst in list(rule_substitutions(rule, interp, budget, interp)):
+            pending.append(_consequence(rule, subst, interp))
+    delta = Delta()
+    for fact in pending:
+        _apply_consequence(fact, interp, budget, delta)
+
+    while not delta.empty():
+        budget.charge("iterations")
+        pending = []
+        for rule, profile, full_rerun in zip(rules, profiles, unsafe):
+            preds, funcs, generators, filters = profile
+            if not generators:
+                continue  # ground bodies: decided in round 1 (negation
+                # only flips true->false as the interpretation grows)
+            if full_rerun:
+                for subst in list(rule_substitutions(rule, interp, budget, interp)):
+                    pending.append(_consequence(rule, subst, interp))
+                continue
+            if not delta.touches(preds, funcs):
+                continue
+            for subst in _delta_substitutions(
+                rule, generators, filters, interp, delta, budget, interp
+            ):
+                pending.append(_consequence(rule, subst, interp))
+        delta = Delta()
+        for fact in pending:
+            _apply_consequence(fact, interp, budget, delta)
+    return interp

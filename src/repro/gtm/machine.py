@@ -218,3 +218,22 @@ class GTM:
             f"GTM({self.name!r}, |K|={len(self.states)}, "
             f"|δ|={len(self.delta)}, C={sorted(str(c) for c in self.constants)})"
         )
+
+    def fingerprint_payload(self) -> str:
+        """A string determining the machine up to semantic identity.
+
+        Unlike ``repr`` (a summary), this includes the full transition
+        table; :func:`repro.engine.cache.program_fingerprint` uses it so
+        two machines share a cache key only when they are the same
+        machine.
+        """
+        return repr(
+            (
+                sorted(self.states),
+                sorted(repr(w) for w in self.working),
+                sorted(repr(c) for c in self.constants),
+                self.start,
+                self.halt,
+                sorted((repr(key), repr(step)) for key, step in self.delta.items()),
+            )
+        )

@@ -115,6 +115,8 @@ def gtm_query(
     output_type: RType,
     atom_order: Sequence | None = None,
     budget: Budget | None = None,
+    cache=None,
+    constants: Sequence = (),
 ):
     """The query ``f(d)`` computed by *gtm* on *database*.
 
@@ -122,8 +124,26 @@ def gtm_query(
     the machine, and decodes tape 1 against *output_type*.  Any failure
     (stuck machine, budget, malformed output) yields ``?`` exactly as
     the paper prescribes.
+
+    Pass a :class:`repro.engine.cache.MemoCache` as *cache* to memoize
+    across permuted-isomorphic databases.  The caller asserts that the
+    machine computes a query *generic* for *constants* and
+    *input-order independent* (Section 3's well-behaved machines; see
+    :func:`check_order_independence`) — for those, the answer depends
+    only on the database's isomorphism class, which is exactly what the
+    cache keys on.  Caching is only consulted for the canonical
+    ordering (``atom_order=None``); an explicit ordering always runs
+    the machine.
     """
     from ..model.encoding import canonical_atom_order
+
+    if cache is not None and atom_order is None:
+        return cache.run(
+            lambda db: gtm_query(gtm, db, output_type, budget=budget),
+            gtm,
+            database,
+            constants=tuple(constants),
+        )
 
     if atom_order is None:
         atom_order = canonical_atom_order(database)

@@ -89,6 +89,9 @@ class Schema:
         """All predicate rtypes flat (paper: input/output schemas)."""
         return all(rtype.is_flat() for _, rtype in self._entries)
 
+    def __reduce__(self):
+        return (Schema, (self._entries,))
+
     def __repr__(self) -> str:
         inner = ", ".join(f"{name}: {rtype!r}" for name, rtype in self._entries)
         return f"<{inner}>"
@@ -140,6 +143,9 @@ class Database:
 
     def __hash__(self) -> int:
         return hash((self.schema, tuple(sorted(self._instances.items()))))
+
+    def __reduce__(self):
+        return (Database, (self.schema, self._instances))
 
     def adom(self) -> frozenset:
         """The atomic active domain of the whole database."""

@@ -149,6 +149,9 @@ class SetType(RType):
     def __repr__(self) -> str:
         return "{" + repr(self.element) + "}"
 
+    def __reduce__(self):
+        return (SetType, (self.element,))
+
 
 class TupleType(RType):
     """The tuple rtype ``[T1, ..., Tn]`` with n >= 1."""
@@ -204,6 +207,9 @@ class TupleType(RType):
 
     def __repr__(self) -> str:
         return "[" + ", ".join(repr(c) for c in self.components) + "]"
+
+    def __reduce__(self):
+        return (TupleType, (self.components,))
 
 
 def _is_pure_obj(value: Value) -> bool:

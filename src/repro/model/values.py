@@ -22,6 +22,15 @@ Python sets/dicts, and a **canonical total order** (:func:`canon_key`)
 makes enumeration deterministic.  The order is: Bottom < atoms <
 positional tuples < named tuples < sets < Top, with lexicographic
 comparison inside each kind.
+
+**Interning** (``repro.engine.intern``): construction runs through
+``__new__`` so an optional hash-consing interner can be wired in via
+:func:`set_interner`.  With an interner installed, structurally equal
+values are the *same* Python object, which turns the deep equality used
+by every fixpoint and set-membership check into a pointer comparison
+(every ``__eq__`` below starts with an ``is`` fast path).  Interning is
+transparent: interned and non-interned values compare equal and hash
+identically.
 """
 
 from __future__ import annotations
@@ -31,6 +40,27 @@ from typing import Iterable, Iterator, Union
 from ..errors import TypeCheckError
 
 AtomLabel = Union[str, int]
+
+#: The installed hash-consing interner (``None`` = interning disabled).
+#: See :mod:`repro.engine.intern`; ``values`` deliberately knows only the
+#: two-method ``lookup``/``store`` protocol so it never imports the engine.
+_INTERNER = None
+
+
+def set_interner(interner) -> None:
+    """Install (or, with ``None``, remove) the construction-time interner.
+
+    *interner* must expose ``lookup(key)`` and ``store(key, value)``.
+    Prefer the managed helpers in :mod:`repro.engine.intern`
+    (``enable_interning`` / ``disable_interning`` / ``interned``).
+    """
+    global _INTERNER
+    _INTERNER = interner
+
+
+def get_interner():
+    """The currently installed interner, or ``None``."""
+    return _INTERNER
 
 # Kind ranks for the canonical order.
 _RANK_BOTTOM = 0
@@ -82,22 +112,38 @@ class Atom(Value):
 
     __slots__ = ("label", "_hash")
 
-    def __init__(self, label: AtomLabel):
+    def __new__(cls, label: AtomLabel):
         if not isinstance(label, (str, int)) or isinstance(label, bool):
             raise TypeCheckError(
                 f"atom labels must be str or int, got {type(label).__name__}"
             )
+        interner = _INTERNER
+        if interner is not None:
+            # bool is excluded above, so (type, label) keys cannot collide.
+            key = ("Atom", label)
+            cached = interner.lookup(key)
+            if cached is not None:
+                return cached
+        self = super().__new__(cls)
         object.__setattr__(self, "label", label)
         object.__setattr__(self, "_hash", hash(("Atom", label)))
+        if interner is not None:
+            interner.store(key, self)
+        return self
 
     def __setattr__(self, name, value):
         raise AttributeError("Atom is immutable")
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Atom) and self.label == other.label
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (Atom, (self.label,))
 
     def canon_key(self):
         # ints before strs, then by value; the (0/1, ...) pair keeps the
@@ -123,7 +169,7 @@ class Tup(Value):
 
     __slots__ = ("items", "_hash")
 
-    def __init__(self, items: Iterable[Value]):
+    def __new__(cls, items: Iterable[Value]):
         items = tuple(items)
         if not items:
             raise TypeCheckError("tuples must have at least one coordinate")
@@ -132,17 +178,32 @@ class Tup(Value):
                 raise TypeCheckError(
                     f"tuple coordinate must be a Value, got {type(item).__name__}"
                 )
+        interner = _INTERNER
+        if interner is not None:
+            key = ("Tup", items)
+            cached = interner.lookup(key)
+            if cached is not None:
+                return cached
+        self = super().__new__(cls)
         object.__setattr__(self, "items", items)
         object.__setattr__(self, "_hash", hash(("Tup", items)))
+        if interner is not None:
+            interner.store(key, self)
+        return self
 
     def __setattr__(self, name, value):
         raise AttributeError("Tup is immutable")
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Tup) and self.items == other.items
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (Tup, (self.items,))
 
     def __len__(self) -> int:
         return len(self.items)
@@ -172,24 +233,39 @@ class SetVal(Value):
 
     __slots__ = ("items", "_hash")
 
-    def __init__(self, items: Iterable[Value] = ()):
+    def __new__(cls, items: Iterable[Value] = ()):
         items = frozenset(items)
         for item in items:
             if not isinstance(item, Value):
                 raise TypeCheckError(
                     f"set member must be a Value, got {type(item).__name__}"
                 )
+        interner = _INTERNER
+        if interner is not None:
+            key = ("SetVal", items)
+            cached = interner.lookup(key)
+            if cached is not None:
+                return cached
+        self = super().__new__(cls)
         object.__setattr__(self, "items", items)
         object.__setattr__(self, "_hash", hash(("SetVal", items)))
+        if interner is not None:
+            interner.store(key, self)
+        return self
 
     def __setattr__(self, name, value):
         raise AttributeError("SetVal is immutable")
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, SetVal) and self.items == other.items
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (SetVal, (tuple(self.items),))
 
     def __len__(self) -> int:
         return len(self.items)
@@ -217,8 +293,10 @@ class Bottom(Value):
 
     __slots__ = ("_hash",)
 
-    def __init__(self):
+    def __new__(cls):
+        self = super().__new__(cls)
         object.__setattr__(self, "_hash", hash("Bottom"))
+        return self
 
     def __setattr__(self, name, value):
         raise AttributeError("Bottom is immutable")
@@ -228,6 +306,9 @@ class Bottom(Value):
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (Bottom, ())
 
     def canon_key(self):
         return (_RANK_BOTTOM,)
@@ -244,8 +325,10 @@ class Top(Value):
 
     __slots__ = ("_hash",)
 
-    def __init__(self):
+    def __new__(cls):
+        self = super().__new__(cls)
         object.__setattr__(self, "_hash", hash("Top"))
+        return self
 
     def __setattr__(self, name, value):
         raise AttributeError("Top is immutable")
@@ -255,6 +338,9 @@ class Top(Value):
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (Top, ())
 
     def canon_key(self):
         return (_RANK_TOP,)
@@ -281,7 +367,7 @@ class NamedTup(Value):
 
     __slots__ = ("fields", "_hash")
 
-    def __init__(self, fields: dict):
+    def __new__(cls, fields: dict):
         frozen = tuple(sorted(fields.items()))
         for name, item in frozen:
             if not isinstance(name, str):
@@ -290,17 +376,32 @@ class NamedTup(Value):
                 raise TypeCheckError(
                     f"attribute value must be a Value, got {type(item).__name__}"
                 )
+        interner = _INTERNER
+        if interner is not None:
+            key = ("NamedTup", frozen)
+            cached = interner.lookup(key)
+            if cached is not None:
+                return cached
+        self = super().__new__(cls)
         object.__setattr__(self, "fields", frozen)
         object.__setattr__(self, "_hash", hash(("NamedTup", frozen)))
+        if interner is not None:
+            interner.store(key, self)
+        return self
 
     def __setattr__(self, name, value):
         raise AttributeError("NamedTup is immutable")
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, NamedTup) and self.fields == other.fields
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (NamedTup, (dict(self.fields),))
 
     def attributes(self) -> tuple:
         """The sorted attribute names."""

@@ -1,0 +1,124 @@
+"""Interner invariants: identity, equality, and observational parity."""
+
+import pickle
+
+import pytest
+
+from repro.engine.intern import (
+    Interner,
+    disable_interning,
+    enable_interning,
+    intern_stats,
+    intern_value,
+    interned,
+    interning_enabled,
+)
+from repro.model.values import Atom, NamedTup, SetVal, Tup, obj
+
+
+@pytest.fixture(autouse=True)
+def _clean_interner_state():
+    disable_interning()
+    yield
+    disable_interning()
+
+
+def _sample_values():
+    return [
+        Atom("a"),
+        Atom(7),
+        Tup([Atom("a"), Atom("b")]),
+        SetVal([Atom(1), Atom(2)]),
+        SetVal([Tup([Atom("x"), SetVal([])])]),
+        NamedTup({"A": Atom("a"), "B": SetVal([Atom("b")])}),
+    ]
+
+
+class TestIdentity:
+    def test_repeated_construction_is_identical(self):
+        with interned():
+            assert Atom("a") is Atom("a")
+            assert Tup([Atom(1), Atom(2)]) is Tup([Atom(1), Atom(2)])
+            assert SetVal([Atom(1), Atom(2)]) is SetVal([Atom(2), Atom(1)])
+            assert NamedTup({"A": Atom(1), "B": Atom(2)}) is NamedTup(
+                {"B": Atom(2), "A": Atom(1)}
+            )
+
+    def test_distinct_structures_stay_distinct(self):
+        with interned():
+            assert Atom("a") is not Atom("b")
+            assert Atom(1) is not Atom("1")
+            assert SetVal([Atom(1)]) != Tup([Atom(1)])
+
+    def test_no_identity_without_interning(self):
+        assert Tup([Atom(1)]) is not Tup([Atom(1)])
+
+    def test_nested_shares_substructure(self):
+        with interned():
+            inner = SetVal([Atom("x")])
+            outer = SetVal([SetVal([Atom("x")]), Atom("y")])
+            member = next(m for m in outer.items if isinstance(m, SetVal))
+            assert member is inner
+
+
+class TestObservationalParity:
+    """Interned and plain values are indistinguishable to == and hash."""
+
+    def test_equality_and_hash_match_plain(self):
+        plain = _sample_values()
+        with interned():
+            for value in plain:
+                rebuilt = intern_value(value)
+                assert rebuilt == value
+                assert hash(rebuilt) == hash(value)
+                assert value == rebuilt
+
+    def test_bool_vs_int_labels_not_conflated(self):
+        with interned():
+            with pytest.raises(Exception):
+                Atom(True)
+
+    def test_pickle_round_trip(self):
+        with interned():
+            value = SetVal([Tup([Atom("a"), Atom(1)])])
+        clone = pickle.loads(pickle.dumps(value))
+        assert clone == value
+
+
+class TestLifecycle:
+    def test_enable_disable(self):
+        assert not interning_enabled()
+        interner = enable_interning()
+        assert interning_enabled()
+        assert enable_interning() is interner  # idempotent: kept, not replaced
+        disable_interning()
+        assert not interning_enabled()
+
+    def test_context_manager_restores(self):
+        with interned():
+            assert interning_enabled()
+        assert not interning_enabled()
+
+    def test_stats_count_hits_and_misses(self):
+        with interned() as interner:
+            Atom("fresh-0")
+            before = interner.stats()
+            Atom("fresh-0")
+            after = interner.stats()
+        assert after.hits == before.hits + 1
+        assert after.size == before.size
+        assert 0.0 <= after.hit_rate() <= 1.0
+        assert set(after.as_dict()) == {"hits", "misses", "skips", "size", "hit_rate"}
+
+    def test_stats_zero_when_disabled(self):
+        stats = intern_stats()
+        assert stats.hits == stats.misses == stats.size == 0
+
+    def test_bounded_table_skips_instead_of_evicting(self):
+        interner = Interner(max_entries=1)
+        interner.store(("Atom", "a"), object())
+        kept = interner._table[("Atom", "a")]
+        interner.store(("Atom", "b"), object())
+        assert len(interner) == 1
+        assert interner.skips == 1
+        assert interner._table[("Atom", "a")] is kept

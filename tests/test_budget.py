@@ -77,3 +77,55 @@ class TestUndefined:
 
     def test_pickle_round_trip_preserves_identity(self):
         assert pickle.loads(pickle.dumps(UNDEFINED)) is UNDEFINED
+
+
+class TestChargeAtomicity:
+    def test_failed_charge_is_not_recorded(self):
+        # Regression: a rejected charge used to record the over-limit
+        # amount before raising, so spent() reported past the limit.
+        budget = Budget(steps=10)
+        budget.charge("steps", 7)
+        with pytest.raises(BudgetExceeded):
+            budget.charge("steps", 7)
+        assert budget.spent("steps") == 7
+        assert budget.remaining("steps") == 3
+        budget.charge("steps", 3)  # the remainder is still chargeable
+
+    def test_spent_all_snapshot(self):
+        budget = Budget()
+        budget.charge("steps", 5)
+        budget.charge("facts", 2)
+        snapshot = budget.spent_all()
+        assert snapshot == {"steps": 5, "facts": 2}
+        budget.charge("steps")
+        assert snapshot["steps"] == 5  # a copy, not a view
+
+
+class TestChildBudgets:
+    def test_child_defaults_to_remaining(self):
+        budget = Budget(steps=100, facts=50)
+        budget.charge("steps", 40)
+        child = budget.child()
+        assert child.steps == 60
+        assert child.facts == 50
+
+    def test_child_overrides(self):
+        budget = Budget(steps=100)
+        child = budget.child(steps=5, facts=None)
+        assert child.steps == 5
+        assert child.facts is None
+
+    def test_child_unknown_resource_rejected(self):
+        with pytest.raises(TypeError):
+            Budget().child(watts=3)
+
+    def test_child_charges_independently(self):
+        budget = Budget(steps=10)
+        child = budget.child()
+        child.charge("steps", 10)
+        assert budget.spent("steps") == 0
+        with pytest.raises(BudgetExceeded):
+            child.charge("steps")
+
+    def test_unlimited_stays_unlimited(self):
+        assert Budget(steps=None).child().steps is None
