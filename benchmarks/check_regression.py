@@ -1,0 +1,82 @@
+"""Benchmark regression gate: compare a fresh BENCH_engine.json run
+against the committed baseline and fail when any recorded speedup
+drops below ``THRESHOLD`` times its baseline value.
+
+Usage::
+
+    python benchmarks/check_regression.py BASELINE.json CURRENT.json
+
+Entries present only in the current run are new benchmarks and pass by
+definition; entries present only in the baseline are treated as
+failures (a benchmark silently disappearing is itself a regression).
+Exit status 0 = no regression, 1 = regression or malformed input.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: A current speedup below ``THRESHOLD * baseline`` fails the gate.
+THRESHOLD = 0.9
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    return data
+
+
+def compare(baseline: dict, current: dict) -> list:
+    """Human-readable failure messages (empty = gate passes)."""
+    failures = []
+    for name, entry in sorted(baseline.items()):
+        base_speedup = entry.get("speedup") if isinstance(entry, dict) else None
+        if base_speedup is None:
+            continue  # baseline entry records no speedup: nothing to gate
+        current_entry = current.get(name)
+        if current_entry is None:
+            failures.append(f"{name}: present in baseline but missing from current run")
+            continue
+        speedup = current_entry.get("speedup") if isinstance(current_entry, dict) else None
+        if speedup is None:
+            failures.append(f"{name}: current entry records no speedup")
+            continue
+        floor = THRESHOLD * base_speedup
+        if speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f} < {floor:.2f} "
+                f"({THRESHOLD}x baseline {base_speedup:.2f})"
+            )
+    return failures
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 1
+    try:
+        baseline = load(argv[1])
+        current = load(argv[2])
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"benchmark regression gate: cannot read inputs: {exc}", file=sys.stderr)
+        return 1
+    failures = compare(baseline, current)
+    if failures:
+        print("benchmark regression gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    gated = sum(
+        1
+        for entry in baseline.values()
+        if isinstance(entry, dict) and entry.get("speedup") is not None
+    )
+    print(f"benchmark regression gate passed ({gated} speedups checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

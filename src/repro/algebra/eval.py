@@ -325,7 +325,9 @@ def _eval_powerset(expr: Powerset, env, budget: Budget) -> SetVal:
     from itertools import combinations
 
     operand = eval_expr(expr.operand, env, budget)
-    elements = list(operand.items)
+    # The cached construction-time sort keeps enumeration deterministic
+    # without re-sorting the members here.
+    elements = operand.sorted_members()
     budget.charge("objects", 2 ** min(len(elements), 62))
     cached = _POWERSET_MEMO.get(operand)
     if cached is not None:

@@ -41,18 +41,35 @@ KIND_TUPLE_END = Atom("k$tupEnd")
 NIL = Atom("k$nil")
 
 
+#: Node counts keyed by value.  Tuple spines add one node per
+#: coordinate, so the count is *not* the construction-time cached
+#: ``value.size`` — but values hash via their cached structural key,
+#: making a memo dict lookup O(1), and equal values always have equal
+#: counts, so repeated subtrees are counted once.
+_NODE_COUNT_MEMO: dict = {}
+_NODE_COUNT_MEMO_MAX = 4096
+
+
 def node_count(value: Value) -> int:
     """Constructor-tree nodes of an object = invented ids its encoding
     needs = the invention stage at which it becomes representable."""
+    cached = _NODE_COUNT_MEMO.get(value)
+    if cached is not None:
+        return cached
     if isinstance(value, Atom):
-        return 1
-    if isinstance(value, SetVal):
-        return 1 + sum(node_count(item) for item in value.items)
-    if isinstance(value, Tup):
+        count = 1
+    elif isinstance(value, SetVal):
+        count = 1 + sum(node_count(item) for item in value.items)
+    elif isinstance(value, Tup):
         # A tuple of arity n uses one spine node per coordinate plus an
         # end marker.
-        return 1 + len(value.items) + sum(node_count(item) for item in value.items)
-    raise EvaluationError(f"not a flattenable object: {value!r}")
+        count = 1 + len(value.items) + sum(node_count(item) for item in value.items)
+    else:
+        raise EvaluationError(f"not a flattenable object: {value!r}")
+    if len(_NODE_COUNT_MEMO) >= _NODE_COUNT_MEMO_MAX:
+        _NODE_COUNT_MEMO.clear()
+    _NODE_COUNT_MEMO[value] = count
+    return count
 
 
 def flatten_value(value: Value, ids: Sequence[Atom]) -> tuple:

@@ -48,8 +48,28 @@ from ..model.values import (
 # --------------------------------------------------------------------------
 
 
+def _leq_possible(left: Value, right: Value) -> bool:
+    """Necessary condition for ``left ≤ right`` from cached metadata.
+
+    The sub-object order is monotone in nesting depth and active-atom
+    sets on ⊤-free values (⊤ sits above everything while carrying depth
+    0 and no atoms, so values containing it are exempted).  A ``False``
+    here proves ``leq`` would return ``False``; a ``True`` decides
+    nothing — callers use this as an O(1) prefilter before the deep
+    comparison.
+    """
+    if right.has_top:
+        return True
+    if left.has_top:
+        # Every ⊤ inside *left* would need a ⊤ above it inside *right*.
+        return False
+    return left.depth <= right.depth and left.atoms <= right.atoms
+
+
 def leq(left: Value, right: Value) -> bool:
     """The sub-object order ``left ≤ right``."""
+    if left is right:
+        return True
     if isinstance(left, Bottom) or isinstance(right, Top):
         return True
     if isinstance(right, Bottom):
@@ -71,8 +91,15 @@ def leq(left: Value, right: Value) -> bool:
     if isinstance(left, SetVal):
         if not isinstance(right, SetVal):
             return False
+        if left.items and not _leq_possible(left, right):
+            return False
         return all(
-            any(leq(member, other) for other in right.items) for member in left.items
+            any(
+                leq(member, other)
+                for other in right.items
+                if _leq_possible(member, other)
+            )
+            for member in left.items
         )
     raise EvaluationError(f"not a BK object: {left!r}")
 
@@ -146,17 +173,28 @@ def reduce_set(value: SetVal) -> SetVal:
     equivalent to a member with a smaller canonical key — exactly one
     representative of each maximal class survives.
     """
-    members = list(value.items)
-    maximal = [
-        m
-        for m in members
-        if not any(
-            other != m
-            and leq(m, other)
-            and (not leq(other, m) or other.canon_key() < m.canon_key())
-            for other in members
-        )
-    ]
+    members = value.sorted_members()
+    if len(members) < 2:
+        return value
+    if any(isinstance(m, Top) for m in members):
+        # ⊤ strictly dominates every other object.
+        return SetVal([TOP])
+    maximal = []
+    for m in members:
+        m_key = m.canon_key()
+        dominated = False
+        for other in members:
+            if other is m or not _leq_possible(m, other):
+                # Cached depth/atom prefilter: `other` provably cannot
+                # dominate `m`, skip the deep comparison.
+                continue
+            if leq(m, other) and (
+                not leq(other, m) or other.canon_key() < m_key
+            ):
+                dominated = True
+                break
+        if not dominated:
+            maximal.append(m)
     return SetVal(maximal)
 
 
@@ -382,8 +420,270 @@ def _match_members(members, bound: SetVal, valuation: dict, budget: Budget):
 # Fixpoint semantics.
 # --------------------------------------------------------------------------
 
+_EMPTY_FACTS: frozenset = frozenset()
+
+
+class _Extent:
+    """One predicate's extent plus hash indexes for tail probing.
+
+    Named-tuple facts are indexed per attribute (the only pattern shape
+    with probeable structure):
+
+    * ``atom_at`` maps ``(attr, atom)`` to the facts whose value at
+      *attr* is exactly that atom — a probing atom ``a`` can only sit
+      below an attr value ``v`` when ``v == a`` or ``v`` is non-atomic
+      (⊤), so together with ``rest_at`` this bucket pair is a complete
+      over-approximation of the atom probe;
+    * ``rest_at`` maps ``attr`` to the facts whose value at *attr* is
+      not an atom (sets, nested tuples, ⊥/⊤);
+    * ``present`` maps ``attr`` to every fact carrying *attr* — the
+      candidate set for a probe with a known non-atomic, non-⊥ value
+      (absent attrs match only against ⊥, which such a probe is never
+      below).
+
+    All three are keyed through the values' construction-time cached
+    hashes, so a probe is one dict lookup, never a deep comparison.
+    """
+
+    __slots__ = ("facts", "atom_at", "rest_at", "present")
+
+    def __init__(self):
+        self.facts: set = set()
+        self.atom_at: dict = {}
+        self.rest_at: dict = {}
+        self.present: dict = {}
+
+    def add(self, fact: Value) -> None:
+        self.facts.add(fact)
+        if isinstance(fact, NamedTup):
+            for name, value in fact.fields:
+                self.present.setdefault(name, set()).add(fact)
+                if isinstance(value, Atom):
+                    self.atom_at.setdefault((name, value), set()).add(fact)
+                else:
+                    self.rest_at.setdefault(name, set()).add(fact)
+
+    def discard(self, fact: Value) -> None:
+        self.facts.discard(fact)
+        if isinstance(fact, NamedTup):
+            for name, value in fact.fields:
+                if name in self.present:
+                    self.present[name].discard(fact)
+                if isinstance(value, Atom):
+                    bucket = self.atom_at.get((name, value))
+                    if bucket is not None:
+                        bucket.discard(fact)
+                elif name in self.rest_at:
+                    self.rest_at[name].discard(fact)
+
+    def candidates(self, pattern, valuation: Mapping):
+        """Facts that could bound-match *pattern* under *valuation*.
+
+        A hash-indexed over-approximation: the most selective probeable
+        attribute picks the bucket(s); ``match_leq`` still decides.
+        Falls back to the full extent when nothing is probeable.
+        """
+        if not isinstance(pattern, dict) or not self.facts:
+            return self.facts
+        best_count = None
+        best_buckets = None
+        for attr, sub in pattern.items():
+            probe = _probe_value(sub, valuation)
+            if probe is None or isinstance(probe, Bottom):
+                # Unbound, or ⊥ — below everything including absent
+                # attrs; no pruning available from this field.
+                continue
+            if isinstance(probe, Atom):
+                buckets = (
+                    self.atom_at.get((attr, probe), _EMPTY_FACTS),
+                    self.rest_at.get(attr, _EMPTY_FACTS),
+                )
+            else:
+                buckets = (self.present.get(attr, _EMPTY_FACTS),)
+            count = sum(len(bucket) for bucket in buckets)
+            if best_count is None or count < best_count:
+                best_count = count
+                best_buckets = buckets
+                if count == 0:
+                    break
+        if best_buckets is None:
+            return self.facts
+        if len(best_buckets) == 1 or not best_buckets[1]:
+            return best_buckets[0]
+        return [fact for bucket in best_buckets for fact in bucket]
+
+
+def _probe_value(sub_pattern, valuation: Mapping) -> Value | None:
+    """The concrete value a pattern field is pinned to, if any.
+
+    ``None`` means the field is not yet determined (an unbound variable
+    or a pattern with unbound variables inside) and cannot drive an
+    index probe.
+    """
+    if isinstance(sub_pattern, BKVar):
+        return valuation.get(sub_pattern.name)
+    if isinstance(sub_pattern, (dict, set, frozenset)):
+        if pattern_variables(sub_pattern) - valuation.keys():
+            return None
+        return instantiate(sub_pattern, valuation)
+    if isinstance(sub_pattern, Value):
+        return sub_pattern
+    return to_obj(sub_pattern)
+
+
+def _extent_valuations(
+    rule: BKRule,
+    extents: dict,
+    budget: Budget,
+    deltas: dict | None,
+) -> Iterator[dict]:
+    """Valuations of *rule*'s tails over hash-indexed extents.
+
+    With *deltas* (pred -> facts first derived last round) only
+    valuations using at least one delta fact are produced, each exactly
+    once: for every seed position, the seed tail draws from the delta,
+    earlier tails from pre-delta facts only, later tails from the full
+    extent — the textbook semi-naive decomposition.  Sound here despite
+    BK's dominance-based extent reduction because ``match_leq`` is
+    monotone in its bound (a removed fact was ≤ the new fact that
+    displaced it, so its valuations survive through the dominator).
+    """
+    tails = list(rule.tails)
+
+    def recurse(index: int, valuation: dict, modes) -> Iterator[dict]:
+        if index == len(tails):
+            yield valuation
+            return
+        tail = tails[index]
+        extent = extents.get(tail.pred)
+        if extent is None:
+            return
+        mode = modes[index]
+        if mode == "delta":
+            bounds = deltas.get(tail.pred, _EMPTY_FACTS)
+            exclude = None
+        else:
+            bounds = extent.candidates(tail.pattern, valuation)
+            exclude = deltas.get(tail.pred) if mode == "old" else None
+        for bound in bounds:
+            if exclude is not None and bound in exclude:
+                continue
+            for extended in match_leq(tail.pattern, bound, valuation, budget):
+                yield from recurse(index + 1, extended, modes)
+
+    if deltas is None:
+        yield from recurse(0, {}, ("full",) * len(tails))
+        return
+    for seed in range(len(tails)):
+        if not deltas.get(tails[seed].pred):
+            continue
+        modes = ("old",) * seed + ("delta",) + ("full",) * (len(tails) - seed - 1)
+        yield from recurse(0, {}, modes)
+
+
+def run_bk(
+    program: BKProgram,
+    database: Mapping,
+    budget: Budget | None = None,
+    max_rounds: int | None = None,
+    naive: bool = False,
+    mode: str | None = None,
+):
+    """Run a BK program to fixpoint.
+
+    *database* maps predicate names to iterables of BK objects (plain
+    Python data is coerced; dicts become named tuples).  Returns the
+    reduced extent of the answer predicate, or ``?`` if the fixpoint
+    does not stabilise within the budget (Example 5.4's divergence).
+
+    Matching keeps BK's lax sub-object discipline.  Evaluation *mode*:
+
+    * ``"hashjoin"`` (default) — semi-naive: rounds after the first
+      only enumerate valuations that use at least one fact derived last
+      round, probing per-predicate hash indexes built on the cached
+      structural metadata of the facts (:class:`_Extent`).  The
+      per-round extents are identical to the naive driver's — an
+      old-facts-only valuation re-derives a head that is still present
+      or still dominated — so results agree at every ``max_rounds``
+      cut.
+    * ``"dirty"`` — the legacy dirty-predicate rule index: rounds after
+      the first re-evaluate (in full) only rules whose tail predicates
+      changed last round.  Kept as the benchmark baseline that the
+      hash-join mode replaces.
+    * ``"naive"`` (or ``naive=True``) — every rule, every round.
+    """
+    if mode is None:
+        mode = "naive" if naive else "hashjoin"
+    elif naive:
+        mode = "naive"
+    if mode not in ("hashjoin", "dirty", "naive"):
+        raise EvaluationError(f"unknown BK evaluation mode {mode!r}")
+    budget = budget or Budget()
+    if mode == "dirty":
+        return _run_bk_dirty(program, database, budget, max_rounds)
+
+    extents: dict = {}
+    for name, values in database.items():
+        extent = extents.setdefault(name, _Extent())
+        for value in values:
+            extent.add(instantiate(bk_obj(value), {}))
+    try:
+        rounds = 0
+        deltas: dict | None = None  # None = first round: evaluate everything
+        while True:
+            budget.charge("iterations")
+            rounds += 1
+            if max_rounds is not None and rounds > max_rounds:
+                return UNDEFINED
+            use_deltas = None if mode == "naive" else deltas
+            new_deltas: dict = {}
+            for rule in program.rules:
+                if use_deltas is not None and not any(
+                    use_deltas.get(tail.pred) for tail in rule.tails
+                ):
+                    # No tail extent changed last round (tail-less rules
+                    # are settled in round one): no new valuations.
+                    continue
+                for valuation in list(
+                    _extent_valuations(rule, extents, budget, use_deltas)
+                ):
+                    budget.charge("steps")
+                    derived = instantiate(bk_obj(rule.head.pattern), valuation)
+                    extent = extents.setdefault(rule.head.pred, _Extent())
+                    facts = extent.facts
+                    if derived in facts or any(
+                        leq(derived, existing)
+                        for existing in facts
+                        if _leq_possible(derived, existing)
+                    ):
+                        continue
+                    budget.charge("facts")
+                    # Keep the extent reduced: drop members the new
+                    # object now dominates (their valuations survive
+                    # through the dominator — see _extent_valuations).
+                    dominated = [
+                        e
+                        for e in facts
+                        if _leq_possible(e, derived) and leq(e, derived)
+                    ]
+                    head_delta = new_deltas.setdefault(rule.head.pred, set())
+                    for e in dominated:
+                        extent.discard(e)
+                        head_delta.discard(e)
+                    extent.add(derived)
+                    head_delta.add(derived)
+            if not any(new_deltas.values()):
+                break
+            deltas = new_deltas
+    except BudgetExceeded:
+        return UNDEFINED
+    answer = extents.get(program.answer)
+    return reduce_set(SetVal(answer.facts if answer is not None else ()))
+
 
 def _tail_valuations(rule: BKRule, state: dict, budget: Budget) -> Iterator[dict]:
+    """Unindexed tail valuations over plain set extents (legacy driver)."""
+
     def recurse(tails, valuation):
         if not tails:
             yield valuation
@@ -397,33 +697,23 @@ def _tail_valuations(rule: BKRule, state: dict, budget: Budget) -> Iterator[dict
     yield from recurse(list(rule.tails), {})
 
 
-def run_bk(
+def _run_bk_dirty(
     program: BKProgram,
     database: Mapping,
-    budget: Budget | None = None,
-    max_rounds: int | None = None,
-    naive: bool = False,
+    budget: Budget,
+    max_rounds: int | None,
 ):
-    """Run a BK program to fixpoint.
+    """The legacy dirty-predicate driver (``mode="dirty"``).
 
-    *database* maps predicate names to iterables of BK objects (plain
-    Python data is coerced; dicts become named tuples).  Returns the
-    reduced extent of the answer predicate, or ``?`` if the fixpoint
-    does not stabilise within the budget (Example 5.4's divergence).
-
-    Matching keeps BK's lax sub-object discipline, but rounds after the
-    first only re-evaluate rules whose tail predicates changed last
-    round (a dirty-predicate index keyed on head predicates of fired
-    rules).  Sound because a rule's valuations are a function of its
-    tail extents, and a changed extent always marks its predicate
-    dirty; ``naive=True`` re-evaluates every rule every round.
+    Rounds after the first re-evaluate only rules whose tail predicates
+    changed last round, but each re-evaluation is a *full* join of the
+    rule over unindexed extents — the scheme the semi-naive hash-join
+    driver replaces (and is benchmarked against in
+    ``benchmarks/bench_engine.py``).
     """
-    budget = budget or Budget()
     state: dict = {}
     for name, values in database.items():
-        state[name] = {
-            instantiate(bk_obj(value), {}) for value in values
-        }
+        state[name] = {instantiate(bk_obj(value), {}) for value in values}
     try:
         changed = True
         rounds = 0
@@ -436,14 +726,9 @@ def run_bk(
             changed = False
             next_dirty: set = set()
             for rule in program.rules:
-                if (
-                    not naive
-                    and dirty is not None
-                    and not any(tail.pred in dirty for tail in rule.tails)
+                if dirty is not None and not any(
+                    tail.pred in dirty for tail in rule.tails
                 ):
-                    # No tail extent changed last round (tail-less rules
-                    # are settled in round one), so the valuations — and
-                    # the already-recorded heads — are unchanged.
                     continue
                 for valuation in list(_tail_valuations(rule, state, budget)):
                     budget.charge("steps")
@@ -454,8 +739,6 @@ def run_bk(
                     ):
                         continue
                     budget.charge("facts")
-                    # Keep the extent reduced: drop members the new
-                    # object now dominates.
                     dominated = {e for e in extent if leq(e, derived)}
                     extent -= dominated
                     extent.add(derived)

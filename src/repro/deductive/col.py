@@ -254,6 +254,96 @@ def _literal_order(body) -> list:
     return generators + equalities + negations
 
 
+#: Minimum batch size before a positive-literal join builds a one-shot
+#: hash index over the candidate facts instead of scanning them per
+#: substitution.  Below this the scan (with the first-coordinate index)
+#: wins on constant factors.
+HASH_JOIN_MIN_SUBSTITUTIONS = 2
+HASH_JOIN_MIN_FACTS = 4
+
+
+def _hash_join_positions(term, first_subst: dict) -> list | None:
+    """Tuple positions of *term* whose value is determined per-substitution.
+
+    A position qualifies when its subterm is a constant or a variable
+    bound in the batch (probed via *first_subst* — batches extend a
+    common prefix, so bound-variable sets agree across a batch; a
+    deviant substitution falls back to a scan at probe time).
+    """
+    if not isinstance(term, TupD):
+        return None
+    positions = [
+        (index, sub)
+        for index, sub in enumerate(term.items)
+        if isinstance(sub, ConstD)
+        or (isinstance(sub, VarD) and sub.name in first_subst)
+    ]
+    return positions or None
+
+
+def _hash_join_pred(
+    literal: PredLit,
+    substitutions: list,
+    interp: Interp,
+    budget: Budget,
+    exclude_facts: set | None,
+) -> list | None:
+    """Hash-join a batch of substitutions with a positive predicate literal.
+
+    Builds a transient index of the predicate's facts keyed on the
+    determined tuple positions (the values' construction-time cached
+    hashes make the keying O(1) per fact), then probes it once per
+    substitution: O(|facts| + |substitutions|) instead of the nested
+    O(|facts| × |substitutions|) scan.  Returns ``None`` when the shape
+    does not qualify (caller falls back to the scan).
+    """
+    if not Interp.use_index:
+        return None
+    if len(substitutions) < HASH_JOIN_MIN_SUBSTITUTIONS:
+        return None
+    facts = interp.preds.get(literal.name)
+    if not facts or len(facts) < HASH_JOIN_MIN_FACTS:
+        return None
+    term = literal.term
+    positions = _hash_join_positions(term, substitutions[0])
+    if positions is None:
+        return None
+    if positions[0][0] == 0:
+        # The leading coordinate is determined, so the persistent
+        # first-coordinate index already prunes the scan to
+        # near-constant work per substitution; rebuilding a transient
+        # index over the whole extent would cost more than it saves.
+        return None
+    arity = len(term.items)
+    index: dict = {}
+    for fact in facts:
+        if exclude_facts is not None and fact in exclude_facts:
+            continue
+        if not isinstance(fact, Tup) or len(fact.items) != arity:
+            continue  # cannot match the tuple term: pruned outright
+        key = tuple(fact.items[pos] for pos, _ in positions)
+        index.setdefault(key, []).append(fact)
+    results: list = []
+    for subst in substitutions:
+        try:
+            key = tuple(
+                sub.value if isinstance(sub, ConstD) else subst[sub.name]
+                for _, sub in positions
+            )
+        except KeyError:
+            # This substitution does not bind a probed variable: scan.
+            for fact in _candidate_facts(literal, interp, subst):
+                if exclude_facts is not None and fact in exclude_facts:
+                    continue
+                budget.charge("steps")
+                results.extend(match(term, fact, subst))
+            continue
+        for fact in index.get(key, ()):
+            budget.charge("steps")
+            results.extend(match(term, fact, subst))
+    return results
+
+
 def extend_with_literal(
     literal,
     substitutions: list,
@@ -272,9 +362,19 @@ def extend_with_literal(
     element)`` for function literals) removes candidates — the
     semi-naive scheme uses it to restrict earlier join positions to
     pre-delta facts so no substitution is derived twice in a round.
+
+    Positive predicate joins over a batch of substitutions go through
+    :func:`_hash_join_pred` when the literal has determined tuple
+    positions; otherwise each substitution scans the (first-coordinate
+    indexed) candidate facts.
     """
     next_substitutions: list = []
     if isinstance(literal, PredLit) and literal.positive:
+        joined = _hash_join_pred(
+            literal, substitutions, interp, budget, exclude_facts
+        )
+        if joined is not None:
+            return joined
         for subst in substitutions:
             facts = _candidate_facts(literal, interp, subst)
             for fact in facts:

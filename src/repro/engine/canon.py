@@ -52,10 +52,11 @@ class Renaming:
     alphabet), so this is its non-permutation sibling.
     """
 
-    __slots__ = ("mapping",)
+    __slots__ = ("mapping", "_support")
 
     def __init__(self, mapping: dict):
         self.mapping = dict(mapping)
+        self._support = frozenset(mapping)
 
     def __call__(self, thing):
         if isinstance(thing, Database):
@@ -66,6 +67,9 @@ class Renaming:
         return self._apply(thing)
 
     def _apply(self, value: Value) -> Value:
+        if value.atoms.isdisjoint(self._support):
+            # Cached active-atom set: nothing to rename in this subtree.
+            return value
         if isinstance(value, Atom):
             return self.mapping.get(value, value)
         if isinstance(value, Tup):

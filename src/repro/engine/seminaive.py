@@ -37,6 +37,15 @@ Two drivers cover the repository's two semantics:
 Both drivers take ``naive=True`` as an escape hatch that delegates to
 the original drivers, and both are cross-checked against them in
 ``tests/engine/test_seminaive.py`` on the E6/E7/E8 workloads.
+
+Join work inside each position is delegated to
+:func:`repro.deductive.col.extend_with_literal`, which batches the
+pending substitutions through a transient hash join over the
+predicate's facts (keyed on the literal's determined tuple positions)
+whenever the shapes allow it — so both the delta seeds and the
+old/full extensions probe an index instead of scanning every fact per
+substitution.  The index keys hash via the values' construction-time
+cached structural hashes, making the probe O(1) per substitution.
 """
 
 from __future__ import annotations

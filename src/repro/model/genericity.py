@@ -34,7 +34,7 @@ class Permutation:
     databases, as in the paper.
     """
 
-    __slots__ = ("mapping",)
+    __slots__ = ("mapping", "_support")
 
     def __init__(self, mapping: dict):
         mapping = {k: v for k, v in mapping.items() if k != v}
@@ -48,6 +48,7 @@ class Permutation:
                 "a finitely-supported permutation must permute its support"
             )
         object.__setattr__(self, "mapping", dict(mapping))
+        object.__setattr__(self, "_support", frozenset(mapping))
 
     def __setattr__(self, name, value):
         raise AttributeError("Permutation is immutable")
@@ -64,6 +65,10 @@ class Permutation:
         raise EvaluationError(f"cannot permute {type(thing).__name__}")
 
     def _apply_value(self, value: Value) -> Value:
+        if value.atoms.isdisjoint(self._support):
+            # Cached active-atom set: the value mentions no moved atom,
+            # so the permutation fixes it — skip the whole traversal.
+            return value
         if isinstance(value, Atom):
             return self.mapping.get(value, value)
         if isinstance(value, Tup):

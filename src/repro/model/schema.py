@@ -148,11 +148,16 @@ class Database:
         return (Database, (self.schema, self._instances))
 
     def adom(self) -> frozenset:
-        """The atomic active domain of the whole database."""
-        atoms: set = set()
-        for instance in self._instances.values():
-            atoms |= value_adom(instance)
-        return frozenset(atoms)
+        """The atomic active domain of the whole database.
+
+        A union of the instances' construction-time cached atom sets —
+        no value traversal.
+        """
+        if not self._instances:
+            return frozenset()
+        return frozenset().union(
+            *(value_adom(instance) for instance in self._instances.values())
+        )
 
     def with_instance(self, name: str, value: object) -> "Database":
         """A copy of this database with predicate *name* replaced."""

@@ -23,18 +23,42 @@ makes enumeration deterministic.  The order is: Bottom < atoms <
 positional tuples < named tuples < sets < Top, with lexicographic
 comparison inside each kind.
 
+**Structural metadata** is computed once at construction and cached on
+every value.  Children are already built when a parent's ``__new__``
+runs, so each node pays O(children) exactly once and every later read
+is O(1):
+
+* ``_canon`` — the canonical-order key (:meth:`Value.canon_key`);
+* ``struct_hash`` — a 64-bit structural hash, order-independent over
+  set members, used by the engines as a cheap join/prefilter key
+  (equal values always share it; a collision only means a prefilter
+  admits a candidate that full comparison then rejects);
+* ``depth`` — the set-nesting height (:func:`set_height`);
+* ``size`` — the constructor-node count (:func:`value_size`);
+* ``atoms`` — the active atomic domain as a frozenset (:func:`adom`);
+* ``has_top`` — whether ⊤ occurs anywhere inside (BK's dominance
+  prefilters are only monotone on ⊤-free values).
+
+:class:`SetVal` additionally stores its members pre-sorted in canonical
+order, so ``__iter__``, ``canon_key``, ``__repr__`` and ``__str__``
+never re-sort.
+
 **Interning** (``repro.engine.intern``): construction runs through
 ``__new__`` so an optional hash-consing interner can be wired in via
 :func:`set_interner`.  With an interner installed, structurally equal
 values are the *same* Python object, which turns the deep equality used
 by every fixpoint and set-membership check into a pointer comparison
-(every ``__eq__`` below starts with an ``is`` fast path).  Interning is
-transparent: interned and non-interned values compare equal and hash
+(every ``__eq__`` below starts with an ``is`` fast path).  An interner
+hit also returns *before* any metadata computation — the cached
+instance already carries it — so interning amortises the one-time
+metadata cost across every structurally equal construction.  Interning
+is transparent: interned and non-interned values compare equal and hash
 identically.
 """
 
 from __future__ import annotations
 
+from operator import attrgetter as _attrgetter
 from typing import Iterable, Iterator, Union
 
 from ..errors import TypeCheckError
@@ -70,35 +94,71 @@ _RANK_NAMED = 3
 _RANK_SET = 4
 _RANK_TOP = 5
 
+_MASK64 = (1 << 64) - 1
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+_EMPTY_ATOMS: frozenset = frozenset()
+
+# Assigned by object.__setattr__ throughout (instances are immutable).
+_set = object.__setattr__
+
+# Sort key for the construction-time member sort (C-level attribute
+# access beats a lambda on the constructor hot path).
+_canon_of = _attrgetter("_canon")
+
+
+def _mix64(*parts: int) -> int:
+    """FNV-1a-style 64-bit mixing of integer parts."""
+    h = _FNV_OFFSET
+    for part in parts:
+        h ^= part & _MASK64
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+def _union_atoms(children: Iterable["Value"]) -> frozenset:
+    """Union the cached atom sets of *children*, sharing where possible."""
+    non_empty = [child.atoms for child in children if child.atoms]
+    if not non_empty:
+        return _EMPTY_ATOMS
+    if len(non_empty) == 1:
+        return non_empty[0]
+    return frozenset().union(*non_empty)
+
 
 class Value:
-    """Abstract base for every member of **Obj** (plus BK's ⊥/⊤)."""
+    """Abstract base for every member of **Obj** (plus BK's ⊥/⊤).
 
-    __slots__ = ()
+    The shared slots hold the structural metadata each concrete class
+    fills in at construction (see the module docstring).
+    """
+
+    __slots__ = ("_canon", "struct_hash", "depth", "size", "atoms", "has_top")
 
     def canon_key(self):
-        """A key tuple inducing the canonical total order on values."""
-        raise NotImplementedError
+        """The cached key tuple inducing the canonical total order."""
+        return self._canon
 
     def __lt__(self, other: "Value") -> bool:
         if not isinstance(other, Value):
             return NotImplemented
-        return self.canon_key() < other.canon_key()
+        return self._canon < other._canon
 
     def __le__(self, other: "Value") -> bool:
         if not isinstance(other, Value):
             return NotImplemented
-        return self.canon_key() <= other.canon_key()
+        return self._canon <= other._canon
 
     def __gt__(self, other: "Value") -> bool:
         if not isinstance(other, Value):
             return NotImplemented
-        return self.canon_key() > other.canon_key()
+        return self._canon > other._canon
 
     def __ge__(self, other: "Value") -> bool:
         if not isinstance(other, Value):
             return NotImplemented
-        return self.canon_key() >= other.canon_key()
+        return self._canon >= other._canon
 
 
 class Atom(Value):
@@ -110,7 +170,7 @@ class Atom(Value):
     True
     """
 
-    __slots__ = ("label", "_hash")
+    __slots__ = ("label",)
 
     def __new__(cls, label: AtomLabel):
         if not isinstance(label, (str, int)) or isinstance(label, bool):
@@ -125,8 +185,16 @@ class Atom(Value):
             if cached is not None:
                 return cached
         self = super().__new__(cls)
-        object.__setattr__(self, "label", label)
-        object.__setattr__(self, "_hash", hash(("Atom", label)))
+        _set(self, "label", label)
+        if isinstance(label, int):
+            _set(self, "_canon", (_RANK_ATOM, 0, label, ""))
+        else:
+            _set(self, "_canon", (_RANK_ATOM, 1, 0, label))
+        _set(self, "struct_hash", _mix64(_RANK_ATOM, hash(label)))
+        _set(self, "depth", 0)
+        _set(self, "size", 1)
+        _set(self, "atoms", frozenset((self,)))
+        _set(self, "has_top", False)
         if interner is not None:
             interner.store(key, self)
         return self
@@ -140,17 +208,11 @@ class Atom(Value):
         return isinstance(other, Atom) and self.label == other.label
 
     def __hash__(self) -> int:
-        return self._hash
+        # The cached structural hash is the hash: equal values share it.
+        return self.struct_hash
 
     def __reduce__(self):
         return (Atom, (self.label,))
-
-    def canon_key(self):
-        # ints before strs, then by value; the (0/1, ...) pair keeps the
-        # comparison type-safe.
-        if isinstance(self.label, int):
-            return (_RANK_ATOM, 0, self.label, "")
-        return (_RANK_ATOM, 1, 0, self.label)
 
     def __repr__(self) -> str:
         return f"Atom({self.label!r})"
@@ -167,7 +229,7 @@ class Tup(Value):
     BK variant).
     """
 
-    __slots__ = ("items", "_hash")
+    __slots__ = ("items",)
 
     def __new__(cls, items: Iterable[Value]):
         items = tuple(items)
@@ -185,8 +247,37 @@ class Tup(Value):
             if cached is not None:
                 return cached
         self = super().__new__(cls)
-        object.__setattr__(self, "items", items)
-        object.__setattr__(self, "_hash", hash(("Tup", items)))
+        _set(self, "items", items)
+        # One pass over the coordinates fills every metadata slot —
+        # constructors sit on the hot path of every driver.
+        canon_items = []
+        h = ((_FNV_OFFSET ^ _RANK_TUP) * _FNV_PRIME) & _MASK64
+        h = ((h ^ len(items)) * _FNV_PRIME) & _MASK64
+        depth = 0
+        size = 1
+        has_top = False
+        atom_sets = []
+        for item in items:
+            canon_items.append(item._canon)
+            h = ((h ^ item.struct_hash) * _FNV_PRIME) & _MASK64
+            if item.depth > depth:
+                depth = item.depth
+            size += item.size
+            if item.atoms:
+                atom_sets.append(item.atoms)
+            if item.has_top:
+                has_top = True
+        _set(self, "_canon", (_RANK_TUP, len(items), tuple(canon_items)))
+        _set(self, "struct_hash", h)
+        _set(self, "depth", depth)
+        _set(self, "size", size)
+        if len(atom_sets) == 1:
+            _set(self, "atoms", atom_sets[0])
+        elif atom_sets:
+            _set(self, "atoms", frozenset().union(*atom_sets))
+        else:
+            _set(self, "atoms", _EMPTY_ATOMS)
+        _set(self, "has_top", has_top)
         if interner is not None:
             interner.store(key, self)
         return self
@@ -200,7 +291,8 @@ class Tup(Value):
         return isinstance(other, Tup) and self.items == other.items
 
     def __hash__(self) -> int:
-        return self._hash
+        # The cached structural hash is the hash: equal values share it.
+        return self.struct_hash
 
     def __reduce__(self):
         return (Tup, (self.items,))
@@ -214,9 +306,6 @@ class Tup(Value):
     def __iter__(self) -> Iterator[Value]:
         return iter(self.items)
 
-    def canon_key(self):
-        return (_RANK_TUP, len(self.items), tuple(x.canon_key() for x in self.items))
-
     def __repr__(self) -> str:
         return f"Tup({list(self.items)!r})"
 
@@ -228,10 +317,12 @@ class SetVal(Value):
     """A finite set ``{X1, ..., Xn}`` of values (possibly heterogeneous).
 
     This is the construct the whole paper revolves around: nothing here
-    requires the members to share a type.
+    requires the members to share a type.  Members are stored both as a
+    frozenset (``items``, for O(1) membership) and as a canonically
+    sorted tuple (``sorted_members()``), built once at construction.
     """
 
-    __slots__ = ("items", "_hash")
+    __slots__ = ("items", "_sorted")
 
     def __new__(cls, items: Iterable[Value] = ()):
         items = frozenset(items)
@@ -247,8 +338,42 @@ class SetVal(Value):
             if cached is not None:
                 return cached
         self = super().__new__(cls)
-        object.__setattr__(self, "items", items)
-        object.__setattr__(self, "_hash", hash(("SetVal", items)))
+        members = tuple(sorted(items, key=_canon_of))
+        _set(self, "items", items)
+        _set(self, "_sorted", members)
+        # One pass over the members fills every metadata slot.  The
+        # member mix is sum/xor, so the struct hash stays insensitive
+        # to canon-order details.
+        canon_items = []
+        member_sum = 0
+        member_xor = 0
+        depth = 0
+        size = 1
+        has_top = False
+        atom_sets = []
+        for item in members:
+            canon_items.append(item._canon)
+            item_hash = item.struct_hash
+            member_sum = (member_sum + item_hash) & _MASK64
+            member_xor ^= item_hash
+            if item.depth > depth:
+                depth = item.depth
+            size += item.size
+            if item.atoms:
+                atom_sets.append(item.atoms)
+            if item.has_top:
+                has_top = True
+        _set(self, "_canon", (_RANK_SET, len(members), tuple(canon_items)))
+        _set(self, "struct_hash", _mix64(_RANK_SET, len(items), member_sum, member_xor))
+        _set(self, "depth", 1 + depth)
+        _set(self, "size", size)
+        if len(atom_sets) == 1:
+            _set(self, "atoms", atom_sets[0])
+        elif atom_sets:
+            _set(self, "atoms", frozenset().union(*atom_sets))
+        else:
+            _set(self, "atoms", _EMPTY_ATOMS)
+        _set(self, "has_top", has_top)
         if interner is not None:
             interner.store(key, self)
         return self
@@ -262,10 +387,11 @@ class SetVal(Value):
         return isinstance(other, SetVal) and self.items == other.items
 
     def __hash__(self) -> int:
-        return self._hash
+        # The cached structural hash is the hash: equal values share it.
+        return self.struct_hash
 
     def __reduce__(self):
-        return (SetVal, (tuple(self.items),))
+        return (SetVal, (self._sorted,))
 
     def __len__(self) -> int:
         return len(self.items)
@@ -274,28 +400,33 @@ class SetVal(Value):
         return value in self.items
 
     def __iter__(self) -> Iterator[Value]:
-        """Iterate members in canonical order (deterministic)."""
-        return iter(sorted(self.items, key=lambda v: v.canon_key()))
+        """Iterate members in canonical order (cached, deterministic)."""
+        return iter(self._sorted)
 
-    def canon_key(self):
-        member_keys = sorted(x.canon_key() for x in self.items)
-        return (_RANK_SET, len(self.items), tuple(member_keys))
+    def sorted_members(self) -> tuple:
+        """The members as a tuple in canonical order (cached)."""
+        return self._sorted
 
     def __repr__(self) -> str:
-        return f"SetVal({sorted(self.items, key=lambda v: v.canon_key())!r})"
+        return f"SetVal({list(self._sorted)!r})"
 
     def __str__(self) -> str:
-        return "{" + ", ".join(str(x) for x in self) + "}"
+        return "{" + ", ".join(str(x) for x in self._sorted) + "}"
 
 
 class Bottom(Value):
     """BK's least object ⊥ (matches anything during BK instantiation)."""
 
-    __slots__ = ("_hash",)
+    __slots__ = ()
 
     def __new__(cls):
         self = super().__new__(cls)
-        object.__setattr__(self, "_hash", hash("Bottom"))
+        _set(self, "_canon", (_RANK_BOTTOM,))
+        _set(self, "struct_hash", _mix64(_RANK_BOTTOM))
+        _set(self, "depth", 0)
+        _set(self, "size", 1)
+        _set(self, "atoms", _EMPTY_ATOMS)
+        _set(self, "has_top", False)
         return self
 
     def __setattr__(self, name, value):
@@ -305,13 +436,11 @@ class Bottom(Value):
         return isinstance(other, Bottom)
 
     def __hash__(self) -> int:
-        return self._hash
+        # The cached structural hash is the hash: equal values share it.
+        return self.struct_hash
 
     def __reduce__(self):
         return (Bottom, ())
-
-    def canon_key(self):
-        return (_RANK_BOTTOM,)
 
     def __repr__(self) -> str:
         return "BOTTOM"
@@ -323,11 +452,16 @@ class Bottom(Value):
 class Top(Value):
     """BK's greatest object ⊤ (the inconsistent object)."""
 
-    __slots__ = ("_hash",)
+    __slots__ = ()
 
     def __new__(cls):
         self = super().__new__(cls)
-        object.__setattr__(self, "_hash", hash("Top"))
+        _set(self, "_canon", (_RANK_TOP,))
+        _set(self, "struct_hash", _mix64(_RANK_TOP))
+        _set(self, "depth", 0)
+        _set(self, "size", 1)
+        _set(self, "atoms", _EMPTY_ATOMS)
+        _set(self, "has_top", True)
         return self
 
     def __setattr__(self, name, value):
@@ -337,13 +471,11 @@ class Top(Value):
         return isinstance(other, Top)
 
     def __hash__(self) -> int:
-        return self._hash
+        # The cached structural hash is the hash: equal values share it.
+        return self.struct_hash
 
     def __reduce__(self):
         return (Top, ())
-
-    def canon_key(self):
-        return (_RANK_TOP,)
 
     def __repr__(self) -> str:
         return "TOP"
@@ -365,7 +497,7 @@ class NamedTup(Value):
     different attribute sets).
     """
 
-    __slots__ = ("fields", "_hash")
+    __slots__ = ("fields",)
 
     def __new__(cls, fields: dict):
         frozen = tuple(sorted(fields.items()))
@@ -383,8 +515,29 @@ class NamedTup(Value):
             if cached is not None:
                 return cached
         self = super().__new__(cls)
-        object.__setattr__(self, "fields", frozen)
-        object.__setattr__(self, "_hash", hash(("NamedTup", frozen)))
+        _set(self, "fields", frozen)
+        _set(
+            self,
+            "_canon",
+            (
+                _RANK_NAMED,
+                len(frozen),
+                tuple((name, item._canon) for name, item in frozen),
+            ),
+        )
+        parts = []
+        for name, item in frozen:
+            parts.append(hash(name))
+            parts.append(item.struct_hash)
+        _set(self, "struct_hash", _mix64(_RANK_NAMED, len(frozen), *parts))
+        _set(
+            self,
+            "depth",
+            max((item.depth for _, item in frozen), default=0),
+        )
+        _set(self, "size", 1 + sum(item.size for _, item in frozen))
+        _set(self, "atoms", _union_atoms(item for _, item in frozen))
+        _set(self, "has_top", any(item.has_top for _, item in frozen))
         if interner is not None:
             interner.store(key, self)
         return self
@@ -398,7 +551,8 @@ class NamedTup(Value):
         return isinstance(other, NamedTup) and self.fields == other.fields
 
     def __hash__(self) -> int:
-        return self._hash
+        # The cached structural hash is the hash: equal values share it.
+        return self.struct_hash
 
     def __reduce__(self):
         return (NamedTup, (dict(self.fields),))
@@ -416,13 +570,6 @@ class NamedTup(Value):
 
     def as_dict(self) -> dict:
         return dict(self.fields)
-
-    def canon_key(self):
-        return (
-            _RANK_NAMED,
-            len(self.fields),
-            tuple((name, value.canon_key()) for name, value in self.fields),
-        )
 
     def __repr__(self) -> str:
         return f"NamedTup({dict(self.fields)!r})"
@@ -462,7 +609,7 @@ def obj(value) -> Value:
 
 def canon_key(value: Value):
     """Module-level alias for ``value.canon_key()`` (usable as sort key)."""
-    return value.canon_key()
+    return value._canon
 
 
 def canonical_sort(values: Iterable[Value]) -> list:
@@ -470,32 +617,19 @@ def canonical_sort(values: Iterable[Value]) -> list:
     return sorted(values, key=canon_key)
 
 
+def _require_value(value) -> Value:
+    if not isinstance(value, Value):
+        raise TypeCheckError(f"not an object: {value!r}")
+    return value
+
+
 def adom(value: Value) -> frozenset:
     """The atomic (active) domain of an object: the atoms used to build it.
 
-    ⊥ and ⊤ contribute no atoms.
+    ⊥ and ⊤ contribute no atoms.  O(1): the set is cached at
+    construction (``value.atoms``).
     """
-    atoms: set = set()
-    _collect_atoms(value, atoms)
-    return frozenset(atoms)
-
-
-def _collect_atoms(value: Value, out: set) -> None:
-    if isinstance(value, Atom):
-        out.add(value)
-    elif isinstance(value, Tup):
-        for item in value.items:
-            _collect_atoms(item, out)
-    elif isinstance(value, SetVal):
-        for item in value.items:
-            _collect_atoms(item, out)
-    elif isinstance(value, NamedTup):
-        for _, item in value.fields:
-            _collect_atoms(item, out)
-    elif isinstance(value, (Bottom, Top)):
-        pass
-    else:  # pragma: no cover - defensive
-        raise TypeCheckError(f"not an object: {value!r}")
+    return _require_value(value).atoms
 
 
 def set_height(value: Value) -> int:
@@ -504,48 +638,25 @@ def set_height(value: Value) -> int:
     Atoms and ⊥/⊤ have height 0; a tuple has the max height of its
     coordinates; a set has 1 + the max height of its members (1 for the
     empty set).  This is the quantity that drives the hyper-exponential
-    hierarchy of Section 2.
+    hierarchy of Section 2.  O(1): cached at construction
+    (``value.depth``).
     """
-    if isinstance(value, (Atom, Bottom, Top)):
-        return 0
-    if isinstance(value, Tup):
-        return max(set_height(item) for item in value.items)
-    if isinstance(value, NamedTup):
-        if not value.fields:
-            return 0
-        return max(set_height(item) for _, item in value.fields)
-    if isinstance(value, SetVal):
-        if not value.items:
-            return 1
-        return 1 + max(set_height(item) for item in value.items)
-    raise TypeCheckError(f"not an object: {value!r}")
+    return _require_value(value).depth
 
 
 def value_size(value: Value) -> int:
-    """The number of constructor nodes in the object (a length measure)."""
-    if isinstance(value, (Atom, Bottom, Top)):
-        return 1
-    if isinstance(value, Tup):
-        return 1 + sum(value_size(item) for item in value.items)
-    if isinstance(value, NamedTup):
-        return 1 + sum(value_size(item) for _, item in value.fields)
-    if isinstance(value, SetVal):
-        return 1 + sum(value_size(item) for item in value.items)
-    raise TypeCheckError(f"not an object: {value!r}")
+    """The number of constructor nodes in the object (a length measure).
+
+    O(1): cached at construction (``value.size``).
+    """
+    return _require_value(value).size
 
 
 def contains_any(value: Value, atoms: frozenset | set) -> bool:
     """Does the object mention any atom from *atoms*?
 
     Used by the invention semantics of Section 6 to delete output objects
-    containing invented values.
+    containing invented values.  A single cached-frozenset disjointness
+    test instead of a traversal.
     """
-    if isinstance(value, Atom):
-        return value in atoms
-    if isinstance(value, Tup):
-        return any(contains_any(item, atoms) for item in value.items)
-    if isinstance(value, NamedTup):
-        return any(contains_any(item, atoms) for _, item in value.fields)
-    if isinstance(value, SetVal):
-        return any(contains_any(item, atoms) for item in value.items)
-    return False
+    return not _require_value(value).atoms.isdisjoint(atoms)
