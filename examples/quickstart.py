@@ -1,99 +1,59 @@
 #!/usr/bin/env python3
-"""Quickstart: one query, three languages, one answer.
+"""Quickstart: one surface query, every language, one answer.
 
-Defines a tiny flat database, then computes the natural join
-R(A,B) ⋈ S(B,C) in the algebra, the calculus, and DATALOG — the same
-query function three ways (Theorem 2.1's equivalence at work) — and
-shows the BK calculus *failing* to compute it (Proposition 5.3).
+``repro.connect`` opens a session over a database; ``session.query``
+parses a surface-language query, plans it across the repository's
+evaluators (algebra hash-joins, semi-naive COL, the calculus, BK, the
+machine simulations), and runs the cheapest backend.  Theorem 2.1's
+equivalences are what make the planner sound: every backend a plan
+lists computes the *same* query, so picking by cost is safe.
+
+``session.explain`` shows the plan — applied rewrites, per-backend cost
+estimates, the chosen backend — and, with ``run=True``, the post-run
+actuals (budget spend, fixpoint rounds, cache counters).
 """
 
-from repro import Database, Schema, parse_type
-from repro.algebra import run_program
-from repro.algebra.library import natural_join
-from repro.calculus import evaluate_query
-from repro.calculus.library import join_query
-from repro.deductive import DatalogProgram, PredLit, Rule, TupD, VarD
-from repro.deductive import run_stratified
-from repro.deductive.bk import join_attempt_program, run_bk
-from repro.budget import Budget
+import repro
 
 
 def main() -> None:
-    schema = Schema({"R": parse_type("[U, U]"), "S": parse_type("[U, U]")})
-    database = Database(
-        schema,
-        {"R": {(1, 2), (7, 2), (8, 9)}, "S": {(2, 3), (2, 4), (5, 6)}},
+    session = repro.connect(
+        schema=repro.Schema(
+            {
+                "R": repro.parse_type("[U, U]"),
+                "S": repro.parse_type("U"),
+            }
+        ),
+        R=[("a", "b"), ("b", "c"), ("c", "d")],
+        S=["a", "b"],
     )
-    print("R =", database["R"])
-    print("S =", database["S"])
 
-    # 1. The algebra: a two-assignment program.
-    algebra_answer = run_program(natural_join(), database)
-    print("\nalgebra   :", algebra_answer)
+    # One query — the composition R∘R — on two backends.
+    text = "{ [x, z] | some y / U : R([x, y]) and R([y, z]) }"
+    plan = session.plan(text)
+    print("backends considered:", ", ".join(plan.backends()))
 
-    # 2. The calculus: {[x,y,z] | R([x,y]) ∧ S([y,z])}.
-    calculus_answer = evaluate_query(join_query(), database)
-    print("calculus  :", calculus_answer)
+    algebra = session.query(text, backend="algebra")
+    calculus = session.query(text, backend="calculus")
+    print("algebra  :", algebra)
+    print("calculus :", calculus)
+    assert algebra == calculus
 
-    # 3. DATALOG: one rule.
-    x, y, z = VarD("x"), VarD("y"), VarD("z")
-    program = DatalogProgram(
-        [
-            Rule(
-                PredLit("ANS", TupD([x, y, z])),
-                [PredLit("R", TupD([x, y])), PredLit("S", TupD([y, z]))],
-            )
-        ]
+    # EXPLAIN: the plan, then plan + actuals after running it.
+    print()
+    print(session.explain(text, run=True))
+
+    # Recursion routes to the deductive backend: transitive closure.
+    closure = session.query(
+        "rules { T(x, y) :- R(x, y). T(x, z) :- T(x, y), R(y, z). } answer T"
     )
-    datalog_answer = run_stratified(program, database)
-    print("datalog   :", datalog_answer)
+    print()
+    print("transitive closure:", closure)
 
-    assert algebra_answer == calculus_answer == datalog_answer
-
-    # 4. BK *cannot* join (Proposition 5.3): with sub-object matching a
-    # variable may bind ⊥, so the rule that looks like a join computes
-    # the full cross product of the outer columns.
-    bk_answer = run_bk(
-        join_attempt_program(),
-        {
-            "R1": [{"A": 1, "B": 2}],
-            "R2": [{"B": 2, "C": 3}, {"B": 4, "C": 5}],
-        },
-        Budget(objects=None, steps=None),
-    )
-    print("\nBK 'join' on R1={[A:1,B:2]}, R2={[B:2,C:3],[B:4,C:5]}:")
-    print("          ", bk_answer, " <- note the spurious [A:1, C:5]")
-
-    # 5. The engine harness: run a suite of queries with sub-budgets,
-    # timeouts observed as `?`, and cache/interner statistics.  (These
-    # closures cannot cross process boundaries, so the runner silently
-    # uses its serial path — same semantics, one report.)
-    from repro.engine import MemoCache, RunTask, run_suite
-
-    cache = MemoCache()
-
-    def cached_tc(length, budget=None):
-        from repro.deductive.datalog import (
-            run_datalog_stratified,
-            transitive_closure_datalog,
-        )
-        from repro.workloads import chain_graph
-
-        program = transitive_closure_datalog()
-        return cache.run(
-            lambda d: run_datalog_stratified(program, d, budget),
-            program,
-            chain_graph(length),
-        )
-
-    report = run_suite(
-        [RunTask(f"tc-{n}", cached_tc, (n,)) for n in (6, 6, 8)],
-        budget=Budget(),
-        timeout=30.0,
-        cache=cache,
-    )
-    print("\nengine.run_suite over three TC tasks:")
-    print(report.summary())
+    # Invention queries (Obj-typed variables) are not generic: EXPLAIN
+    # shows them bypassing the canonical-database memo cache.
+    print()
+    print(session.explain("{ x / Obj | S(x) }"))
 
 
 if __name__ == "__main__":

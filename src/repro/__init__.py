@@ -47,6 +47,9 @@ from .core import (
     compile_gtm_to_col,
     implementations_for,
 )
+from .query import Session, connect, parse
+from .query.explain import explain
+from .query.planner import build_plan, execute_plan
 
 __version__ = "1.0.0"
 
@@ -64,5 +67,6 @@ __all__ = [
     "GTM", "gtm_query", "run_gtm",
     "check_agreement", "compile_gtm_to_alg", "compile_gtm_to_calc",
     "compile_gtm_to_col", "implementations_for",
+    "Session", "connect", "parse", "explain", "build_plan", "execute_plan",
     "__version__",
 ]

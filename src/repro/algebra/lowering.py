@@ -1,0 +1,366 @@
+"""Lowering the surface IR's conjunctive fragment into the algebra.
+
+This is Theorem 2.1's calculus→algebra direction, restricted to the
+fragment the planner actually routes: existential-conjunctive
+comprehensions compile into the classic scan/product/select/project
+pipeline, which the hash-join-friendly algebra evaluator then runs in
+time proportional to the joined instances rather than the enumerated
+domains (the calculus evaluator's cost).
+
+The lowering is deliberately conservative: whenever the algebra program
+could disagree with the calculus semantics (whole-tuple variables,
+annotations that differ from the bound position's type, negation,
+disjunction), it raises :class:`~repro.query.ir.LoweringUnsupported`
+and the planner falls back to the remaining backends.
+
+:func:`push_selections` is the planner's rewrite pass over lowered (or
+hand-written) pipelines: selections migrate through products onto the
+side whose coordinates they constrain, shrinking intermediate results.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+from ..model.schema import Schema
+from ..model.types import OBJ, SetType, TupleType
+from ..model.values import Tup
+from .ast import (
+    Assign,
+    Collapse,
+    Condition,
+    Const,
+    Diff,
+    Eq,
+    EqConst,
+    Expand,
+    Expr,
+    Intersect,
+    Member,
+    Nest,
+    Powerset,
+    Product,
+    Program,
+    Project,
+    Select,
+    Undefine,
+    Union,
+    Unnest,
+    Var,
+    While,
+)
+
+
+def comprehension_to_algebra(comp, schema: Schema) -> Program:
+    """Compile a typechecked conjunctive comprehension into a Program."""
+    from ..query.ir import (
+        LoweringUnsupported,
+        conjunctive_core,
+        member_rtype,
+    )
+    from ..calculus.ast import Compare, ConstT, In, Pred, TupT, VarT
+
+    exist_types, conjuncts = conjunctive_core(comp)
+    var_types = dict(comp.var_types)
+    var_types.update(exist_types)
+
+    def unsupported(reason: str):
+        raise LoweringUnsupported(reason)
+
+    preds = [lit for lit, positive in conjuncts if isinstance(lit, Pred) and positive]
+
+    # Identity shortcut: { t | R(t) } is just the instance of R.
+    if (
+        len(conjuncts) == 1
+        and len(preds) == 1
+        and isinstance(preds[0].term, VarT)
+        and isinstance(comp.head, VarT)
+        and comp.head.name == preds[0].term.name
+    ):
+        name = preds[0].name
+        if var_types.get(preds[0].term.name) != member_rtype(schema, name):
+            unsupported("head variable annotated away from the scanned type")
+        return Program([Assign("ANS", Var(name))], input_names=(name,))
+
+    scans: list = []  # (pred name, base coordinate, width)
+    var_coord: dict = {}  # variable -> first bound coordinate (1-based)
+    conditions: list = []
+    base = 0
+    for lit in preds:
+        member = member_rtype(schema, lit.name)
+        if isinstance(lit.term, TupT):
+            if not isinstance(member, TupleType) or len(member) != len(lit.term.items):
+                unsupported(
+                    f"{lit.name}'s members are not width-{len(lit.term.items)} tuples"
+                )
+            items = list(zip(lit.term.items, member.components))
+        elif isinstance(lit.term, VarT):
+            if isinstance(member, TupleType):
+                unsupported(
+                    f"whole-tuple variable over {lit.name} has no single coordinate"
+                )
+            items = [(lit.term, member)]
+        elif isinstance(lit.term, ConstT):
+            items = [(lit.term, member)]
+        else:
+            unsupported(f"unsupported predicate argument {lit.term!r}")
+        width = len(items)
+        scans.append((lit.name, base, width))
+        for offset, (item, comp_type) in enumerate(items):
+            coord = base + offset + 1
+            if isinstance(item, VarT):
+                declared = var_types.get(item.name)
+                if declared is not None and declared != comp_type:
+                    unsupported(
+                        f"{item.name!r} is annotated {declared!r} but bound "
+                        f"at a {comp_type!r} position"
+                    )
+                if item.name in var_coord:
+                    conditions.append(Eq(var_coord[item.name], coord))
+                else:
+                    var_coord[item.name] = coord
+            elif isinstance(item, ConstT):
+                conditions.append(EqConst(coord, item.value))
+            else:
+                unsupported("nested tuple patterns in predicate arguments")
+        base += width
+    if not scans:
+        unsupported("no positive predicate conjunct to scan")
+
+    for lit, positive in conjuncts:
+        if isinstance(lit, Pred):
+            if not positive:
+                unsupported("negated predicates have no algebra selection")
+            continue
+        if isinstance(lit, Compare):
+            if not positive:
+                unsupported("inequations have no algebra selection")
+            left, right = lit.left, lit.right
+            if isinstance(left, ConstT) and isinstance(right, VarT):
+                left, right = right, left
+            if isinstance(left, VarT) and isinstance(right, VarT):
+                if left.name not in var_coord or right.name not in var_coord:
+                    unsupported("equality over a variable no scan binds")
+                conditions.append(Eq(var_coord[left.name], var_coord[right.name]))
+            elif isinstance(left, VarT) and isinstance(right, ConstT):
+                if left.name not in var_coord:
+                    unsupported("equality over a variable no scan binds")
+                conditions.append(EqConst(var_coord[left.name], right.value))
+            else:
+                unsupported("equality between compound terms")
+            continue
+        if isinstance(lit, In):
+            if not positive:
+                unsupported("negated membership has no algebra selection")
+            container = lit.container
+            if not isinstance(container, VarT) or container.name not in var_coord:
+                unsupported("membership container is not bound by a scan")
+            container_type = var_types.get(container.name)
+            element = lit.element
+            if isinstance(element, VarT):
+                if element.name not in var_coord:
+                    unsupported("membership element is not bound by a scan")
+                if container_type != SetType(var_types[element.name]):
+                    unsupported(
+                        "membership element/container types do not line up"
+                    )
+                conditions.append(
+                    Member(var_coord[element.name], var_coord[container.name])
+                )
+            elif isinstance(element, TupT):
+                coords = []
+                elem_types = []
+                for item in element.items:
+                    if not isinstance(item, VarT) or item.name not in var_coord:
+                        unsupported("tuple membership over unbound variables")
+                    coords.append(var_coord[item.name])
+                    elem_types.append(var_types[item.name])
+                if container_type != SetType(TupleType(elem_types)):
+                    unsupported(
+                        "membership element/container types do not line up"
+                    )
+                conditions.append(Member(tuple(coords), var_coord[container.name]))
+            else:
+                unsupported("membership of a constant is not lowered")
+            continue
+
+    # Head: a bound variable (bare members) or a tuple of bound variables.
+    from ..calculus.ast import TupT as _TupT, VarT as _VarT
+
+    if isinstance(comp.head, _VarT):
+        if comp.head.name not in var_coord:
+            unsupported("head variable is not bound by a scan")
+        cols = [var_coord[comp.head.name]]
+    elif isinstance(comp.head, _TupT):
+        if len(comp.head.items) < 2:
+            unsupported("one-tuple heads have no algebra projection")
+        cols = []
+        for item in comp.head.items:
+            if not isinstance(item, _VarT) or item.name not in var_coord:
+                unsupported("head tuples must list scan-bound variables")
+            cols.append(var_coord[item.name])
+    else:
+        unsupported("constant heads are not lowered")
+
+    expr: Expr = Var(scans[0][0])
+    for name, _, _ in scans[1:]:
+        expr = Product(expr, Var(name))
+    if conditions:
+        expr = Select(expr, conditions)
+    expr = Project(expr, cols)
+    input_names = tuple(sorted({name for name, _, _ in scans}))
+    return Program([Assign("ANS", expr)], input_names=input_names)
+
+
+# ---------------------------------------------------------------------------
+# Selection pushdown (a planner rewrite pass)
+# ---------------------------------------------------------------------------
+
+
+def member_width(schema: Schema, name: str):
+    """Coordinate width of one member of *name*'s instance, if uniform.
+
+    Schema entries declare member rtypes directly: tuples have one
+    coordinate per component, everything else (atoms, sets) is a single
+    coordinate.  ``Obj`` members have no statically known width."""
+    try:
+        member = schema.rtype(name)
+    except SchemaError:
+        return None
+    if isinstance(member, TupleType):
+        return len(member)
+    if member == OBJ:
+        return None
+    return 1
+
+
+def _const_width(value):
+    widths = {
+        len(member.items) if isinstance(member, Tup) else 1
+        for member in value.items
+    }
+    return widths.pop() if len(widths) == 1 else None
+
+
+def _width(expr: Expr, schema: Schema):
+    if isinstance(expr, Var):
+        return member_width(schema, expr.name)
+    if isinstance(expr, Const):
+        return _const_width(expr.value)
+    if isinstance(expr, Product):
+        left = _width(expr.left, schema)
+        right = _width(expr.right, schema)
+        return left + right if left is not None and right is not None else None
+    if isinstance(expr, Select):
+        return _width(expr.operand, schema)
+    if isinstance(expr, (Intersect, Diff)):
+        return _width(expr.left, schema)
+    if isinstance(expr, Union):
+        left = _width(expr.left, schema)
+        return left if left is not None and left == _width(expr.right, schema) else None
+    if isinstance(expr, Project):
+        return len(expr.cols) if len(expr.cols) > 1 else None
+    return None
+
+
+def _condition_coords(cond: Condition):
+    if isinstance(cond, Eq):
+        return (cond.i, cond.j)
+    if isinstance(cond, EqConst):
+        return (cond.i,)
+    if isinstance(cond, Member):
+        cols = cond.i if isinstance(cond.i, tuple) else (cond.i,)
+        return cols + (cond.j,)
+    return ()
+
+
+def _shift_condition(cond: Condition, by: int) -> Condition:
+    if isinstance(cond, Eq):
+        return Eq(cond.i - by, cond.j - by)
+    if isinstance(cond, EqConst):
+        return EqConst(cond.i - by, cond.value)
+    cols = cond.i
+    if isinstance(cols, tuple):
+        cols = tuple(col - by for col in cols)
+    else:
+        cols -= by
+    return Member(cols, cond.j - by)
+
+
+class _Pushdown:
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self.pushed = 0
+
+    def expr(self, expr: Expr) -> Expr:
+        if isinstance(expr, Select) and isinstance(expr.operand, Product):
+            product = expr.operand
+            left_width = _width(product.left, self.schema)
+            if left_width is not None:
+                left_conds: list = []
+                right_conds: list = []
+                kept: list = []
+                for cond in expr.conditions:
+                    coords = _condition_coords(cond)
+                    if all(c <= left_width for c in coords):
+                        left_conds.append(cond)
+                    elif all(c > left_width for c in coords):
+                        right_conds.append(_shift_condition(cond, left_width))
+                    else:
+                        kept.append(cond)
+                if left_conds or right_conds:
+                    self.pushed += len(left_conds) + len(right_conds)
+                    left = product.left
+                    right = product.right
+                    if left_conds:
+                        left = Select(left, left_conds)
+                    if right_conds:
+                        right = Select(right, right_conds)
+                    rebuilt = Product(self.expr(left), self.expr(right))
+                    return Select(rebuilt, kept) if kept else rebuilt
+        # Generic reconstruction over children.
+        if isinstance(expr, Select):
+            return Select(self.expr(expr.operand), expr.conditions)
+        if isinstance(expr, Project):
+            return Project(self.expr(expr.operand), expr.cols)
+        if isinstance(expr, Nest):
+            return Nest(self.expr(expr.operand), expr.cols)
+        if isinstance(expr, Unnest):
+            return Unnest(self.expr(expr.operand), expr.col)
+        if isinstance(expr, (Powerset, Expand, Collapse, Undefine)):
+            return type(expr)(self.expr(expr.operand))
+        if isinstance(expr, (Union, Diff, Intersect, Product)):
+            return type(expr)(self.expr(expr.left), self.expr(expr.right))
+        return expr
+
+    def statement(self, stmt):
+        if isinstance(stmt, Assign):
+            return Assign(stmt.var, self.expr(stmt.expr))
+        if isinstance(stmt, While):
+            return While(
+                stmt.target,
+                stmt.source_var,
+                stmt.cond_var,
+                [self.statement(s) for s in stmt.body],
+            )
+        return stmt
+
+
+def push_selections(program: Program, schema: Schema):
+    """Push selections through products where coordinates allow it.
+
+    Returns ``(program, pushed)`` — the rewritten program and how many
+    conditions moved.  Sound only because coordinates are resolved
+    per-member: a condition referencing coordinates entirely within one
+    side of a product tests the same values before and after the
+    product, and members that a pushed selection drops could never have
+    satisfied it afterwards.  Widths must be statically known (uniform)
+    for the split; anything uncertain is left where it was.
+    """
+    rewriter = _Pushdown(schema)
+    statements = [rewriter.statement(stmt) for stmt in program.statements]
+    if rewriter.pushed == 0:
+        return program, 0
+    return (
+        Program(statements, ans_var=program.ans_var, input_names=program.input_names),
+        rewriter.pushed,
+    )

@@ -1,0 +1,46 @@
+"""Lowering the surface IR into a calculus query expression.
+
+The calculus is the surface language's reference semantics: every
+comprehension lowers here (the comprehension body *is* a calculus
+formula — :mod:`repro.query.ir` reuses this package's AST), so the
+planner always has at least this backend.  The head type is synthesised
+from the inferred variable rtypes.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeCheckError
+from ..model.types import RType, TupleType, infer_rtype
+from .ast import ConstT, Query, Term, TupT, VarT
+
+
+def head_rtype(term: Term, var_types: dict) -> RType:
+    """The rtype of one head term under *var_types*."""
+    if isinstance(term, VarT):
+        try:
+            return var_types[term.name]
+        except KeyError:
+            raise TypeCheckError(f"untyped head variable {term.name!r}")
+    if isinstance(term, ConstT):
+        return infer_rtype(term.value)
+    if isinstance(term, TupT):
+        return TupleType([head_rtype(item, var_types) for item in term.items])
+    raise TypeCheckError(f"no rtype for head term {term!r}")
+
+
+def comprehension_to_calculus(comp) -> Query:
+    """Build the native :class:`Query` for a typed surface comprehension.
+
+    *comp* is a :class:`repro.query.ir.Comprehension` that has been
+    typechecked against the database schema (so ``var_types`` is
+    populated).
+    """
+    free = comp.free_variables()
+    free_types = {name: comp.var_types[name] for name in free}
+    return Query(
+        head=comp.head,
+        head_type=head_rtype(comp.head, comp.var_types),
+        body=comp.body,
+        free_types=free_types,
+        name="surface-comprehension",
+    )

@@ -1,0 +1,136 @@
+"""Lowering the surface IR's conjunctive fragment into COL.
+
+A conjunctive comprehension becomes a single DATALOG¬ rule whose head
+collects the comprehension's head term into the answer predicate.  The
+semi-naive COL evaluators then run it fact-driven, so — like the
+algebra lowering — it only applies when every variable's declared type
+matches the type of a position that binds it; otherwise the calculus
+semantics (domain enumeration) could disagree and the lowering bows
+out with :class:`~repro.query.ir.LoweringUnsupported`.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeCheckError
+from ..model.schema import Schema
+from .ast import (
+    ColProgram,
+    ConstD,
+    DTerm,
+    EqLit,
+    PredLit,
+    Rule,
+    TupD,
+    VarD,
+)
+
+
+def _answer_name(schema: Schema) -> str:
+    """An answer predicate name not colliding with the schema."""
+    name = "ANS"
+    while name in schema:
+        name += "_"
+    return name
+
+
+def _ground_value(term):
+    """The Value of a variable-free calculus term, else ``None``."""
+    from ..calculus.ast import ConstT, TupT
+    from ..model.values import Tup
+
+    if isinstance(term, ConstT):
+        return term.value
+    if isinstance(term, TupT):
+        items = [_ground_value(item) for item in term.items]
+        if any(item is None for item in items):
+            return None
+        return Tup(items)
+    return None
+
+
+def comprehension_to_col(comp, schema: Schema) -> ColProgram:
+    """Compile a typechecked conjunctive comprehension into a ColProgram."""
+    from ..query.ir import (
+        LoweringUnsupported,
+        conjunctive_core,
+        member_rtype,
+    )
+    from ..calculus.ast import Compare, ConstT, In, Pred, TupT, VarT
+    from ..model.types import TupleType
+
+    exist_types, conjuncts = conjunctive_core(comp)
+    var_types = dict(comp.var_types)
+    var_types.update(exist_types)
+
+    def unsupported(reason: str):
+        raise LoweringUnsupported(reason)
+
+    def to_dterm(term) -> DTerm:
+        if isinstance(term, VarT):
+            return VarD(term.name)
+        if isinstance(term, ConstT):
+            return ConstD(term.value)
+        if isinstance(term, TupT):
+            return TupD([to_dterm(item) for item in term.items])
+        unsupported(f"no COL term for {term!r}")
+
+    def check_binding_types(term, member) -> None:
+        """Variables must be declared exactly as the binding position."""
+        if isinstance(term, VarT):
+            declared = var_types.get(term.name)
+            if declared is not None and declared != member:
+                unsupported(
+                    f"{term.name!r} is annotated {declared!r} but bound "
+                    f"at a {member!r} position"
+                )
+        elif isinstance(term, TupT):
+            if not isinstance(member, TupleType) or len(member) != len(term.items):
+                unsupported("predicate argument shape does not match its type")
+            for item, comp_type in zip(term.items, member.components):
+                check_binding_types(item, comp_type)
+
+    body: list = []
+    for lit, positive in conjuncts:
+        if isinstance(lit, Pred):
+            if positive:
+                check_binding_types(lit.term, member_rtype(schema, lit.name))
+            body.append(PredLit(lit.name, to_dterm(lit.term), positive=positive))
+        elif isinstance(lit, Compare):
+            # A variable bound only through ``x = const`` is *generated*
+            # by COL's equality transfer; make sure the constant lies in
+            # the variable's declared domain so the calculus agrees.
+            # Tuple terms with variables inside are rejected outright:
+            # COL's structural binding ignores the declared rtypes.
+            for one, other in ((lit.left, lit.right), (lit.right, lit.left)):
+                if isinstance(one, VarT):
+                    if isinstance(other, TupT):
+                        value = _ground_value(other)
+                        if value is None:
+                            unsupported(
+                                "equality with a non-ground tuple term"
+                            )
+                        other = ConstT(value)
+                    if isinstance(other, ConstT):
+                        declared = var_types.get(one.name)
+                        if declared is not None and not declared.matches(other.value):
+                            unsupported(
+                                f"{one.name!r} is compared with a constant "
+                                f"outside its declared type"
+                            )
+            body.append(EqLit(to_dterm(lit.left), to_dterm(lit.right), positive=positive))
+        elif isinstance(lit, In):
+            # Membership in a scan-bound *set object* has no predicate to
+            # join against; COL data functions model defined sets, not
+            # arbitrary first-class ones.
+            unsupported("membership conjuncts are outside the COL lowering")
+        else:
+            unsupported(f"no COL literal for {lit!r}")
+
+    answer = _answer_name(schema)
+    head = PredLit(answer, to_dterm(comp.head))
+    try:
+        rule = Rule(head, body)
+    except TypeCheckError as exc:
+        # E.g. head variables bound only by negated literals.
+        unsupported(f"not range-restricted as a rule: {exc}")
+    return ColProgram([rule], answer=answer, name="surface-comprehension")

@@ -67,7 +67,14 @@ class RunTask:
 
 @dataclass
 class TaskReport:
-    """The outcome of one task."""
+    """The outcome of one task.
+
+    ``cause`` says *why* a task's result is ``?`` when it is:
+    ``"budget:<resource>"`` (the named counter ran out),
+    ``"timeout"`` (wall clock), ``"error"`` (an exception, detailed in
+    ``error``), or ``None`` — the task completed and its result, even
+    if ``?``, is the computation's actual value.
+    """
 
     name: str
     result: object
@@ -75,6 +82,7 @@ class TaskReport:
     spent: dict
     error: str | None = None
     timed_out: bool = False
+    cause: str | None = None
     interner: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -86,6 +94,7 @@ class TaskReport:
             "spent": self.spent,
             "error": self.error,
             "timed_out": self.timed_out,
+            "cause": self.cause,
             "interner": self.interner,
         }
 
@@ -208,16 +217,20 @@ def _execute_task(task: RunTask, budget: Budget, timeout: float, intern: bool) -
     started = time.perf_counter()
     error = None
     timed_out = False
+    cause = None
     try:
         result = task.fn(*task.args, **task.kwargs, budget=budget)
-    except BudgetExceeded:
+    except BudgetExceeded as exc:
         result = UNDEFINED
+        cause = f"budget:{exc.resource}"
     except _Timeout:
         result = UNDEFINED
         timed_out = True
+        cause = "timeout"
     except Exception as exc:  # noqa: BLE001 — reported, not swallowed
         result = UNDEFINED
         error = f"{type(exc).__name__}: {exc}"
+        cause = "error"
     finally:
         if armed:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
@@ -239,6 +252,7 @@ def _execute_task(task: RunTask, budget: Budget, timeout: float, intern: bool) -
         spent=budget.spent_all(),
         error=error,
         timed_out=timed_out,
+        cause=cause,
         interner=interner_delta,
     )
 
@@ -292,13 +306,15 @@ def run_suite(
                     try:
                         reports[index] = future.result(timeout=backstop)
                     except Exception as exc:  # TimeoutError, BrokenProcessPool
+                        hit_backstop = isinstance(exc, TimeoutError)
                         reports[index] = TaskReport(
                             name=task.name,
                             result=UNDEFINED,
                             elapsed=task_timeout or 0.0,
                             spent={},
                             error=f"{type(exc).__name__}: {exc}",
-                            timed_out=True,
+                            timed_out=hit_backstop,
+                            cause="timeout" if hit_backstop else "error",
                         )
             parallel = True
         except OSError:

@@ -1,0 +1,52 @@
+"""repro.query — surface language, cross-language planner, EXPLAIN.
+
+One textual query surface (:func:`parse`) over every language in the
+repository; a planner (:func:`build_plan`) that prices the paper's
+simulation translations as rewrite passes and picks the cheapest
+backend; a :class:`Session` with sub-budgets and genericity-aware
+result memoization; and an :func:`explain` transcript of all of it.
+
+Attributes resolve lazily (PEP 562): the language packages import
+``repro.query.ir`` from their lowering modules, so the package must be
+importable before its submodules finish loading.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "parse": ("repro.query.parser", "parse"),
+    "ParseError": ("repro.query.parser", "ParseError"),
+    "SurfaceQuery": ("repro.query.ir", "SurfaceQuery"),
+    "LiteralQuery": ("repro.query.ir", "LiteralQuery"),
+    "Comprehension": ("repro.query.ir", "Comprehension"),
+    "PipelineQuery": ("repro.query.ir", "PipelineQuery"),
+    "RuleQuery": ("repro.query.ir", "RuleQuery"),
+    "BKQuery": ("repro.query.ir", "BKQuery"),
+    "GTMQuery": ("repro.query.ir", "GTMQuery"),
+    "LoweringUnsupported": ("repro.query.ir", "LoweringUnsupported"),
+    "Plan": ("repro.query.planner", "Plan"),
+    "Candidate": ("repro.query.planner", "Candidate"),
+    "build_plan": ("repro.query.planner", "build_plan"),
+    "execute_plan": ("repro.query.planner", "execute_plan"),
+    "Session": ("repro.query.session", "Session"),
+    "connect": ("repro.query.session", "connect"),
+    "render_plan": ("repro.query.explain", "render_plan"),
+    "render_actuals": ("repro.query.explain", "render_actuals"),
+    "render": ("repro.query.explain", "render"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro.query' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return __all__

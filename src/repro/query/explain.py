@@ -1,0 +1,106 @@
+"""EXPLAIN rendering.
+
+Two sections with different determinism contracts:
+
+* the **plan** section (:func:`render_plan`) is a pure function of the
+  query text and the database's instance statistics — integer costs,
+  fixed ordering, no wall-clock — and is golden-tested in CI;
+* the **actuals** section (:func:`render_actuals`) reports what one
+  execution did (backend run, budget spend, fixpoint rounds, cache and
+  interner traffic) and is appended only when a query was actually run.
+"""
+
+from __future__ import annotations
+
+from ..errors import is_undefined
+from ..model.values import Value
+from .planner import ExecutionReport, Plan
+
+
+def render_plan(plan: Plan) -> str:
+    query = plan.query
+    profile = plan.profile
+    lines = [
+        f"EXPLAIN {query.text}",
+        f"  form: {query.describe()}",
+        (
+            f"  database: {profile['total_facts']} fact(s) across "
+            f"{len(profile['sizes'])} predicate(s), adom {profile['adom']}, "
+            f"max depth {profile['max_depth']}"
+        ),
+    ]
+    if plan.rewrites:
+        lines.append("  rewrites:")
+        for rewrite in plan.rewrites:
+            sign = "+" if rewrite.applied else "-"
+            lines.append(f"    {sign} {rewrite.name}: {rewrite.note}")
+    lines.append("  candidates:")
+    for index, cand in enumerate(plan.candidates):
+        marker = "->" if index == 0 else "  "
+        lines.append(
+            f"    {marker} {cand.backend:<16} cost {cand.cost:<12} {cand.detail}"
+        )
+    lines.append(
+        "  cache: "
+        + (
+            "generic (memoized under canonical-database key)"
+            if plan.generic
+            else "non-generic (invention-capable; bypasses the memo cache)"
+        )
+    )
+    return "\n".join(lines)
+
+
+def _describe_result(result) -> str:
+    if is_undefined(result):
+        return "? (undefined)"
+    if isinstance(result, Value):
+        stats = []
+        if hasattr(result, "items"):
+            stats.append(f"{len(result.items)} member(s)")
+        stats.append(f"depth {result.depth}")
+        stats.append(f"size {result.size}")
+        return f"{', '.join(stats)}"
+    return repr(result)
+
+
+def render_actuals(report: ExecutionReport, cache_stats=None, interner=None) -> str:
+    lines = ["  actuals:"]
+    if report.cached:
+        lines.append(f"    backend: {report.backend} (cache hit; not re-run)")
+    else:
+        lines.append(f"    backend: {report.backend}")
+    lines.append(f"    result: {_describe_result(report.result)}")
+    spent = {k: v for k, v in report.spent.items() if v}
+    if spent:
+        budget_bits = ", ".join(f"{k}={v}" for k, v in sorted(spent.items()))
+        lines.append(f"    spent: {budget_bits}")
+        if report.rounds():
+            lines.append(f"    fixpoint rounds: {report.rounds()}")
+    if cache_stats is not None:
+        lines.append(
+            "    memo cache: "
+            f"hits={cache_stats.hits} misses={cache_stats.misses} "
+            f"bypasses={cache_stats.bypasses}"
+        )
+    if interner is not None and hasattr(interner, "stats"):
+        stats = interner.stats()
+        lines.append(f"    interner: hits={stats.hits} misses={stats.misses}")
+    return "\n".join(lines)
+
+
+def render(plan: Plan, report: ExecutionReport | None = None, cache_stats=None, interner=None) -> str:
+    text = render_plan(plan)
+    if report is not None:
+        text += "\n" + render_actuals(report, cache_stats, interner)
+    return text
+
+
+def explain(text: str, database, run: bool = False, backend=None, budget=None) -> str:
+    """One-shot EXPLAIN: plan *text* against *database* and render it.
+
+    Convenience wrapper over a throwaway :class:`~repro.query.session.Session`;
+    pass ``run=True`` to execute the chosen backend and append actuals."""
+    from .session import Session
+
+    return Session(database, budget=budget).explain(text, run=run, backend=backend)

@@ -1,0 +1,636 @@
+"""The cross-language query planner.
+
+The paper's simulation theorems say one query has implementations in
+every language of the repository; this module turns that into a query
+optimiser.  :func:`build_plan` lowers a parsed surface query through
+every translation that covers it (each failed lowering is recorded,
+not raised), prices the surviving candidates with a deterministic
+integer cost model over the cached structural metadata of the database
+(instance sizes, active-domain size — the PR 2 ``Value`` slots), and
+picks the cheapest.  :func:`execute_plan` runs the chosen (or any
+requested) candidate under a budget and reports actuals.
+
+Everything the plan prints is deterministic: costs are integers
+computed from instance statistics, candidate order is (cost, rank),
+and no wall-clock or memory readings enter the plan — that is what
+makes EXPLAIN output golden-testable.
+"""
+
+from __future__ import annotations
+
+from ..budget import Budget
+from ..errors import SchemaError
+from ..model.schema import Database
+from ..model.types import OBJ, RType, SetType, TupleType
+from .ir import (
+    BKQuery,
+    Comprehension,
+    GTMQuery,
+    LiteralQuery,
+    LoweringUnsupported,
+    PipelineQuery,
+    RuleQuery,
+    SurfaceQuery,
+)
+
+#: Every cost is clamped here; keeps the arithmetic overflow-free and
+#: the orderings stable.
+COST_CAP = 10**12
+
+#: Tie-break order among backends with equal cost (stable, documented).
+BACKEND_RANK = (
+    "literal",
+    "algebra",
+    "col-stratified",
+    "col-inflationary",
+    "bk-hashjoin",
+    "calculus",
+    "bk-dirty",
+    "col-naive",
+    "bk-naive",
+    "gtm",
+    "tm",
+    "col-compiled",
+    "alg-compiled",
+    "calc-terminal",
+)
+
+
+def _rank(backend: str) -> int:
+    try:
+        return BACKEND_RANK.index(backend)
+    except ValueError:
+        return len(BACKEND_RANK)
+
+
+def _cap(cost: int) -> int:
+    return min(int(cost), COST_CAP)
+
+
+class Rewrite:
+    """One planner pass and what it did (shown by EXPLAIN)."""
+
+    def __init__(self, name: str, applied: bool, note: str):
+        self.name = name
+        self.applied = applied
+        self.note = note
+
+    def __repr__(self) -> str:
+        sign = "+" if self.applied else "-"
+        return f"{sign} {self.name}: {self.note}"
+
+
+class Candidate:
+    """An executable backend for one query, with its estimated cost."""
+
+    def __init__(self, backend: str, cost: int, detail: str, runner):
+        self.backend = backend
+        self.cost = _cap(cost)
+        self.detail = detail
+        self._runner = runner
+
+    def run(self, database: Database, budget: Budget):
+        return self._runner(database, budget)
+
+    def __repr__(self) -> str:
+        return f"Candidate({self.backend}, cost={self.cost})"
+
+
+class Plan:
+    """The priced candidate list for one query on one database profile."""
+
+    def __init__(
+        self,
+        query: SurfaceQuery,
+        candidates: list,
+        rewrites: list,
+        profile: dict,
+        generic: bool,
+    ):
+        if not candidates:
+            raise SchemaError(f"no backend can evaluate {query.text!r}")
+        self.query = query
+        self.candidates = sorted(
+            candidates, key=lambda c: (c.cost, _rank(c.backend))
+        )
+        self.rewrites = rewrites
+        self.profile = profile
+        self.generic = generic
+
+    @property
+    def chosen(self) -> Candidate:
+        return self.candidates[0]
+
+    def backends(self) -> tuple:
+        return tuple(c.backend for c in self.candidates)
+
+    def candidate(self, backend: str) -> Candidate:
+        for cand in self.candidates:
+            if cand.backend == backend:
+                return cand
+        raise SchemaError(
+            f"plan for {self.query.text!r} has no backend {backend!r} "
+            f"(has {', '.join(self.backends())})"
+        )
+
+    def fingerprint_payload(self) -> str:
+        """Key material for the genericity-aware memo cache.
+
+        The surface text determines the lowered programs, and the
+        candidate list (with costs) determines the chosen route; both
+        enter the fingerprint so replanning under a different database
+        profile cannot alias."""
+        lines = [self.query.text]
+        lines += [f"{c.backend}:{c.cost}" for c in self.candidates]
+        return "\n".join(lines)
+
+
+class ExecutionReport:
+    """Post-run actuals for EXPLAIN (not part of the golden plan)."""
+
+    def __init__(self, backend: str, result, spent: dict, cached: bool):
+        self.backend = backend
+        self.result = result
+        self.spent = spent
+        self.cached = cached
+
+    def rounds(self) -> int:
+        return self.spent.get("iterations", 0)
+
+
+# ---------------------------------------------------------------------------
+# Database profile and domain estimates
+# ---------------------------------------------------------------------------
+
+
+def database_profile(database: Database) -> dict:
+    """Deterministic instance statistics the cost model prices against."""
+    sizes = {name: len(database[name].items) for name in database}
+    total = sum(sizes.values())
+    return {
+        "sizes": sizes,
+        "total_facts": total,
+        "adom": len(database.adom()),
+        "max_depth": max(
+            (database[name].depth for name in database), default=0
+        ),
+    }
+
+
+def domain_estimate(rtype: RType, profile: dict, obj_bound: int) -> int:
+    """How many objects the calculus enumerates for one variable."""
+    if rtype == OBJ:
+        return _cap(obj_bound)
+    if isinstance(rtype, SetType):
+        inner = domain_estimate(rtype.element, profile, obj_bound)
+        return _cap(2 ** min(inner, 30))
+    if isinstance(rtype, TupleType):
+        product = 1
+        for component in rtype.components:
+            product = _cap(product * domain_estimate(component, profile, obj_bound))
+        return product
+    # U (and any future base rtype): the extended active domain.
+    return max(profile["adom"], 1)
+
+
+def _instance_size(profile: dict, name: str) -> int:
+    return profile["sizes"].get(name, profile["total_facts"])
+
+
+# ---------------------------------------------------------------------------
+# Per-language cost estimates
+# ---------------------------------------------------------------------------
+
+
+def calculus_cost(comp: Comprehension, profile: dict, obj_bound: int) -> int:
+    """Product of the enumerated domains of every variable."""
+    from ..calculus.ast import And, Exists, Forall, Not, Or
+
+    cost = 1
+    for rtype in comp.var_types.values():
+        cost = _cap(cost * max(domain_estimate(rtype, profile, obj_bound), 1))
+
+    def quantifiers(formula):
+        if isinstance(formula, (Exists, Forall)):
+            yield formula.rtype
+            yield from quantifiers(formula.body)
+        elif isinstance(formula, (And, Or)):
+            for part in formula.parts:
+                yield from quantifiers(part)
+        elif isinstance(formula, Not):
+            yield from quantifiers(formula.part)
+
+    for rtype in quantifiers(comp.body):
+        cost = _cap(cost * max(domain_estimate(rtype, profile, obj_bound), 1))
+    return cost
+
+
+def algebra_cost(program, profile: dict) -> int:
+    """Work estimate: (cardinality, effort) recursion over expressions."""
+    from ..algebra.ast import (
+        Assign,
+        Collapse,
+        Const,
+        Diff,
+        EncodeInput,
+        Expand,
+        Intersect,
+        Nest,
+        Powerset,
+        Product,
+        Project,
+        Select,
+        Undefine,
+        Union,
+        Unnest,
+        Var,
+        While,
+    )
+
+    def expr_cost(expr, env):
+        """Returns (work, estimated cardinality)."""
+        if isinstance(expr, Var):
+            card = env.get(expr.name, 1)
+            return card, card
+        if isinstance(expr, Const):
+            size = len(expr.value.items)
+            return size, size
+        if isinstance(expr, Product):
+            wl, cl = expr_cost(expr.left, env)
+            wr, cr = expr_cost(expr.right, env)
+            card = _cap(max(cl, 1) * max(cr, 1))
+            return _cap(wl + wr + card), card
+        if isinstance(expr, Select):
+            work, card = expr_cost(expr.operand, env)
+            out = card
+            for _ in expr.conditions:
+                out = (out + 1) // 2
+            return _cap(work + card), out
+        if isinstance(expr, (Project, Nest, Unnest, Expand, Collapse, Undefine, EncodeInput)):
+            work, card = expr_cost(expr.operand, env)
+            return _cap(work + card), card
+        if isinstance(expr, Powerset):
+            work, card = expr_cost(expr.operand, env)
+            blown = _cap(2 ** min(card, 30))
+            return _cap(work + blown), blown
+        if isinstance(expr, Union):
+            wl, cl = expr_cost(expr.left, env)
+            wr, cr = expr_cost(expr.right, env)
+            return _cap(wl + wr + cl + cr), _cap(cl + cr)
+        if isinstance(expr, (Diff, Intersect)):
+            wl, cl = expr_cost(expr.left, env)
+            wr, cr = expr_cost(expr.right, env)
+            card = cl if isinstance(expr, Diff) else min(cl, cr)
+            return _cap(wl + wr + cl + cr), card
+        return 1, 1
+
+    def block_cost(statements, env):
+        total = 0
+        for stmt in statements:
+            if isinstance(stmt, Assign):
+                work, card = expr_cost(stmt.expr, env)
+                env[stmt.var] = card
+                total = _cap(total + work)
+            elif isinstance(stmt, While):
+                body_env = dict(env)
+                body = block_cost(stmt.body, body_env)
+                env.update(body_env)
+                total = _cap(total + (profile["adom"] + 2) * max(body, 1))
+        return total
+
+    env = dict(profile["sizes"])
+    return max(block_cost(list(program.statements), env), 1)
+
+
+def col_cost(program, profile: dict, recursive: bool) -> int:
+    """rounds × Σ_rules Π_positive-tails (instance size + 1)."""
+    from ..deductive.ast import PredLit
+
+    rounds = profile["total_facts"] + 2 if recursive else 2
+    per_round = 0
+    for rule in program.rules:
+        joins = 1
+        for lit in rule.body:
+            if isinstance(lit, PredLit) and lit.positive:
+                joins = _cap(joins * (_instance_size(profile, lit.name) + 1))
+        per_round = _cap(per_round + joins)
+    return _cap(max(per_round, 1) * rounds)
+
+
+def bk_cost(program, profile: dict) -> int:
+    rounds = profile["total_facts"] + 2
+    per_round = 0
+    for rule in program.rules:
+        joins = 1
+        for tail in rule.tails:
+            joins = _cap(joins * (_instance_size(profile, tail.pred) + 1))
+        per_round = _cap(per_round + joins)
+    return _cap(max(per_round, 1) * rounds)
+
+
+#: Simulation-route multipliers over a common GTM base cost.  The order
+#: encodes the theorems' blow-ups: direct execution beats conventional
+#: simulation (Prop 3.1's encodings) beats the compiled COL/ALG programs
+#: (Theorems 5.1 / 4.1(b)) beats staged terminal invention (Theorem 6.4).
+GTM_ROUTE_FACTOR = {
+    "gtm": 100,
+    "tm": 1_000,
+    "col-compiled": 20_000,
+    "alg-compiled": 50_000,
+    "calc-terminal": 1_000_000,
+}
+
+
+def gtm_base_cost(profile: dict) -> int:
+    return _cap((profile["total_facts"] + 1) * (profile["adom"] + 1))
+
+
+# ---------------------------------------------------------------------------
+# Candidate construction
+# ---------------------------------------------------------------------------
+
+
+def _comprehension_candidates(query: Comprehension, database: Database, profile, obj_bound):
+    from ..algebra.eval import run_program
+    from ..algebra.lowering import comprehension_to_algebra, push_selections
+    from ..calculus.eval import evaluate_query
+    from ..calculus.lowering import comprehension_to_calculus
+    from ..deductive.inflationary import run_inflationary
+    from ..deductive.lowering import comprehension_to_col
+    from ..deductive.stratify import run_stratified
+
+    query.typecheck(database.schema)
+    candidates: list = []
+    rewrites: list = []
+
+    calc_query = comprehension_to_calculus(query)
+    candidates.append(
+        Candidate(
+            "calculus",
+            calculus_cost(query, profile, obj_bound),
+            "limited-interpretation evaluation of the comprehension body",
+            lambda db, budget, _q=calc_query: evaluate_query(
+                _q, db, budget=budget, obj_bound=obj_bound
+            ),
+        )
+    )
+
+    try:
+        program = comprehension_to_algebra(query, database.schema)
+    except LoweringUnsupported as exc:
+        rewrites.append(Rewrite("lower-to-algebra", False, str(exc)))
+    else:
+        rewrites.append(
+            Rewrite("lower-to-algebra", True, "conjunctive scan/select/project")
+        )
+        program, pushed = push_selections(program, database.schema)
+        rewrites.append(
+            Rewrite(
+                "push-selections",
+                pushed > 0,
+                f"moved {pushed} condition(s) through products"
+                if pushed
+                else "no condition crosses a product",
+            )
+        )
+        candidates.append(
+            Candidate(
+                "algebra",
+                algebra_cost(program, profile),
+                "hash-join pipeline from the conjunctive core",
+                lambda db, budget, _p=program: run_program(_p, db, budget=budget),
+            )
+        )
+
+    try:
+        col_program = comprehension_to_col(query, database.schema)
+    except LoweringUnsupported as exc:
+        rewrites.append(Rewrite("lower-to-col", False, str(exc)))
+    else:
+        rewrites.append(Rewrite("lower-to-col", True, "single range-restricted rule"))
+        from ..deductive.ast import PredLit
+
+        has_negation = any(
+            isinstance(lit, PredLit) and not lit.positive
+            for rule in col_program.rules
+            for lit in rule.body
+        )
+        cost = col_cost(col_program, profile, recursive=False)
+        candidates.append(
+            Candidate(
+                "col-stratified",
+                cost,
+                f"semi-naive COL^str, answer {col_program.answer}",
+                lambda db, budget, _p=col_program: run_stratified(_p, db, budget),
+            )
+        )
+        if not has_negation:
+            candidates.append(
+                Candidate(
+                    "col-inflationary",
+                    cost + 1,
+                    "semi-naive COL^inf (agrees: negation-free)",
+                    lambda db, budget, _p=col_program: run_inflationary(_p, db, budget),
+                )
+            )
+    return candidates, rewrites
+
+
+def _pipeline_candidates(query: PipelineQuery, database: Database, profile):
+    from ..algebra.eval import run_program
+    from ..algebra.lowering import push_selections
+
+    for name in query.predicates():
+        if name not in database.schema:
+            raise SchemaError(f"unknown predicate {name!r} in query")
+    rewrites: list = []
+    program, pushed = push_selections(query.program, database.schema)
+    rewrites.append(
+        Rewrite(
+            "push-selections",
+            pushed > 0,
+            f"moved {pushed} condition(s) through products"
+            if pushed
+            else "no condition crosses a product",
+        )
+    )
+    candidates = [
+        Candidate(
+            "algebra",
+            algebra_cost(program, profile),
+            "native algebra pipeline",
+            lambda db, budget, _p=program: run_program(_p, db, budget=budget),
+        )
+    ]
+    return candidates, rewrites
+
+
+def _rule_candidates(query: RuleQuery, database: Database, profile):
+    from ..deductive.inflationary import run_inflationary
+    from ..deductive.stratify import run_stratified
+
+    for name in query.predicates():
+        if name not in database.schema:
+            raise SchemaError(f"unknown predicate {name!r} in query")
+    recursive = query.is_recursive()
+    cost = col_cost(query.program, profile, recursive)
+    program = query.program
+    candidates = [
+        Candidate(
+            "col-stratified",
+            cost,
+            "semi-naive stratified fixpoint",
+            lambda db, budget, _p=program: run_stratified(_p, db, budget),
+        ),
+        Candidate(
+            "col-naive",
+            _cap(cost * 4),
+            "full re-join per round (baseline driver)",
+            lambda db, budget, _p=program: run_stratified(_p, db, budget, naive=True),
+        ),
+    ]
+    rewrites = [
+        Rewrite(
+            "inflationary-equivalence",
+            not query.has_negation(),
+            "negation-free: COL^inf agrees with COL^str"
+            if not query.has_negation()
+            else "negation present: COL^inf may differ, skipped",
+        )
+    ]
+    if not query.has_negation():
+        candidates.append(
+            Candidate(
+                "col-inflationary",
+                cost + 1,
+                "semi-naive inflationary fixpoint",
+                lambda db, budget, _p=program: run_inflationary(_p, db, budget),
+            )
+        )
+    return candidates, rewrites
+
+
+def _bk_candidates(query: BKQuery, database: Database, profile):
+    from ..deductive.bk import run_bk
+
+    def runner(mode):
+        def run(db, budget, _p=query.program, _m=mode):
+            mapping = {name: db[name].items for name in db}
+            return run_bk(_p, mapping, budget, mode=_m)
+
+        return run
+
+    base = bk_cost(query.program, profile)
+    candidates = [
+        Candidate("bk-hashjoin", base, "semi-naive with per-predicate hash indexes", runner("hashjoin")),
+        Candidate("bk-dirty", _cap(base * 3), "dirty-predicate rule index", runner("dirty")),
+        Candidate("bk-naive", _cap(base * 9), "every rule, every round", runner("naive")),
+    ]
+    return candidates, []
+
+
+#: Maps our backend names to `core.equivalence` route names.
+GTM_ROUTES = {
+    "gtm": "gtm",
+    "tm": "tm",
+    "alg-compiled": "alg_while",
+    "col-compiled": "col_stratified",
+    "calc-terminal": "calc_terminal",
+}
+
+
+def _gtm_candidates(query: GTMQuery, database: Database, profile):
+    from ..core.equivalence import implementations_for
+
+    for name in query.schema.names():
+        if name not in database.schema:
+            raise SchemaError(
+                f"machine {query.name!r} reads {name!r}, absent from the database"
+            )
+        if database.schema.rtype(name) != query.schema.rtype(name):
+            raise SchemaError(
+                f"machine {query.name!r} expects {name} : "
+                f"{query.schema.rtype(name)!r}, database has "
+                f"{database.schema.rtype(name)!r}"
+            )
+    base = gtm_base_cost(profile)
+    candidates = []
+    rewrites = []
+    for backend, route in GTM_ROUTES.items():
+        factor = GTM_ROUTE_FACTOR[backend]
+
+        def run(db, budget, _route=route):
+            impls = implementations_for(
+                query.machine,
+                query.schema,
+                query.output_type,
+                routes=(_route,),
+                budget_factory=lambda: budget,
+            )
+            return impls[0](db)
+
+        detail = {
+            "gtm": "direct generic-machine execution (Section 3)",
+            "tm": "conventional simulation over binary codes (Prop 3.1)",
+            "alg-compiled": "ALG+while−powerset program (Theorem 4.1(b))",
+            "col-compiled": "compiled COL^str program (Theorem 5.1)",
+            "calc-terminal": "staged terminal invention (Theorem 6.4)",
+        }[backend]
+        candidates.append(Candidate(backend, _cap(base * factor), detail, run))
+        rewrites.append(
+            Rewrite(f"compile-{backend}", True, detail)
+        )
+    return candidates, rewrites
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def build_plan(
+    query: SurfaceQuery, database: Database, obj_bound: int = 200
+) -> Plan:
+    """Price every applicable backend for *query* on *database*."""
+    profile = database_profile(database)
+    generic = True
+    if isinstance(query, LiteralQuery):
+        value = query.value
+        candidates = [
+            Candidate("literal", 0, "ground object", lambda db, budget, _v=value: _v)
+        ]
+        rewrites: list = []
+    elif isinstance(query, Comprehension):
+        candidates, rewrites = _comprehension_candidates(
+            query, database, profile, obj_bound
+        )
+        # Obj-typed variables behave like invented values (Section 6):
+        # results may depend on which fresh objects the evaluator
+        # enumerates, so such plans must bypass the memo cache.
+        generic = query.is_typed()
+    elif isinstance(query, PipelineQuery):
+        candidates, rewrites = _pipeline_candidates(query, database, profile)
+    elif isinstance(query, RuleQuery):
+        candidates, rewrites = _rule_candidates(query, database, profile)
+    elif isinstance(query, BKQuery):
+        candidates, rewrites = _bk_candidates(query, database, profile)
+    elif isinstance(query, GTMQuery):
+        candidates, rewrites = _gtm_candidates(query, database, profile)
+    else:
+        raise SchemaError(f"unplannable query {query!r}")
+    return Plan(query, candidates, rewrites, profile, generic)
+
+
+def execute_plan(
+    plan: Plan,
+    database: Database,
+    budget: Budget | None = None,
+    backend: str | None = None,
+) -> ExecutionReport:
+    """Run one candidate (the chosen one by default) and report actuals."""
+    budget = budget or Budget()
+    candidate = plan.candidate(backend) if backend else plan.chosen
+    result = candidate.run(database, budget)
+    return ExecutionReport(
+        candidate.backend, result, budget.spent_all(), cached=False
+    )

@@ -1,0 +1,145 @@
+"""The `Session` front door: parse, plan, cache, execute, explain.
+
+A session holds a database, a root :class:`~repro.budget.Budget`, and
+two caches:
+
+* a text-keyed LRU of :class:`~repro.query.planner.Plan` objects (a
+  plan depends on the database's instance statistics, so the database
+  itself is part of the key);
+* the genericity-aware :class:`~repro.engine.cache.MemoCache` for
+  *results*, keyed by plan fingerprint and the canonical (isomorphism-
+  invariant) form of the database — permuting atom names still hits.
+  Plans marked non-generic (invention-capable comprehensions) bypass
+  it, per Section 6: their output may depend on the fresh objects the
+  evaluator invents, which no canonical key can capture.
+
+Each query runs under a *child* of the session budget, so one runaway
+query cannot silently drain the session's allowance for the rest.
+"""
+
+from __future__ import annotations
+
+from ..budget import Budget
+from ..engine.cache import LRUCache, MemoCache
+from ..model.schema import Database, Schema
+from .explain import render, render_plan
+from .parser import parse
+from .planner import ExecutionReport, Plan, build_plan, execute_plan
+
+
+class Session:
+    """An open connection to one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        budget: Budget | None = None,
+        obj_bound: int = 200,
+        memo_entries: int = 256,
+        plan_entries: int = 128,
+    ):
+        self.database = database
+        self.budget = budget or Budget()
+        self.obj_bound = obj_bound
+        self.memo = MemoCache(max_entries=memo_entries)
+        self.plans = LRUCache(max_entries=plan_entries)
+        self.last_report: ExecutionReport | None = None
+
+    # -- parsing and planning -------------------------------------------
+
+    def parse(self, text: str):
+        return parse(text, schema=self.database.schema)
+
+    def plan(self, text: str, database: Database | None = None) -> Plan:
+        database = database or self.database
+        key = (text, database)
+        cached = self.plans.get(key)
+        if cached is not None:
+            return cached
+        plan = build_plan(self.parse(text), database, obj_bound=self.obj_bound)
+        self.plans.put(key, plan)
+        return plan
+
+    # -- execution ------------------------------------------------------
+
+    def query(
+        self,
+        text: str,
+        backend: str | None = None,
+        budget: Budget | None = None,
+        database: Database | None = None,
+    ):
+        """Evaluate *text* and return its value (or ``?``).
+
+        The result is memoized under the canonical-database key when
+        the plan is generic; *backend* forces a specific candidate and
+        keys separately (all candidates agree semantically, but their
+        budget behaviour near exhaustion differs)."""
+        database = database or self.database
+        plan = self.plan(text, database)
+        child = (budget or self.budget).child()
+        chosen = backend or plan.chosen.backend
+        captured: list = []
+
+        def run(db: Database):
+            report = execute_plan(plan, db, child, backend=backend)
+            captured.append(report)
+            return report.result
+
+        result = self.memo.run(
+            run,
+            plan,
+            database,
+            constants=plan.query.constants(),
+            generic=plan.generic,
+            extra_key=("backend", chosen),
+        )
+        if captured:
+            self.last_report = captured[0]
+        else:
+            # Memo hit: nothing ran. Report the hit itself as actuals.
+            self.last_report = ExecutionReport(
+                chosen, result, spent={}, cached=True
+            )
+        return result
+
+    # -- explain --------------------------------------------------------
+
+    def explain(
+        self,
+        text: str,
+        run: bool = False,
+        backend: str | None = None,
+        budget: Budget | None = None,
+    ) -> str:
+        """The EXPLAIN transcript: the plan, plus actuals if *run*."""
+        plan = self.plan(text)
+        if not run:
+            return render_plan(plan)
+        from ..model import values as _values
+
+        self.query(text, backend=backend, budget=budget)
+        interner = _values.get_interner()
+        return render(
+            plan,
+            self.last_report,
+            cache_stats=self.memo.stats,
+            interner=interner,
+        )
+
+
+def connect(
+    database: Database | None = None,
+    schema: Schema | None = None,
+    budget: Budget | None = None,
+    **instances,
+) -> Session:
+    """Open a :class:`Session`.
+
+    Either pass a ready :class:`Database`, or a :class:`Schema` plus
+    plain-Python instances (coerced via ``Database.from_plain``)."""
+    if database is None:
+        if schema is None:
+            raise ValueError("connect() needs a database or a schema")
+        database = Database.from_plain(schema, **instances)
+    return Session(database, budget=budget)

@@ -82,18 +82,40 @@ class TestRunSuite:
         assert report["b"].result is UNDEFINED
         assert report["b"].error is None
 
+    def test_budget_exhaustion_cause_names_the_resource(self):
+        report = run_suite(
+            [RunTask("b", _burner, budget=Budget(steps=10))], use_processes=False
+        )
+        assert report["b"].cause == "budget:steps"
+        assert report["b"].timed_out is False
+
     def test_timeout_yields_undefined(self):
         report = run_suite(
             [RunTask("slow", _sleepy), RunTask("fast", _tc, (3,))], timeout=0.4
         )
         assert is_undefined(report["slow"].result)
         assert report["slow"].timed_out
+        assert report["slow"].cause == "timeout"
         assert report["fast"].result == _tc(3, Budget())
+        assert report["fast"].cause is None
+
+    def test_timeout_and_budget_causes_distinguished_in_json(self):
+        report = run_suite(
+            [
+                RunTask("slow", _sleepy, timeout=0.4),
+                RunTask("broke", _burner, budget=Budget(steps=5)),
+            ],
+        )
+        payload = {t["name"]: t for t in json.loads(report.to_json())["tasks"]}
+        assert payload["slow"]["cause"] == "timeout"
+        assert payload["broke"]["cause"] == "budget:steps"
+        assert payload["slow"]["undefined"] and payload["broke"]["undefined"]
 
     def test_errors_reported_not_raised(self):
         report = run_suite([RunTask("c", _crash)], use_processes=False)
         assert is_undefined(report["c"].result)
         assert "RuntimeError" in report["c"].error
+        assert report["c"].cause == "error"
 
     def test_unpicklable_falls_back_to_serial(self):
         captured = []

@@ -1,0 +1,132 @@
+"""Cross-language lowerings: fidelity to the calculus semantics."""
+
+import pytest
+
+from repro.algebra.eval import run_program
+from repro.algebra.lowering import comprehension_to_algebra, push_selections
+from repro.calculus.eval import evaluate_query
+from repro.calculus.lowering import comprehension_to_calculus
+from repro.deductive.lowering import comprehension_to_col
+from repro.deductive.stratify import run_stratified
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.query.ir import LoweringUnsupported, conjunctive_core
+from repro.query.parser import parse
+
+
+SCHEMA = Schema(
+    {
+        "R": parse_type("[U, U]"),
+        "S": parse_type("U"),
+        "N": parse_type("{U}"),
+    }
+)
+DB = Database.from_plain(
+    SCHEMA,
+    R=[("a", "b"), ("b", "c"), ("c", "d"), ("a", "a")],
+    S=["a", "c"],
+    N=[{"a", "b"}, {"c"}],
+)
+
+
+def _comp(text):
+    query = parse(text, schema=SCHEMA)
+    return query.typecheck(SCHEMA)
+
+
+def _calc(comp):
+    return evaluate_query(comprehension_to_calculus(comp), DB)
+
+
+class TestConjunctiveCore:
+    def test_strips_exists_and_flattens_and(self):
+        comp = _comp("{ [x, z] | some y / U : R([x, y]) and R([y, z]) }")
+        exist_types, conjuncts = conjunctive_core(comp)
+        assert set(exist_types) == {"y"}
+        assert len(conjuncts) == 2
+
+    def test_disjunction_unsupported(self):
+        comp = _comp("{ x | S(x) or R([x, x]) }")
+        with pytest.raises(LoweringUnsupported, match="disjunction"):
+            conjunctive_core(comp)
+
+    def test_shadowed_variable_unsupported(self):
+        comp = _comp("{ x | S(x) and some x / U : S(x) }")
+        with pytest.raises(LoweringUnsupported, match="shadowed"):
+            conjunctive_core(comp)
+
+
+class TestAlgebraLowering:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{ [x, z] | some y / U : R([x, y]) and R([y, z]) }",
+            "{ [x, y] | R([x, y]) }",
+            "{ x | S(x) }",
+            "{ x | S(x) and x = 'a' }",
+            "{ [x, y] | R([x, y]) and S(x) }",
+            "{ [x, y] | R([x, y]) and x = y }",
+            "{ [x, y] | R([x, 'a']) and R([x, y]) }",
+            "{ x | some s / {U} : N(s) and S(x) and x in s }",
+        ],
+    )
+    def test_matches_calculus(self, text):
+        comp = _comp(text)
+        program = comprehension_to_algebra(comp, SCHEMA)
+        assert run_program(program, DB) == _calc(comp)
+
+    def test_pushdown_preserves_results(self):
+        comp = _comp("{ [x, z] | some y / U : R([x, y]) and R([y, z]) and S(x) }")
+        program = comprehension_to_algebra(comp, SCHEMA)
+        pushed, count = push_selections(program, SCHEMA)
+        assert run_program(pushed, DB) == run_program(program, DB) == _calc(comp)
+
+    def test_negation_unsupported(self):
+        comp = _comp("{ x | S(x) and not R([x, x]) }")
+        with pytest.raises(LoweringUnsupported, match="negated"):
+            comprehension_to_algebra(comp, SCHEMA)
+
+    def test_obj_annotation_unsupported(self):
+        # An Obj-typed variable enumerates invented values in the
+        # calculus; the fact-bound algebra scan would silently differ.
+        comp = _comp("{ x / Obj | S(x) }")
+        with pytest.raises(LoweringUnsupported, match="annotated"):
+            comprehension_to_algebra(comp, SCHEMA)
+
+    def test_unbound_head_unsupported(self):
+        comp = _comp("{ x / U | some y / U : S(y) and x = x }")
+        with pytest.raises(LoweringUnsupported):
+            comprehension_to_algebra(comp, SCHEMA)
+
+
+class TestColLowering:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{ [x, z] | some y / U : R([x, y]) and R([y, z]) }",
+            "{ x | S(x) }",
+            "{ x | S(x) and x = 'a' }",
+            "{ x | S(x) and not R([x, x]) }",
+            "{ [x, y] | R([x, y]) and x != y }",
+        ],
+    )
+    def test_matches_calculus(self, text):
+        comp = _comp(text)
+        program = comprehension_to_col(comp, SCHEMA)
+        assert run_stratified(program, DB) == _calc(comp)
+
+    def test_answer_name_avoids_schema(self):
+        schema = Schema({"ANS": parse_type("U")})
+        comp = parse("{ x | ANS(x) }", schema=schema).typecheck(schema)
+        program = comprehension_to_col(comp, schema)
+        assert program.answer == "ANS_"
+
+    def test_membership_unsupported(self):
+        comp = _comp("{ x | some s / {U} : N(s) and S(x) and x in s }")
+        with pytest.raises(LoweringUnsupported, match="membership"):
+            comprehension_to_col(comp, SCHEMA)
+
+    def test_constant_outside_declared_type_unsupported(self):
+        comp = _comp("{ x | S(x) and x = [1, 2] }")
+        with pytest.raises(LoweringUnsupported, match="outside its declared type"):
+            comprehension_to_col(comp, SCHEMA)

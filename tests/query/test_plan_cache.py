@@ -1,0 +1,93 @@
+"""Plan/result caching semantics (satellite: genericity-aware memo).
+
+The session memoizes query results keyed by (plan fingerprint, chosen
+backend, canonicalised database).  By C-genericity a permuted-isomorphic
+database must hit the cached entry and get the correctly renamed answer;
+invention queries are not generic and must bypass; a genuinely mutated
+database must miss.
+"""
+
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.query.session import Session
+
+
+SCHEMA = Schema({"R": parse_type("[U, U]"), "S": parse_type("U")})
+DB = Database.from_plain(
+    SCHEMA, R=[("a", "b"), ("b", "c"), ("c", "d")], S=["a", "b"]
+)
+# DB with every atom renamed through the permutation a->p, b->q, c->r, d->s.
+RENAME = {"a": "p", "b": "q", "c": "r", "d": "s"}
+DB_ISO = Database.from_plain(
+    SCHEMA,
+    R=[(RENAME[x], RENAME[y]) for x, y in [("a", "b"), ("b", "c"), ("c", "d")]],
+    S=[RENAME[x] for x in ("a", "b")],
+)
+# DB with one extra fact — not isomorphic to DB.
+DB_MUTATED = Database.from_plain(
+    SCHEMA, R=[("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")], S=["a", "b"]
+)
+
+JOIN = "{ [x, z] | some y / U : R([x, y]) and R([y, z]) }"
+
+
+class TestIsomorphicHit:
+    def test_permuted_database_hits_and_renames(self):
+        session = Session(DB)
+        baseline = session.query(JOIN)
+        assert session.memo.stats.misses == 1
+        assert session.memo.stats.hits == 0
+
+        renamed = session.query(JOIN, database=DB_ISO)
+        assert session.memo.stats.hits == 1
+        assert session.memo.stats.misses == 1
+        assert session.last_report.cached
+
+        # The cached answer is renamed through DB_ISO's own atoms: it
+        # must equal a fresh evaluation against DB_ISO.
+        direct = Session(DB_ISO).query(JOIN)
+        assert renamed == direct
+        assert renamed != baseline  # different atoms, same shape
+
+    def test_same_database_hits(self):
+        session = Session(DB)
+        first = session.query(JOIN)
+        second = session.query(JOIN)
+        assert first == second
+        assert session.memo.stats.hits == 1
+
+
+class TestInventionBypass:
+    def test_obj_query_bypasses_cache(self):
+        session = Session(DB)
+        assert not session.plan("{ x / Obj | S(x) }").generic
+        session.query("{ x / Obj | S(x) }")
+        session.query("{ x / Obj | S(x) }")
+        assert session.memo.stats.bypasses == 2
+        assert session.memo.stats.hits == 0
+        assert session.memo.stats.misses == 0
+
+    def test_typed_query_does_not_bypass(self):
+        session = Session(DB)
+        session.query("{ x | S(x) }")
+        assert session.memo.stats.bypasses == 0
+
+
+class TestMutationMiss:
+    def test_mutated_database_misses(self):
+        session = Session(DB)
+        session.query(JOIN)
+        result = session.query(JOIN, database=DB_MUTATED)
+        assert session.memo.stats.hits == 0
+        assert session.memo.stats.misses == 2
+        # And the answer reflects the mutated instance (d->a closes a cycle).
+        direct = Session(DB_MUTATED).query(JOIN)
+        assert result == direct
+
+    def test_backend_is_part_of_the_key(self):
+        session = Session(DB)
+        backends = session.plan(JOIN).backends()
+        session.query(JOIN, backend=backends[0])
+        session.query(JOIN, backend=backends[-1])
+        assert session.memo.stats.misses == 2
+        assert session.memo.stats.hits == 0

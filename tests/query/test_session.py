@@ -1,0 +1,118 @@
+"""Session: the user-facing query API over planner + memo cache."""
+
+from repro.budget import Budget
+from repro.errors import UNDEFINED
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.query.session import Session, connect
+
+
+SCHEMA = Schema({"R": parse_type("[U, U]"), "S": parse_type("U")})
+DB = Database.from_plain(
+    SCHEMA, R=[("a", "b"), ("b", "c"), ("c", "d")], S=["a", "b"]
+)
+
+
+def _session(**kwargs):
+    return Session(DB, **kwargs)
+
+
+class TestConnect:
+    def test_connect_from_plain_instances(self):
+        session = connect(schema=SCHEMA, R=[("a", "b")], S=["a"])
+        result = session.query("{ x | S(x) }")
+        assert result == session.database["S"]
+
+    def test_connect_with_existing_database(self):
+        session = connect(DB)
+        assert session.database is DB
+
+
+class TestQuery:
+    def test_query_returns_value(self):
+        session = _session()
+        result = session.query("{ x | S(x) }")
+        assert result == DB["S"]
+
+    def test_backend_override_agrees(self):
+        session = _session()
+        text = "{ [x, z] | some y / U : R([x, y]) and R([y, z]) }"
+        plan = session.plan(text)
+        results = {
+            backend: session.query(text, backend=backend)
+            for backend in plan.backends()
+        }
+        assert len(set(results.values())) == 1
+
+    def test_last_report_tracks_backend(self):
+        session = _session()
+        session.query("{ x | S(x) }")
+        report = session.last_report
+        assert report is not None
+        assert report.backend == session.plan("{ x | S(x) }").chosen.backend
+
+    def test_rule_block_transitive_closure(self):
+        session = _session()
+        result = session.query(
+            "rules { T(x, y) :- R(x, y). T(x, z) :- T(x, y), R(y, z). } answer T"
+        )
+        pairs = {tuple(str(i) for i in t.items) for t in result.items}
+        assert ("a", "d") in pairs  # a->b->c->d
+
+    def test_query_against_other_database(self):
+        session = _session()
+        other = Database.from_plain(SCHEMA, R=[], S=["z"])
+        result = session.query("{ x | S(x) }", database=other)
+        assert result == other["S"]
+
+
+class TestBudgets:
+    def test_child_budget_isolation(self):
+        session = _session(budget=Budget())
+        session.query("{ x | S(x) }")
+        # The session budget itself is untouched by per-query children.
+        assert session.budget.spent_all() == {}
+
+    def test_tight_budget_yields_undefined(self):
+        session = _session()
+        result = session.query(
+            "{ [x, z] | some y / U : R([x, y]) and R([y, z]) }",
+            budget=Budget(steps=1),
+        )
+        assert result is UNDEFINED
+
+
+class TestPlanCacheLRU:
+    def test_plan_is_reused_for_same_text(self):
+        session = _session()
+        first = session.plan("{ x | S(x) }")
+        second = session.plan("{ x | S(x) }")
+        assert first is second
+
+    def test_plan_rebuilt_for_other_database(self):
+        session = _session()
+        other = Database.from_plain(SCHEMA, R=[("a", "b")], S=["a"])
+        first = session.plan("{ x | S(x) }")
+        second = session.plan("{ x | S(x) }", database=other)
+        assert first is not second
+
+
+class TestExplain:
+    def test_explain_plan_sections(self):
+        session = _session()
+        text = session.explain("{ [x, z] | some y / U : R([x, y]) and R([y, z]) }")
+        assert text.startswith("EXPLAIN")
+        assert "candidates:" in text
+        assert "rewrites:" in text
+        assert "->" in text
+
+    def test_explain_run_appends_actuals(self):
+        session = _session()
+        text = session.explain("{ x | S(x) }", run=True)
+        assert "actuals:" in text
+        assert "result:" in text
+
+    def test_explain_deterministic(self):
+        session = _session()
+        text = "{ [x, z] | some y / U : R([x, y]) and R([y, z]) }"
+        assert session.explain(text) == session.explain(text)
