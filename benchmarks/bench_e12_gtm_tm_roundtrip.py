@@ -6,7 +6,6 @@ the shape claim is a constant-factor slowdown, never asymptotic loss.
 
 import pytest
 
-from repro.budget import Budget
 from repro.gtm.compile import simulate_gtm_conventionally
 from repro.gtm.library import all_machines
 from repro.gtm.run import gtm_query

@@ -8,7 +8,6 @@ import pytest
 
 from repro.algebra.eval import run_program
 from repro.algebra.library import transitive_closure
-from repro.budget import Budget
 from repro.calculus.eval import evaluate_query
 from repro.calculus.library import projection_query
 from repro.deductive.datalog import (

@@ -9,9 +9,8 @@ the syntactic gap without changing the semantics of typed programs.
 import pytest
 
 from repro.algebra.eval import run_program
-from repro.algebra.library import active_domain, natural_join, transitive_closure
+from repro.algebra.library import natural_join, transitive_closure
 from repro.algebra.typing import typecheck
-from repro.budget import Budget
 from repro.errors import TypeCheckError
 from repro.model.schema import Database, Schema
 from repro.model.types import parse_type

@@ -19,8 +19,7 @@ from repro.algebra.library import (
     transitive_closure_powerset,
 )
 from repro.budget import Budget
-from repro.model.schema import Database
-from repro.workloads import chain_graph, unary_instance, unary_schema
+from repro.workloads import chain_graph, unary_instance
 
 
 def _unlimited():

@@ -20,6 +20,12 @@ import sys
 #: A current speedup below ``THRESHOLD * baseline`` fails the gate.
 THRESHOLD = 0.9
 
+#: Entry families the current run must contain at least one of — keeps
+#: the gate honest when a whole bench file silently stops recording
+#: (``seminaive_``/``bk_`` from bench_engine.py, ``kernel_`` for the
+#: operator-kernel microbench, ``query_`` from bench_query.py).
+REQUIRED_FAMILIES = ("seminaive_", "bk_", "kernel_", "query_")
+
 
 def load(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
@@ -32,6 +38,12 @@ def load(path: str) -> dict:
 def compare(baseline: dict, current: dict) -> list:
     """Human-readable failure messages (empty = gate passes)."""
     failures = []
+    for family in REQUIRED_FAMILIES:
+        if not any(name.startswith(family) for name in current):
+            failures.append(
+                f"no current entry from the {family}* family "
+                "(a bench file stopped recording)"
+            )
     for name, entry in sorted(baseline.items()):
         base_speedup = entry.get("speedup") if isinstance(entry, dict) else None
         if base_speedup is None:

@@ -19,6 +19,11 @@ from typing import Mapping
 
 from ..budget import Budget
 from ..engine.cache import LRUCache
+from ..engine.exec import PhysNode
+from ..engine.ops import NO_KEY, nested_loop_join
+from ..engine.ops import project as ops_project
+from ..engine.ops import select as ops_select
+from ..engine.ops import set_construct
 from ..errors import BudgetExceeded, EvaluationError, UNDEFINED
 from ..model.schema import Database
 from ..model.values import Atom, SetVal, Tup, Value
@@ -54,11 +59,55 @@ class _UndefinedResult(Exception):
     """Internal control flow: the query's value is ``?``."""
 
 
+class _AlgTrace:
+    """Physical-trace collector for one program run.
+
+    One :class:`~repro.engine.exec.PhysNode` per AST node, keyed on
+    identity — a ``while`` loop re-evaluating its body accumulates into
+    the same operator nodes, so the rendered tree stays the size of the
+    program while the counters total the whole run.
+    """
+
+    __slots__ = ("trace", "nodes")
+
+    def __init__(self, trace):
+        self.trace = trace
+        self.nodes: dict = {}
+
+    def node(self, expr: Expr, parent: PhysNode | None) -> PhysNode:
+        node = self.nodes.get(id(expr))
+        if node is None:
+            op, detail = _phys_label(expr)
+            node = PhysNode(op, detail)
+            if parent is not None:
+                parent.children.append(node)
+            elif self.trace.root is not None:
+                self.trace.root.children.append(node)
+            else:
+                self.trace.root = node
+            self.nodes[id(expr)] = node
+        return node
+
+
+def _phys_label(expr: Expr) -> tuple:
+    """(operator name, detail) shown for *expr* in the physical tree."""
+    if isinstance(expr, Var):
+        return "Scan", expr.name
+    if isinstance(expr, Select):
+        return "Select", ", ".join(str(cond) for cond in expr.conditions)
+    if isinstance(expr, Project):
+        return "Project", ", ".join(str(col) for col in expr.cols)
+    if isinstance(expr, Product):
+        return "Product", ""
+    return type(expr).__name__, ""
+
+
 def run_program(
     program: Program,
     database: Database,
     budget: Budget | None = None,
     atom_order=None,
+    trace=None,
 ):
     """Evaluate *program* on *database*.
 
@@ -70,14 +119,23 @@ def run_program(
     canonical order by default) — the hook through which the faithful /
     all-orderings mode of the Theorem 4.1(b) compiler demonstrates that
     compiled programs are order-insensitive.
+
+    *trace* (a :class:`~repro.engine.exec.PhysicalTrace`) collects the
+    physical operator tree — one node per program expression, counters
+    accumulated across ``while`` iterations — for EXPLAIN.
     """
     budget = budget or Budget()
     env: dict = {name: database[name] for name in database.schema.names()}
     env["__database__"] = database  # for EncodeInput
     if atom_order is not None:
         env["__atom_order__"] = tuple(atom_order)
+    alg_trace = None
+    root = None
+    if trace is not None:
+        alg_trace = _AlgTrace(trace)
+        root = trace.node("Program", f"answer {program.ans_var}")
     try:
-        _exec_block(program.statements, env, budget)
+        _exec_block(program.statements, env, budget, alg_trace, root)
     except _UndefinedResult:
         return UNDEFINED
     except BudgetExceeded:
@@ -87,14 +145,16 @@ def run_program(
     return env[program.ans_var]
 
 
-def _exec_block(statements, env: dict, budget: Budget) -> None:
+def _exec_block(statements, env: dict, budget: Budget, trace=None, parent=None) -> None:
     for stmt in statements:
-        _exec_statement(stmt, env, budget)
+        _exec_statement(stmt, env, budget, trace, parent)
 
 
-def _exec_statement(stmt: Statement, env: dict, budget: Budget) -> None:
+def _exec_statement(
+    stmt: Statement, env: dict, budget: Budget, trace=None, parent=None
+) -> None:
     if isinstance(stmt, Assign):
-        value = eval_expr(stmt.expr, env, budget)
+        value = eval_expr(stmt.expr, env, budget, trace=trace, parent=parent)
         if value is UNDEFINED:
             raise _UndefinedResult()
         env[stmt.var] = value
@@ -109,66 +169,86 @@ def _exec_statement(stmt: Statement, env: dict, budget: Budget) -> None:
             if len(condition) == 0:
                 break
             budget.charge("iterations")
-            _exec_block(stmt.body, env, budget)
+            _exec_block(stmt.body, env, budget, trace, parent)
         env[stmt.target] = env[stmt.source_var]
         return
     raise EvaluationError(f"unknown statement {stmt!r}")  # pragma: no cover
 
 
-def eval_expr(expr: Expr, env: Mapping, budget: Budget):
-    """Evaluate one algebra expression to an instance (a SetVal)."""
+def eval_expr(expr: Expr, env: Mapping, budget: Budget, trace=None, parent=None):
+    """Evaluate one algebra expression to an instance (a SetVal).
+
+    With *trace* (an :class:`_AlgTrace`), the select / project / join
+    core executes through the kernel operators with per-node counters;
+    all other operators record their output cardinality.
+    """
     budget.charge("steps")
+    node = trace.node(expr, parent) if trace is not None else None
     if isinstance(expr, Var):
-        return env[expr.name]
+        result = env[expr.name]
+        if node is not None and isinstance(result, SetVal):
+            node.stats.rows_out += len(result)
+        return result
     if isinstance(expr, Const):
         return expr.value
     if isinstance(expr, Union):
-        left = eval_expr(expr.left, env, budget)
-        right = eval_expr(expr.right, env, budget)
-        return SetVal(set(left.items) | set(right.items))
+        left = eval_expr(expr.left, env, budget, trace, node)
+        right = eval_expr(expr.right, env, budget, trace, node)
+        return _record(node, SetVal(set(left.items) | set(right.items)))
     if isinstance(expr, Diff):
-        left = eval_expr(expr.left, env, budget)
-        right = eval_expr(expr.right, env, budget)
-        return SetVal(set(left.items) - set(right.items))
+        left = eval_expr(expr.left, env, budget, trace, node)
+        right = eval_expr(expr.right, env, budget, trace, node)
+        return _record(node, SetVal(set(left.items) - set(right.items)))
     if isinstance(expr, Intersect):
-        left = eval_expr(expr.left, env, budget)
-        right = eval_expr(expr.right, env, budget)
-        return SetVal(set(left.items) & set(right.items))
+        left = eval_expr(expr.left, env, budget, trace, node)
+        right = eval_expr(expr.right, env, budget, trace, node)
+        return _record(node, SetVal(set(left.items) & set(right.items)))
     if isinstance(expr, Product):
-        return _eval_product(expr, env, budget)
+        return _eval_product(expr, env, budget, trace, node)
     if isinstance(expr, Select):
-        operand = eval_expr(expr.operand, env, budget)
-        return SetVal(
-            member
-            for member in operand.items
-            if _satisfies(member, expr.conditions)
+        operand = eval_expr(expr.operand, env, budget, trace, node)
+        conditions = expr.conditions
+        stats = node.stats if node is not None else None
+        return set_construct(
+            ops_select(
+                operand.items,
+                lambda member: _satisfies(member, conditions),
+                stats=stats,
+            )
         )
     if isinstance(expr, Project):
-        return _eval_project(expr, env, budget)
+        return _eval_project(expr, env, budget, trace, node)
     if isinstance(expr, Nest):
-        return _eval_nest(expr, env, budget)
+        return _record(node, _eval_nest(expr, env, budget, trace, node))
     if isinstance(expr, Unnest):
-        return _eval_unnest(expr, env, budget)
+        return _record(node, _eval_unnest(expr, env, budget, trace, node))
     if isinstance(expr, Powerset):
-        return _eval_powerset(expr, env, budget)
+        return _record(node, _eval_powerset(expr, env, budget, trace, node))
     if isinstance(expr, Collapse):
-        operand = eval_expr(expr.operand, env, budget)
-        return SetVal([SetVal(operand.items)])
+        operand = eval_expr(expr.operand, env, budget, trace, node)
+        return _record(node, SetVal([SetVal(operand.items)]))
     if isinstance(expr, Expand):
-        operand = eval_expr(expr.operand, env, budget)
+        operand = eval_expr(expr.operand, env, budget, trace, node)
         members: set = set()
         for item in operand.items:
             if isinstance(item, SetVal):
                 members |= set(item.items)
-        return SetVal(members)
+        return _record(node, SetVal(members))
     if isinstance(expr, Undefine):
-        operand = eval_expr(expr.operand, env, budget)
+        operand = eval_expr(expr.operand, env, budget, trace, node)
         if len(operand) == 0:
             return UNDEFINED
-        return operand
+        return _record(node, operand)
     if isinstance(expr, EncodeInput):
-        return _eval_encode_input(expr, env, budget)
+        return _record(node, _eval_encode_input(expr, env, budget))
     raise EvaluationError(f"unknown expression {expr!r}")  # pragma: no cover
+
+
+def _record(node: PhysNode | None, result):
+    """Count an operator's output cardinality into its trace node."""
+    if node is not None and isinstance(result, SetVal):
+        node.stats.rows_out += len(result)
+    return result
 
 
 def coordinate(member: Value, index: int):
@@ -223,34 +303,38 @@ def _coords(member: Value) -> tuple:
     return (member,)
 
 
-def _eval_product(expr: Product, env, budget: Budget) -> SetVal:
-    left = eval_expr(expr.left, env, budget)
-    right = eval_expr(expr.right, env, budget)
+def _eval_product(expr: Product, env, budget: Budget, trace=None, node=None) -> SetVal:
+    left = eval_expr(expr.left, env, budget, trace, node)
+    right = eval_expr(expr.right, env, budget, trace, node)
     budget.charge("objects", len(left) * len(right))
-    members = []
-    for left_member in left.items:
-        left_coords = _coords(left_member)
-        for right_member in right.items:
-            members.append(Tup(left_coords + _coords(right_member)))
+    stats = node.stats if node is not None else None
+    members = nested_loop_join(
+        left.items,
+        right.items,
+        lambda left_member, right_member: (
+            Tup(_coords(left_member) + _coords(right_member)),
+        ),
+        stats=stats,
+    )
     return SetVal(members)
 
 
-def _eval_project(expr: Project, env, budget: Budget) -> SetVal:
-    operand = eval_expr(expr.operand, env, budget)
-    members = []
-    for member in operand.items:
-        coords = [coordinate(member, col) for col in expr.cols]
+def _eval_project(expr: Project, env, budget: Budget, trace=None, node=None) -> SetVal:
+    operand = eval_expr(expr.operand, env, budget, trace, node)
+    cols = expr.cols
+    stats = node.stats if node is not None else None
+
+    def projection(member):
+        coords = [coordinate(member, col) for col in cols]
         if any(c is None for c in coords):
-            continue  # relaxed: ignore wrong-shaped members
-        if len(coords) == 1:
-            members.append(coords[0])
-        else:
-            members.append(Tup(coords))
-    return SetVal(members)
+            return NO_KEY  # relaxed: ignore wrong-shaped members
+        return coords[0] if len(coords) == 1 else Tup(coords)
+
+    return set_construct(ops_project(operand.items, projection, stats=stats))
 
 
-def _eval_nest(expr: Nest, env, budget: Budget) -> SetVal:
-    operand = eval_expr(expr.operand, env, budget)
+def _eval_nest(expr: Nest, env, budget: Budget, trace=None, node=None) -> SetVal:
+    operand = eval_expr(expr.operand, env, budget, trace, node)
     cols = expr.cols
     groups: dict = {}
     for member in operand.items:
@@ -293,8 +377,8 @@ def _eval_nest(expr: Nest, env, budget: Budget) -> SetVal:
     return SetVal(members)
 
 
-def _eval_unnest(expr: Unnest, env, budget: Budget) -> SetVal:
-    operand = eval_expr(expr.operand, env, budget)
+def _eval_unnest(expr: Unnest, env, budget: Budget, trace=None, node=None) -> SetVal:
+    operand = eval_expr(expr.operand, env, budget, trace, node)
     members = []
     for member in operand.items:
         container = coordinate(member, expr.col)
@@ -321,10 +405,10 @@ def _eval_unnest(expr: Unnest, env, budget: Budget) -> SetVal:
 _POWERSET_MEMO = LRUCache(max_entries=128)
 
 
-def _eval_powerset(expr: Powerset, env, budget: Budget) -> SetVal:
+def _eval_powerset(expr: Powerset, env, budget: Budget, trace=None, node=None) -> SetVal:
     from itertools import combinations
 
-    operand = eval_expr(expr.operand, env, budget)
+    operand = eval_expr(expr.operand, env, budget, trace, node)
     # The cached construction-time sort keeps enumeration deterministic
     # without re-sorting the members here.
     elements = operand.sorted_members()

@@ -29,8 +29,9 @@ the limit after an exception.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import wraps
 
-from .errors import BudgetExceeded
+from .errors import BudgetExceeded, UNDEFINED
 
 #: Generous defaults for interactive use and the benchmark harness.
 DEFAULT_LIMITS = {
@@ -105,6 +106,35 @@ class Budget:
             return None
         return max(0, limit - self.spent(resource))
 
+    def charged(self, resource: str | None = None, amount: int = 1) -> "ChargeScope":
+        """A charge scope: grouped charging and ``?``-observation helper.
+
+        Two uses replace the hand-rolled try/charge/observe-``?``
+        boilerplate at evaluator call sites:
+
+        * **context manager** — charges *amount* units of *resource* on
+          entry (a grouped charge for a block that constructs a known
+          number of objects); :class:`BudgetExceeded` propagates, as a
+          bare :meth:`charge` would::
+
+              with budget.charged("objects", len(batch)):
+                  build(batch)
+
+        * **decorator** — wraps a driver function so that
+          :class:`BudgetExceeded` raised anywhere inside is observed as
+          the paper's undefined value ``?``
+          (:data:`~repro.errors.UNDEFINED`)::
+
+              @budget.charged()
+              def drive():
+                  while ...:
+                      budget.charge("steps")
+                  return result
+
+          With a *resource*, the wrapper also charges on entry.
+        """
+        return ChargeScope(self, resource, amount)
+
     def reset(self) -> None:
         """Zero every counter (limits are kept)."""
         self._spent.clear()
@@ -118,3 +148,34 @@ class Budget:
     def unlimited(cls) -> "Budget":
         """No limits at all.  Use only for provably terminating runs."""
         return cls(steps=None, iterations=None, objects=None, facts=None, stages=None)
+
+
+class ChargeScope:
+    """The helper :meth:`Budget.charged` returns; see its docstring."""
+
+    __slots__ = ("budget", "resource", "amount")
+
+    def __init__(self, budget: Budget, resource: str | None, amount: int):
+        self.budget = budget
+        self.resource = resource
+        self.amount = amount
+
+    def __enter__(self) -> Budget:
+        if self.resource is not None:
+            self.budget.charge(self.resource, self.amount)
+        return self.budget
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __call__(self, fn):
+        @wraps(fn)
+        def observed(*args, **kwargs):
+            try:
+                if self.resource is not None:
+                    self.budget.charge(self.resource, self.amount)
+                return fn(*args, **kwargs)
+            except BudgetExceeded:
+                return UNDEFINED
+
+        return observed

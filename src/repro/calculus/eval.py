@@ -22,6 +22,7 @@ from itertools import product as iter_product
 from typing import Iterable
 
 from ..budget import Budget
+from ..engine.ops import Scan
 from ..errors import EvaluationError
 from ..model.domains import cons, cons_obj_bounded
 from ..model.schema import Database
@@ -60,6 +61,7 @@ class Evaluator:
         extension_atoms: Iterable[Atom] = (),
         budget: Budget | None = None,
         obj_bound: int = DEFAULT_OBJ_BOUND,
+        trace=None,
     ):
         self.query = query
         self.database = database
@@ -68,6 +70,17 @@ class Evaluator:
         base = set(database.adom()) | set(query.constants())
         self.atoms = frozenset(base | set(extension_atoms))
         self._domain_cache: dict = {}
+        self._scans: dict = {}
+        self.trace = trace
+
+    def scan(self, name: str) -> Scan:
+        """The kernel scan over relation *name*'s extent — relation
+        membership (``R(t)``) probes route through it, so EXPLAIN can
+        report how often each relation was consulted."""
+        scan = self._scans.get(name)
+        if scan is None:
+            scan = self._scans[name] = Scan(name, self.database[name].items)
+        return scan
 
     def domain(self, rtype: RType) -> list:
         """The (finite or truncated) range of a variable of *rtype*."""
@@ -89,26 +102,32 @@ class Evaluator:
             )
         if isinstance(rtype, SetType):
             members = self._relaxed_domain(rtype.element)
-            # Truncated powerset enumeration: subsets of a bounded prefix.
+            # Truncated powerset enumeration: subsets of a bounded
+            # prefix, charged as one grouped objects charge up front.
             from itertools import combinations
 
-            subsets: list = []
-            for size in range(len(members) + 1):
-                for combo in combinations(members, size):
-                    self.budget.charge("objects")
-                    subsets.append(SetVal(combo))
-                    if len(subsets) >= self.obj_bound:
-                        return subsets
-            return subsets
+            bound = min(2 ** len(members), self.obj_bound)
+            with self.budget.charged("objects", bound):
+                subsets: list = []
+                for size in range(len(members) + 1):
+                    for combo in combinations(members, size):
+                        subsets.append(SetVal(combo))
+                        if len(subsets) >= bound:
+                            return subsets
+                return subsets
         if isinstance(rtype, TupleType):
             components = [self._relaxed_domain(c) for c in rtype.components]
-            tuples: list = []
-            for combo in iter_product(*components):
-                self.budget.charge("objects")
-                tuples.append(Tup(combo))
-                if len(tuples) >= self.obj_bound:
-                    break
-            return tuples
+            total = 1
+            for component in components:
+                total *= len(component)
+            bound = min(total, self.obj_bound)
+            with self.budget.charged("objects", bound):
+                tuples: list = []
+                for combo in iter_product(*components):
+                    tuples.append(Tup(combo))
+                    if len(tuples) >= bound:
+                        break
+                return tuples
         raise EvaluationError(f"unknown rtype {rtype!r}")
 
     def run(self) -> SetVal:
@@ -118,12 +137,26 @@ class Evaluator:
         )
         domains = [self.domain(self.query.free_types[name]) for name in free_vars]
         answers: set = set()
-        for combo in iter_product(*domains):
-            self.budget.charge("steps")
-            assignment = dict(zip(free_vars, combo))
-            if self.eval_formula(self.query.body, assignment):
-                answers.add(self.eval_term(self.query.head, assignment))
+        enumerated = 0
+        try:
+            for combo in iter_product(*domains):
+                self.budget.charge("steps")
+                enumerated += 1
+                assignment = dict(zip(free_vars, combo))
+                if self.eval_formula(self.query.body, assignment):
+                    answers.add(self.eval_term(self.query.head, assignment))
+        finally:
+            self._attach_trace(free_vars, enumerated, len(answers))
         return SetVal(answers)
+
+    def _attach_trace(self, free_vars, enumerated: int, produced: int) -> None:
+        if self.trace is None:
+            return
+        root = self.trace.node("Enumerate", ", ".join(free_vars) or "closed")
+        root.stats.rows_in = enumerated
+        root.stats.rows_out = produced
+        for name in sorted(self._scans):
+            root.child("Scan", name, self._scans[name].stats)
 
     def eval_term(self, term: Term, assignment: dict) -> Value:
         if isinstance(term, VarT):
@@ -146,8 +179,9 @@ class Evaluator:
                 return False
             return self.eval_term(formula.element, assignment) in container
         if isinstance(formula, Pred):
-            instance = self.database[formula.name]
-            return self.eval_term(formula.term, assignment) in instance
+            return self.scan(formula.name).contains(
+                self.eval_term(formula.term, assignment)
+            )
         if isinstance(formula, And):
             return all(self.eval_formula(p, assignment) for p in formula.parts)
         if isinstance(formula, Or):
@@ -177,7 +211,13 @@ def evaluate_query(
     extension_atoms: Iterable[Atom] = (),
     budget: Budget | None = None,
     obj_bound: int = DEFAULT_OBJ_BOUND,
+    trace=None,
 ) -> SetVal:
     """``Q|^i[d]``-style evaluation: limited interpretation with the
-    active domain extended by *extension_atoms*."""
-    return Evaluator(query, database, extension_atoms, budget, obj_bound).run()
+    active domain extended by *extension_atoms*.
+
+    :class:`~repro.errors.BudgetExceeded` propagates to the caller —
+    the invention semantics and the tests depend on observing it here,
+    not on a silent ``?``.
+    """
+    return Evaluator(query, database, extension_atoms, budget, obj_bound, trace).run()

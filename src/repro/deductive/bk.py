@@ -30,6 +30,13 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping
 
 from ..budget import Budget
+from ..engine.ops import (
+    ATTR_ATOM,
+    ATTR_PRESENT,
+    ATTR_REST,
+    FixpointDriver,
+    Scan,
+)
 from ..errors import BudgetExceeded, EvaluationError, UNDEFINED
 from ..model.values import (
     Atom,
@@ -423,94 +430,53 @@ def _match_members(members, bound: SetVal, valuation: dict, budget: Budget):
 _EMPTY_FACTS: frozenset = frozenset()
 
 
-class _Extent:
-    """One predicate's extent plus hash indexes for tail probing.
+def _bk_candidates(scan: Scan, pattern, valuation: Mapping):
+    """Facts of *scan* that could bound-match *pattern* under *valuation*.
 
-    Named-tuple facts are indexed per attribute (the only pattern shape
-    with probeable structure):
+    A hash-indexed over-approximation over the kernel scan's attribute
+    indexes; ``match_leq`` still decides.  Named-tuple facts are the
+    only pattern shape with probeable structure, and the most selective
+    probeable attribute picks the bucket(s):
 
-    * ``atom_at`` maps ``(attr, atom)`` to the facts whose value at
-      *attr* is exactly that atom — a probing atom ``a`` can only sit
-      below an attr value ``v`` when ``v == a`` or ``v`` is non-atomic
-      (⊤), so together with ``rest_at`` this bucket pair is a complete
+    * a probing atom ``a`` can only sit below an attr value ``v`` when
+      ``v == a`` or ``v`` is non-atomic (⊤), so the
+      :data:`~repro.engine.ops.ATTR_ATOM` bucket paired with
+      :data:`~repro.engine.ops.ATTR_REST` is a complete
       over-approximation of the atom probe;
-    * ``rest_at`` maps ``attr`` to the facts whose value at *attr* is
-      not an atom (sets, nested tuples, ⊥/⊤);
-    * ``present`` maps ``attr`` to every fact carrying *attr* — the
-      candidate set for a probe with a known non-atomic, non-⊥ value
-      (absent attrs match only against ⊥, which such a probe is never
-      below).
+    * a known non-atomic, non-⊥ probe can only match facts carrying the
+      attribute (:data:`~repro.engine.ops.ATTR_PRESENT` — absent attrs
+      match only against ⊥, which such a probe is never below).
 
-    All three are keyed through the values' construction-time cached
-    hashes, so a probe is one dict lookup, never a deep comparison.
+    Falls back to the full extent when nothing is probeable.
     """
-
-    __slots__ = ("facts", "atom_at", "rest_at", "present")
-
-    def __init__(self):
-        self.facts: set = set()
-        self.atom_at: dict = {}
-        self.rest_at: dict = {}
-        self.present: dict = {}
-
-    def add(self, fact: Value) -> None:
-        self.facts.add(fact)
-        if isinstance(fact, NamedTup):
-            for name, value in fact.fields:
-                self.present.setdefault(name, set()).add(fact)
-                if isinstance(value, Atom):
-                    self.atom_at.setdefault((name, value), set()).add(fact)
-                else:
-                    self.rest_at.setdefault(name, set()).add(fact)
-
-    def discard(self, fact: Value) -> None:
-        self.facts.discard(fact)
-        if isinstance(fact, NamedTup):
-            for name, value in fact.fields:
-                if name in self.present:
-                    self.present[name].discard(fact)
-                if isinstance(value, Atom):
-                    bucket = self.atom_at.get((name, value))
-                    if bucket is not None:
-                        bucket.discard(fact)
-                elif name in self.rest_at:
-                    self.rest_at[name].discard(fact)
-
-    def candidates(self, pattern, valuation: Mapping):
-        """Facts that could bound-match *pattern* under *valuation*.
-
-        A hash-indexed over-approximation: the most selective probeable
-        attribute picks the bucket(s); ``match_leq`` still decides.
-        Falls back to the full extent when nothing is probeable.
-        """
-        if not isinstance(pattern, dict) or not self.facts:
-            return self.facts
-        best_count = None
-        best_buckets = None
-        for attr, sub in pattern.items():
-            probe = _probe_value(sub, valuation)
-            if probe is None or isinstance(probe, Bottom):
-                # Unbound, or ⊥ — below everything including absent
-                # attrs; no pruning available from this field.
-                continue
-            if isinstance(probe, Atom):
-                buckets = (
-                    self.atom_at.get((attr, probe), _EMPTY_FACTS),
-                    self.rest_at.get(attr, _EMPTY_FACTS),
-                )
-            else:
-                buckets = (self.present.get(attr, _EMPTY_FACTS),)
-            count = sum(len(bucket) for bucket in buckets)
-            if best_count is None or count < best_count:
-                best_count = count
-                best_buckets = buckets
-                if count == 0:
-                    break
-        if best_buckets is None:
-            return self.facts
-        if len(best_buckets) == 1 or not best_buckets[1]:
-            return best_buckets[0]
-        return [fact for bucket in best_buckets for fact in bucket]
+    if not isinstance(pattern, dict) or not scan.facts:
+        return scan.facts
+    best_count = None
+    best_buckets = None
+    for attr, sub in pattern.items():
+        probe = _probe_value(sub, valuation)
+        if probe is None or isinstance(probe, Bottom):
+            # Unbound, or ⊥ — below everything including absent
+            # attrs; no pruning available from this field.
+            continue
+        if isinstance(probe, Atom):
+            buckets = (
+                scan.probe(ATTR_ATOM, (attr, probe)),
+                scan.probe(ATTR_REST, attr),
+            )
+        else:
+            buckets = (scan.probe(ATTR_PRESENT, attr),)
+        count = sum(len(bucket) for bucket in buckets)
+        if best_count is None or count < best_count:
+            best_count = count
+            best_buckets = buckets
+            if count == 0:
+                break
+    if best_buckets is None:
+        return scan.facts
+    if len(best_buckets) == 1 or not best_buckets[1]:
+        return best_buckets[0]
+    return [fact for bucket in best_buckets for fact in bucket]
 
 
 def _probe_value(sub_pattern, valuation: Mapping) -> Value | None:
@@ -563,7 +529,7 @@ def _extent_valuations(
             bounds = deltas.get(tail.pred, _EMPTY_FACTS)
             exclude = None
         else:
-            bounds = extent.candidates(tail.pattern, valuation)
+            bounds = _bk_candidates(extent, tail.pattern, valuation)
             exclude = deltas.get(tail.pred) if mode == "old" else None
         for bound in bounds:
             if exclude is not None and bound in exclude:
@@ -588,6 +554,7 @@ def run_bk(
     max_rounds: int | None = None,
     naive: bool = False,
     mode: str | None = None,
+    trace=None,
 ):
     """Run a BK program to fixpoint.
 
@@ -600,9 +567,10 @@ def run_bk(
 
     * ``"hashjoin"`` (default) — semi-naive: rounds after the first
       only enumerate valuations that use at least one fact derived last
-      round, probing per-predicate hash indexes built on the cached
-      structural metadata of the facts (:class:`_Extent`).  The
-      per-round extents are identical to the naive driver's — an
+      round, probing the per-predicate kernel scans' attribute hash
+      indexes built on the cached structural metadata of the facts
+      (:func:`_bk_candidates` over :class:`~repro.engine.ops.Scan`).
+      The per-round extents are identical to the naive driver's — an
       old-facts-only valuation re-derives a head that is still present
       or still dominated — so results agree at every ``max_rounds``
       cut.
@@ -611,7 +579,12 @@ def run_bk(
       changed last round.  Kept as the benchmark baseline that the
       hash-join mode replaces.
     * ``"naive"`` (or ``naive=True``) — every rule, every round.
+
+    *trace* (a :class:`~repro.engine.exec.PhysicalTrace`) collects the
+    physical operator tree for EXPLAIN's post-run actuals.
     """
+    from .physical import bk_physical, fixpoint_stats
+
     if mode is None:
         mode = "naive" if naive else "hashjoin"
     elif naive:
@@ -624,59 +597,61 @@ def run_bk(
 
     extents: dict = {}
     for name, values in database.items():
-        extent = extents.setdefault(name, _Extent())
+        extent = extents.setdefault(name, Scan(name))
         for value in values:
             extent.add(instantiate(bk_obj(value), {}))
-    try:
-        rounds = 0
-        deltas: dict | None = None  # None = first round: evaluate everything
-        while True:
-            budget.charge("iterations")
-            rounds += 1
-            if max_rounds is not None and rounds > max_rounds:
-                return UNDEFINED
-            use_deltas = None if mode == "naive" else deltas
-            new_deltas: dict = {}
-            for rule in program.rules:
-                if use_deltas is not None and not any(
-                    use_deltas.get(tail.pred) for tail in rule.tails
+    stats = fixpoint_stats(trace)
+    state: dict = {"deltas": None}  # None = first round: evaluate everything
+
+    def step(_round: int) -> bool:
+        use_deltas = None if mode == "naive" else state["deltas"]
+        new_deltas: dict = {}
+        for rule in program.rules:
+            if use_deltas is not None and not any(
+                use_deltas.get(tail.pred) for tail in rule.tails
+            ):
+                # No tail extent changed last round (tail-less rules
+                # are settled in round one): no new valuations.
+                continue
+            for valuation in list(
+                _extent_valuations(rule, extents, budget, use_deltas)
+            ):
+                budget.charge("steps")
+                derived = instantiate(bk_obj(rule.head.pattern), valuation)
+                extent = extents.setdefault(rule.head.pred, Scan(rule.head.pred))
+                facts = extent.facts
+                if derived in facts or any(
+                    leq(derived, existing)
+                    for existing in facts
+                    if _leq_possible(derived, existing)
                 ):
-                    # No tail extent changed last round (tail-less rules
-                    # are settled in round one): no new valuations.
                     continue
-                for valuation in list(
-                    _extent_valuations(rule, extents, budget, use_deltas)
-                ):
-                    budget.charge("steps")
-                    derived = instantiate(bk_obj(rule.head.pattern), valuation)
-                    extent = extents.setdefault(rule.head.pred, _Extent())
-                    facts = extent.facts
-                    if derived in facts or any(
-                        leq(derived, existing)
-                        for existing in facts
-                        if _leq_possible(derived, existing)
-                    ):
-                        continue
-                    budget.charge("facts")
-                    # Keep the extent reduced: drop members the new
-                    # object now dominates (their valuations survive
-                    # through the dominator — see _extent_valuations).
-                    dominated = [
-                        e
-                        for e in facts
-                        if _leq_possible(e, derived) and leq(e, derived)
-                    ]
-                    head_delta = new_deltas.setdefault(rule.head.pred, set())
-                    for e in dominated:
-                        extent.discard(e)
-                        head_delta.discard(e)
-                    extent.add(derived)
-                    head_delta.add(derived)
-            if not any(new_deltas.values()):
-                break
-            deltas = new_deltas
+                budget.charge("facts")
+                # Keep the extent reduced: drop members the new
+                # object now dominates (their valuations survive
+                # through the dominator — see _extent_valuations).
+                dominated = [
+                    e
+                    for e in facts
+                    if _leq_possible(e, derived) and leq(e, derived)
+                ]
+                head_delta = new_deltas.setdefault(rule.head.pred, set())
+                for e in dominated:
+                    extent.discard(e)
+                    head_delta.discard(e)
+                extent.add(derived)
+                head_delta.add(derived)
+        state["deltas"] = new_deltas
+        return any(new_deltas.values())
+
+    try:
+        converged = FixpointDriver(budget, stats=stats, max_rounds=max_rounds).run(step)
+        if not converged:
+            return UNDEFINED
     except BudgetExceeded:
         return UNDEFINED
+    finally:
+        bk_physical(trace, f"bk-{mode}", stats, extents)
     answer = extents.get(program.answer)
     return reduce_set(SetVal(answer.facts if answer is not None else ()))
 

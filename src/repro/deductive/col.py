@@ -20,6 +20,14 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from ..budget import Budget
+from ..engine.ops import (
+    FIRST_COORDINATE,
+    NO_KEY,
+    FixpointDriver,
+    HashJoin,
+    Scan,
+    TupleKey,
+)
 from ..errors import EvaluationError
 from ..model.schema import Database
 from ..model.values import SetVal, Tup, Value
@@ -40,22 +48,25 @@ from .ast import (
 class Interp:
     """An interpretation: predicate extents and data-function graphs.
 
-    Facts are additionally indexed by their first coordinate so rule
-    bodies whose leading tuple component is already bound join in
+    Each predicate's extent is a kernel :class:`~repro.engine.ops.Scan`
+    — a relation extent with lazily-built, incrementally-maintained
+    hash indexes.  The first-coordinate index
+    (:data:`~repro.engine.ops.FIRST_COORDINATE`) makes rule bodies
+    whose leading tuple component is already bound join in
     near-constant time — without this, the Theorem 5.1 machine
     histories (facts keyed by a time column) degrade to quadratic
-    scans.
+    scans — and the scans' per-operator counters feed EXPLAIN's
+    physical actuals.
     """
 
-    #: Class-wide ablation switch: set to False to disable the
-    #: first-coordinate index (every bound-leading-component join then
-    #: falls back to a full scan).  Used by the ablation benchmark.
+    #: Class-wide ablation switch: set to False to disable index use
+    #: (every bound-leading-component join then falls back to a full
+    #: scan).  Used by the ablation benchmark.
     use_index = True
 
     def __init__(self):
         self.preds: dict = {}
         self.funcs: dict = {}
-        self._index: dict = {}
 
     @classmethod
     def from_database(cls, database: Database) -> "Interp":
@@ -63,28 +74,30 @@ class Interp:
         for name in database.schema.names():
             for value in database[name].items:
                 interp.add_pred(name, value)
-            interp.preds.setdefault(name, set())
+            interp.pred(name)
         return interp
 
     def copy(self) -> "Interp":
         duplicate = Interp()
-        duplicate.preds = {name: set(vals) for name, vals in self.preds.items()}
+        duplicate.preds = {name: scan.copy() for name, scan in self.preds.items()}
         duplicate.funcs = {
             name: {arg: set(elems) for arg, elems in graph.items()}
             for name, graph in self.funcs.items()
         }
-        duplicate._index = {
-            name: {key: set(vals) for key, vals in index.items()}
-            for name, index in self._index.items()
-        }
         return duplicate
 
-    def pred(self, name: str) -> set:
-        return self.preds.setdefault(name, set())
+    def pred(self, name: str) -> Scan:
+        scan = self.preds.get(name)
+        if scan is None:
+            scan = self.preds[name] = Scan(name)
+        return scan
 
     def pred_by_first(self, name: str, first: Value) -> set:
         """Facts of *name* whose first coordinate equals *first*."""
-        return self._index.get(name, {}).get(first, set())
+        scan = self.preds.get(name)
+        if scan is None:
+            return set()
+        return scan.probe(FIRST_COORDINATE, first)
 
     def func_graph(self, name: str) -> dict:
         return self.funcs.setdefault(name, {})
@@ -94,13 +107,7 @@ class Interp:
         return SetVal(self.funcs.get(name, {}).get(arg, set()))
 
     def add_pred(self, name: str, value: Value) -> bool:
-        extent = self.pred(name)
-        if value in extent:
-            return False
-        extent.add(value)
-        first = value.items[0] if isinstance(value, Tup) else value
-        self._index.setdefault(name, {}).setdefault(first, set()).add(value)
-        return True
+        return self.pred(name).add(value)
 
     def add_func(self, name: str, arg: Value, element: Value) -> bool:
         graph = self.func_graph(name)
@@ -290,10 +297,11 @@ def _hash_join_pred(
 ) -> list | None:
     """Hash-join a batch of substitutions with a positive predicate literal.
 
-    Builds a transient index of the predicate's facts keyed on the
-    determined tuple positions (the values' construction-time cached
-    hashes make the keying O(1) per fact), then probes it once per
-    substitution: O(|facts| + |substitutions|) instead of the nested
+    Probes the scan's persistent :class:`~repro.engine.ops.TupleKey`
+    index keyed on the literal's determined tuple positions (built
+    lazily on first use and maintained incrementally as facts arrive —
+    the values' construction-time cached hashes make the keying O(1)
+    per fact): O(|facts| + |substitutions|) instead of the nested
     O(|facts| × |substitutions|) scan.  Returns ``None`` when the shape
     does not qualify (caller falls back to the scan).
     """
@@ -301,8 +309,8 @@ def _hash_join_pred(
         return None
     if len(substitutions) < HASH_JOIN_MIN_SUBSTITUTIONS:
         return None
-    facts = interp.preds.get(literal.name)
-    if not facts or len(facts) < HASH_JOIN_MIN_FACTS:
+    scan = interp.preds.get(literal.name)
+    if not scan or len(scan) < HASH_JOIN_MIN_FACTS:
         return None
     term = literal.term
     positions = _hash_join_positions(term, substitutions[0])
@@ -311,37 +319,37 @@ def _hash_join_pred(
     if positions[0][0] == 0:
         # The leading coordinate is determined, so the persistent
         # first-coordinate index already prunes the scan to
-        # near-constant work per substitution; rebuilding a transient
-        # index over the whole extent would cost more than it saves.
+        # near-constant work per substitution; a second index over the
+        # remaining positions would cost more than it saves.
         return None
-    arity = len(term.items)
-    index: dict = {}
-    for fact in facts:
-        if exclude_facts is not None and fact in exclude_facts:
-            continue
-        if not isinstance(fact, Tup) or len(fact.items) != arity:
-            continue  # cannot match the tuple term: pruned outright
-        key = tuple(fact.items[pos] for pos, _ in positions)
-        index.setdefault(key, []).append(fact)
-    results: list = []
-    for subst in substitutions:
+    spec = TupleKey(len(term.items), tuple(pos for pos, _ in positions))
+    join = HashJoin(scan, spec, stats=scan.stats, budget=budget)
+
+    def key_for(subst):
         try:
-            key = tuple(
+            return tuple(
                 sub.value if isinstance(sub, ConstD) else subst[sub.name]
                 for _, sub in positions
             )
         except KeyError:
             # This substitution does not bind a probed variable: scan.
-            for fact in _candidate_facts(literal, interp, subst):
-                if exclude_facts is not None and fact in exclude_facts:
-                    continue
-                budget.charge("steps")
-                results.extend(match(term, fact, subst))
-            continue
-        for fact in index.get(key, ()):
+            return NO_KEY
+
+    def extend(subst, fact):
+        return list(match(term, fact, subst))
+
+    def fallback(subst):
+        extended: list = []
+        for fact in _candidate_facts(literal, interp, subst):
+            if exclude_facts is not None and fact in exclude_facts:
+                continue
             budget.charge("steps")
-            results.extend(match(term, fact, subst))
-    return results
+            extended.extend(match(term, fact, subst))
+        return extended
+
+    return join.join(
+        substitutions, key_for, extend, exclude=exclude_facts, fallback=fallback
+    )
 
 
 def extend_with_literal(
@@ -375,13 +383,20 @@ def extend_with_literal(
         )
         if joined is not None:
             return joined
+        scan = interp.preds.get(literal.name)
+        stats = scan.stats if scan is not None else None
         for subst in substitutions:
+            if stats is not None:
+                stats.rows_in += 1
             facts = _candidate_facts(literal, interp, subst)
             for fact in facts:
                 if exclude_facts is not None and fact in exclude_facts:
                     continue
                 budget.charge("steps")
+                before = len(next_substitutions)
                 next_substitutions.extend(match(literal.term, fact, subst))
+                if stats is not None:
+                    stats.rows_out += len(next_substitutions) - before
     elif isinstance(literal, FuncLit) and literal.positive:
         graph = interp.funcs.get(literal.func, {})
         for subst in substitutions:
@@ -492,14 +507,17 @@ def fixpoint(
     interp: Interp,
     budget: Budget,
     negation_interp: Interp | None = None,
+    stats=None,
 ) -> Interp:
     """Iterate the rules to a (cumulative) fixpoint in place."""
     rules = list(rules)
-    changed = True
-    while changed:
-        budget.charge("iterations")
+
+    def step(_round: int) -> bool:
         changed = False
         for rule in rules:
             if apply_rule(rule, interp, budget, negation_interp):
                 changed = True
+        return changed
+
+    FixpointDriver(budget, stats=stats).run(step)
     return interp

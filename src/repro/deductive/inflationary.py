@@ -28,6 +28,7 @@ def run_inflationary(
     database: Database,
     budget: Budget | None = None,
     naive: bool = False,
+    trace=None,
 ):
     """COL^inf semantics: the answer instance, or ``?`` on divergence.
 
@@ -38,17 +39,24 @@ def run_inflationary(
     Rounds run delta-driven by default (the semi-naive driver buffers a
     round's derivations instead of copying the interpretation, see
     :mod:`repro.engine.seminaive`); ``naive=True`` selects the original
-    copy-per-round driver.
+    copy-per-round driver.  *trace* collects the physical operator tree
+    for EXPLAIN (see :mod:`repro.deductive.physical`).
     """
     budget = budget or Budget()
     interp = Interp.from_database(database)
     if not naive:
         from ..engine.seminaive import seminaive_inflationary_fixpoint
+        from .physical import col_physical, fixpoint_stats
 
+        stats = fixpoint_stats(trace)
         try:
-            seminaive_inflationary_fixpoint(program.rules, interp, budget)
+            seminaive_inflationary_fixpoint(
+                program.rules, interp, budget, stats=stats
+            )
         except BudgetExceeded:
             return UNDEFINED
+        finally:
+            col_physical(trace, "col-inflationary", stats, interp)
         return interp.instance(program.answer)
     try:
         changed = True

@@ -114,6 +114,7 @@ def run_stratified(
     database: Database,
     budget: Budget | None = None,
     naive: bool = False,
+    trace=None,
 ):
     """COL^str semantics: the answer instance, or ``?`` on divergence.
 
@@ -125,19 +126,29 @@ def run_stratified(
     view the output to be undefined".
 
     Strata run semi-naive by default (:mod:`repro.engine.seminaive`);
-    ``naive=True`` selects the original full-re-join driver.
+    ``naive=True`` selects the original full-re-join driver.  *trace*
+    (a :class:`~repro.engine.exec.PhysicalTrace`) collects the physical
+    operator tree — fixpoint rounds plus per-predicate scan counters —
+    for EXPLAIN's post-run actuals.
     """
     from ..engine.seminaive import seminaive_fixpoint
+    from .physical import col_physical, fixpoint_stats
 
     budget = budget or Budget()
     strata = stratify(program)
     interp = Interp.from_database(database)
+    stats = fixpoint_stats(trace)
     try:
         for rules in strata:
             frozen = interp.copy()
             seminaive_fixpoint(
-                rules, interp, budget, negation_interp=frozen, naive=naive
+                rules, interp, budget, negation_interp=frozen, naive=naive,
+                stats=stats,
             )
     except BudgetExceeded:
         return UNDEFINED
+    finally:
+        col_physical(
+            trace, "col-naive" if naive else "col-stratified", stats, interp
+        )
     return interp.instance(program.answer)

@@ -12,11 +12,36 @@ example harnesses:
   permuted-isomorphic inputs share one entry;
 * :mod:`~repro.engine.runner` — a process-parallel suite runner with
   per-task sub-budgets, wall-clock timeouts observed as ``?``, and
-  structured :class:`~repro.engine.runner.RunReport` output.
+  structured :class:`~repro.engine.runner.RunReport` output;
+* :mod:`~repro.engine.ops` — the physical-operator kernel (budget
+  instrumented :class:`~repro.engine.ops.Scan` / hash joins / streaming
+  select-project / :class:`~repro.engine.ops.FixpointDriver`) that all
+  four evaluator stacks execute through;
+* :mod:`~repro.engine.exec` — physical execution traces
+  (:class:`~repro.engine.exec.PhysicalTrace`) rendered by EXPLAIN as
+  per-operator post-run actuals.
 """
 
 from .cache import CacheStats, LRUCache, MemoCache, program_fingerprint
 from .canon import Renaming, canonical_atom, canonicalise_database
+from .exec import PhysicalTrace, PhysNode
+from .ops import (
+    ATTR_ATOM,
+    ATTR_PRESENT,
+    ATTR_REST,
+    FIRST_COORDINATE,
+    FixpointDriver,
+    HashJoin,
+    IndexSpec,
+    OpStats,
+    Scan,
+    TupleKey,
+    distinct,
+    nested_loop_join,
+    project,
+    select,
+    set_construct,
+)
 from .intern import (
     InternStats,
     Interner,
@@ -52,4 +77,21 @@ __all__ = [
     "run_suite",
     "seminaive_fixpoint",
     "seminaive_inflationary_fixpoint",
+    "ATTR_ATOM",
+    "ATTR_PRESENT",
+    "ATTR_REST",
+    "FIRST_COORDINATE",
+    "FixpointDriver",
+    "HashJoin",
+    "IndexSpec",
+    "OpStats",
+    "Scan",
+    "TupleKey",
+    "distinct",
+    "nested_loop_join",
+    "project",
+    "select",
+    "set_construct",
+    "PhysicalTrace",
+    "PhysNode",
 ]

@@ -62,6 +62,7 @@ from ..deductive.col import (
     match,
     rule_substitutions,
 )
+from .ops import FixpointDriver, OpStats
 
 
 class Delta:
@@ -239,29 +240,36 @@ def seminaive_fixpoint(
     budget: Budget,
     negation_interp: Interp | None = None,
     naive: bool = False,
+    stats: OpStats | None = None,
 ) -> Interp:
     """Delta-driven replacement for :func:`repro.deductive.col.fixpoint`.
 
     Intended for the stratified discipline, where *negation_interp* is
     the frozen union of lower strata (rule bodies are then monotone in
     *interp* and the least fixpoint is strategy-independent).  With
-    ``naive=True`` the original driver runs instead.
+    ``naive=True`` the original driver runs instead.  Rounds run
+    through the kernel :class:`~repro.engine.ops.FixpointDriver`;
+    *stats* (when given) accumulates the round count for EXPLAIN.
     """
     if naive:
-        return naive_fixpoint(rules, interp, budget, negation_interp)
+        return naive_fixpoint(rules, interp, budget, negation_interp, stats=stats)
     neg = negation_interp if negation_interp is not None else interp
     rules = list(rules)
     profiles = [_rule_profile(rule) for rule in rules]
+    state: dict = {}
 
-    # Round 1: one full cumulative pass seeds the delta.
-    budget.charge("iterations")
-    delta = Delta()
-    for rule in rules:
-        for subst in list(rule_substitutions(rule, interp, budget, neg)):
-            _apply_consequence(_consequence(rule, subst, interp), interp, budget, delta)
-
-    while not delta.empty():
-        budget.charge("iterations")
+    def step(round_number: int) -> bool:
+        if round_number == 1:
+            # Round 1: one full cumulative pass seeds the delta.
+            delta = Delta()
+            for rule in rules:
+                for subst in list(rule_substitutions(rule, interp, budget, neg)):
+                    _apply_consequence(
+                        _consequence(rule, subst, interp), interp, budget, delta
+                    )
+            state["delta"] = delta
+            return not delta.empty()
+        delta = state["delta"]
         new_delta = Delta()
         for rule, (preds, funcs, generators, filters) in zip(rules, profiles):
             if not generators:
@@ -275,7 +283,10 @@ def seminaive_fixpoint(
                 _apply_consequence(
                     _consequence(rule, subst, interp), interp, budget, new_delta
                 )
-        delta = new_delta
+        state["delta"] = new_delta
+        return not new_delta.empty()
+
+    FixpointDriver(budget, stats=stats).run(step)
     return interp
 
 
@@ -283,6 +294,7 @@ def seminaive_inflationary_fixpoint(
     rules: Iterable[Rule],
     interp: Interp,
     budget: Budget,
+    stats: OpStats | None = None,
 ) -> Interp:
     """The simultaneous inflationary operator, delta-driven.
 
@@ -291,23 +303,26 @@ def seminaive_inflationary_fixpoint(
     current snapshot); derivations are buffered and flushed between
     rounds, replacing the naive driver's per-round full copy.  Rules
     using function values are re-run in full each round (see module
-    docstring); everything else is delta-driven.
+    docstring); everything else is delta-driven.  Rounds run through
+    the kernel :class:`~repro.engine.ops.FixpointDriver`.
     """
     rules = list(rules)
     profiles = [_rule_profile(rule) for rule in rules]
     unsafe = [_mentions_function_value(rule) for rule in rules]
+    state: dict = {}
 
-    budget.charge("iterations")
-    pending = []
-    for rule in rules:
-        for subst in list(rule_substitutions(rule, interp, budget, interp)):
-            pending.append(_consequence(rule, subst, interp))
-    delta = Delta()
-    for fact in pending:
-        _apply_consequence(fact, interp, budget, delta)
-
-    while not delta.empty():
-        budget.charge("iterations")
+    def step(round_number: int) -> bool:
+        if round_number == 1:
+            pending = []
+            for rule in rules:
+                for subst in list(rule_substitutions(rule, interp, budget, interp)):
+                    pending.append(_consequence(rule, subst, interp))
+            delta = Delta()
+            for fact in pending:
+                _apply_consequence(fact, interp, budget, delta)
+            state["delta"] = delta
+            return not delta.empty()
+        delta = state["delta"]
         pending = []
         for rule, profile, full_rerun in zip(rules, profiles, unsafe):
             preds, funcs, generators, filters = profile
@@ -327,4 +342,8 @@ def seminaive_inflationary_fixpoint(
         delta = Delta()
         for fact in pending:
             _apply_consequence(fact, interp, budget, delta)
+        state["delta"] = delta
+        return not delta.empty()
+
+    FixpointDriver(budget, stats=stats).run(step)
     return interp

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..budget import Budget
-from ..errors import BudgetExceeded, EvaluationError, MachineError, UNDEFINED
+from ..errors import EvaluationError, MachineError, UNDEFINED
 from ..model.encoding import BLANK, decode_instance, encode_database
 from ..model.ordering import enumerate_orderings
 from ..model.schema import Database
@@ -87,26 +87,28 @@ def run_gtm(
     budget = budget or Budget()
     config = Configuration("", Tape.from_symbols(input_symbols), Tape())
     config.state = gtm.start
-    while config.state != gtm.halt:
-        try:
+
+    @budget.charged()
+    def drive():
+        while config.state != gtm.halt:
             budget.charge("steps")
-        except BudgetExceeded:
-            return UNDEFINED
-        symbol1 = config.tape1.read()
-        symbol2 = config.tape2.read()
-        matched = gtm.match(config.state, symbol1, symbol2)
-        if matched is None:
-            return UNDEFINED  # stuck: no transition applies
-        step, bindings = matched
-        config.tape1.write(gtm.resolve(step.write1, bindings))
-        config.tape2.write(gtm.resolve(step.write2, bindings))
-        config.tape1.move(step.move1)
-        config.tape2.move(step.move2)
-        config.state = step.state
-        config.steps += 1
-        if trace is not None:
-            trace.append((config.state, config.tape1.head, config.tape2.head))
-    return config.tape1.contents()
+            symbol1 = config.tape1.read()
+            symbol2 = config.tape2.read()
+            matched = gtm.match(config.state, symbol1, symbol2)
+            if matched is None:
+                return UNDEFINED  # stuck: no transition applies
+            step, bindings = matched
+            config.tape1.write(gtm.resolve(step.write1, bindings))
+            config.tape2.write(gtm.resolve(step.write2, bindings))
+            config.tape1.move(step.move1)
+            config.tape2.move(step.move2)
+            config.state = step.state
+            config.steps += 1
+            if trace is not None:
+                trace.append((config.state, config.tape1.head, config.tape2.head))
+        return config.tape1.contents()
+
+    return drive()
 
 
 def gtm_query(

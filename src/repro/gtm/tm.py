@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from ..budget import Budget
-from ..errors import BudgetExceeded, EvaluationError, MachineError, UNDEFINED
+from ..errors import EvaluationError, MachineError, UNDEFINED
 from ..model.encoding import BLANK, decode_instance, encode_database
 from ..model.schema import Database
 from ..model.types import RType
@@ -96,21 +96,23 @@ def run_tm(
     """
     budget = budget or Budget()
     tapes = [Tape.from_symbols(input_symbols)] + [Tape() for _ in range(tm.tapes - 1)]
-    state = tm.start
-    while state != tm.halt:
-        try:
+
+    @budget.charged()
+    def drive():
+        state = tm.start
+        while state != tm.halt:
             budget.charge("steps")
-        except BudgetExceeded:
-            return UNDEFINED
-        reads = tuple(tape.read() for tape in tapes)
-        step = tm.delta.get((state,) + reads)
-        if step is None:
-            return UNDEFINED
-        for tape, write, move in zip(tapes, step.writes, step.moves):
-            tape.write(write)
-            tape.move(move)
-        state = step.state
-    return tapes[0].contents()
+            reads = tuple(tape.read() for tape in tapes)
+            step = tm.delta.get((state,) + reads)
+            if step is None:
+                return UNDEFINED
+            for tape, write, move in zip(tapes, step.writes, step.moves):
+                tape.write(write)
+                tape.move(move)
+            state = step.state
+        return tapes[0].contents()
+
+    return drive()
 
 
 def halts(tm: TM, input_symbols: Sequence[str], max_steps: int) -> bool | None:

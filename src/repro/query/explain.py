@@ -6,8 +6,11 @@ Two sections with different determinism contracts:
   query text and the database's instance statistics — integer costs,
   fixed ordering, no wall-clock — and is golden-tested in CI;
 * the **actuals** section (:func:`render_actuals`) reports what one
-  execution did (backend run, budget spend, fixpoint rounds, cache and
+  execution did (backend run, budget spend, fixpoint rounds, the
+  physical operator tree with per-operator counters, cache and
   interner traffic) and is appended only when a query was actually run.
+  Operator counters are data-derived (no wall-clock), so actuals for a
+  fixed query/database/backend are byte-stable and golden-testable too.
 """
 
 from __future__ import annotations
@@ -64,7 +67,12 @@ def _describe_result(result) -> str:
     return repr(result)
 
 
-def render_actuals(report: ExecutionReport, cache_stats=None, interner=None) -> str:
+def render_actuals(
+    report: ExecutionReport,
+    cache_stats=None,
+    interner=None,
+    plan_stats=None,
+) -> str:
     lines = ["  actuals:"]
     if report.cached:
         lines.append(f"    backend: {report.backend} (cache hit; not re-run)")
@@ -77,11 +85,21 @@ def render_actuals(report: ExecutionReport, cache_stats=None, interner=None) -> 
         lines.append(f"    spent: {budget_bits}")
         if report.rounds():
             lines.append(f"    fixpoint rounds: {report.rounds()}")
+    if report.physical:
+        lines.append("    physical:")
+        lines.extend(
+            "      " + line for line in report.physical.splitlines()
+        )
     if cache_stats is not None:
         lines.append(
             "    memo cache: "
             f"hits={cache_stats.hits} misses={cache_stats.misses} "
             f"bypasses={cache_stats.bypasses}"
+        )
+    if plan_stats is not None:
+        lines.append(
+            "    plan cache: "
+            f"hits={plan_stats.hits} misses={plan_stats.misses}"
         )
     if interner is not None and hasattr(interner, "stats"):
         stats = interner.stats()
@@ -89,10 +107,16 @@ def render_actuals(report: ExecutionReport, cache_stats=None, interner=None) -> 
     return "\n".join(lines)
 
 
-def render(plan: Plan, report: ExecutionReport | None = None, cache_stats=None, interner=None) -> str:
+def render(
+    plan: Plan,
+    report: ExecutionReport | None = None,
+    cache_stats=None,
+    interner=None,
+    plan_stats=None,
+) -> str:
     text = render_plan(plan)
     if report is not None:
-        text += "\n" + render_actuals(report, cache_stats, interner)
+        text += "\n" + render_actuals(report, cache_stats, interner, plan_stats)
     return text
 
 

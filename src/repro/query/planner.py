@@ -89,8 +89,8 @@ class Candidate:
         self.detail = detail
         self._runner = runner
 
-    def run(self, database: Database, budget: Budget):
-        return self._runner(database, budget)
+    def run(self, database: Database, budget: Budget, trace=None):
+        return self._runner(database, budget, trace)
 
     def __repr__(self) -> str:
         return f"Candidate({self.backend}, cost={self.cost})"
@@ -148,11 +148,17 @@ class Plan:
 class ExecutionReport:
     """Post-run actuals for EXPLAIN (not part of the golden plan)."""
 
-    def __init__(self, backend: str, result, spent: dict, cached: bool):
+    def __init__(
+        self, backend: str, result, spent: dict, cached: bool, physical=None
+    ):
         self.backend = backend
         self.result = result
         self.spent = spent
         self.cached = cached
+        #: Rendered physical-operator tree (str) for backends that run on
+        #: the :mod:`repro.engine.ops` kernel, else ``None``.  Counters
+        #: are data-derived, so this is as deterministic as the plan.
+        self.physical = physical
 
     def rounds(self) -> int:
         return self.spent.get("iterations", 0)
@@ -369,8 +375,8 @@ def _comprehension_candidates(query: Comprehension, database: Database, profile,
             "calculus",
             calculus_cost(query, profile, obj_bound),
             "limited-interpretation evaluation of the comprehension body",
-            lambda db, budget, _q=calc_query: evaluate_query(
-                _q, db, budget=budget, obj_bound=obj_bound
+            lambda db, budget, trace=None, _q=calc_query: evaluate_query(
+                _q, db, budget=budget, obj_bound=obj_bound, trace=trace
             ),
         )
     )
@@ -398,7 +404,9 @@ def _comprehension_candidates(query: Comprehension, database: Database, profile,
                 "algebra",
                 algebra_cost(program, profile),
                 "hash-join pipeline from the conjunctive core",
-                lambda db, budget, _p=program: run_program(_p, db, budget=budget),
+                lambda db, budget, trace=None, _p=program: run_program(
+                    _p, db, budget=budget, trace=trace
+                ),
             )
         )
 
@@ -421,7 +429,9 @@ def _comprehension_candidates(query: Comprehension, database: Database, profile,
                 "col-stratified",
                 cost,
                 f"semi-naive COL^str, answer {col_program.answer}",
-                lambda db, budget, _p=col_program: run_stratified(_p, db, budget),
+                lambda db, budget, trace=None, _p=col_program: run_stratified(
+                    _p, db, budget, trace=trace
+                ),
             )
         )
         if not has_negation:
@@ -430,7 +440,9 @@ def _comprehension_candidates(query: Comprehension, database: Database, profile,
                     "col-inflationary",
                     cost + 1,
                     "semi-naive COL^inf (agrees: negation-free)",
-                    lambda db, budget, _p=col_program: run_inflationary(_p, db, budget),
+                    lambda db, budget, trace=None, _p=col_program: run_inflationary(
+                        _p, db, budget, trace=trace
+                    ),
                 )
             )
     return candidates, rewrites
@@ -459,7 +471,9 @@ def _pipeline_candidates(query: PipelineQuery, database: Database, profile):
             "algebra",
             algebra_cost(program, profile),
             "native algebra pipeline",
-            lambda db, budget, _p=program: run_program(_p, db, budget=budget),
+            lambda db, budget, trace=None, _p=program: run_program(
+                _p, db, budget=budget, trace=trace
+            ),
         )
     ]
     return candidates, rewrites
@@ -480,13 +494,17 @@ def _rule_candidates(query: RuleQuery, database: Database, profile):
             "col-stratified",
             cost,
             "semi-naive stratified fixpoint",
-            lambda db, budget, _p=program: run_stratified(_p, db, budget),
+            lambda db, budget, trace=None, _p=program: run_stratified(
+                _p, db, budget, trace=trace
+            ),
         ),
         Candidate(
             "col-naive",
             _cap(cost * 4),
             "full re-join per round (baseline driver)",
-            lambda db, budget, _p=program: run_stratified(_p, db, budget, naive=True),
+            lambda db, budget, trace=None, _p=program: run_stratified(
+                _p, db, budget, naive=True, trace=trace
+            ),
         ),
     ]
     rewrites = [
@@ -504,7 +522,9 @@ def _rule_candidates(query: RuleQuery, database: Database, profile):
                 "col-inflationary",
                 cost + 1,
                 "semi-naive inflationary fixpoint",
-                lambda db, budget, _p=program: run_inflationary(_p, db, budget),
+                lambda db, budget, trace=None, _p=program: run_inflationary(
+                    _p, db, budget, trace=trace
+                ),
             )
         )
     return candidates, rewrites
@@ -514,9 +534,9 @@ def _bk_candidates(query: BKQuery, database: Database, profile):
     from ..deductive.bk import run_bk
 
     def runner(mode):
-        def run(db, budget, _p=query.program, _m=mode):
+        def run(db, budget, trace=None, _p=query.program, _m=mode):
             mapping = {name: db[name].items for name in db}
-            return run_bk(_p, mapping, budget, mode=_m)
+            return run_bk(_p, mapping, budget, mode=_m, trace=trace)
 
         return run
 
@@ -559,7 +579,8 @@ def _gtm_candidates(query: GTMQuery, database: Database, profile):
     for backend, route in GTM_ROUTES.items():
         factor = GTM_ROUTE_FACTOR[backend]
 
-        def run(db, budget, _route=route):
+        def run(db, budget, trace=None, _route=route):
+            # Simulation routes run whole machines; no kernel trace.
             impls = implementations_for(
                 query.machine,
                 query.schema,
@@ -597,7 +618,12 @@ def build_plan(
     if isinstance(query, LiteralQuery):
         value = query.value
         candidates = [
-            Candidate("literal", 0, "ground object", lambda db, budget, _v=value: _v)
+            Candidate(
+                "literal",
+                0,
+                "ground object",
+                lambda db, budget, trace=None, _v=value: _v,
+            )
         ]
         rewrites: list = []
     elif isinstance(query, Comprehension):
@@ -627,10 +653,23 @@ def execute_plan(
     budget: Budget | None = None,
     backend: str | None = None,
 ) -> ExecutionReport:
-    """Run one candidate (the chosen one by default) and report actuals."""
+    """Run one candidate (the chosen one by default) and report actuals.
+
+    Backends that execute on the :mod:`repro.engine.ops` kernel fill a
+    :class:`~repro.engine.exec.PhysicalTrace`; its rendering (operator
+    tree with per-operator counters) lands in
+    :attr:`ExecutionReport.physical`.
+    """
+    from ..engine.exec import PhysicalTrace
+
     budget = budget or Budget()
     candidate = plan.candidate(backend) if backend else plan.chosen
-    result = candidate.run(database, budget)
+    trace = PhysicalTrace()
+    result = candidate.run(database, budget, trace=trace)
     return ExecutionReport(
-        candidate.backend, result, budget.spent_all(), cached=False
+        candidate.backend,
+        result,
+        budget.spent_all(),
+        cached=False,
+        physical=trace.render(),
     )

@@ -125,6 +125,7 @@ class Session:
             self.last_report,
             cache_stats=self.memo.stats,
             interner=interner,
+            plan_stats=self.plans.stats,
         )
 
 
@@ -132,14 +133,26 @@ def connect(
     database: Database | None = None,
     schema: Schema | None = None,
     budget: Budget | None = None,
+    obj_bound: int = 200,
+    memo_entries: int = 256,
+    plan_entries: int = 128,
     **instances,
 ) -> Session:
     """Open a :class:`Session`.
 
     Either pass a ready :class:`Database`, or a :class:`Schema` plus
-    plain-Python instances (coerced via ``Database.from_plain``)."""
+    plain-Python instances (coerced via ``Database.from_plain``).
+    *memo_entries* and *plan_entries* bound the result memo cache and
+    the plan LRU respectively; their hit/miss counters surface in
+    EXPLAIN actuals."""
     if database is None:
         if schema is None:
             raise ValueError("connect() needs a database or a schema")
         database = Database.from_plain(schema, **instances)
-    return Session(database, budget=budget)
+    return Session(
+        database,
+        budget=budget,
+        obj_bound=obj_bound,
+        memo_entries=memo_entries,
+        plan_entries=plan_entries,
+    )

@@ -10,8 +10,6 @@ from repro.algebra.ast import (
     EqConst,
     Member,
     Nest,
-    Powerset,
-    Product,
     Program,
     Project,
     Select,

@@ -1,11 +1,9 @@
 """Unit tests for the algebra evaluator (relaxed dynamic semantics)."""
 
-import pytest
 
 from repro.algebra.ast import (
     Assign,
     Collapse,
-    Const,
     Diff,
     EncodeInput,
     Eq,
@@ -28,8 +26,6 @@ from repro.algebra.ast import (
 from repro.algebra.eval import coordinate, counter_sequence_empty, eval_expr, run_program
 from repro.budget import Budget
 from repro.errors import UNDEFINED
-from repro.model.schema import Database, Schema
-from repro.model.types import parse_type
 from repro.model.values import Atom, SetVal, Tup
 
 

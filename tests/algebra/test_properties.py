@@ -6,7 +6,6 @@ this for every operator over random heterogeneous instances, plus the
 standard algebraic identities the evaluator should satisfy.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.algebra.ast import (

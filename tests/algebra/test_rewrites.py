@@ -1,18 +1,8 @@
 """Unit tests for the nested-while collapse (Theorem 4.1(b)(iii))."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.algebra.ast import (
-    Assign,
-    Const,
-    Diff,
-    Program,
-    Project,
-    Union,
-    Var,
-    While,
-)
+from repro.algebra.ast import Assign, Diff, Program, Var, While
 from repro.algebra.eval import eval_expr, run_program
 from repro.algebra.library import nested_while_tc_pairs, transitive_closure
 from repro.algebra.rewrites import MARK, gate, guard, not_guard, unnest_whiles

@@ -5,11 +5,7 @@ import pytest
 from repro.algebra.ast import (
     Assign,
     Collapse,
-    Const,
-    Diff,
     EncodeInput,
-    Eq,
-    EqConst,
     Expand,
     Member,
     Nest,
@@ -18,13 +14,12 @@ from repro.algebra.ast import (
     Program,
     Project,
     Select,
-    Undefine,
     Union,
     Unnest,
     Var,
     While,
 )
-from repro.algebra.typing import classify, infer_member_type, typecheck
+from repro.algebra.typing import classify, typecheck
 from repro.errors import TypeCheckError
 from repro.model.schema import Schema
 from repro.model.types import OBJ, SetType, TupleType, U, parse_type

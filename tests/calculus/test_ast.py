@@ -17,7 +17,7 @@ from repro.calculus.ast import (
     VarT,
 )
 from repro.errors import TypeCheckError
-from repro.model.types import OBJ, SetType, TupleType, U, parse_type
+from repro.model.types import OBJ, SetType, U
 from repro.model.values import Atom
 
 

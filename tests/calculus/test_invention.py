@@ -3,7 +3,7 @@
 import pytest
 
 from repro.budget import Budget
-from repro.calculus.ast import Compare, ConstT, Not, Pred, Query, VarT
+from repro.calculus.ast import Not, Pred, Query, VarT
 from repro.calculus.invention import (
     FormulaStages,
     countable_invention,
@@ -14,7 +14,7 @@ from repro.calculus.invention import (
     terminal_invention,
     upper_stage,
 )
-from repro.errors import EvaluationError, UNDEFINED, is_undefined
+from repro.errors import EvaluationError, is_undefined
 from repro.model.schema import Database, Schema
 from repro.model.types import U, parse_type
 from repro.model.values import Atom, SetVal

@@ -15,7 +15,7 @@ from repro.errors import is_undefined
 from repro.gtm.library import all_machines, is_empty_gtm, parity_gtm
 from repro.gtm.run import gtm_query
 from repro.model.schema import Database
-from repro.model.values import Atom, SetVal
+from repro.model.values import Atom
 
 
 def _unlimited():

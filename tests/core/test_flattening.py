@@ -11,7 +11,6 @@ from repro.core.flattening import (
     unflatten_value,
 )
 from repro.errors import EvaluationError
-from repro.model.domains import cons_obj_bounded
 from repro.model.values import Atom, SetVal, Tup, adom
 
 

@@ -12,7 +12,6 @@ from repro.deductive.ast import (
     Rule,
     SetD,
     TupD,
-    VarD,
 )
 from repro.errors import TypeCheckError
 from repro.model.values import Atom

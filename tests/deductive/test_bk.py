@@ -1,6 +1,5 @@
 """Unit tests for the Bancilhon–Khoshafian calculus."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.budget import Budget

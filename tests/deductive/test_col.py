@@ -14,17 +14,8 @@ from repro.deductive.ast import (
     TupD,
     VarD,
 )
-from repro.deductive.col import (
-    Interp,
-    apply_rule,
-    eval_term,
-    fixpoint,
-    match,
-    rule_substitutions,
-)
+from repro.deductive.col import Interp, apply_rule, eval_term, fixpoint, match
 from repro.errors import EvaluationError
-from repro.model.schema import Database, Schema
-from repro.model.types import parse_type
 from repro.model.values import Atom, SetVal, Tup
 
 

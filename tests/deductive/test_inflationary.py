@@ -1,6 +1,5 @@
 """Unit tests for the inflationary COL semantics."""
 
-import pytest
 
 from repro.budget import Budget
 from repro.deductive.ast import ColProgram, ConstD, FuncLit, PredLit, Rule, SetD, TupD

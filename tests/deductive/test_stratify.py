@@ -3,18 +3,9 @@
 import pytest
 
 from repro.budget import Budget
-from repro.deductive.ast import (
-    ColProgram,
-    ConstD,
-    FuncLit,
-    FuncT,
-    PredLit,
-    Rule,
-    TupD,
-    VarD,
-)
+from repro.deductive.ast import ColProgram, ConstD, FuncLit, FuncT, PredLit, Rule, TupD
 from repro.deductive.stratify import dependency_edges, run_stratified, stratify
-from repro.errors import StratificationError, UNDEFINED, is_undefined
+from repro.errors import StratificationError, is_undefined
 from repro.model.schema import Database, Schema
 from repro.model.types import parse_type
 from repro.model.values import Atom, SetVal

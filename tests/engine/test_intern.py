@@ -13,7 +13,7 @@ from repro.engine.intern import (
     interned,
     interning_enabled,
 )
-from repro.model.values import Atom, NamedTup, SetVal, Tup, obj
+from repro.model.values import Atom, NamedTup, SetVal, Tup
 
 
 @pytest.fixture(autouse=True)

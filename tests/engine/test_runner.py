@@ -5,7 +5,7 @@ import time
 
 from repro.budget import Budget
 from repro.engine.cache import MemoCache
-from repro.engine.runner import RunReport, RunTask, run_suite
+from repro.engine.runner import RunTask, run_suite
 from repro.errors import UNDEFINED, is_undefined
 
 

@@ -5,13 +5,11 @@ import pytest
 from repro.budget import Budget
 from repro.deductive.ast import (
     ColProgram,
-    ConstD,
     EqLit,
     FuncLit,
     FuncT,
     PredLit,
     Rule,
-    SetD,
     TupD,
     VarD,
 )

@@ -8,7 +8,6 @@ from repro.gtm.compile import gtm_side_query, simulate_gtm_conventionally
 from repro.gtm.library import all_machines
 from repro.gtm.run import gtm_query
 from repro.model.schema import Database
-from repro.workloads import suite_binary, suite_unary
 
 
 def _databases_for(name, schema):

@@ -13,8 +13,7 @@ from repro.gtm.library import (
     select_eq_gtm,
 )
 from repro.gtm.run import check_order_independence, gtm_query
-from repro.model.schema import Database, Schema
-from repro.model.types import parse_type
+from repro.model.schema import Database
 from repro.model.values import Atom, SetVal, Tup
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.budget import Budget
-from repro.errors import MachineError, UNDEFINED, is_undefined
+from repro.errors import MachineError, is_undefined
 from repro.gtm.machine import ALPHA, GTM
 from repro.gtm.run import Tape, check_order_independence, gtm_query, run_gtm
 from repro.model.encoding import BLANK

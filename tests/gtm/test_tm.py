@@ -14,10 +14,9 @@ from repro.gtm.tm import (
     tm_query,
     unary_machines,
 )
-from repro.model.encoding import BLANK
 from repro.model.schema import Database, Schema
 from repro.model.types import parse_type
-from repro.model.values import Atom, SetVal
+from repro.model.values import Atom
 
 
 class TestTMValidation:

@@ -8,12 +8,12 @@ value.  These tests inject each failure mode and check the funnel.
 import pytest
 
 from repro.budget import Budget
-from repro.errors import UNDEFINED, is_undefined
-from repro.gtm.machine import ALPHA, GTM
+from repro.errors import is_undefined
+from repro.gtm.machine import GTM
 from repro.model.encoding import BLANK
 from repro.model.schema import Database, Schema
 from repro.model.types import parse_type
-from repro.model.values import Atom, SetVal
+from repro.model.values import SetVal
 
 
 def _spinner():

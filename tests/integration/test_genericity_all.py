@@ -5,12 +5,9 @@ domain preserving."  We verify this empirically for one representative
 query per language, using the permutation-commutation checker.
 """
 
-import pytest
 
 from repro.budget import Budget
 from repro.model.genericity import check_domain_preserving, check_generic
-from repro.model.schema import Database, Schema
-from repro.model.types import parse_type
 from repro.workloads import chain_graph, random_binary_pairs, unary_instance
 
 

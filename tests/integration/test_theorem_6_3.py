@@ -10,7 +10,6 @@ bounded CALC evaluation equals the union of the stage-wise evaluations
 over flatten-representable witnesses.
 """
 
-import pytest
 
 from repro.budget import Budget
 from repro.calculus.ast import And, Exists, In, Pred, Query, VarT
@@ -22,7 +21,6 @@ from repro.core.flattening import (
     objects_at_stage,
     unflatten_value,
 )
-from repro.model.domains import cons_obj_bounded
 from repro.model.schema import Database, Schema
 from repro.model.types import OBJ, SetType, U, parse_type
 from repro.model.values import Atom, SetVal

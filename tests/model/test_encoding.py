@@ -11,7 +11,6 @@ from repro.model.encoding import (
     decode_database,
     decode_instance,
     encode_database,
-    encode_instance,
     encode_row,
 )
 from repro.model.schema import Database, Schema

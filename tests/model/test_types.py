@@ -4,9 +4,7 @@ import pytest
 
 from repro.errors import TypeCheckError
 from repro.model.types import (
-    AtomType,
     OBJ,
-    ObjType,
     SetType,
     TupleType,
     U,

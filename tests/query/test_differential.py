@@ -23,12 +23,13 @@ from repro.budget import Budget
 from repro.errors import is_undefined
 from repro.model.schema import Database, Schema
 from repro.model.types import parse_type
-from repro.query.explain import render_plan
+from repro.query.explain import render_actuals, render_plan
 from repro.query.parser import parse
 from repro.query.planner import build_plan, execute_plan
 
 
 GOLDEN = pathlib.Path(__file__).parent / "golden" / "explain.txt"
+GOLDEN_ACTUALS = pathlib.Path(__file__).parent / "golden" / "actuals.txt"
 
 MAIN_SCHEMA = Schema(
     {
@@ -149,3 +150,56 @@ class TestGoldenExplain:
             GOLDEN.write_text(rendered)
         assert GOLDEN.exists(), "golden file missing; run with REGEN_GOLDEN=1"
         assert rendered == GOLDEN.read_text()
+
+
+#: (database key, query text, forced backend) — the physical-actuals
+#: bank.  Every counter in the rendering is data-derived (rows, probes,
+#: index builds, fixpoint rounds — no wall-clock), so the full actuals
+#: section is as golden-testable as the plan itself.
+ACTUALS_BANK = [
+    ("main", "R |> select(1 = 'a') |> project(2)", "algebra"),
+    ("main", "{ [x, z] | some y / U : R([x, y]) and R([y, z]) }", "algebra"),
+    (
+        "main",
+        "rules { T(x, y) :- R(x, y). T(x, z) :- T(x, y), R(y, z). } answer T",
+        "col-stratified",
+    ),
+    (
+        "main",
+        "rules { T(x, y) :- R(x, y). T(x, z) :- T(x, y), R(y, z). } answer T",
+        "col-naive",
+    ),
+    ("main", "rules { Q(x, y) :- R(x, y), S(x). } answer Q", "col-inflationary"),
+    ("main", "bk { A(x) :- S(x). } answer A", "bk-hashjoin"),
+    ("atoms", "bk { A(x) :- R(x), R(x). } answer A", "bk-hashjoin"),
+    ("main", "{ x | S(x) and not R([x, x]) }", "calculus"),
+]
+
+
+class TestGoldenActuals:
+    def _render_bank(self):
+        chunks = []
+        for db_key, text, backend in ACTUALS_BANK:
+            plan, database = _plan(db_key, text)
+            report = execute_plan(plan, database, Budget(), backend=backend)
+            chunks.append(
+                f"### database: {db_key}\n### backend: {backend}\n"
+                f"EXPLAIN ANALYZE {text}\n{render_actuals(report)}"
+            )
+        return "\n\n".join(chunks) + "\n"
+
+    def test_actuals_match_golden(self):
+        rendered = self._render_bank()
+        if os.environ.get("REGEN_GOLDEN"):
+            GOLDEN_ACTUALS.write_text(rendered)
+        assert GOLDEN_ACTUALS.exists(), (
+            "golden file missing; run with REGEN_GOLDEN=1"
+        )
+        assert rendered == GOLDEN_ACTUALS.read_text()
+
+    def test_physical_tree_present_for_kernel_backends(self):
+        for db_key, text, backend in ACTUALS_BANK:
+            plan, database = _plan(db_key, text)
+            report = execute_plan(plan, database, Budget(), backend=backend)
+            assert report.physical, f"no physical tree for {backend}: {text!r}"
+            assert "Scan(" in report.physical

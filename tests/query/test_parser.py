@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SchemaError, TypeCheckError
 from repro.model.schema import Schema
-from repro.model.types import OBJ, SetType, TupleType, U, parse_type
+from repro.model.types import SetType, U, parse_type
 from repro.model.values import Atom, SetVal, Tup
 from repro.query.ir import (
     BKQuery,

@@ -27,6 +27,12 @@ class TestConnect:
         session = connect(DB)
         assert session.database is DB
 
+    def test_connect_passes_cache_capacities(self):
+        session = connect(DB, memo_entries=7, plan_entries=3, obj_bound=50)
+        assert session.memo.max_entries == 7
+        assert session.plans.max_entries == 3
+        assert session.obj_bound == 50
+
 
 class TestQuery:
     def test_query_returns_value(self):
@@ -96,6 +102,21 @@ class TestPlanCacheLRU:
         second = session.plan("{ x | S(x) }", database=other)
         assert first is not second
 
+    def test_plan_cache_counters(self):
+        session = _session()
+        session.plan("{ x | S(x) }")
+        session.plan("{ x | S(x) }")
+        assert session.plans.stats.misses == 1
+        assert session.plans.stats.hits == 1
+
+    def test_custom_plan_capacity_evicts(self):
+        session = _session(plan_entries=1)
+        session.plan("{ x | S(x) }")
+        session.plan("{ [x, y] | R([x, y]) }")
+        session.plan("{ x | S(x) }")  # evicted: rebuilt, not reused
+        assert session.plans.stats.evictions >= 1
+        assert session.plans.stats.misses >= 2
+
 
 class TestExplain:
     def test_explain_plan_sections(self):
@@ -111,6 +132,18 @@ class TestExplain:
         text = session.explain("{ x | S(x) }", run=True)
         assert "actuals:" in text
         assert "result:" in text
+
+    def test_explain_run_shows_physical_tree(self):
+        session = _session()
+        text = session.explain("{ x | S(x) }", run=True)
+        assert "physical:" in text
+        assert "Scan(" in text
+
+    def test_explain_run_shows_plan_cache_counters(self):
+        session = _session()
+        session.explain("{ x | S(x) }", run=True)
+        text = session.explain("{ x | S(x) }", run=True)
+        assert "plan cache: hits=" in text
 
     def test_explain_deterministic(self):
         session = _session()
