@@ -24,6 +24,7 @@ example harnesses:
 
 from .cache import CacheStats, LRUCache, MemoCache, program_fingerprint
 from .canon import Renaming, canonical_atom, canonicalise_database
+from .deadline import DeadlineBudget, DeadlineExceeded, with_deadline
 from .exec import PhysicalTrace, PhysNode
 from .ops import (
     ATTR_ATOM,
@@ -63,6 +64,9 @@ __all__ = [
     "Renaming",
     "canonical_atom",
     "canonicalise_database",
+    "DeadlineBudget",
+    "DeadlineExceeded",
+    "with_deadline",
     "InternStats",
     "Interner",
     "disable_interning",

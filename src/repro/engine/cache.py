@@ -28,6 +28,7 @@ and anywhere else a plain bounded dict is wanted.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Iterable
@@ -62,43 +63,56 @@ class CacheStats:
 
 
 class LRUCache:
-    """A bounded mapping with least-recently-used eviction."""
+    """A bounded mapping with least-recently-used eviction.
 
-    __slots__ = ("_entries", "max_entries", "stats")
+    Thread-safe: every operation holds an ``RLock``, so lookups,
+    insert-then-evict (previously a check-then-act race: two concurrent
+    ``put`` calls could both observe the cache one-under-capacity and
+    overshoot, or race ``popitem`` against an empty dict), and the
+    hit/miss/eviction counters are all atomic under concurrency.
+    """
+
+    __slots__ = ("_entries", "_lock", "max_entries", "stats")
 
     def __init__(self, max_entries: int = 256):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
         self.max_entries = max_entries
         self.stats = CacheStats()
 
     def get(self, key, default=None):
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.stats.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def put(self, key, value) -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 def program_fingerprint(program) -> str:
@@ -126,11 +140,14 @@ class MemoCache:
 
     Entries are LRU-bounded; values are stored in canonical atom space
     and renamed back on every hit (see the module docstring for why
-    that is sound).
+    that is sound).  Lookup and store hold an ``RLock`` (the serving
+    layer shares one instance across worker threads); the evaluation
+    itself runs unlocked, so a slow miss never blocks other requests.
     """
 
     def __init__(self, max_entries: int = 256):
         self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
         self.max_entries = max_entries
         self.stats = CacheStats()
 
@@ -153,34 +170,46 @@ class MemoCache:
         the cache entirely (counted in :attr:`stats`).
         """
         if not generic:
-            self.stats.bypasses += 1
+            with self._lock:
+                self.stats.bypasses += 1
             return fn(database)
         constants = tuple(constants)
         canon_db, renaming = canonicalise_database(database, constants)
         key = (program_fingerprint(program), extra_key, canon_db)
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            canonical_result = self._entries[key]
+        sentinel = object()
+        with self._lock:
+            canonical_result = self._entries.get(key, sentinel)
+            if canonical_result is not sentinel:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+        if canonical_result is not sentinel:
             if is_undefined(canonical_result) or not isinstance(
                 canonical_result, Value
             ):
                 return canonical_result
             return renaming.inverse()(canonical_result)
-        self.stats.misses += 1
+        # Evaluate outside the lock: concurrent misses on the same key
+        # duplicate work but never block each other, and the duplicate
+        # store is idempotent (both threads store the same canonical
+        # answer — genericity again).
         result = fn(database)
         if is_undefined(result) or isinstance(result, Value):
             canonical_result = (
                 result if is_undefined(result) else renaming(result)
             )
-            self._entries[key] = canonical_result
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+            with self._lock:
+                self._entries[key] = canonical_result
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
         return result
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,102 @@
+"""Cooperative wall-clock deadlines that work off the main thread.
+
+The runner's SIGALRM timeout (:mod:`repro.engine.runner`) only arms on
+the main thread of a process — CPython restricts ``signal.signal`` to
+it.  A query service dispatching work to a *thread* pool therefore
+needs a different observer for "this computation does not finish".
+
+The mechanism here piggybacks on the one invariant every evaluator in
+this repository already maintains: **unbounded work charges a budget**
+(while loops, fixpoint rounds, domain enumerations, machine steps all
+call :meth:`~repro.budget.Budget.charge`).  A :class:`DeadlineBudget`
+checks the monotonic clock on every charge and raises
+:class:`DeadlineExceeded` once the deadline passes.  That makes the
+deadline *cooperative* — a computation that burns wall clock without
+charging is not interrupted — but in exchange it is thread-safe,
+signal-free, and composes with sub-budgets: :meth:`DeadlineBudget.child`
+hands the same absolute deadline to children, so a request's whole
+budget tree expires together.
+
+:class:`DeadlineExceeded` deliberately does **not** subclass
+:class:`~repro.errors.BudgetExceeded`: evaluators observe budget
+exhaustion as the paper's ``?`` (the computation's actual value under
+the bounded semantics), whereas a deadline is an *operational* abort
+that must surface to the caller as a timeout, not be swallowed as a
+defined-to-be-undefined result.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..budget import DEFAULT_LIMITS, Budget
+from ..errors import ReproError
+
+
+class DeadlineExceeded(ReproError):
+    """A wall-clock deadline passed before the computation completed.
+
+    Carries the deadline's original extent in seconds so callers can
+    report the configured timeout, not just that one happened.
+    """
+
+    def __init__(self, seconds: float):
+        super().__init__(f"deadline exceeded: {seconds:.3f}s")
+        self.seconds = seconds
+
+
+class DeadlineBudget(Budget):
+    """A :class:`~repro.budget.Budget` that also watches the clock.
+
+    *deadline* is an absolute ``time.monotonic()`` timestamp; *seconds*
+    is the original extent (for error messages).  Every :meth:`charge`
+    first checks the clock, so any evaluator loop that charges — which
+    is all of them — observes the deadline within one iteration.
+    """
+
+    def __init__(self, deadline: float, seconds: float, **limits):
+        super().__init__(**limits)
+        self.deadline = deadline
+        self.seconds = seconds
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        if time.monotonic() >= self.deadline:
+            raise DeadlineExceeded(self.seconds)
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.deadline
+
+    def remaining_seconds(self) -> float:
+        return max(0.0, self.deadline - time.monotonic())
+
+    def charge(self, resource: str, amount: int = 1) -> None:
+        self.check()
+        super().charge(resource, amount)
+
+    def child(self, **overrides) -> "DeadlineBudget":
+        """A sub-budget carrying the *same* absolute deadline."""
+        plain = super().child(**overrides)
+        return DeadlineBudget(
+            self.deadline,
+            self.seconds,
+            **{resource: getattr(plain, resource) for resource in DEFAULT_LIMITS},
+        )
+
+
+def with_deadline(budget: Budget | None, seconds: float | None) -> Budget:
+    """Bound *budget* by a wall-clock deadline of *seconds* from now.
+
+    Returns a fresh :class:`DeadlineBudget` with the budget's remaining
+    allowances (the input budget is not mutated or charged).  With
+    ``seconds`` ``None`` or non-positive, returns *budget* unchanged
+    (or a default :class:`Budget` when that was ``None`` too).
+    """
+    budget = budget if budget is not None else Budget()
+    if not seconds or seconds <= 0:
+        return budget
+    return DeadlineBudget(
+        time.monotonic() + seconds,
+        seconds,
+        **{resource: budget.remaining(resource) for resource in DEFAULT_LIMITS},
+    )

@@ -77,42 +77,63 @@ class Interner:
     the value classes build during construction; entries are the
     canonical instances.  The table is append-only up to ``max_entries``
     (see :data:`DEFAULT_MAX_ENTRIES` for why there is no eviction).
+
+    All operations hold an ``RLock``: a process-wide interner is shared
+    by every thread of a query service, and the counters are
+    read-modify-write.  Two threads may still race lookup-miss →
+    construct → store on the same structure; ``store`` keeps the first
+    entry (``setdefault``), so at most one instance becomes canonical
+    and the loser's value stays observationally equivalent (structural
+    equality does not require interning, it is only accelerated by it).
     """
 
-    __slots__ = ("_table", "max_entries", "hits", "misses", "skips")
+    __slots__ = ("_table", "_lock", "max_entries", "hits", "misses", "skips")
 
     def __init__(self, max_entries: int | None = DEFAULT_MAX_ENTRIES):
         self._table: dict = {}
+        self._lock = threading.RLock()
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.skips = 0
 
     def lookup(self, key):
-        cached = self._table.get(key)
-        if cached is not None:
-            self.hits += 1
-        else:
-            self.misses += 1
-        return cached
+        with self._lock:
+            cached = self._table.get(key)
+            if cached is not None:
+                self.hits += 1
+            else:
+                self.misses += 1
+            return cached
 
     def store(self, key, value) -> None:
-        if self.max_entries is not None and len(self._table) >= self.max_entries:
-            self.skips += 1
-            return
-        self._table[key] = value
+        with self._lock:
+            if (
+                self.max_entries is not None
+                and len(self._table) >= self.max_entries
+                and key not in self._table
+            ):
+                self.skips += 1
+                return
+            self._table.setdefault(key, value)
 
     def __len__(self) -> int:
-        return len(self._table)
+        with self._lock:
+            return len(self._table)
 
     def stats(self) -> InternStats:
-        return InternStats(
-            hits=self.hits, misses=self.misses, skips=self.skips, size=len(self._table)
-        )
+        with self._lock:
+            return InternStats(
+                hits=self.hits,
+                misses=self.misses,
+                skips=self.skips,
+                size=len(self._table),
+            )
 
     def clear(self) -> None:
-        self._table.clear()
-        self.hits = self.misses = self.skips = 0
+        with self._lock:
+            self._table.clear()
+            self.hits = self.misses = self.skips = 0
 
 
 _lock = threading.Lock()

@@ -38,6 +38,7 @@ from typing import Callable, Iterable, Sequence
 from ..budget import Budget
 from ..errors import BudgetExceeded, UNDEFINED, is_undefined
 from .cache import MemoCache
+from .deadline import DeadlineExceeded, with_deadline
 from .intern import Interner, enable_interning, intern_stats, interned
 
 #: Default per-task wall-clock timeout (seconds).  Deliberately long —
@@ -197,8 +198,13 @@ def _execute_task(task: RunTask, budget: Budget, timeout: float, intern: bool) -
 
     Module-level so process pools can pickle it.  The SIGALRM timeout
     only arms on platforms/threads that support it (the main thread of
-    a worker process does); elsewhere the budget remains the only
-    divergence observer.
+    a worker process does); elsewhere — the serial fallback invoked
+    from a non-main thread, or platforms without ``SIGALRM`` — the
+    timeout routes to a cooperative :class:`~.deadline.DeadlineBudget`
+    instead of silently doing nothing: the task's budget checks the
+    wall clock on every charge and raises
+    :class:`~.deadline.DeadlineExceeded`, reported as ``cause
+    "timeout"`` exactly like an alarm.
     """
     if intern:
         interner: Interner | None = enable_interning()
@@ -214,6 +220,8 @@ def _execute_task(task: RunTask, budget: Budget, timeout: float, intern: bool) -
             armed = True
         except ValueError:
             armed = False  # not the main thread (serial fallback in a thread)
+    if not armed and timeout and timeout > 0:
+        budget = with_deadline(budget, timeout)
     started = time.perf_counter()
     error = None
     timed_out = False
@@ -224,6 +232,10 @@ def _execute_task(task: RunTask, budget: Budget, timeout: float, intern: bool) -
         result = UNDEFINED
         cause = f"budget:{exc.resource}"
     except _Timeout:
+        result = UNDEFINED
+        timed_out = True
+        cause = "timeout"
+    except DeadlineExceeded:
         result = UNDEFINED
         timed_out = True
         cause = "timeout"

@@ -62,6 +62,47 @@ class Session:
 
     # -- execution ------------------------------------------------------
 
+    def run(
+        self,
+        text: str,
+        backend: str | None = None,
+        budget: Budget | None = None,
+        database: Database | None = None,
+    ) -> tuple:
+        """Evaluate *text*; return ``(result, ExecutionReport)``.
+
+        Unlike :meth:`query` this touches no per-session mutable state
+        beyond the (thread-safe) plan and memo caches, so one session
+        can serve many threads concurrently — the serving layer
+        (:mod:`repro.serve`) calls this and keeps each request's report
+        in its own trace instead of :attr:`last_report`.
+        """
+        database = database or self.database
+        plan = self.plan(text, database)
+        child = (budget or self.budget).child()
+        chosen = backend or plan.chosen.backend
+        captured: list = []
+
+        def evaluate(db: Database):
+            report = execute_plan(plan, db, child, backend=backend)
+            captured.append(report)
+            return report.result
+
+        result = self.memo.run(
+            evaluate,
+            plan,
+            database,
+            constants=plan.query.constants(),
+            generic=plan.generic,
+            extra_key=("backend", chosen),
+        )
+        if captured:
+            report = captured[0]
+        else:
+            # Memo hit: nothing ran. Report the hit itself as actuals.
+            report = ExecutionReport(chosen, result, spent={}, cached=True)
+        return result, report
+
     def query(
         self,
         text: str,
@@ -75,32 +116,10 @@ class Session:
         the plan is generic; *backend* forces a specific candidate and
         keys separately (all candidates agree semantically, but their
         budget behaviour near exhaustion differs)."""
-        database = database or self.database
-        plan = self.plan(text, database)
-        child = (budget or self.budget).child()
-        chosen = backend or plan.chosen.backend
-        captured: list = []
-
-        def run(db: Database):
-            report = execute_plan(plan, db, child, backend=backend)
-            captured.append(report)
-            return report.result
-
-        result = self.memo.run(
-            run,
-            plan,
-            database,
-            constants=plan.query.constants(),
-            generic=plan.generic,
-            extra_key=("backend", chosen),
+        result, report = self.run(
+            text, backend=backend, budget=budget, database=database
         )
-        if captured:
-            self.last_report = captured[0]
-        else:
-            # Memo hit: nothing ran. Report the hit itself as actuals.
-            self.last_report = ExecutionReport(
-                chosen, result, spent={}, cached=True
-            )
+        self.last_report = report
         return result
 
     # -- explain --------------------------------------------------------

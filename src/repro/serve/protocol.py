@@ -1,0 +1,200 @@
+"""The newline-delimited JSON wire protocol.
+
+One request per line, one response per line — a framing every language
+can speak with a socket and a JSON parser.  Requests are objects with
+an ``"op"`` field (``PING`` / ``QUERY`` / ``EXPLAIN`` / ``LOAD`` /
+``STATS``); responses echo the op and carry either ``"ok": true`` plus
+op-specific fields or ``"ok": false`` plus a typed error object::
+
+    -> {"op": "QUERY", "db": "main", "query": "{ x | S(x) }"}
+    <- {"op": "QUERY", "ok": true, "result": "{a, c}", "undefined": false, ...}
+
+    -> {"op": "QUERY", "db": "main", "query": "..."}     (queue full)
+    <- {"op": "QUERY", "ok": false,
+        "error": {"type": "rejected", "message": "...", "retryable": true}}
+
+``retryable`` is the admission controller's signal to clients: resend
+after a backoff and the identical request can succeed.  Query results
+travel as their ``repr`` — values store members pre-sorted (PR 2), so
+the rendering is canonical and two byte-identical ``result`` strings
+mean equal objects.
+
+``LOAD`` ships a database as plain JSON: an ``rtype`` string per
+predicate (the :func:`~repro.model.types.parse_type` syntax) and rows
+as nested arrays.  JSON has no sets or tuples, so
+:func:`value_from_json` rebuilds values **type-directedly** — an array
+is a tuple under ``[U, U]`` and a set under ``{U}``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import ReproError, is_undefined
+from ..model.schema import Database, Schema
+from ..model.types import RType, SetType, TupleType, parse_type
+from ..model.values import Atom, SetVal, Tup
+from .service import ServeError
+
+__all__ = [
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "database_from_spec",
+    "decode_message",
+    "encode_message",
+    "error_response",
+    "ok_response",
+    "result_fields",
+    "value_from_json",
+]
+
+PROTOCOL_VERSION = 1
+
+OPS = ("PING", "QUERY", "EXPLAIN", "LOAD", "STATS")
+
+
+class ProtocolError(ServeError):
+    """A message violates the wire protocol (malformed, unknown op)."""
+
+    code = "protocol"
+
+
+def encode_message(message: dict) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes | str) -> dict:
+    """Parse one line into a message dict (typed errors, never raw)."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"message is not UTF-8: {exc}") from exc
+    line = line.strip()
+    if not line:
+        raise ProtocolError("empty message")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"message is not JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def request_op(message: dict) -> str:
+    op = message.get("op")
+    if not isinstance(op, str) or op.upper() not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (expected one of {', '.join(OPS)})"
+        )
+    return op.upper()
+
+
+# -- responses --------------------------------------------------------------
+
+
+def ok_response(op: str, **fields) -> dict:
+    return {"op": op, "ok": True, **fields}
+
+
+def error_response(op: str, exc: Exception) -> dict:
+    """Map an exception to the wire's typed error object.
+
+    :class:`~repro.serve.service.ServeError` subclasses carry their own
+    ``code`` and ``retryable``; other :class:`~repro.errors.ReproError`
+    s become non-retryable ``"error"``; anything else is reported as an
+    ``"internal"`` error (still as a response — the connection
+    survives a bad request).
+    """
+    if isinstance(exc, ServeError):
+        code, retryable = exc.code, exc.retryable
+    elif isinstance(exc, ReproError):
+        code, retryable = "error", False
+    else:
+        code, retryable = "internal", False
+    return {
+        "op": op,
+        "ok": False,
+        "error": {
+            "type": code,
+            "message": str(exc),
+            "retryable": retryable,
+        },
+    }
+
+
+def result_fields(outcome) -> dict:
+    """The QUERY response fields for a completed request outcome."""
+    trace = outcome.trace
+    return {
+        "result": repr(outcome.result),
+        "undefined": is_undefined(outcome.result),
+        "backend": trace.backend,
+        "cached": trace.cached,
+        "cause": trace.cause,
+        "queue_wait": trace.queue_wait(),
+        "execution_seconds": trace.execution_seconds(),
+        "request_id": trace.request_id,
+    }
+
+
+# -- LOAD: databases from plain JSON ----------------------------------------
+
+
+def value_from_json(data, rtype: RType):
+    """Rebuild a value from JSON data, directed by its declared rtype."""
+    if isinstance(rtype, SetType):
+        if not isinstance(data, list):
+            raise ProtocolError(f"expected an array for {rtype!r}, got {data!r}")
+        return SetVal(value_from_json(item, rtype.element) for item in data)
+    if isinstance(rtype, TupleType):
+        if not isinstance(data, list) or len(data) != len(rtype.components):
+            raise ProtocolError(
+                f"expected a {len(rtype.components)}-array for {rtype!r}, got {data!r}"
+            )
+        return Tup(
+            [
+                value_from_json(item, component)
+                for item, component in zip(data, rtype.components)
+            ]
+        )
+    # Base types (U / Obj): atoms are strings or ints on the wire.
+    if not isinstance(data, (str, int)) or isinstance(data, bool):
+        raise ProtocolError(f"expected an atom for {rtype!r}, got {data!r}")
+    return Atom(data)
+
+
+def database_from_spec(spec: dict) -> Database:
+    """A :class:`Database` from the LOAD payload / ``--db`` JSON file.
+
+    ``spec`` is ``{"schema": {pred: rtype-string}, "instances":
+    {pred: [row, ...]}}``; missing predicates default to empty.
+    """
+    if not isinstance(spec, dict):
+        raise ProtocolError("database spec must be a JSON object")
+    schema_spec = spec.get("schema")
+    if not isinstance(schema_spec, dict) or not schema_spec:
+        raise ProtocolError('database spec needs a non-empty "schema" object')
+    try:
+        schema = Schema(
+            {name: parse_type(text) for name, text in schema_spec.items()}
+        )
+    except ReproError as exc:
+        raise ProtocolError(f"bad schema: {exc}") from exc
+    instances_spec = spec.get("instances", {})
+    if not isinstance(instances_spec, dict):
+        raise ProtocolError('"instances" must be an object')
+    unknown = sorted(set(instances_spec) - set(schema.names()))
+    if unknown:
+        raise ProtocolError(f"instances for undeclared predicates: {unknown}")
+    instances = {}
+    for name in schema.names():
+        rows = instances_spec.get(name, [])
+        if not isinstance(rows, list):
+            raise ProtocolError(f"{name}: instance must be an array of rows")
+        rtype = schema.rtype(name)
+        instances[name] = SetVal(value_from_json(row, rtype) for row in rows)
+    return Database(schema, instances)

@@ -1,0 +1,562 @@
+"""The embedded concurrent query service.
+
+:class:`QueryService` is the serving layer's core: a named-database
+registry where each database gets one long-lived
+:class:`~repro.query.session.Session` whose plan LRU and genericity-
+aware memo cache (both thread-safe since this PR) are **shared by every
+request** against that database — the warm-query speedups measured in
+BENCH_engine.json finally amortise across clients instead of being
+private to one single-threaded session.
+
+Around that shared state sit the three things a service needs that a
+library call does not:
+
+* **Admission control** — a bounded priority queue.  A request arriving
+  when the queue is full is rejected *immediately* with the retryable
+  :class:`AdmissionRejected` (fail fast and let the client back off,
+  rather than building an unbounded backlog).  Within a priority class
+  the queue is FIFO (a monotone sequence number breaks ties), and a
+  smaller priority number always dequeues first.
+* **Per-request deadlines** — each admitted request carries an absolute
+  wall-clock deadline covering queue wait *and* execution.  Workers are
+  threads, where the runner's SIGALRM trick is unavailable, so the
+  deadline rides the request's budget as a
+  :class:`~repro.engine.deadline.DeadlineBudget`: every evaluator
+  charge checks the clock, and expiry surfaces as the typed
+  :class:`RequestTimeout`.  A request whose deadline passes while still
+  queued is timed out without running at all.
+* **Observability** — a :class:`~repro.serve.metrics.MetricsRegistry`
+  (lifecycle counters, queue-wait and execution-latency histograms,
+  queue-depth and in-flight gauges) and a bounded
+  :class:`~repro.serve.trace.TraceLog` of per-request records
+  including the PR 4 physical operator tree.  :meth:`QueryService.stats`
+  bundles both with the per-database cache and interner counters.
+
+Every request runs under a *child* of the service budget (the
+:meth:`~repro.budget.Budget.child` splitting the engine runner already
+uses), so a runaway query exhausts its own allowance, not the
+service's.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+
+from ..budget import DEFAULT_LIMITS, Budget
+from ..engine.deadline import DeadlineBudget, DeadlineExceeded
+from ..engine.intern import enable_interning, intern_stats
+from ..errors import BudgetExceeded, ReproError, UNDEFINED
+from ..model.schema import Database
+from ..query.explain import render, render_plan
+from ..query.planner import database_profile
+from ..query.session import Session
+from .metrics import MetricsRegistry
+from .trace import RequestTrace, TraceLog
+
+__all__ = [
+    "AdmissionRejected",
+    "QueryFailed",
+    "QueryService",
+    "RequestOutcome",
+    "RequestTimeout",
+    "ServeError",
+    "ServiceClosed",
+    "UnknownDatabase",
+]
+
+
+class ServeError(ReproError):
+    """Base class for typed serving-layer errors.
+
+    ``code`` is the stable wire identifier; ``retryable`` tells clients
+    whether backing off and resending the identical request can
+    succeed (admission rejections are the canonical case).
+    """
+
+    code = "serve-error"
+    retryable = False
+
+
+class AdmissionRejected(ServeError):
+    """The request queue is at capacity; back off and retry."""
+
+    code = "rejected"
+    retryable = True
+
+    def __init__(self, depth: int):
+        super().__init__(f"admission rejected: queue at capacity ({depth})")
+        self.depth = depth
+
+
+class RequestTimeout(ServeError):
+    """The request's deadline passed (while queued or mid-execution)."""
+
+    code = "timeout"
+
+    def __init__(self, seconds: float, where: str):
+        super().__init__(f"deadline of {seconds:.3f}s exceeded ({where})")
+        self.seconds = seconds
+        self.where = where
+
+
+class UnknownDatabase(ServeError):
+    """The request names a database the registry does not hold."""
+
+    code = "unknown-database"
+
+    def __init__(self, name: str, known):
+        super().__init__(
+            f"unknown database {name!r} (registered: {', '.join(sorted(known)) or 'none'})"
+        )
+        self.name = name
+
+
+class ServiceClosed(ServeError):
+    """The service is shutting down and no longer accepts requests."""
+
+    code = "closed"
+
+    def __init__(self):
+        super().__init__("service closed")
+
+
+class QueryFailed(ServeError):
+    """The evaluator raised; carries the underlying error string."""
+
+    code = "error"
+
+    def __init__(self, error: str):
+        super().__init__(error)
+        self.error = error
+
+
+class RequestOutcome:
+    """What became of one admitted request.
+
+    ``status`` is ``"ok"`` / ``"timeout"`` / ``"error"`` / ``"closed"``;
+    ``result`` is the query's value (possibly ``?``) when ``ok``;
+    ``trace`` is the request's :class:`~repro.serve.trace.RequestTrace`.
+    """
+
+    __slots__ = ("status", "result", "trace", "error", "seconds")
+
+    def __init__(
+        self,
+        status: str,
+        result,
+        trace: RequestTrace,
+        error: str | None = None,
+        seconds: float | None = None,
+    ):
+        self.status = status
+        self.result = result
+        self.trace = trace
+        self.error = error
+        self.seconds = seconds
+
+    @property
+    def value(self):
+        return self.result
+
+    def raise_for_status(self):
+        """Return the result, or raise the outcome's typed error."""
+        if self.status == "ok":
+            return self.result
+        if self.status == "timeout":
+            raise RequestTimeout(self.seconds or 0.0, self.trace.cause or "execution")
+        if self.status == "closed":
+            raise ServiceClosed()
+        raise QueryFailed(self.error or "query failed")
+
+
+class _Pending:
+    """A minimal completion future for one ticket."""
+
+    __slots__ = ("_event", "outcome")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.outcome: RequestOutcome | None = None
+
+    def complete(self, outcome: RequestOutcome) -> None:
+        self.outcome = outcome
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> RequestOutcome:
+        if not self._event.wait(timeout):
+            raise TimeoutError("request still pending")
+        return self.outcome
+
+
+class _Ticket:
+    """One admitted request waiting for (or holding) a worker."""
+
+    __slots__ = (
+        "db", "text", "backend", "seconds", "deadline", "trace", "pending",
+    )
+
+    def __init__(self, db, text, backend, seconds, deadline, trace, pending):
+        self.db = db
+        self.text = text
+        self.backend = backend
+        self.seconds = seconds
+        self.deadline = deadline
+        self.trace = trace
+        self.pending = pending
+
+
+class QueryService:
+    """A concurrent query service over a registry of named databases.
+
+    Parameters:
+
+    *databases* — initial ``name -> Database`` registry (more can be
+    loaded later with :meth:`load`).  *workers* — worker-thread count.
+    *max_queue_depth* — admission cap on *waiting* requests; beyond it
+    :class:`AdmissionRejected`.  *default_timeout* — per-request
+    deadline in seconds when the request does not bring its own
+    (``None`` disables).  *budget* — the service budget each request
+    gets a child of.  *intern* — enable the (thread-safe) process-wide
+    value interner so structurally equal values are shared across
+    requests.  Remaining knobs size the per-database caches and the
+    trace log.
+    """
+
+    def __init__(
+        self,
+        databases: dict | None = None,
+        *,
+        workers: int = 4,
+        max_queue_depth: int = 64,
+        default_timeout: float | None = 30.0,
+        budget: Budget | None = None,
+        obj_bound: int = 200,
+        memo_entries: int = 512,
+        plan_entries: int = 256,
+        intern: bool = True,
+        trace_entries: int = 256,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive")
+        self.workers = workers
+        self.max_queue_depth = max_queue_depth
+        self.default_timeout = default_timeout
+        self.obj_bound = obj_bound
+        self.memo_entries = memo_entries
+        self.plan_entries = plan_entries
+        self._budget = budget or Budget()
+        if intern:
+            enable_interning()
+
+        self._sessions: dict = {}
+        self._registry_lock = threading.RLock()
+        for name, database in (databases or {}).items():
+            self.load(name, database)
+
+        self.metrics = MetricsRegistry()
+        self.traces = TraceLog(max_entries=trace_entries)
+        # Instruments exist from the start so STATS shows zeros, not gaps.
+        for name in (
+            "queries_accepted", "queries_rejected", "queries_started",
+            "queries_completed", "queries_timed_out", "queries_failed",
+        ):
+            self.metrics.counter(name)
+        self.metrics.histogram("queue_wait_seconds")
+        self.metrics.histogram("execution_seconds")
+        self.metrics.gauge("queue_depth")
+        self.metrics.gauge("in_flight")
+
+        self._queue: list = []  # heap of (priority, seq, ticket)
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"repro-serve-{index}", daemon=True
+            )
+            for index in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- registry -------------------------------------------------------
+
+    def load(self, name: str, database: Database, replace: bool = False) -> None:
+        """Register *database* under *name* (its own shared session)."""
+        if not isinstance(database, Database):
+            raise TypeError(f"expected a Database, got {type(database).__name__}")
+        with self._registry_lock:
+            if name in self._sessions and not replace:
+                raise ServeError(f"database {name!r} already registered")
+            self._sessions[name] = Session(
+                database,
+                budget=self._budget,
+                obj_bound=self.obj_bound,
+                memo_entries=self.memo_entries,
+                plan_entries=self.plan_entries,
+            )
+
+    def session(self, db: str) -> Session:
+        with self._registry_lock:
+            try:
+                return self._sessions[db]
+            except KeyError:
+                raise UnknownDatabase(db, self._sessions.keys()) from None
+
+    def databases(self) -> tuple:
+        with self._registry_lock:
+            return tuple(sorted(self._sessions))
+
+    # -- admission ------------------------------------------------------
+
+    def submit(
+        self,
+        db: str,
+        text: str,
+        *,
+        backend: str | None = None,
+        timeout: float | None | object = "default",
+        priority: int = 0,
+    ) -> _Pending:
+        """Admit one request; returns a waitable pending handle.
+
+        Raises :class:`AdmissionRejected` when the queue is full,
+        :class:`ServiceClosed` after :meth:`close`, and
+        :class:`UnknownDatabase` for an unregistered name — all before
+        any work is queued (fast rejection is the admission
+        controller's contract).
+        """
+        self.session(db)  # typed error before queueing
+        seconds = self.default_timeout if timeout == "default" else timeout
+        now = time.monotonic()
+        with self._cond:
+            if self._closed:
+                raise ServiceClosed()
+            if len(self._queue) >= self.max_queue_depth:
+                self.metrics.counter("queries_rejected").inc()
+                raise AdmissionRejected(self.max_queue_depth)
+            trace = self.traces.begin(db, text, priority, now)
+            pending = _Pending()
+            ticket = _Ticket(
+                db=db,
+                text=text,
+                backend=backend,
+                seconds=seconds,
+                deadline=(now + seconds) if seconds else None,
+                trace=trace,
+                pending=pending,
+            )
+            heapq.heappush(self._queue, (priority, next(self._seq), ticket))
+            self.metrics.counter("queries_accepted").inc()
+            self.metrics.gauge("queue_depth").set(len(self._queue))
+            self._cond.notify()
+        return pending
+
+    def query(
+        self,
+        db: str,
+        text: str,
+        *,
+        backend: str | None = None,
+        timeout: float | None | object = "default",
+        priority: int = 0,
+    ) -> RequestOutcome:
+        """Admit, wait, and return the request's outcome.
+
+        Raises the typed admission errors immediately; timeout and
+        evaluator failures come back in the outcome (use
+        :meth:`RequestOutcome.raise_for_status` to raise those too).
+        """
+        pending = self.submit(
+            db, text, backend=backend, timeout=timeout, priority=priority
+        )
+        return pending.wait()
+
+    # -- workers --------------------------------------------------------
+
+    def _next_ticket(self) -> _Ticket | None:
+        with self._cond:
+            while not self._queue and not self._closed:
+                self._cond.wait()
+            if not self._queue:
+                return None  # closed and drained
+            _, _, ticket = heapq.heappop(self._queue)
+            self.metrics.gauge("queue_depth").set(len(self._queue))
+            return ticket
+
+    def _worker(self) -> None:
+        while True:
+            ticket = self._next_ticket()
+            if ticket is None:
+                return
+            self.metrics.gauge("in_flight").inc()
+            try:
+                self._run_ticket(ticket)
+            finally:
+                self.metrics.gauge("in_flight").dec()
+
+    def _request_budget(self, ticket: _Ticket) -> Budget:
+        child = self._budget.child()
+        if ticket.deadline is None:
+            return child
+        return DeadlineBudget(
+            ticket.deadline,
+            ticket.seconds,
+            **{resource: getattr(child, resource) for resource in DEFAULT_LIMITS},
+        )
+
+    def _run_ticket(self, ticket: _Ticket) -> None:
+        trace = ticket.trace
+        now = time.monotonic()
+        trace.started_at = self.traces.relative(now)
+        self.metrics.counter("queries_started").inc()
+        wait = trace.queue_wait()
+        if wait is not None:
+            self.metrics.histogram("queue_wait_seconds").observe(wait)
+
+        if ticket.deadline is not None and now >= ticket.deadline:
+            trace.finished_at = trace.started_at
+            trace.outcome = "timeout"
+            trace.cause = "queue"
+            self.metrics.counter("queries_timed_out").inc()
+            ticket.pending.complete(
+                RequestOutcome("timeout", UNDEFINED, trace, seconds=ticket.seconds)
+            )
+            return
+
+        session = self.session(ticket.db)
+        budget = self._request_budget(ticket)
+        status, result, error = "ok", UNDEFINED, None
+        try:
+            result, report = session.run(
+                ticket.text, backend=ticket.backend, budget=budget
+            )
+            trace.backend = report.backend
+            trace.cached = report.cached
+            trace.physical = report.physical
+            trace.spent = report.spent
+        except DeadlineExceeded:
+            status = "timeout"
+            trace.cause = "execution"
+        except BudgetExceeded as exc:
+            # Budget exhaustion *is* the bounded semantics' answer: the
+            # computation is observed as ? (same as the engine runner).
+            trace.cause = f"budget:{exc.resource}"
+        except ServeError as exc:
+            status = "error"
+            error = str(exc)
+        except Exception as exc:  # noqa: BLE001 — reported, not swallowed
+            status = "error"
+            error = f"{type(exc).__name__}: {exc}"
+        trace.finished_at = self.traces.relative(time.monotonic())
+        trace.outcome = status
+        trace.error = error
+        execution = trace.execution_seconds()
+        if execution is not None:
+            self.metrics.histogram("execution_seconds").observe(execution)
+        if status == "ok":
+            self.metrics.counter("queries_completed").inc()
+        elif status == "timeout":
+            self.metrics.counter("queries_timed_out").inc()
+        else:
+            self.metrics.counter("queries_failed").inc()
+        ticket.pending.complete(
+            RequestOutcome(status, result, trace, error, seconds=ticket.seconds)
+        )
+
+    # -- explain / stats ------------------------------------------------
+
+    def explain(
+        self,
+        db: str,
+        text: str,
+        *,
+        run: bool = False,
+        backend: str | None = None,
+    ) -> str:
+        """The EXPLAIN transcript for *text* on database *db*.
+
+        Runs inline on the calling thread (admission control governs
+        QUERY traffic; EXPLAIN is an operator tool).  Thread-safe: uses
+        the race-free :meth:`~repro.query.session.Session.run` entry,
+        never the session's ``last_report``.
+        """
+        session = self.session(db)
+        plan = session.plan(text)
+        if not run:
+            return render_plan(plan)
+        from ..model import values as _values
+
+        _, report = session.run(text, backend=backend)
+        return render(
+            plan,
+            report,
+            cache_stats=session.memo.stats,
+            interner=_values.get_interner(),
+            plan_stats=session.plans.stats,
+        )
+
+    def stats(self, trace_limit: int | None = 16) -> dict:
+        """One JSON-ready snapshot of the whole service's state."""
+        with self._cond:
+            queue_depth = len(self._queue)
+            accepting = not self._closed
+        databases = {}
+        with self._registry_lock:
+            sessions = dict(self._sessions)
+        for name, session in sorted(sessions.items()):
+            profile = database_profile(session.database)
+            databases[name] = {
+                "facts": profile["total_facts"],
+                "adom": profile["adom"],
+                "memo": session.memo.stats.as_dict(),
+                "plans": session.plans.stats.as_dict(),
+            }
+        return {
+            "service": {
+                "workers": self.workers,
+                "max_queue_depth": self.max_queue_depth,
+                "default_timeout": self.default_timeout,
+                "queue_depth": queue_depth,
+                "accepting": accepting,
+            },
+            "metrics": self.metrics.snapshot(),
+            "databases": databases,
+            "interner": intern_stats().as_dict(),
+            "traces": self.traces.tail(trace_limit),
+        }
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Stop admission and shut the worker pool down.
+
+        With ``drain`` (the default) queued requests still execute;
+        otherwise they complete immediately with a ``"closed"``
+        outcome.  Idempotent; blocks until every worker exits.
+        """
+        with self._cond:
+            if not self._closed:
+                self._closed = True
+                if not drain:
+                    while self._queue:
+                        _, _, ticket = heapq.heappop(self._queue)
+                        ticket.trace.outcome = "closed"
+                        ticket.pending.complete(
+                            RequestOutcome("closed", UNDEFINED, ticket.trace)
+                        )
+                    self.metrics.gauge("queue_depth").set(0)
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

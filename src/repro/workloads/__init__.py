@@ -1,6 +1,8 @@
 """Instance and workload generators.  See DESIGN.md Section 2.7."""
 
 from .generators import (
+    Request,
+    SERVE_QUERY_BANK,
     atoms,
     binary_schema,
     chain_for_bk,
@@ -9,6 +11,8 @@ from .generators import (
     join_pair,
     random_binary_pairs,
     random_graph,
+    request_stream,
+    serve_databases,
     suite_binary,
     suite_unary,
     two_binary_schema,
@@ -17,7 +21,9 @@ from .generators import (
 )
 
 __all__ = [
+    "Request", "SERVE_QUERY_BANK",
     "atoms", "binary_schema", "chain_for_bk", "chain_graph", "cycle_graph",
-    "join_pair", "random_binary_pairs", "random_graph", "suite_binary",
-    "suite_unary", "two_binary_schema", "unary_instance", "unary_schema",
+    "join_pair", "random_binary_pairs", "random_graph", "request_stream",
+    "serve_databases", "suite_binary", "suite_unary", "two_binary_schema",
+    "unary_instance", "unary_schema",
 ]

@@ -8,7 +8,7 @@ pay ``|adom|!`` in the all-orderings checks.
 from __future__ import annotations
 
 import random
-from typing import Iterable
+from typing import Iterable, NamedTuple
 
 from ..model.schema import Database, Schema
 from ..model.types import parse_type
@@ -144,3 +144,97 @@ def suite_binary(seed: int = 7) -> list:
         chain_graph(3),
         cycle_graph(3),
     ]
+
+
+# ---------------------------------------------------------------------------
+# Request streams for the serving layer (repro.serve)
+# ---------------------------------------------------------------------------
+
+
+class Request(NamedTuple):
+    """One client request in a generated stream.
+
+    *db* names a registered database, *text* is surface-query text,
+    *priority* is the admission class (0 = interactive, larger = less
+    urgent batch work; FIFO within a class).
+    """
+
+    db: str
+    text: str
+    priority: int = 0
+
+
+#: A mixed bank of surface queries over the three ``serve_databases``
+#: instances — every query form (comprehension, pipeline, rules, bk,
+#: gtm) and both cache behaviours (generic queries memoize; repeated
+#: texts hit the plan LRU).  Kept cheap: every entry evaluates well
+#: under a default budget.
+SERVE_QUERY_BANK = (
+    ("main", "{ x | S(x) }"),
+    ("main", "{ [x, y] | R([x, y]) }"),
+    ("main", "{ [x, z] | some y / U : R([x, y]) and R([y, z]) }"),
+    ("main", "{ x | S(x) and not R([x, x]) }"),
+    ("main", "R |> project(1)"),
+    ("main", "R |> select(1 = 'a') |> project(2)"),
+    ("main", "rules { T(x, y) :- R(x, y). T(x, z) :- T(x, y), R(y, z). } answer T"),
+    ("main", "rules { Q(x, y) :- R(x, y), S(x). } answer Q"),
+    ("main", "bk { A(x) :- S(x). } answer A"),
+    ("atoms", "bk { A(x) :- R(x). } answer A"),
+    ("atoms", "gtm parity"),
+    ("pairs", "gtm identity"),
+)
+
+
+def serve_databases() -> dict:
+    """The named databases the serve bank runs over.
+
+    Mirrors the differential-test instances: a three-predicate ``main``
+    database plus tiny single-predicate ``atoms``/``pairs`` databases
+    for the machine routes (their simulations enumerate domains, so
+    they stay small).
+    """
+    main_schema = Schema(
+        {
+            "R": parse_type("[U, U]"),
+            "S": parse_type("U"),
+            "N": parse_type("{U}"),
+        }
+    )
+    return {
+        "main": Database.from_plain(
+            main_schema,
+            R=[("a", "b"), ("b", "c"), ("c", "d"), ("a", "a")],
+            S=["a", "c"],
+            N=[{"a", "b"}, {"c"}],
+        ),
+        "atoms": Database.from_plain(
+            Schema({"R": parse_type("U")}), R=["a", "b"]
+        ),
+        "pairs": Database.from_plain(
+            Schema({"R": parse_type("[U, U]")}), R=[("a", "b"), ("b", "a")]
+        ),
+    }
+
+
+def request_stream(
+    count: int,
+    seed: int = 0,
+    bank: tuple = SERVE_QUERY_BANK,
+    batch_fraction: float = 0.25,
+) -> list:
+    """A deterministic stream of *count* :class:`Request` objects.
+
+    Draws (database, query) pairs from *bank* and assigns roughly
+    *batch_fraction* of requests to the batch priority class (1), the
+    rest interactive (0) — all through one seeded PRNG, so the same
+    ``(count, seed, bank)`` always yields the identical stream.  Used
+    by the serve benchmark and the concurrency tests, where determinism
+    is what makes "concurrent results == serial results" assertable.
+    """
+    rng = random.Random(seed)
+    stream = []
+    for _ in range(count):
+        db, text = bank[rng.randrange(len(bank))]
+        priority = 1 if rng.random() < batch_fraction else 0
+        stream.append(Request(db=db, text=text, priority=priority))
+    return stream

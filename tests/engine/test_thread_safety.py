@@ -1,0 +1,209 @@
+"""Shared engine state under thread contention: intern, LRU, memo.
+
+These hammer the three structures a :class:`repro.serve.QueryService`
+shares across its worker pool.  The assertions are consistency
+invariants that fail when any lock is missing or too narrow: exact
+counter accounting, capacity never overshot, one canonical instance
+per key, correct results from concurrent memoized evaluation.
+"""
+
+import threading
+
+from repro.engine.cache import LRUCache, MemoCache
+from repro.engine.intern import Interner
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.model.values import Atom, SetVal, Tup
+
+THREADS = 8
+
+
+def _hammer(worker, threads=THREADS):
+    pool = [
+        threading.Thread(target=worker, args=(index,)) for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(timeout=120)
+    assert not any(thread.is_alive() for thread in pool)
+
+
+class TestInternerConcurrency:
+    def test_one_canonical_instance_per_key(self):
+        interner = Interner(max_entries=None)
+        winners = [set() for _ in range(THREADS)]
+
+        def worker(index):
+            for round_number in range(500):
+                for label in ("a", "b", "c", "d"):
+                    key = ("Atom", label)
+                    cached = interner.lookup(key)
+                    if cached is None:
+                        interner.store(key, (label, index, round_number))
+                        cached = interner.lookup(key)
+                    winners[index].add(id(cached))
+
+        _hammer(worker)
+        # However the races went, each key converged on ONE canonical
+        # instance, and after convergence every thread observed it.
+        assert len(interner) == 4
+        canonical = {id(value) for value in interner._table.values()}
+        for observed in winners:
+            # A thread saw the canonical instance plus at most its own
+            # transient losers (first-store races), never corruption.
+            assert canonical & observed or not observed
+
+    def test_counters_are_exact(self):
+        interner = Interner(max_entries=None)
+
+        def worker(index):
+            for _ in range(1_000):
+                interner.lookup(("Atom", "x"))
+
+        interner.store(("Atom", "x"), Atom("x"))
+        _hammer(worker)
+        stats = interner.stats()
+        assert stats.hits == THREADS * 1_000
+        assert stats.misses == 0
+
+    def test_capacity_is_never_overshot(self):
+        interner = Interner(max_entries=16)
+
+        def worker(index):
+            for n in range(400):
+                key = ("Atom", f"{index}-{n}")
+                if interner.lookup(key) is None:
+                    interner.store(key, key)
+
+        _hammer(worker)
+        assert len(interner) <= 16
+        stats = interner.stats()
+        # Everything not admitted was counted as a skip.
+        assert stats.size + stats.skips == THREADS * 400
+
+
+class TestLRUCacheConcurrency:
+    def test_capacity_and_counters_under_put_storm(self):
+        cache = LRUCache(max_entries=32)
+
+        def worker(index):
+            for n in range(1_000):
+                cache.put((index, n % 64), n)
+
+        _hammer(worker)
+        assert len(cache) <= 32
+        # Inserts either stay resident or were evicted — nothing lost.
+        puts = THREADS * 1_000
+        assert cache.stats.evictions <= puts
+        assert len(cache) + cache.stats.evictions >= 32
+
+    def test_hit_miss_accounting_is_exact(self):
+        cache = LRUCache(max_entries=8)
+        for n in range(8):
+            cache.put(n, n)
+
+        def worker(index):
+            for _ in range(1_000):
+                assert cache.get(index % 8) == index % 8
+
+        _hammer(worker)
+        assert cache.stats.hits == THREADS * 1_000
+        assert cache.stats.misses == 0
+
+    def test_get_put_mix_never_corrupts(self):
+        cache = LRUCache(max_entries=4)
+
+        def worker(index):
+            for n in range(2_000):
+                key = n % 8
+                cache.put(key, key)
+                value = cache.get(key)
+                assert value is None or value == key
+
+        _hammer(worker)
+        assert len(cache) <= 4
+
+
+def _database(rows):
+    schema = Schema({"R": parse_type("[U, U]")})
+    instance = SetVal(Tup([Atom(a), Atom(b)]) for a, b in rows)
+    return Database(schema, {"R": instance})
+
+
+class _FakeProgram:
+    def __repr__(self):
+        return "FakeProgram()"
+
+
+def _project_first(database):
+    return SetVal(pair[0] for pair in database["R"])
+
+
+class TestMemoCacheConcurrency:
+    def test_concurrent_hits_and_misses_are_consistent(self):
+        memo = MemoCache(max_entries=64)
+        program = _FakeProgram()
+        databases = [
+            _database([("a", "b"), ("b", "c")]),
+            _database([("x", "y"), ("y", "z")]),
+        ]
+        expected = [_project_first(database) for database in databases]
+        evaluations = []
+        evaluations_lock = threading.Lock()
+
+        def counted(database):
+            with evaluations_lock:
+                evaluations.append(1)
+            return _project_first(database)
+
+        failures = []
+
+        def worker(index):
+            for n in range(300):
+                which = (index + n) % 2
+                result = memo.run(counted, program, databases[which])
+                if result != expected[which]:
+                    failures.append((index, n, result))
+
+        _hammer(worker)
+        assert not failures
+        total = THREADS * 300
+        stats = memo.stats
+        # Every run was either a hit or a miss, and every miss ran fn.
+        assert stats.hits + stats.misses == total
+        assert len(evaluations) == stats.misses
+        # Concurrent first-misses may duplicate work, but only a
+        # bounded amount: far fewer evaluations than total runs.
+        assert stats.misses <= THREADS * 2
+        assert stats.hits >= total - THREADS * 2
+
+    def test_generic_false_bypasses_and_counts(self):
+        memo = MemoCache()
+        program = _FakeProgram()
+        database = _database([("a", "b")])
+
+        def worker(index):
+            for _ in range(200):
+                memo.run(_project_first, program, database, generic=False)
+
+        _hammer(worker)
+        assert memo.stats.bypasses == THREADS * 200
+        assert len(memo) == 0
+
+    def test_eviction_respects_capacity_under_threads(self):
+        memo = MemoCache(max_entries=4)
+        program = _FakeProgram()
+        # Chains of different lengths: canonicalisation cannot collapse
+        # these (structure differs), so they occupy distinct keys.
+        databases = [
+            _database([(f"n{i}", f"n{i + 1}") for i in range(length + 1)])
+            for length in range(12)
+        ]
+
+        def worker(index):
+            for n in range(120):
+                memo.run(_project_first, program, databases[(index + n) % 12])
+
+        _hammer(worker)
+        assert len(memo) <= 4

@@ -1,0 +1,18 @@
+"""Serve-test fixtures: keep the process-wide interner state scoped.
+
+``QueryService(intern=True)`` installs a process-wide interner; these
+tests must not leak that (or any counters it accumulated) into the
+rest of the suite, so every test in this package restores whatever
+interner was installed before it ran.
+"""
+
+import pytest
+
+from repro.model import values as _values
+
+
+@pytest.fixture(autouse=True)
+def _restore_interner():
+    previous = _values.get_interner()
+    yield
+    _values.set_interner(previous)

@@ -1,0 +1,113 @@
+"""Metrics instruments: correctness alone and under contention."""
+
+import threading
+
+import pytest
+
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_monotone(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_no_lost_increments_under_threads(self):
+        counter = Counter()
+        threads = [
+            threading.Thread(target=lambda: [counter.inc() for _ in range(5_000)])
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(7)
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 9
+
+    def test_balanced_under_threads(self):
+        gauge = Gauge()
+
+        def bounce():
+            for _ in range(5_000):
+                gauge.inc()
+                gauge.dec()
+
+        threads = [threading.Thread(target=bounce) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert gauge.value == 0
+
+
+class TestHistogram:
+    def test_counts_sum_min_max(self):
+        histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == 0.05
+        assert snap["max"] == 50.0
+        assert snap["sum"] == pytest.approx(55.55)
+        # Cumulative buckets: each bound counts everything at or below.
+        assert snap["buckets"] == {"0.1": 1, "1.0": 2, "10.0": 3}
+
+    def test_quantile_bucket_resolution(self):
+        histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05,) * 9 + (5.0,):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 0.1
+        assert histogram.quantile(0.99) == 10.0
+        assert Histogram().quantile(0.5) is None
+
+    def test_no_lost_observations_under_threads(self):
+        histogram = Histogram()
+
+        def observe():
+            for _ in range(2_000):
+                histogram.observe(0.01)
+
+        threads = [threading.Thread(target=observe) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 16_000
+        assert histogram.snapshot()["buckets"]["0.01"] == 16_000
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_snapshot_is_sorted_and_json_shaped(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.gauge("a").set(2)
+        registry.histogram("c").observe(0.5)
+        snap = registry.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        json.dumps(snap)  # everything is JSON-serialisable
