@@ -23,9 +23,17 @@ THRESHOLD = 0.9
 #: Entry families the current run must contain at least one of — keeps
 #: the gate honest when a whole bench file silently stops recording
 #: (``seminaive_``/``bk_`` from bench_engine.py, ``kernel_`` for the
-#: operator-kernel microbench, ``query_`` from bench_query.py,
+#: operator-kernel and compiled-rule-kernel microbenches, ``join_order_``
+#: for the cost-based ordering benches, ``query_`` from bench_query.py,
 #: ``serve_`` from bench_serve.py).
-REQUIRED_FAMILIES = ("seminaive_", "bk_", "kernel_", "query_", "serve_")
+REQUIRED_FAMILIES = (
+    "seminaive_",
+    "bk_",
+    "kernel_",
+    "join_order_",
+    "query_",
+    "serve_",
+)
 
 
 def load(path: str) -> dict:

@@ -497,6 +497,60 @@ def _probe_value(sub_pattern, valuation: Mapping) -> Value | None:
     return to_obj(sub_pattern)
 
 
+def _tail_estimate(tail: BKAtom, bound_vars: set, extents: dict) -> int:
+    """Deterministic per-valuation candidate estimate for one tail:
+    the extent size, divided by 4 for every pattern field already
+    determined by *bound_vars* (those fields drive an attribute-index
+    probe in :func:`_bk_candidates`)."""
+    extent = extents.get(tail.pred)
+    size = len(extent.facts) if extent is not None else 0
+    if not size:
+        return 0
+    pattern = tail.pattern
+    estimate = size
+    if isinstance(pattern, dict):
+        for sub in pattern.values():
+            if not pattern_variables(sub) - bound_vars:
+                estimate = max(estimate >> 2, 1)
+    elif not pattern_variables(pattern) - bound_vars:
+        estimate = max(estimate >> 2, 1)
+    return estimate
+
+
+def _tail_order(tails: list, extents: dict, seed: int | None) -> list:
+    """Greedy SIP execution order over tail occurrences.
+
+    Returns ``[(occurrence_index, mode), ...]``: the seed occurrence
+    (delta population) first, then repeatedly the cheapest remaining
+    tail under the variables bound so far (ties broken by textual
+    position).  Modes are assigned by *occurrence* relative to the seed
+    — old before, full after — independent of execution order, which is
+    what keeps the semi-naive exactly-once accounting sound under
+    reordering (BK tails are all positive, so the conjunction itself is
+    order-free).
+    """
+    order: list = []
+    bound: set = set()
+    remaining = list(range(len(tails)))
+    if seed is not None:
+        order.append((seed, "delta"))
+        bound |= pattern_variables(tails[seed].pattern)
+        remaining.remove(seed)
+    while remaining:
+        index = min(
+            remaining,
+            key=lambda i: (_tail_estimate(tails[i], bound, extents), i),
+        )
+        if seed is None or index > seed:
+            mode = "full"
+        else:
+            mode = "old"
+        order.append((index, mode))
+        bound |= pattern_variables(tails[index].pattern)
+        remaining.remove(index)
+    return order
+
+
 def _extent_valuations(
     rule: BKRule,
     extents: dict,
@@ -505,26 +559,32 @@ def _extent_valuations(
 ) -> Iterator[dict]:
     """Valuations of *rule*'s tails over hash-indexed extents.
 
+    Tails execute in the cost-based :func:`_tail_order` (narrowest
+    extent first, index-probeable tails discounted), recomputed per
+    round from current extent sizes.
+
     With *deltas* (pred -> facts first derived last round) only
     valuations using at least one delta fact are produced, each exactly
-    once: for every seed position, the seed tail draws from the delta,
-    earlier tails from pre-delta facts only, later tails from the full
-    extent — the textbook semi-naive decomposition.  Sound here despite
-    BK's dominance-based extent reduction because ``match_leq`` is
-    monotone in its bound (a removed fact was ≤ the new fact that
-    displaced it, so its valuations survive through the dominator).
+    once: for every seed occurrence, the seed tail draws from the
+    delta, textually-earlier tails from pre-delta facts only, later
+    tails from the full extent — the textbook semi-naive decomposition,
+    with populations tied to occurrences rather than execution
+    positions.  Sound here despite BK's dominance-based extent
+    reduction because ``match_leq`` is monotone in its bound (a removed
+    fact was ≤ the new fact that displaced it, so its valuations
+    survive through the dominator).
     """
     tails = list(rule.tails)
 
-    def recurse(index: int, valuation: dict, modes) -> Iterator[dict]:
-        if index == len(tails):
+    def recurse(position: int, valuation: dict, order: list) -> Iterator[dict]:
+        if position == len(order):
             yield valuation
             return
+        index, mode = order[position]
         tail = tails[index]
         extent = extents.get(tail.pred)
         if extent is None:
             return
-        mode = modes[index]
         if mode == "delta":
             bounds = deltas.get(tail.pred, _EMPTY_FACTS)
             exclude = None
@@ -535,16 +595,15 @@ def _extent_valuations(
             if exclude is not None and bound in exclude:
                 continue
             for extended in match_leq(tail.pattern, bound, valuation, budget):
-                yield from recurse(index + 1, extended, modes)
+                yield from recurse(position + 1, extended, order)
 
     if deltas is None:
-        yield from recurse(0, {}, ("full",) * len(tails))
+        yield from recurse(0, {}, _tail_order(tails, extents, None))
         return
     for seed in range(len(tails)):
         if not deltas.get(tails[seed].pred):
             continue
-        modes = ("old",) * seed + ("delta",) + ("full",) * (len(tails) - seed - 1)
-        yield from recurse(0, {}, modes)
+        yield from recurse(0, {}, _tail_order(tails, extents, seed))
 
 
 def run_bk(

@@ -64,9 +64,19 @@ class Interp:
     #: scan).  Used by the ablation benchmark.
     use_index = True
 
+    #: Class-wide execution-mode switch for rule bodies:
+    #: ``"compiled"`` (default) runs cost-ordered compiled kernels,
+    #: ``"ordered"`` runs the cost-based order through the generic
+    #: interpreted join (isolating ordering from compilation), and
+    #: ``"textual"`` is the legacy literal order — the naive drivers
+    #: always run textually, and the benchmarks flip this to measure
+    #: each layer.
+    exec_mode = "compiled"
+
     def __init__(self):
         self.preds: dict = {}
         self.funcs: dict = {}
+        self._kernels = None
 
     @classmethod
     def from_database(cls, database: Database) -> "Interp":
@@ -85,6 +95,15 @@ class Interp:
             for name, graph in self.funcs.items()
         }
         return duplicate
+
+    def kernels(self):
+        """The per-interpretation compiled-kernel cache (lazy)."""
+        cache = self._kernels
+        if cache is None:
+            from .kernels import KernelCache
+
+            cache = self._kernels = KernelCache(self)
+        return cache
 
     def pred(self, name: str) -> Scan:
         scan = self.preds.get(name)
@@ -261,12 +280,9 @@ def _literal_order(body) -> list:
     return generators + equalities + negations
 
 
-#: Minimum batch size before a positive-literal join builds a one-shot
-#: hash index over the candidate facts instead of scanning them per
-#: substitution.  Below this the scan (with the first-coordinate index)
-#: wins on constant factors.
-HASH_JOIN_MIN_SUBSTITUTIONS = 2
-HASH_JOIN_MIN_FACTS = 4
+#: Absolute slack in the adaptive batch-vs-scan decision: below this
+#: much total matching work an index build cannot pay for itself.
+ADAPTIVE_JOIN_SLACK = 16
 
 
 def _hash_join_positions(term, first_subst: dict) -> list | None:
@@ -304,25 +320,37 @@ def _hash_join_pred(
     per fact): O(|facts| + |substitutions|) instead of the nested
     O(|facts| × |substitutions|) scan.  Returns ``None`` when the shape
     does not qualify (caller falls back to the scan).
+
+    The batch-vs-scan decision is adaptive (no fixed minimum batch):
+    an already-built index is always probed; otherwise a build must be
+    paid for either by this batch's nested work or by the cumulative
+    fallback scanning the scan has already absorbed
+    (``Scan.fallback_work``) — so fixpoints whose batches are
+    individually tiny still amortise one build across rounds.
     """
     if not Interp.use_index:
         return None
-    if len(substitutions) < HASH_JOIN_MIN_SUBSTITUTIONS:
-        return None
     scan = interp.preds.get(literal.name)
-    if not scan or len(scan) < HASH_JOIN_MIN_FACTS:
+    if not scan or not len(scan):
         return None
     term = literal.term
     positions = _hash_join_positions(term, substitutions[0])
     if positions is None:
         return None
-    if positions[0][0] == 0:
-        # The leading coordinate is determined, so the persistent
-        # first-coordinate index already prunes the scan to
-        # near-constant work per substitution; a second index over the
-        # remaining positions would cost more than it saves.
-        return None
     spec = TupleKey(len(term.items), tuple(pos for pos, _ in positions))
+    if not scan.has_index(spec):
+        if positions[0][0] == 0:
+            # The leading coordinate is determined, so the persistent
+            # first-coordinate index already prunes the scan to
+            # near-constant work per substitution; a second index over
+            # the remaining positions would cost more than it saves.
+            return None
+        batch, extent = len(substitutions), len(scan)
+        if (
+            batch * extent < 2 * (batch + extent) + ADAPTIVE_JOIN_SLACK
+            and scan.fallback_work < 2 * extent + ADAPTIVE_JOIN_SLACK
+        ):
+            return None
     join = HashJoin(scan, spec, stats=scan.stats, budget=budget)
 
     def key_for(subst):
@@ -389,6 +417,8 @@ def extend_with_literal(
             if stats is not None:
                 stats.rows_in += 1
             facts = _candidate_facts(literal, interp, subst)
+            if scan is not None:
+                scan.fallback_work += len(facts)
             for fact in facts:
                 if exclude_facts is not None and fact in exclude_facts:
                     continue
@@ -460,6 +490,7 @@ def rule_substitutions(
     interp: Interp,
     budget: Budget,
     negation_interp: Interp | None = None,
+    exec_mode: str | None = None,
 ) -> Iterator[dict]:
     """All body-satisfying substitutions of *rule* under *interp*.
 
@@ -467,8 +498,22 @@ def rule_substitutions(
     evaluated against *negation_interp* when given — the stratified
     semantics points it at the completed lower strata; the inflationary
     semantics at the current interpretation.
+
+    *exec_mode* (defaulting to :attr:`Interp.exec_mode`) selects the
+    body execution strategy: ``"compiled"`` and ``"ordered"`` run the
+    cost-based order of :mod:`repro.deductive.ordering` (compiled
+    kernels vs. the generic interpreted join); ``"textual"`` is the
+    legacy literal order used by the naive drivers.
     """
     neg = negation_interp if negation_interp is not None else interp
+    mode = Interp.exec_mode if exec_mode is None else exec_mode
+    if mode != "textual":
+        kernel = interp.kernels().kernel(rule)
+        if mode == "compiled":
+            yield from kernel.run([{}], neg, budget)
+        else:
+            yield from kernel.run_interpreted([{}], neg, budget)
+        return
     substitutions = [dict()]
     for literal in _literal_order(rule.body):
         budget.charge("steps")
@@ -483,11 +528,14 @@ def apply_rule(
     interp: Interp,
     budget: Budget,
     negation_interp: Interp | None = None,
+    exec_mode: str | None = None,
 ) -> bool:
     """Add all immediate consequences of *rule*; report change."""
     changed = False
     head = rule.head
-    for subst in list(rule_substitutions(rule, interp, budget, negation_interp)):
+    for subst in list(
+        rule_substitutions(rule, interp, budget, negation_interp, exec_mode)
+    ):
         if isinstance(head, PredLit):
             value = eval_term(head.term, subst, interp)
             if interp.add_pred(head.name, value):
@@ -509,13 +557,18 @@ def fixpoint(
     negation_interp: Interp | None = None,
     stats=None,
 ) -> Interp:
-    """Iterate the rules to a (cumulative) fixpoint in place."""
+    """Iterate the rules to a (cumulative) fixpoint in place.
+
+    The naive driver is the reference implementation the semi-naive
+    machinery is cross-checked against, so it always runs the legacy
+    textual literal order — the cost-based kernels belong to the
+    semi-naive drivers."""
     rules = list(rules)
 
     def step(_round: int) -> bool:
         changed = False
         for rule in rules:
-            if apply_rule(rule, interp, budget, negation_interp):
+            if apply_rule(rule, interp, budget, negation_interp, exec_mode="textual"):
                 changed = True
         return changed
 

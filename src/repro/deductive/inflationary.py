@@ -79,7 +79,10 @@ def _apply_from_snapshot(rule, snapshot: Interp, live: Interp, budget: Budget) -
     from .ast import PredLit
 
     changed = False
-    for subst in list(rule_substitutions(rule, snapshot, budget, snapshot)):
+    # Naive reference driver: textual order (see col.fixpoint).
+    for subst in list(
+        rule_substitutions(rule, snapshot, budget, snapshot, exec_mode="textual")
+    ):
         head = rule.head
         if isinstance(head, PredLit):
             value = eval_term(head.term, subst, snapshot)

@@ -22,12 +22,26 @@ def fixpoint_stats(trace) -> OpStats | None:
 
 def col_physical(trace, label: str, stats: OpStats | None, interp) -> None:
     """Attach the COL run's operator tree (fixpoint over per-predicate
-    scans) to *trace*; no-op without one."""
+    scans, plus one ``RuleKernel`` node per compiled rule body with the
+    chosen step order and estimated vs. actual cardinalities) to
+    *trace*; no-op without one."""
     if trace is None:
         return
     root = trace.node("Fixpoint", label, stats)
     for name in sorted(interp.preds):
         root.child("Scan", name, interp.preds[name].stats)
+    cache = getattr(interp, "_kernels", None)
+    if cache is None:
+        return
+    for kernel in cache.kernels():
+        node = root.child("RuleKernel", kernel.describe())
+        for step in kernel.steps:
+            node.child(
+                "Step",
+                f"{step.plan.label()} est={step.plan.est_out}",
+                step.stats,
+            )
+    trace.kernel_stats = cache.counters()
 
 
 def bk_physical(trace, label: str, stats: OpStats | None, extents: dict) -> None:

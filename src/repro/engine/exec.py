@@ -66,10 +66,13 @@ class PhysicalTrace:
     write their counters into throwaway stats blocks.
     """
 
-    __slots__ = ("root",)
+    __slots__ = ("root", "kernel_stats")
 
     def __init__(self):
         self.root: PhysNode | None = None
+        #: Compiled-kernel cache counters (hits/misses/invalidations)
+        #: of the run, when the backend used rule kernels.
+        self.kernel_stats: dict | None = None
 
     def node(self, op: str, detail: str = "", stats: OpStats | None = None) -> PhysNode:
         """Create (and install, if first) a root-level node."""

@@ -223,13 +223,18 @@ class Scan:
     existing extent consumers keep working unchanged.
     """
 
-    __slots__ = ("name", "facts", "stats", "_indexes")
+    __slots__ = ("name", "facts", "stats", "_indexes", "fallback_work")
 
     def __init__(self, name: str = "scan", facts: Iterable[Value] = (), stats: OpStats | None = None):
         self.name = name
         self.facts: set = set(facts)
         self.stats = _stats(stats)
         self._indexes: dict = {}
+        #: Cumulative un-indexed candidate scanning this scan has
+        #: absorbed — the adaptive join threshold builds a persistent
+        #: index once this exceeds the build cost, even when every
+        #: individual batch is tiny (heuristic state, reset on copy).
+        self.fallback_work = 0
 
     # -- maintenance ----------------------------------------------------
 
@@ -264,6 +269,12 @@ class Scan:
             self._indexes[spec] = buckets
             self.stats.index_builds += 1
         return buckets
+
+    def has_index(self, spec: IndexSpec) -> bool:
+        """Is the index for *spec* already built?  Probing an existing
+        index is always profitable, so adaptive join thresholds consult
+        this before weighing a fresh build."""
+        return spec in self._indexes
 
     def probe(self, spec: IndexSpec, key) -> set:
         """The facts filed under *key* (one dict lookup, counted)."""

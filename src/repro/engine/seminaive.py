@@ -146,7 +146,21 @@ def _delta_substitutions(
     budget: Budget,
     neg: Interp,
 ) -> list:
-    """All substitutions of *rule* that use at least one delta fact."""
+    """All substitutions of *rule* that use at least one delta fact.
+
+    Under the (default) ``"compiled"`` / ``"ordered"`` execution modes
+    each seed occurrence runs through a cached, cost-ordered
+    :class:`~repro.deductive.kernels.RuleKernel`; the old/delta/full
+    population of every generator is still assigned by its *occurrence*
+    index relative to the seed (carried in the kernel's step modes), so
+    the exactly-once accounting of the textbook scheme is preserved
+    under reordering.
+    """
+    mode = Interp.exec_mode
+    if mode != "textual":
+        return _delta_substitutions_kernel(
+            rule, generators, interp, delta, budget, neg, mode
+        )
     results: list = []
     for index, delta_literal in enumerate(generators):
         budget.charge("steps")
@@ -203,6 +217,46 @@ def _delta_substitutions(
             if not substitutions:
                 break
         results.extend(substitutions)
+    return results
+
+
+def _delta_substitutions_kernel(
+    rule: Rule,
+    generators: list,
+    interp: Interp,
+    delta: Delta,
+    budget: Budget,
+    neg: Interp,
+    mode: str,
+) -> list:
+    """Kernel-backed delta pass: one cached kernel per seed occurrence."""
+    results: list = []
+    cache = interp.kernels()
+    for index, delta_literal in enumerate(generators):
+        budget.charge("steps")
+        seeds: list = []
+        if isinstance(delta_literal, PredLit):
+            delta_facts = delta.preds.get(delta_literal.name)
+            if not delta_facts:
+                continue
+            for fact in delta_facts:
+                budget.charge("steps")
+                seeds.extend(match(delta_literal.term, fact, {}))
+        else:
+            delta_pairs = delta.funcs.get(delta_literal.func)
+            if not delta_pairs:
+                continue
+            for arg, element in delta_pairs:
+                for arg_subst in match(delta_literal.arg, arg, {}):
+                    budget.charge("steps")
+                    seeds.extend(match(delta_literal.element, element, arg_subst))
+        if not seeds:
+            continue
+        kernel = cache.kernel(rule, seed=index)
+        if mode == "compiled":
+            results.extend(kernel.run(seeds, neg, budget, delta=delta))
+        else:
+            results.extend(kernel.run_interpreted(seeds, neg, budget, delta=delta))
     return results
 
 

@@ -90,6 +90,13 @@ def render_actuals(
         lines.extend(
             "      " + line for line in report.physical.splitlines()
         )
+    if report.kernel_cache:
+        kc = report.kernel_cache
+        lines.append(
+            "    kernel cache: "
+            f"hits={kc['hits']} misses={kc['misses']} "
+            f"invalidations={kc['invalidations']}"
+        )
     if cache_stats is not None:
         lines.append(
             "    memo cache: "

@@ -264,6 +264,8 @@ class QueryService:
         for name in (
             "queries_accepted", "queries_rejected", "queries_started",
             "queries_completed", "queries_timed_out", "queries_failed",
+            "kernel_cache_hits", "kernel_cache_misses",
+            "kernel_cache_invalidations",
         ):
             self.metrics.counter(name)
         self.metrics.histogram("queue_wait_seconds")
@@ -440,6 +442,19 @@ class QueryService:
             trace.cached = report.cached
             trace.physical = report.physical
             trace.spent = report.spent
+            kernel_cache = report.kernel_cache
+            if kernel_cache:
+                # Per-request compiled-kernel cache traffic, aggregated
+                # service-wide so warm-kernel wins show up in STATS.
+                self.metrics.counter("kernel_cache_hits").inc(
+                    kernel_cache["hits"]
+                )
+                self.metrics.counter("kernel_cache_misses").inc(
+                    kernel_cache["misses"]
+                )
+                self.metrics.counter("kernel_cache_invalidations").inc(
+                    kernel_cache["invalidations"]
+                )
         except DeadlineExceeded:
             status = "timeout"
             trace.cause = "execution"

@@ -1,0 +1,105 @@
+"""Index-counter contracts of the persistent-index machinery.
+
+The cost-based join path keeps one incrementally-maintained index per
+(scan, spec) across all fixpoint rounds; these tests pin that down via
+the :class:`~repro.engine.ops.OpStats` counters EXPLAIN renders:
+
+* ``index_builds`` stays *flat* across rounds — every distinct spec is
+  built exactly once per scan, no matter how many rounds probe it;
+* :class:`~repro.engine.ops.Scan.copy` starts index-less and rebuilds
+  lazily (correctly), without disturbing the original's buckets;
+* incremental maintenance: facts added after a build land in the
+  right buckets without another build.
+"""
+
+from repro.budget import Budget
+from repro.deductive.col import Interp
+from repro.deductive.datalog import transitive_closure_datalog
+from repro.engine.ops import FIRST_COORDINATE, Scan, TupleKey
+from repro.engine.seminaive import seminaive_fixpoint
+from repro.model.values import Atom, Tup
+from repro.workloads import chain_graph
+
+
+def _unlimited() -> Budget:
+    return Budget(steps=None, objects=None, iterations=None, facts=None)
+
+
+def _pair(a: str, b: str) -> Tup:
+    return Tup([Atom(a), Atom(b)])
+
+
+class TestIndexBuildsFlatAcrossRounds:
+    def test_tc_fixpoint_builds_each_index_once(self):
+        # chain(24) TC runs ~24 semi-naive rounds; every round probes
+        # the same persistent indexes.  One build per distinct spec —
+        # if any round rebuilt, builds would exceed the spec count.
+        interp = Interp.from_database(chain_graph(24))
+        program = transitive_closure_datalog()
+        seminaive_fixpoint(program.rules, interp, _unlimited())
+        for name, scan in interp.preds.items():
+            assert scan.stats.index_builds == len(scan._indexes), name
+
+    def test_probing_again_never_rebuilds(self):
+        scan = Scan("R", [_pair("a", "b"), _pair("b", "c")])
+        spec = TupleKey(2, (0,))
+        for _ in range(5):
+            scan.probe(spec, (Atom("a"),))
+        assert scan.stats.index_builds == 1
+        assert scan.stats.probes == 5
+
+
+class TestIncrementalMaintenance:
+    def test_add_after_build_lands_in_buckets(self):
+        scan = Scan("R", [_pair("a", "b")])
+        spec = TupleKey(2, (0,))
+        assert scan.probe(spec, (Atom("a"),)) == {_pair("a", "b")}
+        scan.add(_pair("a", "c"))
+        scan.add(_pair("d", "e"))
+        assert scan.probe(spec, (Atom("a"),)) == {
+            _pair("a", "b"),
+            _pair("a", "c"),
+        }
+        assert scan.probe(spec, (Atom("d"),)) == {_pair("d", "e")}
+        # Still the one original build: maintenance is incremental.
+        assert scan.stats.index_builds == 1
+
+    def test_discard_after_build_empties_buckets(self):
+        scan = Scan("R", [_pair("a", "b")])
+        scan.index(FIRST_COORDINATE)
+        scan.discard(_pair("a", "b"))
+        assert scan.probe(FIRST_COORDINATE, Atom("a")) == frozenset()
+        assert scan.stats.index_builds == 1
+
+
+class TestScanCopy:
+    def test_copy_starts_indexless_and_rebuilds(self):
+        scan = Scan("R", [_pair("a", "b"), _pair("b", "c")])
+        spec = TupleKey(2, (1,))
+        scan.index(spec)
+        dup = scan.copy()
+        assert not dup.has_index(spec)
+        # The rebuilt index answers identically...
+        assert dup.probe(spec, (Atom("b"),)) == {_pair("a", "b")}
+        assert dup.has_index(spec)
+        # ...and the counter records the rebuild (stats are shared —
+        # the copy is the same physical relation observed again).
+        assert scan.stats.index_builds == 2
+
+    def test_copy_is_independent_of_original(self):
+        scan = Scan("R", [_pair("a", "b")])
+        spec = TupleKey(2, (0,))
+        scan.index(spec)
+        dup = scan.copy()
+        dup.add(_pair("a", "z"))
+        assert _pair("a", "z") not in scan
+        assert scan.probe(spec, (Atom("a"),)) == {_pair("a", "b")}
+        assert dup.probe(spec, (Atom("a"),)) == {
+            _pair("a", "b"),
+            _pair("a", "z"),
+        }
+
+    def test_copy_resets_adaptive_fallback_state(self):
+        scan = Scan("R", [_pair("a", "b")])
+        scan.fallback_work = 999
+        assert scan.copy().fallback_work == 0

@@ -170,6 +170,14 @@ ACTUALS_BANK = [
         "col-naive",
     ),
     ("main", "rules { Q(x, y) :- R(x, y), S(x). } answer Q", "col-inflationary"),
+    # Three-literal body written in pessimal textual order: the golden
+    # rendering pins the cost-based order the kernel actually chose
+    # (narrow S first, then index probes) with est= vs rows_ counters.
+    (
+        "main",
+        "rules { Q(x, z) :- R(x, y), R(y, z), S(x). } answer Q",
+        "col-stratified",
+    ),
     ("main", "bk { A(x) :- S(x). } answer A", "bk-hashjoin"),
     ("atoms", "bk { A(x) :- R(x), R(x). } answer A", "bk-hashjoin"),
     ("main", "{ x | S(x) and not R([x, x]) }", "calculus"),
@@ -203,3 +211,25 @@ class TestGoldenActuals:
             report = execute_plan(plan, database, Budget(), backend=backend)
             assert report.physical, f"no physical tree for {backend}: {text!r}"
             assert "Scan(" in report.physical
+
+    def test_rule_kernels_render_chosen_order_with_estimates(self):
+        # The three-literal entry: textual body order is R, R, S; the
+        # kernel must render its cost-chosen per-rule order with one
+        # Step per literal carrying est= (plan) and rows_ (actual).
+        db_key, text, backend = next(
+            entry for entry in ACTUALS_BANK if "S(x). } answer Q" in entry[1]
+            and entry[2] == "col-stratified"
+        )
+        plan, database = _plan(db_key, text)
+        report = execute_plan(plan, database, Budget(), backend=backend)
+        physical = report.physical
+        assert "RuleKernel(" in physical
+        assert "est=" in physical
+        assert "rows_out=" in physical
+        # The narrow unary literal seeds the join: S's step renders
+        # before either R step inside the kernel body.
+        kernel_block = physical[physical.index("RuleKernel(") :]
+        assert kernel_block.index("Step(S(") < kernel_block.index("Step(R(")
+        # Cache traffic is surfaced alongside the tree.
+        assert report.kernel_cache is not None
+        assert report.kernel_cache["misses"] > 0
