@@ -25,7 +25,7 @@ THRESHOLD = 0.9
 #: (``seminaive_``/``bk_`` from bench_engine.py, ``kernel_`` for the
 #: operator-kernel and compiled-rule-kernel microbenches, ``join_order_``
 #: for the cost-based ordering benches, ``query_`` from bench_query.py,
-#: ``serve_`` from bench_serve.py).
+#: ``serve_`` from bench_serve.py, ``store_`` from bench_store.py).
 REQUIRED_FAMILIES = (
     "seminaive_",
     "bk_",
@@ -33,6 +33,7 @@ REQUIRED_FAMILIES = (
     "join_order_",
     "query_",
     "serve_",
+    "store_",
 )
 
 

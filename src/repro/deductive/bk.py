@@ -606,6 +606,100 @@ def _extent_valuations(
         yield from recurse(0, {}, _tail_order(tails, extents, seed))
 
 
+def seed_extents(database: Mapping) -> dict:
+    """Per-predicate :class:`~repro.engine.ops.Scan` extents of a plain
+    database mapping (values coerced through :func:`bk_obj`)."""
+    extents: dict = {}
+    for name, values in database.items():
+        extent = extents.setdefault(name, Scan(name))
+        for value in values:
+            extent.add(instantiate(bk_obj(value), {}))
+    return extents
+
+
+def extend_extent(extents: dict, pred: str, derived: Value, budget: Budget, deltas: dict) -> bool:
+    """Add *derived* to *pred*'s extent under BK's reduced discipline.
+
+    A new object already present — or dominated by a present object —
+    changes nothing; otherwise it enters the extent, members it now
+    dominates are discarded (their valuations survive through the
+    dominator — see :func:`_extent_valuations`), and the change is
+    recorded in *deltas*.  Returns whether the extent changed.  This is
+    the single mutation path shared by the fixpoint rounds and the
+    store's incremental base-fact insertion, so both observe identical
+    extents.
+    """
+    extent = extents.setdefault(pred, Scan(pred))
+    facts = extent.facts
+    if derived in facts or any(
+        leq(derived, existing)
+        for existing in facts
+        if _leq_possible(derived, existing)
+    ):
+        return False
+    budget.charge("facts")
+    dominated = [
+        e for e in facts if _leq_possible(e, derived) and leq(e, derived)
+    ]
+    delta = deltas.setdefault(pred, set())
+    for e in dominated:
+        extent.discard(e)
+        delta.discard(e)
+    extent.add(derived)
+    delta.add(derived)
+    return True
+
+
+def hashjoin_fixpoint(
+    program: BKProgram,
+    extents: dict,
+    budget: Budget,
+    max_rounds: int | None = None,
+    stats=None,
+    mode: str = "hashjoin",
+    initial_deltas: dict | None = None,
+) -> bool:
+    """The (semi-naive) round loop over mutable *extents*.
+
+    Returns the :class:`~repro.engine.ops.FixpointDriver` verdict
+    (``False`` = *max_rounds* cut before convergence).  *initial_deltas*
+    turns the call into a **continuation**: the extents are assumed
+    closed under the rules except for the facts in the deltas (already
+    inserted by the caller, e.g. via :func:`extend_extent`), and round
+    one is a delta round seeded from them instead of a full pass.  BK
+    has no negation, so continuation from a closed extent set computes
+    exactly the fixpoint of the enlarged base — the store's incremental
+    maintenance path.
+    """
+    state: dict = {"deltas": initial_deltas}  # None = full first round
+
+    def step(round_number: int) -> bool:
+        if mode == "naive":
+            use_deltas = None
+        elif round_number == 1:
+            use_deltas = initial_deltas  # None unless continuing
+        else:
+            use_deltas = state["deltas"]
+        new_deltas: dict = {}
+        for rule in program.rules:
+            if use_deltas is not None and not any(
+                use_deltas.get(tail.pred) for tail in rule.tails
+            ):
+                # No tail extent changed last round (tail-less rules
+                # are settled in round one): no new valuations.
+                continue
+            for valuation in list(
+                _extent_valuations(rule, extents, budget, use_deltas)
+            ):
+                budget.charge("steps")
+                derived = instantiate(bk_obj(rule.head.pattern), valuation)
+                extend_extent(extents, rule.head.pred, derived, budget, new_deltas)
+        state["deltas"] = new_deltas
+        return any(new_deltas.values())
+
+    return FixpointDriver(budget, stats=stats, max_rounds=max_rounds).run(step)
+
+
 def run_bk(
     program: BKProgram,
     database: Mapping,
@@ -654,57 +748,12 @@ def run_bk(
     if mode == "dirty":
         return _run_bk_dirty(program, database, budget, max_rounds)
 
-    extents: dict = {}
-    for name, values in database.items():
-        extent = extents.setdefault(name, Scan(name))
-        for value in values:
-            extent.add(instantiate(bk_obj(value), {}))
+    extents = seed_extents(database)
     stats = fixpoint_stats(trace)
-    state: dict = {"deltas": None}  # None = first round: evaluate everything
-
-    def step(_round: int) -> bool:
-        use_deltas = None if mode == "naive" else state["deltas"]
-        new_deltas: dict = {}
-        for rule in program.rules:
-            if use_deltas is not None and not any(
-                use_deltas.get(tail.pred) for tail in rule.tails
-            ):
-                # No tail extent changed last round (tail-less rules
-                # are settled in round one): no new valuations.
-                continue
-            for valuation in list(
-                _extent_valuations(rule, extents, budget, use_deltas)
-            ):
-                budget.charge("steps")
-                derived = instantiate(bk_obj(rule.head.pattern), valuation)
-                extent = extents.setdefault(rule.head.pred, Scan(rule.head.pred))
-                facts = extent.facts
-                if derived in facts or any(
-                    leq(derived, existing)
-                    for existing in facts
-                    if _leq_possible(derived, existing)
-                ):
-                    continue
-                budget.charge("facts")
-                # Keep the extent reduced: drop members the new
-                # object now dominates (their valuations survive
-                # through the dominator — see _extent_valuations).
-                dominated = [
-                    e
-                    for e in facts
-                    if _leq_possible(e, derived) and leq(e, derived)
-                ]
-                head_delta = new_deltas.setdefault(rule.head.pred, set())
-                for e in dominated:
-                    extent.discard(e)
-                    head_delta.discard(e)
-                extent.add(derived)
-                head_delta.add(derived)
-        state["deltas"] = new_deltas
-        return any(new_deltas.values())
-
     try:
-        converged = FixpointDriver(budget, stats=stats, max_rounds=max_rounds).run(step)
+        converged = hashjoin_fixpoint(
+            program, extents, budget, max_rounds=max_rounds, stats=stats, mode=mode
+        )
         if not converged:
             return UNDEFINED
     except BudgetExceeded:

@@ -47,6 +47,7 @@ class CacheStats:
     misses: int = 0
     bypasses: int = 0
     evictions: int = 0
+    invalidations: int = 0
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -58,6 +59,7 @@ class CacheStats:
             "misses": self.misses,
             "bypasses": self.bypasses,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "hit_rate": round(self.hit_rate(), 4),
         }
 
@@ -110,6 +112,18 @@ class LRUCache:
         with self._lock:
             return key in self._entries
 
+    def items(self) -> list:
+        """A snapshot of ``(key, value)`` pairs in LRU order (oldest
+        first) — used by the session's plan-migration pass."""
+        with self._lock:
+            return list(self._entries.items())
+
+    def pop(self, key, default=None):
+        """Remove and return *key*'s value without touching hit/miss
+        counters (an administrative removal, not a lookup)."""
+        with self._lock:
+            return self._entries.pop(key, default)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -147,6 +161,7 @@ class MemoCache:
 
     def __init__(self, max_entries: int = 256):
         self._entries: OrderedDict = OrderedDict()
+        self._footprints: dict = {}
         self._lock = threading.RLock()
         self.max_entries = max_entries
         self.stats = CacheStats()
@@ -160,6 +175,8 @@ class MemoCache:
         constants: Iterable[Atom] = (),
         generic: bool = True,
         extra_key=(),
+        key_database: Database | None = None,
+        footprint: tuple | None = None,
     ):
         """Evaluate ``fn(database)``, consulting the cache when allowed.
 
@@ -168,13 +185,27 @@ class MemoCache:
         evaluation modes of one program (e.g. ``"stratified"`` vs
         ``"inflationary"``).  With ``generic=False`` the call bypasses
         the cache entirely (counted in :attr:`stats`).
+
+        *key_database* (when given) is canonicalised **instead of**
+        *database* to form the key — the session passes the database
+        restricted to the query's predicate footprint when the chosen
+        backend provably reads nothing else, so entries survive updates
+        to unrelated predicates.  ``fn`` still receives the full
+        *database*.  *footprint* is ``(frozenset of predicate names,
+        frozenset of atoms)`` recorded with the entry for
+        :meth:`invalidate`; entries without one are never invalidated
+        (their full-database key can only be hit by the identical
+        database, so a committed delta makes them unreachable, not
+        wrong).
         """
         if not generic:
             with self._lock:
                 self.stats.bypasses += 1
             return fn(database)
         constants = tuple(constants)
-        canon_db, renaming = canonicalise_database(database, constants)
+        canon_db, renaming = canonicalise_database(
+            database if key_database is None else key_database, constants
+        )
         key = (program_fingerprint(program), extra_key, canon_db)
         sentinel = object()
         with self._lock:
@@ -201,10 +232,40 @@ class MemoCache:
             )
             with self._lock:
                 self._entries[key] = canonical_result
+                if footprint is not None:
+                    self._footprints[key] = footprint
                 while len(self._entries) > self.max_entries:
-                    self._entries.popitem(last=False)
+                    evicted, _ = self._entries.popitem(last=False)
+                    self._footprints.pop(evicted, None)
                     self.stats.evictions += 1
         return result
+
+    def invalidate(self, preds: Iterable[str] = (), atoms: Iterable[Atom] = ()) -> int:
+        """Remove entries whose recorded footprint intersects a delta.
+
+        *preds* / *atoms* are the committed delta's predicate and atom
+        footprints; an entry goes when its predicate set meets *preds*
+        **or** its atom set meets *atoms* (conservative — predicate
+        intersection alone decides correctness, the atom check only
+        widens it).  Entries with no recorded footprint are kept: their
+        key embeds the full pre-delta database, which no post-delta
+        query can produce, so they age out through the LRU instead.
+        Returns the number of entries removed (also counted in
+        :attr:`stats` ``invalidations``).
+        """
+        preds = frozenset(preds)
+        atoms = frozenset(atoms)
+        removed = 0
+        with self._lock:
+            for key, (entry_preds, entry_atoms) in list(self._footprints.items()):
+                if (preds and not preds.isdisjoint(entry_preds)) or (
+                    atoms and not atoms.isdisjoint(entry_atoms)
+                ):
+                    self._entries.pop(key, None)
+                    del self._footprints[key]
+                    removed += 1
+            self.stats.invalidations += removed
+        return removed
 
     def __len__(self) -> int:
         with self._lock:
@@ -213,3 +274,4 @@ class MemoCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._footprints.clear()

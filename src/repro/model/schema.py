@@ -167,6 +167,25 @@ class Database:
         updated[name] = value
         return Database(self.schema, updated)
 
+    def restrict(self, names) -> "Database":
+        """The sub-database over the predicates in *names*.
+
+        Instances are shared, not copied.  Unknown names are an error —
+        restriction is meant for footprints computed *from* this
+        schema.  Restricting to every predicate returns ``self``.
+        """
+        wanted = frozenset(names)
+        unknown = wanted - set(self.schema.names())
+        if unknown:
+            raise SchemaError(f"cannot restrict to unknown predicates {sorted(unknown)}")
+        if wanted == frozenset(self.schema.names()):
+            return self
+        kept = tuple(name for name in self.schema.names() if name in wanted)
+        return Database(
+            Schema({name: self.schema.rtype(name) for name in kept}),
+            {name: self._instances[name] for name in kept},
+        )
+
     def __repr__(self) -> str:
         inner = ", ".join(
             f"{name}: {self._instances[name]}" for name in self.schema.names()

@@ -56,6 +56,27 @@ BACKEND_RANK = (
 )
 
 
+#: Backends whose evaluation reads *only* the instances of the query's
+#: own predicates: the COL fixpoint drivers seed every predicate into
+#: the interpretation but rules can only match their body predicates,
+#: and the BK drivers likewise join over tail extents alone.  For these
+#: the session may key the result memo on the database *restricted* to
+#: the query's predicate footprint — entries then survive committed
+#: deltas that touch other predicates.  The whole-database routes
+#: (calculus domain enumeration, machine encodings, compiled lowerings)
+#: depend on the global active domain and are deliberately excluded.
+FACT_DRIVEN = frozenset(
+    {
+        "col-stratified",
+        "col-inflationary",
+        "col-naive",
+        "bk-hashjoin",
+        "bk-dirty",
+        "bk-naive",
+    }
+)
+
+
 def _rank(backend: str) -> int:
     try:
         return BACKEND_RANK.index(backend)

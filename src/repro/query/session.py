@@ -20,11 +20,45 @@ query cannot silently drain the session's allowance for the rest.
 from __future__ import annotations
 
 from ..budget import Budget
-from ..engine.cache import LRUCache, MemoCache
+from ..engine.cache import LRUCache, MemoCache, program_fingerprint
 from ..model.schema import Database, Schema
 from .explain import render, render_plan
+from .ir import BKQuery, RuleQuery
 from .parser import parse
-from .planner import ExecutionReport, Plan, build_plan, execute_plan
+from .planner import FACT_DRIVEN, ExecutionReport, Plan, build_plan, execute_plan
+
+#: Backend groups a materialized view answers for.  A delta-safe COL
+#: program is one monotone stratum, so its stratified, inflationary,
+#: and naive fixpoints coincide; BK's three drivers agree by
+#: construction.  The compiled/whole-database routes re-encode the full
+#: database and are served normally.
+_COL_VIEW_BACKENDS = frozenset({"col-stratified", "col-inflationary", "col-naive"})
+_BK_VIEW_BACKENDS = frozenset({"bk-hashjoin", "bk-dirty", "bk-naive"})
+
+
+def _program_predicates(query, schema) -> frozenset:
+    """The schema predicates whose instances can influence *query*.
+
+    For rule blocks this is every predicate the program *mentions* —
+    reads **and** heads, since a base instance sharing a head's name
+    seeds the fixpoint — intersected with the schema.  Other query
+    forms fall back to their declared ``predicates()``.
+    """
+    if isinstance(query, RuleQuery):
+        names: set = set()
+        for rule in query.program.rules:
+            names |= rule.predicates()
+        names |= {
+            name for kind, name in query.program.head_symbols() if kind == "pred"
+        }
+    elif isinstance(query, BKQuery):
+        names = {rule.head.pred for rule in query.program.rules}
+        for rule in query.program.rules:
+            names |= {tail.pred for tail in rule.tails}
+        names.add(query.program.answer)
+    else:
+        names = set(query.predicates())
+    return frozenset(name for name in names if name in schema)
 
 
 class Session:
@@ -44,6 +78,11 @@ class Session:
         self.memo = MemoCache(max_entries=memo_entries)
         self.plans = LRUCache(max_entries=plan_entries)
         self.last_report: ExecutionReport | None = None
+        from ..store.maintenance import ViewRegistry
+
+        #: Materialized fixpoints (see :meth:`materialize`), maintained
+        #: incrementally across :meth:`apply_delta`.
+        self.views = ViewRegistry()
 
     # -- parsing and planning -------------------------------------------
 
@@ -84,10 +123,29 @@ class Session:
         captured: list = []
 
         def evaluate(db: Database):
+            view = self._view_answer(plan, chosen, db)
+            if view is not None:
+                return view
             report = execute_plan(plan, db, child, backend=backend)
             captured.append(report)
             return report.result
 
+        # Fact-driven backends provably read only the query's own
+        # predicates, so the memo key uses the database *restricted* to
+        # them — the entry then survives deltas to other predicates
+        # (apply_delta removes it only on footprint intersection).  The
+        # footprint includes *defined* (IDB) names too: a schema
+        # predicate sharing a head's name seeds the fixpoint like any
+        # base fact.
+        key_database = footprint = None
+        if plan.generic and chosen in FACT_DRIVEN:
+            preds = _program_predicates(plan.query, database.schema)
+            if preds:
+                key_database = database.restrict(preds)
+                footprint = (
+                    preds,
+                    key_database.adom() | frozenset(plan.query.constants()),
+                )
         result = self.memo.run(
             evaluate,
             plan,
@@ -95,6 +153,8 @@ class Session:
             constants=plan.query.constants(),
             generic=plan.generic,
             extra_key=("backend", chosen),
+            key_database=key_database,
+            footprint=footprint,
         )
         if captured:
             report = captured[0]
@@ -121,6 +181,123 @@ class Session:
         )
         self.last_report = report
         return result
+
+    # -- materialized views and committed deltas ------------------------
+
+    def _view_key(self, query) -> tuple | None:
+        if isinstance(query, RuleQuery):
+            return ("col", program_fingerprint(query.program))
+        if isinstance(query, BKQuery):
+            return ("bk", program_fingerprint(query.program))
+        return None
+
+    def _view_answer(self, plan, chosen: str, database: Database):
+        """The materialized answer for *plan* on *database*, if a
+        current view exists and *chosen* is a backend it stands in for."""
+        if not len(self.views):
+            return None
+        query = plan.query
+        if isinstance(query, RuleQuery) and chosen in _COL_VIEW_BACKENDS:
+            key = self._view_key(query)
+        elif isinstance(query, BKQuery) and chosen in _BK_VIEW_BACKENDS:
+            key = self._view_key(query)
+        else:
+            return None
+        # One lock acquisition covers lookup *and* read, so a
+        # concurrent update cannot refresh the view in between.
+        return self.views.answer(key, database)
+
+    def materialize(self, text: str):
+        """Materialize *text*'s fixpoint as an incrementally maintained
+        view.
+
+        Only rule-block queries qualify: a COL block must be
+        *delta-safe* (no negation, no function-value terms — see
+        :func:`repro.store.maintenance.delta_safe`); every BK block is
+        (BK has no negation).  Subsequent :meth:`run` calls on the same
+        database answer from the view for the drivers it stands in
+        for, and :meth:`apply_delta` refreshes it by semi-naive delta
+        rounds instead of recomputation.  Returns the view; raises
+        :class:`~repro.errors.EvaluationError` for non-materializable
+        queries.
+        """
+        from ..errors import EvaluationError
+        from ..store.maintenance import BKView, ColView, delta_safe
+
+        plan = self.plan(text)
+        query = plan.query
+        key = self._view_key(query)
+        if key is None:
+            raise EvaluationError(
+                f"only rule-block queries can be materialized, not {query.form!r}"
+            )
+        existing = self.views.lookup(key, self.database)
+        if existing is not None:
+            return existing
+        if isinstance(query, RuleQuery):
+            if not delta_safe(query.program):
+                raise EvaluationError(
+                    "program is not delta-safe (negation or function-value "
+                    "terms): incremental maintenance would be unsound"
+                )
+            view = ColView(query.program, self.database)
+        else:
+            view = BKView(query.program, self.database)
+        self.views.register(key, view)
+        return view
+
+    def apply_delta(self, new_database: Database, delta) -> dict:
+        """Move the session onto *new_database* after a committed
+        *delta* (a :class:`~repro.store.tx.FactDelta`), keeping every
+        cache that provably survives.
+
+        * **Memo**: entries keyed on a restricted database are removed
+          only when their footprint intersects the delta
+          (:meth:`MemoCache.invalidate`); full-database entries become
+          unreachable and age out.
+        * **Plans**: entries for the old database whose program
+          footprint is disjoint from the delta are re-keyed to the new
+          database *preserving the Plan object* — its fingerprint (and
+          with it the memo keys) survives; intersecting entries are
+          dropped for replanning.
+        * **Views**: asserted facts continue each view's fixpoint as
+          delta rounds; views intersecting a retraction are dropped
+          (see :class:`~repro.store.maintenance.ViewRegistry`).
+
+        Returns a counter dict (folded into serve-layer STATS).
+        """
+        old = self.database
+        stats = {
+            "invalidations": 0,
+            "plans_migrated": 0,
+            "plans_dropped": 0,
+            "views_refreshed": 0,
+            "views_dropped": 0,
+            "incremental_rounds": 0,
+        }
+        if delta.empty():
+            self.database = new_database
+            return stats
+        touched = delta.predicates()
+        stats["invalidations"] = self.memo.invalidate(touched, delta.atoms())
+        for key, plan in self.plans.items():
+            if not (isinstance(key, tuple) and len(key) == 2):
+                continue
+            text, keyed_db = key
+            if keyed_db != old:
+                continue
+            self.plans.pop(key)
+            if _program_predicates(plan.query, old.schema).isdisjoint(touched):
+                self.plans.put((text, new_database), plan)
+                stats["plans_migrated"] += 1
+            else:
+                stats["plans_dropped"] += 1
+        view_stats = self.views.apply_delta(new_database, delta)
+        stats["views_refreshed"] = view_stats["refreshed"]
+        stats["views_dropped"] = view_stats["dropped"]
+        stats["incremental_rounds"] = view_stats["incremental_rounds"]
+        self.database = new_database
+        return stats
 
     # -- explain --------------------------------------------------------
 

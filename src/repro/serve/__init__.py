@@ -15,9 +15,12 @@ shared engine.  Pieces:
   trees), both JSON-exportable;
 * :mod:`~repro.serve.protocol` / :mod:`~repro.serve.server` /
   :mod:`~repro.serve.client` — the newline-delimited JSON wire
-  protocol (PING / QUERY / EXPLAIN / LOAD / STATS), the threaded TCP
-  front end, and a retrying client with exponential backoff + jitter;
-* ``python -m repro.serve`` — the CLI entry point.
+  protocol (PING / QUERY / EXPLAIN / LOAD / STATS / UPDATE /
+  SNAPSHOT), the threaded TCP front end, and a retrying client with
+  exponential backoff + jitter;
+* ``python -m repro.serve`` — the CLI entry point; ``--data-dir``
+  attaches the :mod:`repro.store` durability layer (WAL commits,
+  snapshots, crash recovery, incremental view maintenance).
 """
 
 from .client import RetriesExhausted, ServeClient, ServeClientError
@@ -32,6 +35,7 @@ from .service import (
     RequestTimeout,
     ServeError,
     ServiceClosed,
+    StoreUnavailable,
     UnknownDatabase,
 )
 from .trace import RequestTrace, TraceLog
@@ -55,6 +59,7 @@ __all__ = [
     "ServeError",
     "ServeServer",
     "ServiceClosed",
+    "StoreUnavailable",
     "TraceLog",
     "UnknownDatabase",
     "database_from_spec",

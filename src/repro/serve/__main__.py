@@ -24,6 +24,7 @@ import sys
 import threading
 
 from ..model.schema import Database
+from ..store import Store
 from ..workloads.generators import chain_graph, cycle_graph, random_graph, serve_databases
 from .protocol import database_from_spec
 from .server import ServeServer
@@ -31,7 +32,12 @@ from .service import QueryService
 
 
 def load_db_spec(spec: str) -> tuple:
-    """Parse one ``--db`` argument into ``(name, Database)``."""
+    """Parse one ``--db`` argument into ``(name, Database)``.
+
+    Every malformed spec — a bad generator argument, a missing or
+    unreadable file, JSON that is not a database — exits with a
+    one-line error, never a traceback: this is the CLI boundary.
+    """
     name, _, rest = spec.partition("=")
     if not rest:
         name, rest = "", spec
@@ -43,7 +49,12 @@ def load_db_spec(spec: str) -> tuple:
         if rest.startswith(prefix):
             if not name:
                 raise SystemExit(f"--db {spec!r}: generator specs need name=")
-            return name, maker(rest[len(prefix):])
+            try:
+                return name, maker(rest[len(prefix):])
+            except Exception as exc:  # noqa: BLE001 — CLI boundary
+                raise SystemExit(
+                    f"--db {spec!r}: bad generator arguments: {exc}"
+                ) from exc
     path = pathlib.Path(rest)
     if not path.exists():
         raise SystemExit(f"--db {spec!r}: no such file")
@@ -78,21 +89,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="per-request deadline in seconds (0 disables)",
     )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="durable store root: --db seeds become snapshot-0, databases "
+        "already in DIR are crash-recovered (disk wins), and UPDATE "
+        "commits through the write-ahead log",
+    )
+    parser.add_argument(
+        "--no-sync",
+        action="store_true",
+        help="skip the per-commit fsync (faster, loses the last commits "
+        "on power failure; process crashes stay safe)",
+    )
     return parser
 
 
 def main(argv: list | None = None) -> int:
     args = build_parser().parse_args(argv)
-    databases: dict[str, Database] = (
-        dict(load_db_spec(spec) for spec in args.db)
-        if args.db
-        else serve_databases()
-    )
+    if args.db:
+        databases: dict[str, Database] = dict(
+            load_db_spec(spec) for spec in args.db
+        )
+    elif args.data_dir and any(Store(args.data_dir).discovered()):
+        databases = {}  # recover what is on disk, seed nothing extra
+    else:
+        databases = serve_databases()
     service = QueryService(
         databases,
         workers=args.workers,
         max_queue_depth=args.queue_depth,
         default_timeout=args.timeout or None,
+        data_dir=args.data_dir,
+        sync=not args.no_sync,
     )
     server = ServeServer(service, host=args.host, port=args.port)
     host, port = server.start()

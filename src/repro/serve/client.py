@@ -193,5 +193,37 @@ class ServeClient:
             }
         )
 
+    def update(
+        self,
+        db: str,
+        asserts: dict | None = None,
+        retracts: dict | None = None,
+        *,
+        timeout: float | None | object = "default",
+        priority: int = 0,
+        retry: bool = True,
+    ) -> dict:
+        """Commit one fact-batch transaction against *db*.
+
+        ``asserts`` / ``retracts`` map predicate names to row arrays in
+        the LOAD row format.  The response carries the *effective*
+        counts, the commit LSN (``null`` without a durable store), and
+        the cache-maintenance counters.  Retryable only up to the wire:
+        a transaction rejected at admission never ran, so resending is
+        safe; one that failed mid-commit reports a non-retryable error.
+        """
+        message: dict = {"op": "UPDATE", "db": db, "priority": priority}
+        if asserts:
+            message["assert"] = asserts
+        if retracts:
+            message["retract"] = retracts
+        if timeout != "default":
+            message["timeout"] = timeout
+        return self.call(message, retry=retry)
+
+    def snapshot(self, db: str) -> dict:
+        """Checkpoint *db* now (durable stores only)."""
+        return self.call({"op": "SNAPSHOT", "db": db})
+
     def stats(self, trace_limit: int = 16) -> dict:
         return self.call({"op": "STATS", "trace_limit": trace_limit})["stats"]

@@ -31,9 +31,14 @@ from __future__ import annotations
 import json
 
 from ..errors import ReproError, is_undefined
-from ..model.schema import Database, Schema
-from ..model.types import RType, SetType, TupleType, parse_type
-from ..model.values import Atom, SetVal, Tup
+from ..model.schema import Database
+from ..model.types import RType
+from ..store.codec import (
+    CodecError,
+    database_from_spec as _codec_database_from_spec,
+    rows_from_json,
+    value_from_json as _codec_value_from_json,
+)
 from .service import ServeError
 
 __all__ = [
@@ -46,12 +51,13 @@ __all__ = [
     "error_response",
     "ok_response",
     "result_fields",
+    "update_ops_from_spec",
     "value_from_json",
 ]
 
 PROTOCOL_VERSION = 1
 
-OPS = ("PING", "QUERY", "EXPLAIN", "LOAD", "STATS")
+OPS = ("PING", "QUERY", "EXPLAIN", "LOAD", "STATS", "UPDATE", "SNAPSHOT")
 
 
 class ProtocolError(ServeError):
@@ -141,30 +147,20 @@ def result_fields(outcome) -> dict:
     }
 
 
-# -- LOAD: databases from plain JSON ----------------------------------------
+# -- LOAD / UPDATE: databases and fact batches from plain JSON --------------
+#
+# The type-directed decoding lives in :mod:`repro.store.codec` — one
+# codec shared by the wire ops, the write-ahead log, and snapshots.
+# These wrappers only translate its typed errors into the wire's
+# :class:`ProtocolError`.
 
 
 def value_from_json(data, rtype: RType):
     """Rebuild a value from JSON data, directed by its declared rtype."""
-    if isinstance(rtype, SetType):
-        if not isinstance(data, list):
-            raise ProtocolError(f"expected an array for {rtype!r}, got {data!r}")
-        return SetVal(value_from_json(item, rtype.element) for item in data)
-    if isinstance(rtype, TupleType):
-        if not isinstance(data, list) or len(data) != len(rtype.components):
-            raise ProtocolError(
-                f"expected a {len(rtype.components)}-array for {rtype!r}, got {data!r}"
-            )
-        return Tup(
-            [
-                value_from_json(item, component)
-                for item, component in zip(data, rtype.components)
-            ]
-        )
-    # Base types (U / Obj): atoms are strings or ints on the wire.
-    if not isinstance(data, (str, int)) or isinstance(data, bool):
-        raise ProtocolError(f"expected an atom for {rtype!r}, got {data!r}")
-    return Atom(data)
+    try:
+        return _codec_value_from_json(data, rtype)
+    except CodecError as exc:
+        raise ProtocolError(str(exc)) from exc
 
 
 def database_from_spec(spec: dict) -> Database:
@@ -173,28 +169,35 @@ def database_from_spec(spec: dict) -> Database:
     ``spec`` is ``{"schema": {pred: rtype-string}, "instances":
     {pred: [row, ...]}}``; missing predicates default to empty.
     """
-    if not isinstance(spec, dict):
-        raise ProtocolError("database spec must be a JSON object")
-    schema_spec = spec.get("schema")
-    if not isinstance(schema_spec, dict) or not schema_spec:
-        raise ProtocolError('database spec needs a non-empty "schema" object')
     try:
-        schema = Schema(
-            {name: parse_type(text) for name, text in schema_spec.items()}
-        )
-    except ReproError as exc:
-        raise ProtocolError(f"bad schema: {exc}") from exc
-    instances_spec = spec.get("instances", {})
-    if not isinstance(instances_spec, dict):
-        raise ProtocolError('"instances" must be an object')
-    unknown = sorted(set(instances_spec) - set(schema.names()))
-    if unknown:
-        raise ProtocolError(f"instances for undeclared predicates: {unknown}")
-    instances = {}
-    for name in schema.names():
-        rows = instances_spec.get(name, [])
-        if not isinstance(rows, list):
-            raise ProtocolError(f"{name}: instance must be an array of rows")
-        rtype = schema.rtype(name)
-        instances[name] = SetVal(value_from_json(row, rtype) for row in rows)
-    return Database(schema, instances)
+        return _codec_database_from_spec(spec)
+    except CodecError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def update_ops_from_spec(database: Database, message: dict) -> tuple:
+    """``(asserts, retracts)`` fact batches from an UPDATE message.
+
+    The message carries ``"assert"`` / ``"retract"`` objects mapping
+    predicate names to row arrays in the LOAD row format; either may be
+    absent.  Rows decode type-directedly against *database*'s schema.
+    """
+    schema = database.schema
+    decoded: list = []
+    for key in ("assert", "retract"):
+        batches = message.get(key, {})
+        if not isinstance(batches, dict):
+            raise ProtocolError(f'"{key}" must be an object of predicate rows')
+        ops: dict = {}
+        for name, rows in batches.items():
+            if name not in schema:
+                raise ProtocolError(f"{key}: unknown predicate {name!r}")
+            try:
+                ops[name] = rows_from_json(rows, schema.rtype(name), name)
+            except CodecError as exc:
+                raise ProtocolError(str(exc)) from exc
+        decoded.append(ops)
+    asserts, retracts = decoded
+    if not asserts and not retracts:
+        raise ProtocolError('UPDATE needs an "assert" or "retract" object')
+    return asserts, retracts

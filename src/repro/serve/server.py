@@ -31,6 +31,7 @@ from .protocol import (
     ok_response,
     request_op,
     result_fields,
+    update_ops_from_spec,
 )
 from .service import QueryService
 
@@ -70,6 +71,28 @@ class _Handler(socketserver.StreamRequestHandler):
             service.load(name, database, replace=bool(message.get("replace")))
             return ok_response(op, name=name, facts=len(database.adom()))
         db = message.get("db")
+        if op in ("UPDATE", "SNAPSHOT") and not isinstance(db, str):
+            raise ProtocolError(f'{op} needs a "db" string')
+        if op == "SNAPSHOT":
+            return ok_response(op, **service.snapshot(db))
+        if op == "UPDATE":
+            # Decode type-directedly against the database's schema,
+            # then commit through admission control like a query.
+            session = service.session(db)
+            asserts, retracts = update_ops_from_spec(session.database, message)
+            outcome = service.update(
+                db,
+                asserts,
+                retracts,
+                timeout=message.get("timeout", "default"),
+                priority=int(message.get("priority", 0)),
+            )
+            if outcome.status != "ok":
+                try:
+                    outcome.raise_for_status()
+                except Exception as exc:  # noqa: BLE001 — typed by construction
+                    return error_response(op, exc)
+            return ok_response(op, **outcome.result)
         text = message.get("query")
         if not isinstance(db, str) or not isinstance(text, str):
             raise ProtocolError(f'{op} needs "db" and "query" strings')

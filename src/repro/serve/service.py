@@ -36,10 +36,22 @@ Every request runs under a *child* of the service budget (the
 :meth:`~repro.budget.Budget.child` splitting the engine runner already
 uses), so a runaway query exhausts its own allowance, not the
 service's.
+
+With a *data_dir*, the registry is backed by a
+:class:`~repro.store.store.Store` of durable databases: seeds become
+snapshot-0, databases found on disk are crash-recovered at startup,
+and ``UPDATE`` requests commit through each database's write-ahead log
+before the session's caches and materialized views are maintained
+incrementally.  Writes are serialized **per database** (single-writer)
+while queries against other databases proceed; the store's counters
+(``wal_appends``, ``wal_bytes``, ``snapshots``, ``recoveries``,
+``incremental_rounds``, ``invalidations``) surface in STATS next to a
+``state_sha256`` of each database's canonical bytes.
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 import threading
@@ -53,6 +65,9 @@ from ..model.schema import Database
 from ..query.explain import render, render_plan
 from ..query.planner import database_profile
 from ..query.session import Session
+from ..model.values import Value
+from ..store import Store, apply_ops, canonical_state_bytes
+from ..store.codec import rows_from_json
 from .metrics import MetricsRegistry
 from .trace import RequestTrace, TraceLog
 
@@ -64,6 +79,7 @@ __all__ = [
     "RequestTimeout",
     "ServeError",
     "ServiceClosed",
+    "StoreUnavailable",
     "UnknownDatabase",
 ]
 
@@ -133,6 +149,19 @@ class QueryFailed(ServeError):
         self.error = error
 
 
+class StoreUnavailable(ServeError):
+    """A durability op (SNAPSHOT) needs a store the service lacks."""
+
+    code = "no-store"
+
+    def __init__(self, name: str):
+        super().__init__(
+            f"database {name!r} has no durable store "
+            "(start the service with a data_dir)"
+        )
+        self.name = name
+
+
 class RequestOutcome:
     """What became of one admitted request.
 
@@ -172,6 +201,25 @@ class RequestOutcome:
         raise QueryFailed(self.error or "query failed")
 
 
+def _decode_batches(schema, batches: dict | None) -> dict:
+    """Normalize one UPDATE batch map to decoded fact values.
+
+    Rows already decoded (the wire path) pass through; plain JSON rows
+    decode type-directedly against *schema*.  Typed errors surface at
+    admission, before anything queues.
+    """
+    decoded: dict = {}
+    for name, rows in (batches or {}).items():
+        if name not in schema:
+            raise ServeError(f"update names unknown predicate {name!r}")
+        rows = list(rows)
+        if all(isinstance(row, Value) for row in rows):
+            decoded[name] = rows
+        else:
+            decoded[name] = rows_from_json(rows, schema.rtype(name), name)
+    return decoded
+
+
 class _Pending:
     """A minimal completion future for one ticket."""
 
@@ -192,13 +240,21 @@ class _Pending:
 
 
 class _Ticket:
-    """One admitted request waiting for (or holding) a worker."""
+    """One admitted request waiting for (or holding) a worker.
+
+    ``kind`` is ``"query"`` or ``"update"``; updates carry their
+    ``(asserts, retracts)`` fact batches in ``payload``.
+    """
 
     __slots__ = (
         "db", "text", "backend", "seconds", "deadline", "trace", "pending",
+        "kind", "payload",
     )
 
-    def __init__(self, db, text, backend, seconds, deadline, trace, pending):
+    def __init__(
+        self, db, text, backend, seconds, deadline, trace, pending,
+        kind="query", payload=None,
+    ):
         self.db = db
         self.text = text
         self.backend = backend
@@ -206,6 +262,8 @@ class _Ticket:
         self.deadline = deadline
         self.trace = trace
         self.pending = pending
+        self.kind = kind
+        self.payload = payload
 
 
 class QueryService:
@@ -221,8 +279,13 @@ class QueryService:
     (``None`` disables).  *budget* — the service budget each request
     gets a child of.  *intern* — enable the (thread-safe) process-wide
     value interner so structurally equal values are shared across
-    requests.  Remaining knobs size the per-database caches and the
-    trace log.
+    requests.  *data_dir* — root directory of the durable
+    :class:`~repro.store.store.Store`; seeds in *databases* become
+    snapshot-0, databases already on disk are crash-recovered (disk
+    wins over a same-named seed), and UPDATE commits through the WAL.
+    *sync* / *compaction* tune the store's fsync gate and
+    :class:`~repro.store.snapshot.CompactionPolicy`.  Remaining knobs
+    size the per-database caches and the trace log.
     """
 
     def __init__(
@@ -238,6 +301,9 @@ class QueryService:
         plan_entries: int = 256,
         intern: bool = True,
         trace_entries: int = 256,
+        data_dir: str | None = None,
+        sync: bool = True,
+        compaction=None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -253,11 +319,6 @@ class QueryService:
         if intern:
             enable_interning()
 
-        self._sessions: dict = {}
-        self._registry_lock = threading.RLock()
-        for name, database in (databases or {}).items():
-            self.load(name, database)
-
         self.metrics = MetricsRegistry()
         self.traces = TraceLog(max_entries=trace_entries)
         # Instruments exist from the start so STATS shows zeros, not gaps.
@@ -266,12 +327,34 @@ class QueryService:
             "queries_completed", "queries_timed_out", "queries_failed",
             "kernel_cache_hits", "kernel_cache_misses",
             "kernel_cache_invalidations",
+            "updates_applied", "wal_appends", "wal_bytes", "snapshots",
+            "recoveries", "incremental_rounds", "invalidations",
         ):
             self.metrics.counter(name)
         self.metrics.histogram("queue_wait_seconds")
         self.metrics.histogram("execution_seconds")
         self.metrics.gauge("queue_depth")
         self.metrics.gauge("in_flight")
+
+        self.store = (
+            Store(data_dir, sync=sync, policy=compaction)
+            if data_dir is not None
+            else None
+        )
+        self._sessions: dict = {}
+        self._writer_locks: dict = {}
+        self._registry_lock = threading.RLock()
+        seeds = dict(databases or {})
+        if self.store is not None:
+            # Disk wins: recover everything on disk, seed the rest.
+            for name in sorted(set(seeds) | set(self.store.discovered())):
+                self.load(name, seeds.get(name))
+            for counters in self.store.stats().values():
+                for key in ("recoveries", "snapshots"):
+                    self.metrics.counter(key).inc(counters[key])
+        else:
+            for name, database in seeds.items():
+                self.load(name, database)
 
         self._queue: list = []  # heap of (priority, seq, ticket)
         self._seq = itertools.count()
@@ -288,13 +371,32 @@ class QueryService:
 
     # -- registry -------------------------------------------------------
 
-    def load(self, name: str, database: Database, replace: bool = False) -> None:
-        """Register *database* under *name* (its own shared session)."""
-        if not isinstance(database, Database):
-            raise TypeError(f"expected a Database, got {type(database).__name__}")
+    def load(
+        self,
+        name: str,
+        database: Database | None = None,
+        replace: bool = False,
+    ) -> None:
+        """Register *database* under *name* (its own shared session).
+
+        With a durable store attached, the name's on-disk state is
+        recovered when present (disk wins — *database* was only the
+        seed) and snapshot-0 is written otherwise; ``replace`` is
+        refused, since a durable database's truth lives on disk.
+        """
         with self._registry_lock:
             if name in self._sessions and not replace:
                 raise ServeError(f"database {name!r} already registered")
+            if self.store is not None:
+                if replace:
+                    raise ServeError(
+                        f"cannot replace durable database {name!r}"
+                    )
+                database = self.store.open_or_create(name, seed=database).database
+            if not isinstance(database, Database):
+                raise TypeError(
+                    f"expected a Database, got {type(database).__name__}"
+                )
             self._sessions[name] = Session(
                 database,
                 budget=self._budget,
@@ -313,6 +415,11 @@ class QueryService:
     def databases(self) -> tuple:
         with self._registry_lock:
             return tuple(sorted(self._sessions))
+
+    def _writer_lock(self, db: str) -> threading.Lock:
+        """The single-writer lock for one database (created lazily)."""
+        with self._registry_lock:
+            return self._writer_locks.setdefault(db, threading.Lock())
 
     # -- admission ------------------------------------------------------
 
@@ -379,6 +486,100 @@ class QueryService:
         )
         return pending.wait()
 
+    def submit_update(
+        self,
+        db: str,
+        asserts: dict | None = None,
+        retracts: dict | None = None,
+        *,
+        timeout: float | None | object = "default",
+        priority: int = 0,
+    ) -> _Pending:
+        """Admit one UPDATE transaction; returns a waitable handle.
+
+        Updates ride the same admission queue as queries (one bounded
+        backlog, one rejection story) and are serialized per database
+        by the writer lock when a worker picks them up.
+
+        Batches map predicate names to fact rows — either decoded
+        :class:`~repro.model.values.Value` objects (the wire path
+        decodes before admission) or plain JSON rows, decoded
+        type-directedly here; malformed batches raise *before* anything
+        queues.
+        """
+        schema = self.session(db).database.schema
+        asserts = _decode_batches(schema, asserts)
+        retracts = _decode_batches(schema, retracts)
+        summary = "UPDATE assert={} retract={}".format(
+            sum(len(facts) for facts in (asserts or {}).values()),
+            sum(len(facts) for facts in (retracts or {}).values()),
+        )
+        seconds = self.default_timeout if timeout == "default" else timeout
+        now = time.monotonic()
+        with self._cond:
+            if self._closed:
+                raise ServiceClosed()
+            if len(self._queue) >= self.max_queue_depth:
+                self.metrics.counter("queries_rejected").inc()
+                raise AdmissionRejected(self.max_queue_depth)
+            trace = self.traces.begin(db, summary, priority, now)
+            pending = _Pending()
+            ticket = _Ticket(
+                db=db,
+                text=summary,
+                backend=None,
+                seconds=seconds,
+                deadline=(now + seconds) if seconds else None,
+                trace=trace,
+                pending=pending,
+                kind="update",
+                payload=(asserts or {}, retracts or {}),
+            )
+            heapq.heappush(self._queue, (priority, next(self._seq), ticket))
+            self.metrics.counter("queries_accepted").inc()
+            self.metrics.gauge("queue_depth").set(len(self._queue))
+            self._cond.notify()
+        return pending
+
+    def update(
+        self,
+        db: str,
+        asserts: dict | None = None,
+        retracts: dict | None = None,
+        *,
+        timeout: float | None | object = "default",
+        priority: int = 0,
+    ) -> RequestOutcome:
+        """Admit one transaction, wait, and return its outcome.
+
+        An ``ok`` outcome's ``result`` is the commit summary dict
+        (effective counts, LSN, cache-maintenance counters); the
+        transaction is durable when the outcome arrives if the service
+        has a store.
+        """
+        pending = self.submit_update(
+            db, asserts, retracts, timeout=timeout, priority=priority
+        )
+        return pending.wait()
+
+    def snapshot(self, db: str) -> dict:
+        """Checkpoint *db* now: write the canonical snapshot, truncate
+        its WAL.  Runs inline under the writer lock (an operator tool,
+        like EXPLAIN).  Requires a durable store."""
+        self.session(db)  # typed UnknownDatabase first
+        if self.store is None:
+            raise StoreUnavailable(db)
+        with self._writer_lock(db):
+            durable = self.store.get(db)
+            path = durable.snapshot()
+            self.metrics.counter("snapshots").inc()
+            return {
+                "db": db,
+                "lsn": durable.lsn,
+                "snapshot": path.name,
+                "wal_bytes": durable.wal.size(),
+            }
+
     # -- workers --------------------------------------------------------
 
     def _next_ticket(self) -> _Ticket | None:
@@ -429,6 +630,10 @@ class QueryService:
             ticket.pending.complete(
                 RequestOutcome("timeout", UNDEFINED, trace, seconds=ticket.seconds)
             )
+            return
+
+        if ticket.kind == "update":
+            self._run_update(ticket)
             return
 
         session = self.session(ticket.db)
@@ -484,6 +689,77 @@ class QueryService:
             RequestOutcome(status, result, trace, error, seconds=ticket.seconds)
         )
 
+    def _run_update(self, ticket: _Ticket) -> None:
+        """Commit one transaction: WAL append (when durable), then
+        incremental maintenance of the session's caches and views.
+
+        The writer lock serializes transactions *per database* — the
+        WAL append, the session's database swap, and the cache/view
+        maintenance are one atomic unit from any other writer's point
+        of view.  Readers are never blocked: queries snapshot the
+        session's database reference on entry.
+        """
+        trace = ticket.trace
+        asserts, retracts = ticket.payload
+        status, result, error = "ok", UNDEFINED, None
+        try:
+            session = self.session(ticket.db)
+            durable = (
+                self.store.get(ticket.db) if self.store is not None else None
+            )
+            with self._writer_lock(ticket.db):
+                if durable is not None:
+                    commit = durable.apply(asserts, retracts)
+                    new_database, delta, lsn = (
+                        commit.database, commit.delta, commit.lsn,
+                    )
+                    if commit.bytes_appended:
+                        self.metrics.counter("wal_appends").inc()
+                        self.metrics.counter("wal_bytes").inc(
+                            commit.bytes_appended
+                        )
+                    if commit.compacted:
+                        self.metrics.counter("snapshots").inc()
+                else:
+                    new_database, delta = apply_ops(
+                        session.database, asserts, retracts
+                    )
+                    lsn = None
+                maintenance = session.apply_delta(new_database, delta)
+            plus, minus = delta.counts()
+            self.metrics.counter("updates_applied").inc()
+            self.metrics.counter("incremental_rounds").inc(
+                maintenance["incremental_rounds"]
+            )
+            self.metrics.counter("invalidations").inc(
+                maintenance["invalidations"]
+            )
+            trace.backend = "store" if durable is not None else "memory"
+            result = {
+                "asserted": plus,
+                "retracted": minus,
+                "durable": durable is not None,
+                "lsn": lsn,
+                **maintenance,
+            }
+        except ReproError as exc:
+            status, error = "error", str(exc)
+        except Exception as exc:  # noqa: BLE001 — reported, not swallowed
+            status, error = "error", f"{type(exc).__name__}: {exc}"
+        trace.finished_at = self.traces.relative(time.monotonic())
+        trace.outcome = status
+        trace.error = error
+        execution = trace.execution_seconds()
+        if execution is not None:
+            self.metrics.histogram("execution_seconds").observe(execution)
+        if status == "ok":
+            self.metrics.counter("queries_completed").inc()
+        else:
+            self.metrics.counter("queries_failed").inc()
+        ticket.pending.complete(
+            RequestOutcome(status, result, trace, error, seconds=ticket.seconds)
+        )
+
     # -- explain / stats ------------------------------------------------
 
     def explain(
@@ -531,7 +807,18 @@ class QueryService:
                 "adom": profile["adom"],
                 "memo": session.memo.stats.as_dict(),
                 "plans": session.plans.stats.as_dict(),
+                "views": len(session.views),
             }
+            if self.store is not None and name in self.store.names():
+                durable = self.store.get(name)
+                databases[name]["store"] = {
+                    **durable.stats.as_dict(),
+                    "lsn": durable.lsn,
+                    "wal_size": durable.wal.size(),
+                    "state_sha256": hashlib.sha256(
+                        canonical_state_bytes(session.database)
+                    ).hexdigest(),
+                }
         return {
             "service": {
                 "workers": self.workers,
@@ -569,6 +856,8 @@ class QueryService:
             self._cond.notify_all()
         for thread in self._threads:
             thread.join()
+        if self.store is not None:
+            self.store.close()
 
     def __enter__(self) -> "QueryService":
         return self

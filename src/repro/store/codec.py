@@ -1,0 +1,147 @@
+"""The type-directed JSON codec shared by LOAD, the WAL, and snapshots.
+
+JSON has no sets or tuples, so a JSON array is ambiguous on its own —
+the declared rtype directs the rebuild: an array is a *tuple* under
+``[U, U]`` and a *set* under ``{U}``, recursively.  The codec is the
+single source of truth for every place a value crosses a byte
+boundary: the wire protocol's ``LOAD``/``UPDATE`` ops
+(:mod:`repro.serve.protocol` wraps these functions in its typed
+errors), the write-ahead log's transaction payloads, and snapshot
+files.
+
+Encoding is canonical: set members are emitted in the values'
+construction-time canonical order (:class:`~repro.model.values.SetVal`
+stores members pre-sorted), so encoding the same database twice yields
+byte-identical JSON — the invariant the crash-recovery tests and the
+CI smoke diff rely on.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+from ..model.schema import Database, Schema
+from ..model.types import RType, SetType, TupleType, parse_type
+from ..model.values import Atom, SetVal, Tup, Value
+
+__all__ = [
+    "CodecError",
+    "database_from_spec",
+    "database_to_spec",
+    "rows_from_json",
+    "rows_to_json",
+    "value_from_json",
+    "value_to_json",
+]
+
+
+class CodecError(ReproError):
+    """Data does not decode under (or encode to) the declared rtype."""
+
+
+def value_from_json(data, rtype: RType) -> Value:
+    """Rebuild a value from JSON data, directed by its declared rtype."""
+    if isinstance(rtype, SetType):
+        if not isinstance(data, list):
+            raise CodecError(f"expected an array for {rtype!r}, got {data!r}")
+        return SetVal(value_from_json(item, rtype.element) for item in data)
+    if isinstance(rtype, TupleType):
+        if not isinstance(data, list) or len(data) != len(rtype.components):
+            raise CodecError(
+                f"expected a {len(rtype.components)}-array for {rtype!r}, got {data!r}"
+            )
+        return Tup(
+            [
+                value_from_json(item, component)
+                for item, component in zip(data, rtype.components)
+            ]
+        )
+    # Base types (U / Obj): atoms are strings or ints on the wire.
+    if not isinstance(data, (str, int)) or isinstance(data, bool):
+        raise CodecError(f"expected an atom for {rtype!r}, got {data!r}")
+    return Atom(data)
+
+
+def value_to_json(value: Value, rtype: RType):
+    """Encode *value* as JSON data under its declared rtype (inverse of
+    :func:`value_from_json`; set members in canonical order)."""
+    if isinstance(rtype, SetType):
+        if not isinstance(value, SetVal):
+            raise CodecError(f"expected a set for {rtype!r}, got {value!r}")
+        # sorted_members(), not items: the frozenset's iteration order
+        # is hash-dependent (and str hashing varies per process), while
+        # the canonical order is label-based — the byte-identical
+        # encoding must survive a process restart.
+        return [
+            value_to_json(member, rtype.element)
+            for member in value.sorted_members()
+        ]
+    if isinstance(rtype, TupleType):
+        if not isinstance(value, Tup) or len(value.items) != len(rtype.components):
+            raise CodecError(f"expected a {len(rtype.components)}-tuple, got {value!r}")
+        return [
+            value_to_json(item, component)
+            for item, component in zip(value.items, rtype.components)
+        ]
+    if not isinstance(value, Atom):
+        raise CodecError(f"expected an atom for {rtype!r}, got {value!r}")
+    return value.label
+
+
+def rows_from_json(rows, rtype: RType, name: str) -> list:
+    """Decode one predicate's JSON row array into values of *rtype*."""
+    if not isinstance(rows, list):
+        raise CodecError(f"{name}: rows must be an array, got {rows!r}")
+    return [value_from_json(row, rtype) for row in rows]
+
+
+def rows_to_json(values, rtype: RType) -> list:
+    """Encode an iterable of values of *rtype* as a JSON row array."""
+    return [value_to_json(value, rtype) for value in values]
+
+
+def database_from_spec(spec: dict) -> Database:
+    """A :class:`Database` from the plain-JSON spec format.
+
+    ``spec`` is ``{"schema": {pred: rtype-string}, "instances":
+    {pred: [row, ...]}}``; missing predicates default to empty.  This
+    is the ``LOAD`` payload, the ``--db`` file format, *and* the
+    snapshot body.
+    """
+    if not isinstance(spec, dict):
+        raise CodecError("database spec must be a JSON object")
+    schema_spec = spec.get("schema")
+    if not isinstance(schema_spec, dict) or not schema_spec:
+        raise CodecError('database spec needs a non-empty "schema" object')
+    try:
+        schema = Schema(
+            {name: parse_type(text) for name, text in schema_spec.items()}
+        )
+    except ReproError as exc:
+        raise CodecError(f"bad schema: {exc}") from exc
+    instances_spec = spec.get("instances", {})
+    if not isinstance(instances_spec, dict):
+        raise CodecError('"instances" must be an object')
+    unknown = sorted(set(instances_spec) - set(schema.names()))
+    if unknown:
+        raise CodecError(f"instances for undeclared predicates: {unknown}")
+    instances = {}
+    for name in schema.names():
+        rows = instances_spec.get(name, [])
+        rtype = schema.rtype(name)
+        instances[name] = SetVal(rows_from_json(rows, rtype, name))
+    return Database(schema, instances)
+
+
+def database_to_spec(database: Database) -> dict:
+    """The plain-JSON spec of *database* (inverse of
+    :func:`database_from_spec`, rows in canonical order)."""
+    schema = database.schema
+    return {
+        "schema": {name: repr(schema.rtype(name)) for name in schema.names()},
+        "instances": {
+            name: rows_to_json(
+                database[name].sorted_members(), schema.rtype(name)
+            )
+            for name in schema.names()
+        },
+    }

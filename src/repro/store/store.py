@@ -1,0 +1,104 @@
+"""A directory of named durable databases.
+
+The serve layer's ``--data-dir`` points here: each named database gets
+the subdirectory ``<root>/<name>/`` managed by one
+:class:`~repro.store.durable.DurableDatabase`.  On startup, databases
+found on disk are recovered; databases supplied via ``--db`` that have
+no directory yet are created (seeded with snapshot-0).  A database
+that exists both on disk *and* in ``--db`` resolves in favour of disk —
+the durable state is the truth, the spec was only the seed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from typing import Iterator, Mapping
+
+from ..model.schema import Database
+from .durable import DurableDatabase, StoreError
+from .snapshot import CompactionPolicy, latest_snapshot
+
+__all__ = ["Store"]
+
+#: Database names must be safe as path components.
+NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+
+class Store:
+    """All durable databases under one root directory."""
+
+    __slots__ = ("root", "sync", "policy", "_databases")
+
+    def __init__(
+        self,
+        root: pathlib.Path | str,
+        sync: bool = True,
+        policy: CompactionPolicy | None = None,
+    ):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.sync = sync
+        self.policy = policy
+        self._databases: dict = {}
+
+    @staticmethod
+    def check_name(name: str) -> str:
+        if not isinstance(name, str) or not NAME_PATTERN.match(name):
+            raise StoreError(f"invalid database name {name!r}")
+        return name
+
+    def path_for(self, name: str) -> pathlib.Path:
+        return self.root / self.check_name(name)
+
+    def on_disk(self, name: str) -> bool:
+        """Does a recoverable database directory exist for *name*?"""
+        return latest_snapshot(self.path_for(name)) is not None
+
+    def open_or_create(self, name: str, seed: Database | None = None) -> DurableDatabase:
+        """Recover *name* from disk, or create it seeded with *seed*.
+
+        Disk wins over the seed: if the directory is recoverable the
+        seed is ignored (it was only the initial state).
+        """
+        self.check_name(name)
+        if name in self._databases:
+            return self._databases[name]
+        policy = self.policy or CompactionPolicy()
+        if self.on_disk(name):
+            durable = DurableDatabase.open(
+                self.path_for(name), sync=self.sync, policy=policy
+            )
+        elif seed is not None:
+            durable = DurableDatabase.create(
+                self.path_for(name), seed, sync=self.sync, policy=policy
+            )
+        else:
+            raise StoreError(f"database {name!r} not found in {self.root}")
+        self._databases[name] = durable
+        return durable
+
+    def get(self, name: str) -> DurableDatabase:
+        if name not in self._databases:
+            raise StoreError(f"database {name!r} is not open")
+        return self._databases[name]
+
+    def discovered(self) -> Iterator[str]:
+        """Names of recoverable databases on disk (open or not)."""
+        if not self.root.is_dir():
+            return
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_dir() and NAME_PATTERN.match(entry.name):
+                if latest_snapshot(entry) is not None:
+                    yield entry.name
+
+    def names(self) -> tuple:
+        return tuple(sorted(self._databases))
+
+    def stats(self) -> Mapping[str, dict]:
+        return {name: db.stats.as_dict() for name, db in sorted(self._databases.items())}
+
+    def close(self) -> None:
+        for durable in self._databases.values():
+            durable.close()
+        self._databases.clear()

@@ -1,0 +1,63 @@
+"""``python -m repro.serve`` exits with a one-line error — never a
+traceback — on malformed ``--db`` specs (the CLI boundary satellite)."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.serve", *args],
+        capture_output=True,
+        text=True,
+        timeout=60,
+        env={"PYTHONPATH": REPO_SRC, "PATH": "/usr/bin:/bin"},
+    )
+
+
+def assert_one_line_error(proc, needle):
+    assert proc.returncode != 0
+    assert "Traceback" not in proc.stderr and "Traceback" not in proc.stdout
+    message = proc.stderr.strip()
+    assert message and len(message.splitlines()) == 1
+    assert needle in message
+
+
+class TestBadDbSpecs:
+    def test_missing_file(self):
+        proc = run_cli("--db", "/nonexistent/db.json")
+        assert_one_line_error(proc, "no such file")
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        proc = run_cli("--db", str(path))
+        assert_one_line_error(proc, "--db")
+
+    def test_json_that_is_not_a_database(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps(["not", "a", "spec"]))
+        proc = run_cli("--db", str(path))
+        assert_one_line_error(proc, "--db")
+
+    def test_bad_schema_type_string(self, tmp_path):
+        path = tmp_path / "badtype.json"
+        path.write_text(json.dumps({"schema": {"R": "{{{"}}))
+        proc = run_cli("--db", str(path))
+        assert_one_line_error(proc, "--db")
+
+    def test_generator_without_name(self):
+        proc = run_cli("--db", "chain:4")
+        assert_one_line_error(proc, "generator specs need name=")
+
+    def test_generator_with_bad_argument(self):
+        proc = run_cli("--db", "g=chain:notanumber")
+        assert_one_line_error(proc, "bad generator arguments")
+
+    def test_generator_with_wrong_arity(self):
+        proc = run_cli("--db", "g=random:1")
+        assert_one_line_error(proc, "bad generator arguments")

@@ -1,0 +1,115 @@
+"""ServeClient retry/backoff behaviour, without real sockets or sleeps.
+
+Complements the live-socket retry tests in ``test_server_client.py``:
+here the transport and the clock are both fakes, so the assertions are
+about the *schedule* — determinism under a seed, the total-sleep cap,
+and that non-retryable errors never sleep at all.
+"""
+
+import pytest
+
+from repro.serve.client import RetriesExhausted, ServeClient, ServeClientError
+
+REJECTION = {
+    "op": "QUERY",
+    "ok": False,
+    "error": {"type": "rejected", "message": "full", "retryable": True},
+}
+FATAL = {
+    "op": "QUERY",
+    "ok": False,
+    "error": {"type": "unknown-database", "message": "nope", "retryable": False},
+}
+
+
+def instrumented(monkeypatch, client, responses):
+    """Replace the transport with canned responses and record sleeps."""
+    sleeps: list = []
+    replies = iter(responses)
+    monkeypatch.setattr(
+        "repro.serve.client.time.sleep", lambda seconds: sleeps.append(seconds)
+    )
+    monkeypatch.setattr(client, "_roundtrip", lambda message: next(replies))
+    return sleeps
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self, monkeypatch):
+        schedules = []
+        for _ in range(2):
+            client = ServeClient(seed=42, retries=4, backoff=0.1, jitter=0.5)
+            sleeps = instrumented(monkeypatch, client, [REJECTION] * 5)
+            with pytest.raises(RetriesExhausted):
+                client.call({"op": "QUERY"})
+            schedules.append(tuple(sleeps))
+        assert schedules[0] == schedules[1]
+        assert len(schedules[0]) == 4  # one sleep before each retry
+
+    def test_different_seeds_differ(self, monkeypatch):
+        schedules = []
+        for seed in (1, 2):
+            client = ServeClient(seed=seed, retries=4, backoff=0.1, jitter=0.5)
+            sleeps = instrumented(monkeypatch, client, [REJECTION] * 5)
+            with pytest.raises(RetriesExhausted):
+                client.call({"op": "QUERY"})
+            schedules.append(tuple(sleeps))
+        assert schedules[0] != schedules[1]
+
+
+class TestSleepBounds:
+    def test_total_sleep_is_capped(self, monkeypatch):
+        retries, cap, jitter = 6, 0.25, 0.5
+        client = ServeClient(
+            seed=3, retries=retries, backoff=0.05, backoff_cap=cap, jitter=jitter
+        )
+        sleeps = instrumented(monkeypatch, client, [REJECTION] * (retries + 1))
+        with pytest.raises(RetriesExhausted):
+            client.call({"op": "QUERY"})
+        # Each sleep ≤ cap·(1+jitter); the whole retry run is bounded.
+        assert all(s <= cap * (1 + jitter) for s in sleeps)
+        assert sum(sleeps) <= retries * cap * (1 + jitter)
+        assert all(s >= 0.0 for s in sleeps)
+
+    def test_exponential_until_the_cap(self, monkeypatch):
+        client = ServeClient(
+            seed=0, retries=5, backoff=0.1, backoff_cap=0.4, jitter=0.0
+        )
+        sleeps = instrumented(monkeypatch, client, [REJECTION] * 6)
+        with pytest.raises(RetriesExhausted):
+            client.call({"op": "QUERY"})
+        assert sleeps == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+
+class TestStopping:
+    def test_non_retryable_error_never_sleeps(self, monkeypatch):
+        client = ServeClient(seed=0, retries=5)
+        sleeps = instrumented(monkeypatch, client, [FATAL] * 6)
+        with pytest.raises(ServeClientError) as exc_info:
+            client.call({"op": "QUERY"})
+        assert not isinstance(exc_info.value, RetriesExhausted)
+        assert exc_info.value.type == "unknown-database"
+        assert sleeps == []  # gave up immediately
+
+    def test_non_retryable_after_retryables_stops(self, monkeypatch):
+        client = ServeClient(seed=0, retries=5, backoff=0.01)
+        sleeps = instrumented(
+            monkeypatch, client, [REJECTION, REJECTION, FATAL, REJECTION]
+        )
+        with pytest.raises(ServeClientError) as exc_info:
+            client.call({"op": "QUERY"})
+        assert exc_info.value.type == "unknown-database"
+        assert len(sleeps) == 2  # only the retryable attempts slept
+
+    def test_retry_false_is_single_shot(self, monkeypatch):
+        client = ServeClient(seed=0, retries=5)
+        sleeps = instrumented(monkeypatch, client, [REJECTION] * 6)
+        with pytest.raises(ServeClientError):
+            client.call({"op": "QUERY"}, retry=False)
+        assert sleeps == []
+
+    def test_success_after_backoff_returns_response(self, monkeypatch):
+        ok = {"op": "QUERY", "ok": True, "result": "{}"}
+        client = ServeClient(seed=0, retries=5, backoff=0.01)
+        sleeps = instrumented(monkeypatch, client, [REJECTION, REJECTION, ok])
+        assert client.call({"op": "QUERY"}) == ok
+        assert len(sleeps) == 2

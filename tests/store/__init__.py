@@ -1,0 +1,1 @@
+"""Tests for repro.store: codec, WAL, snapshots, recovery, maintenance."""

@@ -1,0 +1,187 @@
+"""Crash recovery: the acceptance property.
+
+Truncating the WAL at **any** byte offset and recovering must yield a
+database byte-identical (canonical state bytes) to the state at the
+last commit whose record fully survived — never a partial transaction,
+never a corrupt state.
+"""
+
+import pytest
+
+from repro.model.schema import Database, Schema
+from repro.model.types import parse_type
+from repro.store.durable import DurableDatabase, StoreError
+from repro.store.snapshot import CompactionPolicy, canonical_state_bytes
+from repro.store.store import Store
+from repro.store.wal import read_records
+
+
+def seed_db():
+    schema = Schema({"E": parse_type("[U, U]"), "S": parse_type("U")})
+    return Database(schema, {"E": {("a", "b")}, "S": {"a"}})
+
+
+def committed_states(tmp_path, transactions):
+    """Build a durable database applying *transactions*; returns the
+    directory and the canonical bytes after each commit (index 0 = the
+    seed state)."""
+    directory = tmp_path / "db"
+    durable = DurableDatabase.create(directory, seed_db(), sync=False)
+    states = [canonical_state_bytes(durable.database)]
+    for asserts, retracts in transactions:
+        durable.apply(asserts, retracts)
+        states.append(canonical_state_bytes(durable.database))
+    durable.close()
+    return directory, states
+
+
+TRANSACTIONS = [
+    ({"E": [["b", "c"]]}, None),
+    ({"E": [["c", "d"]], "S": ["b"]}, None),
+    (None, {"E": [["a", "b"]]}),
+    ({"S": ["c", "d"]}, {"S": ["a"]}),
+]
+
+
+def decode_tx(database, tx):
+    """Turn plain-JSON transaction rows into Values for apply()."""
+    from repro.store.codec import rows_from_json
+
+    asserts, retracts = tx
+    schema = database.schema
+    return tuple(
+        {
+            name: rows_from_json(rows, schema.rtype(name), name)
+            for name, rows in (batch or {}).items()
+        }
+        for batch in (asserts, retracts)
+    )
+
+
+class TestRecoveryProperty:
+    def test_any_truncation_recovers_a_durable_prefix(self, tmp_path):
+        directory = tmp_path / "db"
+        durable = DurableDatabase.create(directory, seed_db(), sync=False)
+        states = [canonical_state_bytes(durable.database)]
+        for tx in TRANSACTIONS:
+            durable.apply(*decode_tx(durable.database, tx))
+            states.append(canonical_state_bytes(durable.database))
+        durable.close()
+
+        wal_path = directory / DurableDatabase.WAL_NAME
+        data = wal_path.read_bytes()
+        records, _ = read_records(wal_path)
+        ends = [0] + [record.end for record in records]
+        for cut in range(len(data) + 1):
+            wal_path.write_bytes(data[:cut])
+            recovered = DurableDatabase.open(directory, sync=False)
+            survived = max(end for end in ends if end <= cut)
+            expected = states[ends.index(survived)]
+            assert canonical_state_bytes(recovered.database) == expected
+            assert recovered.stats.recoveries == 1
+            assert recovered.stats.replayed_records == ends.index(survived)
+            # Recovery truncated the torn tail on disk.
+            assert wal_path.stat().st_size == survived
+            recovered.close()
+
+    def test_recovery_is_byte_identical_after_full_log(self, tmp_path):
+        directory = tmp_path / "db"
+        durable = DurableDatabase.create(directory, seed_db(), sync=False)
+        for tx in TRANSACTIONS:
+            durable.apply(*decode_tx(durable.database, tx))
+        final = canonical_state_bytes(durable.database)
+        lsn = durable.lsn
+        durable.close()
+        recovered = DurableDatabase.open(directory, sync=False)
+        assert canonical_state_bytes(recovered.database) == final
+        assert recovered.lsn == lsn
+        recovered.close()
+
+    def test_crash_between_snapshot_and_truncation(self, tmp_path):
+        """A snapshot that renamed but never truncated the log: replay
+        must skip records already folded into the snapshot."""
+        from repro.store.snapshot import write_snapshot
+
+        directory = tmp_path / "db"
+        durable = DurableDatabase.create(directory, seed_db(), sync=False)
+        for tx in TRANSACTIONS[:2]:
+            durable.apply(*decode_tx(durable.database, tx))
+        # Simulate the crash: snapshot written, WAL left alone.
+        write_snapshot(directory, durable.lsn, durable.database)
+        final = canonical_state_bytes(durable.database)
+        durable.close()
+        recovered = DurableDatabase.open(directory, sync=False)
+        assert canonical_state_bytes(recovered.database) == final
+        assert recovered.stats.replayed_records == 0
+        recovered.close()
+
+
+class TestCompaction:
+    def test_policy_triggers_snapshot_and_truncates(self, tmp_path):
+        directory = tmp_path / "db"
+        durable = DurableDatabase.create(
+            directory, seed_db(), sync=False,
+            policy=CompactionPolicy(max_records=2, max_bytes=1 << 20),
+        )
+        first = durable.apply(*decode_tx(durable.database, TRANSACTIONS[0]))
+        assert not first.compacted
+        second = durable.apply(*decode_tx(durable.database, TRANSACTIONS[1]))
+        assert second.compacted
+        assert durable.wal.size() == 0
+        assert durable.records_since_snapshot == 0
+        final = canonical_state_bytes(durable.database)
+        durable.close()
+        recovered = DurableDatabase.open(directory, sync=False)
+        assert canonical_state_bytes(recovered.database) == final
+        recovered.close()
+
+    def test_empty_delta_appends_nothing(self, tmp_path):
+        directory = tmp_path / "db"
+        durable = DurableDatabase.create(directory, seed_db(), sync=False)
+        before = durable.wal.size()
+        result = durable.apply(*decode_tx(durable.database, ({"S": ["a"]}, None)))
+        assert result.delta.empty() and result.bytes_appended == 0
+        assert durable.wal.size() == before and durable.lsn == 0
+        durable.close()
+
+
+class TestStoreDirectory:
+    def test_create_then_reopen(self, tmp_path):
+        store = Store(tmp_path / "root", sync=False)
+        durable = store.open_or_create("main", seed=seed_db())
+        durable.apply(*decode_tx(durable.database, TRANSACTIONS[0]))
+        final = canonical_state_bytes(durable.database)
+        store.close()
+        reopened = Store(tmp_path / "root", sync=False)
+        assert list(reopened.discovered()) == ["main"]
+        recovered = reopened.open_or_create("main")
+        assert canonical_state_bytes(recovered.database) == final
+        reopened.close()
+
+    def test_disk_wins_over_seed(self, tmp_path):
+        store = Store(tmp_path / "root", sync=False)
+        durable = store.open_or_create("main", seed=seed_db())
+        durable.apply(*decode_tx(durable.database, TRANSACTIONS[0]))
+        final = canonical_state_bytes(durable.database)
+        store.close()
+        reopened = Store(tmp_path / "root", sync=False)
+        recovered = reopened.open_or_create("main", seed=seed_db())
+        assert canonical_state_bytes(recovered.database) == final
+        reopened.close()
+
+    def test_unknown_name_without_seed(self, tmp_path):
+        store = Store(tmp_path / "root", sync=False)
+        with pytest.raises(StoreError, match="not found"):
+            store.open_or_create("ghost")
+
+    def test_unsafe_names_rejected(self, tmp_path):
+        store = Store(tmp_path / "root", sync=False)
+        for name in ("../evil", "", ".hidden", "a/b"):
+            with pytest.raises(StoreError, match="invalid database name"):
+                store.open_or_create(name, seed=seed_db())
+
+    def test_create_refuses_existing_directory(self, tmp_path):
+        directory = tmp_path / "db"
+        DurableDatabase.create(directory, seed_db(), sync=False).close()
+        with pytest.raises(StoreError, match="already holds"):
+            DurableDatabase.create(directory, seed_db(), sync=False)
