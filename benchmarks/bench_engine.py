@@ -241,12 +241,12 @@ class TestKernelJoin:
         assert speedup >= 1.0
 
 
-def _timed_in_mode(mode: str, fn):
+def _timed_in_mode(mode: str, fn, repeats: int = 3):
     """``_best_of(fn)`` with ``Interp.exec_mode`` pinned to *mode*."""
     previous = Interp.exec_mode
     Interp.exec_mode = mode
     try:
-        return _best_of(fn)
+        return _best_of(fn, repeats)
     finally:
         Interp.exec_mode = previous
 
@@ -406,13 +406,18 @@ class TestJoinOrdering:
         # cumulative fallback scanning and builds once.
         program = _reverse_reach_program()
         database = _reverse_reach_database(length=320)
+        # Both arms finish in milliseconds, so best-of-3 is dominated by
+        # scheduler noise; more repeats lets the minimum converge and
+        # keeps the speedup ratio stable across loaded machines.
         textual_time, textual_result = _timed_in_mode(
             "textual",
             lambda: run_datalog_stratified(program, database, _unlimited()),
+            repeats=9,
         )
         compiled_time, compiled_result = _timed_in_mode(
             "compiled",
             lambda: run_datalog_stratified(program, database, _unlimited()),
+            repeats=9,
         )
         assert compiled_result == textual_result
         speedup = textual_time / compiled_time

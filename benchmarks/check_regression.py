@@ -25,7 +25,8 @@ THRESHOLD = 0.9
 #: (``seminaive_``/``bk_`` from bench_engine.py, ``kernel_`` for the
 #: operator-kernel and compiled-rule-kernel microbenches, ``join_order_``
 #: for the cost-based ordering benches, ``query_`` from bench_query.py,
-#: ``serve_`` from bench_serve.py, ``store_`` from bench_store.py).
+#: ``serve_`` from bench_serve.py, ``store_`` from bench_store.py,
+#: ``catalog_`` for the statistics-subsystem overhead benches).
 REQUIRED_FAMILIES = (
     "seminaive_",
     "bk_",
@@ -34,6 +35,7 @@ REQUIRED_FAMILIES = (
     "query_",
     "serve_",
     "store_",
+    "catalog_",
 )
 
 

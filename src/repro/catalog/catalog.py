@@ -1,0 +1,242 @@
+"""The per-database catalog: memoized profile, lazy relation stats,
+incremental migration, and the actuals feedback loop.
+
+One :class:`Catalog` exists per live :class:`~repro.model.schema.
+Database` object, found via :meth:`Catalog.for_database`.  The registry
+is keyed by ``id()`` with a weak reference guarding against id reuse —
+databases are immutable values whose ``__hash__`` walks every instance,
+so identity keying is both correct (a database's statistics never
+change) and far cheaper than value keying.  Entries evict themselves
+when their database is collected.
+
+Three jobs:
+
+* :meth:`profile` replaces the old per-``build_plan`` recomputation of
+  ``database_profile`` — sizes, total facts, active-domain size and
+  max depth come from the values' construction-time cached metadata
+  and are computed **once** per database, then served memoized.
+* :meth:`rel` builds per-relation :class:`~repro.catalog.stats.
+  RelStats` lazily, and :meth:`migrate` carries them across a
+  committed :class:`~repro.store.tx.FactDelta` *incrementally* —
+  untouched relations share their stats objects with the predecessor
+  catalog, touched ones replay only the delta's facts, so durable
+  databases never cold-rescan their extents after a commit.
+* :meth:`observe` folds post-execution actuals (estimated vs. actual
+  rows of a kernel step) into per-relation integer correction factors
+  (percent, EWMA-smoothed, clamped); the planner scales its effective
+  sizes by them, and EXPLAIN ANALYZE renders them next to ``est=`` so
+  drift is observable.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+from .stats import RelStats
+
+__all__ = ["Catalog"]
+
+#: Correction factors are clamped to this percent range: a single
+#: pathological observation can at most quarter or quadruple an
+#: effective size, and repeated drift saturates instead of exploding.
+CORRECTION_MIN = 25
+CORRECTION_MAX = 400
+
+#: id(database) -> (weakref to the database, its Catalog).
+_REGISTRY: dict = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+class Catalog:
+    """Statistics, profile, and correction state of one database."""
+
+    __slots__ = ("_database", "_rels", "_base_profile", "_corrections", "_lock")
+
+    def __init__(self, database):
+        self._database = weakref.ref(database)
+        self._rels: dict = {}
+        self._base_profile: dict | None = None
+        self._corrections: dict = {}
+        self._lock = threading.Lock()
+
+    # -- registry -------------------------------------------------------
+
+    @classmethod
+    def for_database(cls, database) -> "Catalog":
+        """The catalog of *database*, created (and registered) lazily."""
+        key = id(database)
+        with _REGISTRY_LOCK:
+            entry = _REGISTRY.get(key)
+            if entry is not None and entry[0]() is database:
+                return entry[1]
+            catalog = cls(database)
+            _REGISTRY[key] = (weakref.ref(database, _evict(key)), catalog)
+            return catalog
+
+    @classmethod
+    def lookup(cls, database) -> "Catalog | None":
+        """The already-registered catalog of *database*, if any."""
+        with _REGISTRY_LOCK:
+            entry = _REGISTRY.get(id(database))
+            if entry is not None and entry[0]() is database:
+                return entry[1]
+            return None
+
+    # -- profile --------------------------------------------------------
+
+    def profile(self) -> dict:
+        """The planner's database profile, memoized per database.
+
+        ``sizes``/``total_facts``/``adom``/``max_depth`` are the raw
+        instance statistics (cheap: sizes are ``len``, adom and depth
+        come from cached value metadata); ``est_sizes`` scales each
+        size by the relation's current correction factor and
+        ``corrections`` snapshots the non-neutral factors — both
+        recomputed per call so a fresh plan sees current feedback.
+        """
+        base = self._base_profile
+        if base is None:
+            database = self._require_database()
+            sizes = {name: len(database[name].items) for name in database}
+            base = self._base_profile = {
+                "sizes": sizes,
+                "total_facts": sum(sizes.values()),
+                "adom": len(database.adom()),
+                "max_depth": max(
+                    (database[name].depth for name in database), default=0
+                ),
+            }
+        with self._lock:
+            corrections = {
+                name: factor
+                for name, factor in self._corrections.items()
+                if factor != 100
+            }
+        profile = dict(base)
+        profile["est_sizes"] = {
+            name: max((size * corrections.get(name, 100)) // 100, 1)
+            if size
+            else 0
+            for name, size in base["sizes"].items()
+        }
+        profile["corrections"] = corrections
+        return profile
+
+    def _require_database(self):
+        database = self._database()
+        if database is None:  # pragma: no cover - registry holds a ref
+            raise RuntimeError("catalog outlived its database")
+        return database
+
+    # -- relation statistics --------------------------------------------
+
+    def rel(self, name: str) -> RelStats:
+        """Statistics of relation *name*, built lazily on first use."""
+        stats = self._rels.get(name)
+        if stats is None:
+            database = self._require_database()
+            stats = RelStats.from_facts(database[name].items)
+            self._rels[name] = stats
+        return stats
+
+    def computed(self) -> tuple:
+        """Relation names whose statistics are currently materialised."""
+        return tuple(sorted(self._rels))
+
+    # -- incremental migration ------------------------------------------
+
+    @classmethod
+    def migrate(cls, old_database, new_database, delta) -> "Catalog":
+        """The catalog of *new_database*, derived from *old_database*'s
+        by replaying *delta* — never by rescanning extents.
+
+        Untouched relations share their ``RelStats`` objects with the
+        predecessor (stats are only mutated on fresh copies here);
+        touched relations replay just the delta's facts.  Correction
+        factors carry over unchanged — drift feedback survives commits.
+        Relations the predecessor never materialised stay lazy.
+        """
+        catalog = cls.for_database(new_database)
+        predecessor = cls.lookup(old_database)
+        if predecessor is None or old_database is new_database:
+            return catalog
+        touched = delta.predicates()
+        for name, stats in predecessor._rels.items():
+            if name not in touched:
+                catalog._rels.setdefault(name, stats)
+                continue
+            updated = stats.copy()
+            for fact in delta.asserted.get(name, ()):
+                updated.add(fact)
+            for fact in delta.retracted.get(name, ()):
+                updated.remove(fact)
+            catalog._rels[name] = updated
+        with predecessor._lock:
+            corrections = dict(predecessor._corrections)
+        with catalog._lock:
+            catalog._corrections.update(corrections)
+        return catalog
+
+    # -- feedback -------------------------------------------------------
+
+    def correction(self, name: str) -> int:
+        """The current correction factor of *name*, in percent."""
+        with self._lock:
+            return self._corrections.get(name, 100)
+
+    def observe(self, name: str, est: int, actual: int) -> int:
+        """Fold one (estimate, actual) pair into *name*'s correction.
+
+        The observation is the actual/estimate ratio in integer
+        percent, clamped to ``[CORRECTION_MIN, CORRECTION_MAX]``;
+        the stored factor moves halfway toward it (an integer EWMA),
+        so one outlier shifts it but cannot whipsaw it.  Returns the
+        updated factor.
+        """
+        observed = (100 * max(actual, 0)) // max(est, 1)
+        observed = min(max(observed, CORRECTION_MIN), CORRECTION_MAX)
+        with self._lock:
+            current = self._corrections.get(name, 100)
+            updated = (current + observed) // 2
+            self._corrections[name] = updated
+            return updated
+
+    def feedback(self) -> dict:
+        """All non-neutral correction factors (name -> percent)."""
+        with self._lock:
+            return {
+                name: factor
+                for name, factor in sorted(self._corrections.items())
+                if factor != 100
+            }
+
+    def reset_feedback(self) -> None:
+        """Drop all correction factors (golden tests start cold)."""
+        with self._lock:
+            self._corrections.clear()
+
+    # -- observability --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-ready catalog summary for the serve STATS verb."""
+        database = self._require_database()
+        return {
+            "relations": {
+                name: self.rel(name).snapshot() for name in database
+            },
+            "corrections": self.feedback(),
+        }
+
+
+def _evict(key: int):
+    """A weakref callback removing the registry entry for *key* (only
+    if it still belongs to the dead reference — ids can be reused)."""
+
+    def evict(ref):
+        with _REGISTRY_LOCK:
+            entry = _REGISTRY.get(key)
+            if entry is not None and entry[0] is ref:
+                del _REGISTRY[key]
+
+    return evict

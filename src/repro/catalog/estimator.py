@@ -1,0 +1,139 @@
+"""The one shared cardinality estimator.
+
+Every consumer that used to carry its own selectivity arithmetic — the
+SIP orderer's flat ``>> 2`` per determined position, BK's near-copy of
+it in ``_tail_estimate``, the planner's join product and calculus
+domain estimates — now calls here.  The estimates stay deterministic
+integers (sizes, divisions, caps — no floats), which is what keeps
+EXPLAIN output and chosen orders golden-testable.
+
+The central improvement over the legacy shifts:
+:func:`bucket_estimate` discounts by the *real* per-position distinct
+count from :class:`~repro.catalog.stats.RelStats` — the estimated
+match count for a determined position is the average index-bucket
+size ``size // distinct``, so a unique key estimates ~1, a constant
+column estimates the full extent, and only statistics-free callers
+fall back to the legacy ÷4 per position.
+"""
+
+from __future__ import annotations
+
+from ..model.types import OBJ, RType, SetType, TupleType
+from .policy import COST_CAP, DELTA_FRACTION, EST_CAP
+
+__all__ = [
+    "FuncStats",
+    "bucket_estimate",
+    "cap_estimate",
+    "domain_estimate",
+    "filter_estimate",
+    "join_product",
+    "seed_estimate",
+    "size_of",
+]
+
+
+def cap_estimate(value: int) -> int:
+    return value if value < EST_CAP else EST_CAP
+
+
+def _cap_cost(value: int) -> int:
+    return min(int(value), COST_CAP)
+
+
+class FuncStats:
+    """Statistics of one data-function graph: total ``(arg, element)``
+    pairs and the number of distinct arguments (every position of a
+    function literal probe is the argument, so one distinct count
+    covers it)."""
+
+    __slots__ = ("size", "args")
+
+    def __init__(self, size: int, args: int):
+        self.size = size
+        self.args = args
+
+    def distinct(self, key) -> int:
+        return self.args
+
+
+def size_of(stats) -> int:
+    """The extent size of *stats* (a plain int or a stats object)."""
+    return getattr(stats, "size", stats)
+
+
+def bucket_estimate(stats, determined=()) -> int:
+    """Estimated matching facts per input substitution.
+
+    *stats* is an extent size (int), a :class:`~repro.catalog.stats.
+    RelStats`, or a :class:`FuncStats`; *determined* lists the position
+    keys already pinned by constants or bound variables.  With real
+    statistics each determined position divides by its distinct count
+    (average bucket size, independence-assumed across positions —
+    computed as one product so the result is order-independent);
+    without, by the legacy :data:`~repro.catalog.policy.DELTA_FRACTION`.
+    """
+    size = size_of(stats)
+    if size <= 0:
+        return 0
+    if not determined:
+        return cap_estimate(size)
+    distinct_of = getattr(stats, "distinct", None)
+    denominator = 1
+    for key in determined:
+        if distinct_of is not None:
+            count = distinct_of(key)
+            denominator *= count if count > 0 else DELTA_FRACTION
+        else:
+            denominator *= DELTA_FRACTION
+        if denominator >= size:
+            return 1
+    return cap_estimate(max(size // denominator, 1))
+
+
+def seed_estimate(per_substitution: int) -> int:
+    """How many facts one semi-naive delta occurrence contributes: the
+    per-substitution match estimate scaled down by the assumed delta
+    fraction of the extent."""
+    return max(per_substitution // DELTA_FRACTION, 1)
+
+
+def filter_estimate(rows: int) -> int:
+    """Rows surviving one filter literal (halved, rounded up)."""
+    return (rows + 1) >> 1 if rows else 0
+
+
+def join_product(sizes: list) -> int:
+    """Order-aware join estimate for the planner's cost model: the
+    runtime's greedy orderer starts from the narrowest extent and every
+    later literal probes an index on its bound positions, so subsequent
+    factors are discounted the way :func:`bucket_estimate` discounts
+    them (÷:data:`~repro.catalog.policy.DELTA_FRACTION` per join,
+    floor 1)."""
+    joins = 1
+    for position, size in enumerate(sorted(size_of(s) for s in sizes)):
+        factor = (
+            size + 1
+            if position == 0
+            else max((size + 1) // DELTA_FRACTION, 1)
+        )
+        joins = _cap_cost(joins * factor)
+    return joins
+
+
+def domain_estimate(rtype: RType, profile: dict, obj_bound: int) -> int:
+    """How many objects the calculus enumerates for one variable."""
+    if rtype == OBJ:
+        return _cap_cost(obj_bound)
+    if isinstance(rtype, SetType):
+        inner = domain_estimate(rtype.element, profile, obj_bound)
+        return _cap_cost(2 ** min(inner, 30))
+    if isinstance(rtype, TupleType):
+        product = 1
+        for component in rtype.components:
+            product = _cap_cost(
+                product * domain_estimate(component, profile, obj_bound)
+            )
+        return product
+    # U (and any future base rtype): the extended active domain.
+    return max(profile["adom"], 1)

@@ -1,0 +1,215 @@
+"""Per-relation statistics over deterministic integer sketches.
+
+A :class:`RelStats` summarises one relation extent:
+
+* ``size`` — the number of facts;
+* per-position **distinct counts** and **most-common-value counts**,
+  kept as counters keyed by each component value's construction-time
+  64-bit ``struct_hash`` (see :mod:`repro.model.values`) — the
+  "deterministic integer sketch": order-independent (the hash is a
+  pure function of the value's structure, never of ``id()`` or
+  ``PYTHONHASHSEED``), O(1) per component to read, and exact under
+  both inserts and retracts;
+* depth and atom **aggregates** from the cached value metadata
+  (``depth`` and ``atoms`` are precomputed at value construction, so
+  aggregation never traverses a value).
+
+Positions are tuple indexes for :class:`~repro.model.values.Tup`
+facts, attribute names for :class:`~repro.model.values.NamedTup`
+facts (BK extents), and the sentinel ``None`` for the whole fact —
+which makes a fully-determined probe estimate ``size // distinct``
+come out as ~1 instead of a guessed fraction.
+
+Counters are plain dicts of ints, so every derived number (distinct =
+``len``, mcv = ``max``) is independent of iteration order and safe to
+golden-test under any hash seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..model.values import NamedTup, Tup, Value
+
+__all__ = ["RelStats"]
+
+
+def _components(fact: Value):
+    """``(position key, component value)`` pairs of one fact.
+
+    The whole-fact position ``None`` is *not* enumerated: extents have
+    set semantics, so every fact is distinct and the whole-fact sketch
+    would always just mirror ``size`` — :meth:`RelStats.distinct`
+    derives it instead of paying a third counter per fact."""
+    if isinstance(fact, Tup):
+        yield from enumerate(fact.items)
+    elif isinstance(fact, NamedTup):
+        yield from fact.fields
+
+
+class RelStats:
+    """Maintained statistics of one relation extent.
+
+    Built in one of two shapes: the full form additionally maintains
+    the depth and atom aggregates the store/serve snapshots render;
+    the ``aggregates=False`` form keeps only what estimation reads
+    (size and per-position sketches) — the hot path inside kernel
+    re-ordering, where a whole-extent depth histogram would be paid
+    per fixpoint but never consulted.
+    """
+
+    __slots__ = ("size", "_positions", "_depths", "_atoms")
+
+    def __init__(self, aggregates: bool = True):
+        self.size = 0
+        #: position key -> {struct_hash -> count}
+        self._positions: dict = {}
+        #: fact depth -> count (so ``max_depth`` survives retracts),
+        #: or ``None`` when aggregates are off
+        self._depths: dict | None = {} if aggregates else None
+        #: atom -> count across facts (distinct atoms = ``len``)
+        self._atoms: dict | None = {} if aggregates else None
+
+    @classmethod
+    def from_facts(
+        cls, facts: Iterable[Value], aggregates: bool = True
+    ) -> "RelStats":
+        stats = cls(aggregates)
+        positions = stats._positions
+        positions_get = positions.get
+        size = 0
+        # Inlined _components: this loop is the kernel re-ordering hot
+        # path (one pass per materially-changed extent), so it avoids a
+        # generator frame per fact.
+        for fact in facts:
+            size += 1
+            if isinstance(fact, Tup):
+                components = enumerate(fact.items)
+            elif isinstance(fact, NamedTup):
+                components = fact.fields
+            else:
+                continue
+            for key, component in components:
+                counter = positions_get(key)
+                if counter is None:
+                    counter = positions[key] = {}
+                sketch = component.struct_hash
+                counter[sketch] = counter.get(sketch, 0) + 1
+        stats.size = size
+        if aggregates:
+            depths, atoms = stats._depths, stats._atoms
+            for fact in facts:
+                depths[fact.depth] = depths.get(fact.depth, 0) + 1
+                for atom in fact.atoms:
+                    atoms[atom] = atoms.get(atom, 0) + 1
+        return stats
+
+    # -- maintenance ----------------------------------------------------
+
+    def add(self, fact: Value) -> None:
+        self.size += 1
+        for key, component in _components(fact):
+            counter = self._positions.get(key)
+            if counter is None:
+                counter = self._positions[key] = {}
+            sketch = component.struct_hash
+            counter[sketch] = counter.get(sketch, 0) + 1
+        if self._depths is None:
+            return
+        self._depths[fact.depth] = self._depths.get(fact.depth, 0) + 1
+        for atom in fact.atoms:
+            self._atoms[atom] = self._atoms.get(atom, 0) + 1
+
+    def remove(self, fact: Value) -> None:
+        self.size -= 1
+        for key, component in _components(fact):
+            counter = self._positions.get(key)
+            if counter is None:
+                continue
+            sketch = component.struct_hash
+            count = counter.get(sketch, 0) - 1
+            if count > 0:
+                counter[sketch] = count
+            else:
+                counter.pop(sketch, None)
+        if self._depths is None:
+            return
+        count = self._depths.get(fact.depth, 0) - 1
+        if count > 0:
+            self._depths[fact.depth] = count
+        else:
+            self._depths.pop(fact.depth, None)
+        for atom in fact.atoms:
+            count = self._atoms.get(atom, 0) - 1
+            if count > 0:
+                self._atoms[atom] = count
+            else:
+                self._atoms.pop(atom, None)
+
+    def copy(self) -> "RelStats":
+        duplicate = RelStats(aggregates=self._depths is not None)
+        duplicate.size = self.size
+        duplicate._positions = {
+            key: dict(counter) for key, counter in self._positions.items()
+        }
+        if self._depths is not None:
+            duplicate._depths = dict(self._depths)
+            duplicate._atoms = dict(self._atoms)
+        return duplicate
+
+    # -- reads ----------------------------------------------------------
+
+    def distinct(self, key) -> int:
+        """Distinct component values at position *key* (0 if unknown).
+
+        ``None`` — the whole-fact position — is derived: extents have
+        set semantics, so every fact is distinct."""
+        if key is None:
+            return self.size
+        counter = self._positions.get(key)
+        return len(counter) if counter else 0
+
+    def mcv_count(self, key) -> int:
+        """Multiplicity of the most common component value at *key*."""
+        if key is None:
+            return 1 if self.size else 0
+        counter = self._positions.get(key)
+        return max(counter.values()) if counter else 0
+
+    def mcv_fraction_percent(self, key) -> int:
+        """The most-common-value fraction at *key*, in integer percent."""
+        if not self.size:
+            return 0
+        return (100 * self.mcv_count(key)) // self.size
+
+    def positions(self) -> tuple:
+        """The component position keys, sorted (ints before strs)."""
+        return tuple(
+            sorted(self._positions, key=lambda k: (isinstance(k, str), k))
+        )
+
+    @property
+    def max_depth(self) -> int:
+        return max(self._depths, default=0) if self._depths else 0
+
+    def atom_set(self) -> frozenset:
+        """The distinct atoms occurring in the extent."""
+        return frozenset(self._atoms or ())
+
+    def snapshot(self) -> dict:
+        """A JSON-ready summary (rendered by the serve STATS verb)."""
+        return {
+            "size": self.size,
+            "distinct": {
+                str(key): self.distinct(key) for key in self.positions()
+            },
+            "mcv_percent": {
+                str(key): self.mcv_fraction_percent(key)
+                for key in self.positions()
+            },
+            "max_depth": self.max_depth,
+            "atoms": len(self._atoms or ()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RelStats(size={self.size}, positions={self.positions()})"

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Mapping
 
 from ..budget import Budget
+from ..catalog.estimator import bucket_estimate
 from ..engine.ops import (
     ATTR_ATOM,
     ATTR_PRESENT,
@@ -498,23 +499,31 @@ def _probe_value(sub_pattern, valuation: Mapping) -> Value | None:
 
 
 def _tail_estimate(tail: BKAtom, bound_vars: set, extents: dict) -> int:
-    """Deterministic per-valuation candidate estimate for one tail:
-    the extent size, divided by 4 for every pattern field already
-    determined by *bound_vars* (those fields drive an attribute-index
-    probe in :func:`_bk_candidates`)."""
+    """Deterministic per-valuation candidate estimate for one tail.
+
+    Delegates to the shared catalog estimator: the extent's statistics
+    (:meth:`~repro.engine.ops.Scan.rel_stats`) discount each pattern
+    field already determined by *bound_vars* — the fields that drive an
+    attribute-index probe in :func:`_bk_candidates` — by the field's
+    real distinct count; a fully-determined non-record pattern probes
+    the whole-value sketch (key ``None``), estimating ~1.
+    """
     extent = extents.get(tail.pred)
-    size = len(extent.facts) if extent is not None else 0
-    if not size:
+    if extent is None or not len(extent.facts):
         return 0
+    stats = extent.rel_stats()
     pattern = tail.pattern
-    estimate = size
     if isinstance(pattern, dict):
-        for sub in pattern.values():
-            if not pattern_variables(sub) - bound_vars:
-                estimate = max(estimate >> 2, 1)
+        determined = tuple(
+            attr
+            for attr, sub in sorted(pattern.items())
+            if not pattern_variables(sub) - bound_vars
+        )
     elif not pattern_variables(pattern) - bound_vars:
-        estimate = max(estimate >> 2, 1)
-    return estimate
+        determined = (None,)
+    else:
+        determined = ()
+    return bucket_estimate(stats, determined)
 
 
 def _tail_order(tails: list, extents: dict, seed: int | None) -> list:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from ..budget import Budget
+from ..catalog.policy import should_index
 from ..engine.ops import (
     FIRST_COORDINATE,
     NO_KEY,
@@ -81,10 +82,23 @@ class Interp:
     @classmethod
     def from_database(cls, database: Database) -> "Interp":
         interp = cls()
+        # The textual/naive paths never consult statistics, so only the
+        # cost-ordered modes pay for seeding them.
+        catalog = None
+        if cls.exec_mode in ("compiled", "ordered"):
+            from ..catalog import Catalog
+
+            catalog = Catalog.for_database(database)
         for name in database.schema.names():
             for value in database[name].items:
                 interp.add_pred(name, value)
-            interp.pred(name)
+            scan = interp.pred(name)
+            if catalog is not None and scan.facts:
+                # Seed the scan's statistics snapshot from the
+                # database's catalog: computed once per database, not
+                # once per evaluation, and replaced (never mutated)
+                # if this extent later moves materially.
+                scan._rel_stats = catalog.rel(name)
         return interp
 
     def copy(self) -> "Interp":
@@ -280,11 +294,6 @@ def _literal_order(body) -> list:
     return generators + equalities + negations
 
 
-#: Absolute slack in the adaptive batch-vs-scan decision: below this
-#: much total matching work an index build cannot pay for itself.
-ADAPTIVE_JOIN_SLACK = 16
-
-
 def _hash_join_positions(term, first_subst: dict) -> list | None:
     """Tuple positions of *term* whose value is determined per-substitution.
 
@@ -345,11 +354,7 @@ def _hash_join_pred(
             # near-constant work per substitution; a second index over
             # the remaining positions would cost more than it saves.
             return None
-        batch, extent = len(substitutions), len(scan)
-        if (
-            batch * extent < 2 * (batch + extent) + ADAPTIVE_JOIN_SLACK
-            and scan.fallback_work < 2 * extent + ADAPTIVE_JOIN_SLACK
-        ):
+        if not should_index(len(substitutions), len(scan), scan.fallback_work):
             return None
     join = HashJoin(scan, spec, stats=scan.stats, budget=budget)
 

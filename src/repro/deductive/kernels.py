@@ -37,17 +37,15 @@ runs observe ``?`` exactly as before.
 
 from __future__ import annotations
 
+from ..catalog.estimator import FuncStats
+from ..catalog.policy import material_change, should_index as _should_index
 from ..engine.ops import FIRST_COORDINATE, OpStats, TupleKey
 from ..model.values import Tup
 from .ast import ConstD, EqLit, FuncLit, FuncT, PredLit, SetD, TupD, VarD
 from .col import Interp, _eval_ground, eval_term, match
-from .ordering import choose_order, material_change
+from .ordering import choose_order
 
 __all__ = ["KernelCache", "RuleKernel"]
-
-#: Absolute slack in the adaptive index decision: below this much total
-#: work nothing is worth indexing.
-_ADAPTIVE_SLACK = 16
 
 
 def _has_funct(term) -> bool:
@@ -190,17 +188,6 @@ def _tuple_shape(term: TupD, bound: set):
         determined = set(det_positions)
         probe_actions = [a for a in actions if a[1] not in determined]
     return det_positions, key_parts, actions, probe_actions
-
-
-def _should_index(batch: int, extent: int, scanned: int) -> bool:
-    """Adaptive batch-vs-scan decision (replaces the fixed
-    ``HASH_JOIN_MIN_SUBSTITUTIONS`` / ``HASH_JOIN_MIN_FACTS`` floors):
-    build when the nested work for *this* batch, or the cumulative
-    fallback scanning so far, exceeds the build-plus-probe cost."""
-    return (
-        batch * extent >= 2 * (batch + extent) + _ADAPTIVE_SLACK
-        or scanned >= 2 * extent + _ADAPTIVE_SLACK
-    )
 
 
 def _compile_pred(literal, bound: set, mode: str, interp: Interp, stats: OpStats):
@@ -557,6 +544,31 @@ class KernelCache:
                 )
         return sizes
 
+    def _stats(self, rule) -> dict:
+        """Ordering inputs with per-position statistics: predicate
+        extents report their (material-change-cached) ``RelStats``,
+        function graphs their pair/argument counts."""
+        stats: dict = {}
+        preds = self.interp.preds
+        funcs = self.interp.funcs
+        for literal in rule.body:
+            if isinstance(literal, PredLit):
+                scan = preds.get(literal.name)
+                stats[("pred", literal.name)] = (
+                    scan.rel_stats() if scan is not None and len(scan) else 0
+                )
+            elif isinstance(literal, FuncLit):
+                graph = funcs.get(literal.func)
+                pairs = (
+                    sum(len(elements) for elements in graph.values())
+                    if graph
+                    else 0
+                )
+                stats[("func", literal.func)] = FuncStats(
+                    pairs, len(graph) if graph else 0
+                )
+        return stats
+
     def kernel(self, rule, seed: int | None = None) -> RuleKernel:
         key = (id(rule), seed)
         entry = self.entries.get(key)
@@ -564,7 +576,7 @@ class KernelCache:
         if entry is not None and not material_change(entry.sizes, sizes):
             self.hits += 1
             return entry
-        plan, order_key = choose_order(rule.body, sizes, seed=seed)
+        plan, order_key = choose_order(rule.body, self._stats(rule), seed=seed)
         if entry is not None:
             if order_key == entry.order_key:
                 entry.sizes = sizes

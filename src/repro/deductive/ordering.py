@@ -34,24 +34,26 @@ Why reordering is sound (the §2.12 safety argument, in short):
   the same prefix), mirroring the range-restriction closure in
   :meth:`repro.deductive.ast.Rule._check_range_restriction`.
 
-All estimates are deterministic integers (sizes and shifts, no floats,
-no randomness), so the chosen orders — and the EXPLAIN output that
-renders them — are stable enough to golden-test byte-exact.
+All estimates come from the shared catalog estimator
+(:mod:`repro.catalog.estimator`) — deterministic integers (sizes,
+per-position distinct counts, divisions — no floats, no randomness),
+so the chosen orders — and the EXPLAIN output that renders them — are
+stable enough to golden-test byte-exact.
 """
 
 from __future__ import annotations
 
+from ..catalog.estimator import (
+    bucket_estimate,
+    cap_estimate,
+    filter_estimate,
+    seed_estimate,
+    size_of,
+)
+from ..catalog.policy import material_change
 from .ast import ConstD, EqLit, FuncLit, PredLit, TupD, VarD
 
 __all__ = ["OrderedStep", "choose_order", "material_change"]
-
-#: Each determined tuple position divides the per-substitution match
-#: estimate by 4 (a deliberately crude, deterministic selectivity).
-_SELECTIVITY_SHIFT = 2
-
-#: Estimates are capped so pathological products cannot overflow into
-#: unreadable EXPLAIN output.
-_EST_CAP = 10**9
 
 
 class OrderedStep:
@@ -89,41 +91,40 @@ class OrderedStep:
         return f"OrderedStep({self.kind} {self.label()} est={self.est_out})"
 
 
-def _cap(value: int) -> int:
-    return value if value < _EST_CAP else _EST_CAP
-
-
 def _per_substitution(literal, bound: set, sizes: dict) -> int:
-    """Estimated matching facts per input substitution."""
+    """Estimated matching facts per input substitution.
+
+    *sizes* values may be plain extent cardinalities or statistics
+    objects (:class:`~repro.catalog.stats.RelStats` /
+    :class:`~repro.catalog.estimator.FuncStats`); with statistics,
+    determined positions discount by their real distinct counts.
+    """
     if isinstance(literal, PredLit):
-        extent = sizes.get(("pred", literal.name), 0)
-        if not extent:
+        stats = sizes.get(("pred", literal.name), 0)
+        if not size_of(stats):
             return 0
         term = literal.term
         if isinstance(term, TupD):
-            determined = sum(
-                1
-                for sub in term.items
+            determined = tuple(
+                position
+                for position, sub in enumerate(term.items)
                 if isinstance(sub, ConstD)
                 or (isinstance(sub, VarD) and sub.name in bound)
             )
-            estimate = extent
-            for _ in range(determined):
-                estimate = max(estimate >> _SELECTIVITY_SHIFT, 1)
-            return estimate
+            return bucket_estimate(stats, determined)
         if isinstance(term, ConstD):
             return 1
         if isinstance(term, VarD):
-            return 1 if term.name in bound else extent
-        return extent
-    # FuncLit generator: pairs of the function graph, discounted when
-    # the argument is already determined.
-    pairs = sizes.get(("func", literal.func), 0)
-    if not pairs:
+            return 1 if term.name in bound else cap_estimate(size_of(stats))
+        return cap_estimate(size_of(stats))
+    # FuncLit generator: pairs of the function graph, discounted by the
+    # distinct-argument count when the argument is already determined.
+    stats = sizes.get(("func", literal.func), 0)
+    if not size_of(stats):
         return 0
     if literal.arg.variables() <= bound:
-        return max(pairs >> _SELECTIVITY_SHIFT, 1)
-    return pairs
+        return bucket_estimate(stats, (None,))
+    return cap_estimate(size_of(stats))
 
 
 def _binder(literal, bound: set):
@@ -149,7 +150,8 @@ def choose_order(body, sizes: dict, seed: int | None = None):
     """Schedule *body* greedily; returns ``(steps, order_key)``.
 
     *sizes* maps ``("pred", name)`` / ``("func", name)`` to current
-    extent cardinalities; *seed* (when given) is the occurrence index —
+    extent cardinalities or statistics objects; *seed* (when given) is
+    the occurrence index —
     among the positive generators, in body order — that draws from the
     delta and is scheduled first.  ``order_key`` is a compact tuple
     identifying the chosen schedule, used by the kernel cache to decide
@@ -191,7 +193,7 @@ def choose_order(body, sizes: dict, seed: int | None = None):
                     filters.remove(item)
                     progressed = True
                 elif literal.variables() <= bound:
-                    out = (rows + 1) >> 1 if rows else 0
+                    out = filter_estimate(rows)
                     steps.append(
                         OrderedStep(literal, index, "filter", "full", rows, out)
                     )
@@ -201,7 +203,7 @@ def choose_order(body, sizes: dict, seed: int | None = None):
 
     if seed is not None:
         occurrence, index, literal = generators[seed]
-        est = max(_per_substitution(literal, bound, sizes) >> _SELECTIVITY_SHIFT, 1)
+        est = seed_estimate(_per_substitution(literal, bound, sizes))
         steps.append(OrderedStep(literal, index, "seed", "delta", 1, est))
         rows = est
         bound |= literal.variables()
@@ -216,7 +218,7 @@ def choose_order(body, sizes: dict, seed: int | None = None):
             key=lambda item: (_per_substitution(item[2], bound, sizes), item[0]),
         )
         per = _per_substitution(literal, bound, sizes)
-        out = _cap(rows * per)
+        out = cap_estimate(rows * per)
         steps.append(
             OrderedStep(literal, index, "gen", mode_of(occurrence), rows, out)
         )
@@ -233,17 +235,3 @@ def choose_order(body, sizes: dict, seed: int | None = None):
 
     order_key = tuple((step.kind, step.index) for step in steps)
     return steps, order_key
-
-
-def material_change(old_sizes: dict, new_sizes: dict) -> bool:
-    """Did the ordering inputs move enough to reconsider the schedule?
-
-    A symbol's extent must more than double (or halve), beyond a small
-    absolute slack, before a cached kernel is re-ordered — fixpoint
-    rounds that add a trickle of facts keep their compiled kernels.
-    """
-    for key, new in new_sizes.items():
-        old = old_sizes.get(key, 0)
-        if new > 2 * old + 8 or old > 2 * new + 8:
-            return True
-    return False

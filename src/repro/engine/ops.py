@@ -223,7 +223,7 @@ class Scan:
     existing extent consumers keep working unchanged.
     """
 
-    __slots__ = ("name", "facts", "stats", "_indexes", "fallback_work")
+    __slots__ = ("name", "facts", "stats", "_indexes", "fallback_work", "_rel_stats")
 
     def __init__(self, name: str = "scan", facts: Iterable[Value] = (), stats: OpStats | None = None):
         self.name = name
@@ -235,6 +235,10 @@ class Scan:
         #: index once this exceeds the build cost, even when every
         #: individual batch is tiny (heuristic state, reset on copy).
         self.fallback_work = 0
+        #: Cached :class:`~repro.catalog.stats.RelStats` snapshot (see
+        #: :meth:`rel_stats`), refreshed under the catalog's shared
+        #: material-change policy.
+        self._rel_stats = None
 
     # -- maintenance ----------------------------------------------------
 
@@ -281,6 +285,28 @@ class Scan:
         self.stats.probes += 1
         return self.index(spec).get(key, _EMPTY)
 
+    def rel_stats(self):
+        """Per-position statistics of the current extent, cached.
+
+        The snapshot is recomputed only when the extent has moved
+        materially since it was taken (the same
+        :func:`~repro.catalog.policy.stale_size` rule that gates
+        kernel re-ordering), so fixpoint rounds that trickle facts in
+        read the cached statistics for free.
+        """
+        from ..catalog.policy import stale_size
+        from ..catalog.stats import RelStats
+
+        cached = self._rel_stats
+        size = len(self.facts)
+        if cached is not None and not stale_size(cached.size, size):
+            return cached
+        # Estimation reads only size + per-position sketches; skip the
+        # depth/atom aggregates the store-facing snapshots maintain.
+        stats = RelStats.from_facts(self.facts, aggregates=False)
+        self._rel_stats = stats
+        return stats
+
     def contains(self, fact: Value) -> bool:
         """Instrumented membership test (the calculus' ``R(t)`` probe)."""
         self.stats.probes += 1
@@ -310,8 +336,12 @@ class Scan:
     def copy(self) -> "Scan":
         """An independent scan over the same facts (indexes rebuilt
         lazily; stats are shared deliberately — a copy is the same
-        physical relation observed at another point of the run)."""
-        return Scan(self.name, self.facts, self.stats)
+        physical relation observed at another point of the run).  The
+        cached statistics snapshot carries over: it is replaced, never
+        mutated, so sharing it is safe and skips a rescan."""
+        duplicate = Scan(self.name, self.facts, self.stats)
+        duplicate._rel_stats = self._rel_stats
+        return duplicate
 
     def __repr__(self) -> str:
         return f"Scan({self.name}, {len(self.facts)} fact(s))"

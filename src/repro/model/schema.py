@@ -106,7 +106,10 @@ class Database:
     :func:`repro.model.values.obj`).
     """
 
-    __slots__ = ("schema", "_instances")
+    #: ``__weakref__`` lets the per-database statistics catalog
+    #: (:mod:`repro.catalog`) key its registry on database identity and
+    #: evict entries when the database is collected.
+    __slots__ = ("schema", "_instances", "__weakref__")
 
     def __init__(self, schema: Schema, instances: Mapping[str, object]):
         if not isinstance(schema, Schema):

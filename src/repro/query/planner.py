@@ -19,9 +19,11 @@ makes EXPLAIN output golden-testable.
 from __future__ import annotations
 
 from ..budget import Budget
+from ..catalog import Catalog
+from ..catalog.estimator import domain_estimate, join_product
+from ..catalog.policy import COST_CAP
 from ..errors import SchemaError
 from ..model.schema import Database
-from ..model.types import OBJ, RType, SetType, TupleType
 from .ir import (
     BKQuery,
     Comprehension,
@@ -32,10 +34,6 @@ from .ir import (
     RuleQuery,
     SurfaceQuery,
 )
-
-#: Every cost is clamped here; keeps the arithmetic overflow-free and
-#: the orderings stable.
-COST_CAP = 10**12
 
 #: Tie-break order among backends with equal cost (stable, documented).
 BACKEND_RANK = (
@@ -195,42 +193,18 @@ class ExecutionReport:
 
 
 # ---------------------------------------------------------------------------
-# Database profile and domain estimates
+# Profile access
 # ---------------------------------------------------------------------------
-
-
-def database_profile(database: Database) -> dict:
-    """Deterministic instance statistics the cost model prices against."""
-    sizes = {name: len(database[name].items) for name in database}
-    total = sum(sizes.values())
-    return {
-        "sizes": sizes,
-        "total_facts": total,
-        "adom": len(database.adom()),
-        "max_depth": max(
-            (database[name].depth for name in database), default=0
-        ),
-    }
-
-
-def domain_estimate(rtype: RType, profile: dict, obj_bound: int) -> int:
-    """How many objects the calculus enumerates for one variable."""
-    if rtype == OBJ:
-        return _cap(obj_bound)
-    if isinstance(rtype, SetType):
-        inner = domain_estimate(rtype.element, profile, obj_bound)
-        return _cap(2 ** min(inner, 30))
-    if isinstance(rtype, TupleType):
-        product = 1
-        for component in rtype.components:
-            product = _cap(product * domain_estimate(component, profile, obj_bound))
-        return product
-    # U (and any future base rtype): the extended active domain.
-    return max(profile["adom"], 1)
+#
+# The profile dict comes from the per-database Catalog (memoized — no
+# recomputation per build_plan); ``domain_estimate`` lives in
+# :mod:`repro.catalog.estimator` and is re-exported here for callers.
 
 
 def _instance_size(profile: dict, name: str) -> int:
-    return profile["sizes"].get(name, profile["total_facts"])
+    """The feedback-corrected effective size of one instance."""
+    sizes = profile.get("est_sizes") or profile["sizes"]
+    return sizes.get(name, profile["total_facts"])
 
 
 # ---------------------------------------------------------------------------
@@ -338,19 +312,6 @@ def algebra_cost(program, profile: dict) -> int:
     return max(block_cost(list(program.statements), env), 1)
 
 
-def _ordered_join_product(sizes: list) -> int:
-    """Order-aware join estimate: the runtime's greedy orderer starts
-    from the narrowest extent and every later literal probes an index
-    on its bound positions, so subsequent factors are discounted the
-    way :mod:`repro.deductive.ordering` discounts them (÷4 per join,
-    floor 1)."""
-    joins = 1
-    for position, size in enumerate(sorted(sizes)):
-        factor = size + 1 if position == 0 else max((size + 1) >> 2, 1)
-        joins = _cap(joins * factor)
-    return joins
-
-
 def col_cost(program, profile: dict, recursive: bool) -> int:
     """rounds × Σ_rules (order-aware join product of positive tails)."""
     from ..deductive.ast import PredLit
@@ -363,7 +324,7 @@ def col_cost(program, profile: dict, recursive: bool) -> int:
             for lit in rule.body
             if isinstance(lit, PredLit) and lit.positive
         ]
-        per_round = _cap(per_round + _ordered_join_product(sizes))
+        per_round = _cap(per_round + join_product(sizes))
     return _cap(max(per_round, 1) * rounds)
 
 
@@ -372,7 +333,7 @@ def bk_cost(program, profile: dict) -> int:
     per_round = 0
     for rule in program.rules:
         sizes = [_instance_size(profile, tail.pred) for tail in rule.tails]
-        per_round = _cap(per_round + _ordered_join_product(sizes))
+        per_round = _cap(per_round + join_product(sizes))
     return _cap(max(per_round, 1) * rounds)
 
 
@@ -660,8 +621,14 @@ def _gtm_candidates(query: GTMQuery, database: Database, profile):
 def build_plan(
     query: SurfaceQuery, database: Database, obj_bound: int = 200
 ) -> Plan:
-    """Price every applicable backend for *query* on *database*."""
-    profile = database_profile(database)
+    """Price every applicable backend for *query* on *database*.
+
+    Instance statistics come from the database's memoized
+    :class:`~repro.catalog.Catalog` — sizes, active domain, max depth,
+    plus the feedback-corrected effective sizes the cost functions
+    price against.
+    """
+    profile = Catalog.for_database(database).profile()
     generic = True
     if isinstance(query, LiteralQuery):
         value = query.value
@@ -714,6 +681,7 @@ def execute_plan(
     candidate = plan.candidate(backend) if backend else plan.chosen
     trace = PhysicalTrace()
     result = candidate.run(database, budget, trace=trace)
+    _observe_actuals(trace, database)
     return ExecutionReport(
         candidate.backend,
         result,
@@ -722,3 +690,24 @@ def execute_plan(
         physical=trace.render(),
         kernel_cache=trace.kernel_stats,
     )
+
+
+def _observe_actuals(trace, database: Database) -> None:
+    """Close the feedback loop: fold each kernel step's (estimate,
+    actual) pair into the database catalog's correction factors, and
+    annotate the step node with the updated factor so EXPLAIN ANALYZE
+    renders ``est=`` vs. actual rows vs. correction."""
+    if trace.root is None:
+        return
+    catalog = None
+    pending = [trace.root]
+    while pending:
+        node = pending.pop()
+        pending.extend(node.children)
+        if node.meta is None:
+            continue
+        name, est = node.meta
+        if catalog is None:
+            catalog = Catalog.for_database(database)
+        factor = catalog.observe(name, est, node.stats.rows_out)
+        node.detail = f"{node.detail} corr={factor}%"

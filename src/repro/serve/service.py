@@ -62,8 +62,9 @@ from ..engine.deadline import DeadlineBudget, DeadlineExceeded
 from ..engine.intern import enable_interning, intern_stats
 from ..errors import BudgetExceeded, ReproError, UNDEFINED
 from ..model.schema import Database
+from ..catalog import Catalog
+from ..catalog.policy import priority_hint
 from ..query.explain import render, render_plan
-from ..query.planner import database_profile
 from ..query.session import Session
 from ..model.values import Value
 from ..store import Store, apply_ops, canonical_state_bytes
@@ -430,7 +431,7 @@ class QueryService:
         *,
         backend: str | None = None,
         timeout: float | None | object = "default",
-        priority: int = 0,
+        priority: int | None = None,
     ) -> _Pending:
         """Admit one request; returns a waitable pending handle.
 
@@ -439,8 +440,16 @@ class QueryService:
         :class:`UnknownDatabase` for an unregistered name — all before
         any work is queued (fast rejection is the admission
         controller's contract).
+
+        With no explicit *priority*, the estimated cost of the plan's
+        chosen backend picks the admission class
+        (:func:`~repro.catalog.policy.priority_hint`): cheap
+        interactive queries dequeue ahead of expensive analytical ones
+        admitted moments earlier.
         """
         self.session(db)  # typed error before queueing
+        if priority is None:
+            priority = self._cost_priority(db, text)
         seconds = self.default_timeout if timeout == "default" else timeout
         now = time.monotonic()
         with self._cond:
@@ -473,7 +482,7 @@ class QueryService:
         *,
         backend: str | None = None,
         timeout: float | None | object = "default",
-        priority: int = 0,
+        priority: int | None = None,
     ) -> RequestOutcome:
         """Admit, wait, and return the request's outcome.
 
@@ -792,6 +801,20 @@ class QueryService:
             plan_stats=session.plans.stats,
         )
 
+    def _cost_priority(self, db: str, text: str) -> int:
+        """The admission class of *text*'s estimated plan cost.
+
+        Planning is served by the session's thread-safe plan LRU, so
+        repeat texts cost one cache hit.  Any planning failure (parse
+        error, schema error — which will surface as a typed failure
+        when the request runs) falls back to the default class 0.
+        """
+        try:
+            plan = self.session(db).plan(text)
+            return priority_hint(plan.chosen.cost)
+        except Exception:
+            return 0
+
     def stats(self, trace_limit: int | None = 16) -> dict:
         """One JSON-ready snapshot of the whole service's state."""
         with self._cond:
@@ -801,10 +824,13 @@ class QueryService:
         with self._registry_lock:
             sessions = dict(self._sessions)
         for name, session in sorted(sessions.items()):
-            profile = database_profile(session.database)
+            catalog = Catalog.for_database(session.database)
+            profile = catalog.profile()
             databases[name] = {
                 "facts": profile["total_facts"],
                 "adom": profile["adom"],
+                "max_depth": profile["max_depth"],
+                "catalog": catalog.snapshot(),
                 "memo": session.memo.stats.as_dict(),
                 "plans": session.plans.stats.as_dict(),
                 "views": len(session.views),

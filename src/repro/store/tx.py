@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from ..catalog import Catalog
 from ..errors import ReproError
 from ..model.schema import Database
 from ..model.values import SetVal, Value, adom as value_adom
@@ -151,4 +152,9 @@ def apply_ops(
         name: new_instances.get(name, database[name])
         for name in database.schema.names()
     }
-    return Database(database.schema, instances), delta
+    new_database = Database(database.schema, instances)
+    # Carry the statistics catalog across the commit incrementally
+    # (touched relations replay only the delta; untouched ones share
+    # their stats), so durable databases never cold-rescan extents.
+    Catalog.migrate(database, new_database, delta)
+    return new_database, delta

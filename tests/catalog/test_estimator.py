@@ -1,0 +1,119 @@
+"""The shared estimator: extremes, caps, and order-independence.
+
+These pin the integer arithmetic every consumer (SIP orderer, BK tail
+estimates, planner join products) now shares — in particular the three
+regimes of :func:`bucket_estimate`: empty extents estimate 0, fully
+keyed probes estimate 1, and huge products saturate at ``EST_CAP``
+instead of overflowing EXPLAIN output.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog import (
+    EST_CAP,
+    FuncStats,
+    RelStats,
+    bucket_estimate,
+    cap_estimate,
+    filter_estimate,
+    join_product,
+    seed_estimate,
+    size_of,
+)
+from repro.catalog.policy import COST_CAP, DELTA_FRACTION
+from repro.model.values import Atom, Tup
+
+
+def _pairs(rows):
+    return RelStats.from_facts(
+        [Tup([Atom(a), Atom(b)]) for a, b in rows]
+    )
+
+
+class TestBucketEstimate:
+    def test_empty_extent_estimates_zero(self):
+        assert bucket_estimate(RelStats(), determined=(0,)) == 0
+        assert bucket_estimate(0, determined=(0,)) == 0
+
+    def test_single_fact_fully_determined_estimates_one(self):
+        stats = _pairs([("a", "b")])
+        assert bucket_estimate(stats, determined=(None,)) == 1
+
+    def test_undetermined_probe_is_the_extent_size(self):
+        stats = _pairs([("a", "b"), ("b", "c"), ("c", "d")])
+        assert bucket_estimate(stats) == 3
+
+    def test_unique_key_estimates_one(self):
+        stats = _pairs([("a", 1), ("b", 2), ("c", 3), ("d", 4)])
+        assert stats.distinct(0) == 4
+        assert bucket_estimate(stats, determined=(0,)) == 1
+
+    def test_constant_column_estimates_full_extent(self):
+        stats = _pairs([("k", 1), ("k", 2), ("k", 3), ("k", 4)])
+        assert stats.distinct(0) == 1
+        assert bucket_estimate(stats, determined=(0,)) == 4
+
+    def test_average_bucket_size(self):
+        # 6 facts, 3 distinct keys at position 0 -> buckets average 2.
+        stats = _pairs([("a", i) for i in range(2)]
+                       + [("b", i) for i in range(2)]
+                       + [("c", i) for i in range(2)])
+        assert bucket_estimate(stats, determined=(0,)) == 2
+
+    def test_plain_sizes_fall_back_to_delta_fraction(self):
+        assert bucket_estimate(40, determined=(0,)) == 40 // DELTA_FRACTION
+        assert bucket_estimate(40, determined=(0, 1)) == 40 // DELTA_FRACTION**2
+
+    def test_saturates_at_est_cap(self):
+        assert cap_estimate(EST_CAP * 3) == EST_CAP
+        assert bucket_estimate(EST_CAP * 3) == EST_CAP
+        # Even a discounted bucket saturates once it crosses the cap.
+        huge = EST_CAP * 2 * DELTA_FRACTION
+        assert bucket_estimate(huge, determined=(0,)) == EST_CAP
+
+    def test_func_stats_probe(self):
+        graph = FuncStats(size=12, args=6)  # 12 pairs over 6 arguments
+        assert bucket_estimate(graph, determined=(None,)) == 2
+        assert size_of(graph) == 12
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=0, max_value=4),
+            ),
+            max_size=20,
+        ),
+        order=st.permutations([None, 0, 1]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_determined_order_never_matters(self, rows, order):
+        """One product, one division: permuting the determined keys
+        cannot change the estimate through rounding order."""
+        stats = _pairs(dict.fromkeys(rows))
+        baseline = bucket_estimate(stats, determined=(None, 0, 1))
+        assert bucket_estimate(stats, determined=tuple(order)) == baseline
+
+
+class TestHelpers:
+    def test_filter_estimate_extremes(self):
+        assert filter_estimate(0) == 0
+        assert filter_estimate(1) == 1  # halved, rounded up
+        assert filter_estimate(5) == 3
+
+    def test_seed_estimate_has_floor_one(self):
+        assert seed_estimate(0) == 1
+        assert seed_estimate(1) == 1
+        assert seed_estimate(4 * DELTA_FRACTION) == 4
+
+    def test_join_product_discounts_later_factors(self):
+        # Narrowest extent drives; later ones are index probes.
+        assert join_product([3]) == 4
+        assert join_product([8, 3]) == 4 * max(9 // DELTA_FRACTION, 1)
+
+    def test_join_product_saturates_at_cost_cap(self):
+        assert join_product([COST_CAP, COST_CAP, COST_CAP]) == COST_CAP
+
+    def test_join_product_accepts_stats_objects(self):
+        stats = _pairs([("a", "b"), ("b", "c"), ("c", "d")])
+        assert join_product([stats]) == join_product([3])

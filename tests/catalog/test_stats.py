@@ -1,0 +1,151 @@
+"""RelStats: exact sketch maintenance, order- and seed-independence.
+
+The sketches are counters keyed by ``struct_hash``, so every derived
+number (distinct counts, mcv counts, depth and atom aggregates) must be
+an exact function of the extent *as a set* — independent of insertion
+order, of interleaved retracts, and of ``PYTHONHASHSEED``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog import RelStats
+from repro.model.values import Atom, NamedTup, SetVal, Tup
+
+
+def _pair(left, right):
+    return Tup([Atom(left), Atom(right)])
+
+
+PAIRS = [_pair("a", "b"), _pair("b", "c"), _pair("c", "b"), _pair("a", "c")]
+
+
+class TestMaintenance:
+    def test_empty_extent(self):
+        stats = RelStats()
+        assert stats.size == 0
+        assert stats.distinct(None) == 0
+        assert stats.mcv_count(0) == 0
+        assert stats.max_depth == 0
+        assert stats.atom_set() == frozenset()
+
+    def test_single_fact(self):
+        stats = RelStats.from_facts([_pair("a", "b")])
+        assert stats.size == 1
+        assert stats.distinct(None) == 1
+        assert stats.distinct(0) == stats.distinct(1) == 1
+        assert stats.mcv_count(0) == 1
+
+    def test_per_position_distincts(self):
+        stats = RelStats.from_facts(PAIRS)
+        assert stats.size == 4
+        assert stats.distinct(None) == 4  # all facts distinct
+        assert stats.distinct(0) == 3  # a, b, c
+        assert stats.distinct(1) == 2  # b, c
+        assert stats.mcv_count(0) == 2  # 'a' appears twice
+        assert stats.mcv_fraction_percent(0) == 50
+
+    def test_named_positions_for_bk_extents(self):
+        stats = RelStats.from_facts(
+            [
+                NamedTup({"A": Atom(1), "B": Atom(2)}),
+                NamedTup({"A": Atom(1), "B": Atom(3)}),
+            ]
+        )
+        assert stats.distinct("A") == 1
+        assert stats.distinct("B") == 2
+        assert stats.positions() == ("A", "B")
+
+    def test_positions_sort_indexes_before_names(self):
+        stats = RelStats()
+        stats.add(_pair("a", "b"))
+        stats.add(NamedTup({"A": Atom(1)}))
+        assert stats.positions() == (0, 1, "A")
+
+    def test_remove_is_exact_inverse_of_add(self):
+        stats = RelStats.from_facts(PAIRS)
+        stats.add(_pair("z", "z"))
+        stats.remove(_pair("z", "z"))
+        reference = RelStats.from_facts(PAIRS)
+        assert stats.snapshot() == reference.snapshot()
+
+    def test_max_depth_survives_retracts(self):
+        shallow = _pair("a", "b")
+        deep = SetVal([SetVal([Atom("a")])])
+        stats = RelStats.from_facts([shallow, deep])
+        assert stats.max_depth == deep.depth
+        stats.remove(deep)
+        assert stats.max_depth == shallow.depth
+
+    def test_atom_counts_survive_retracts(self):
+        stats = RelStats.from_facts([_pair("a", "b"), _pair("a", "c")])
+        stats.remove(_pair("a", "c"))
+        assert stats.atom_set() == frozenset({Atom("a"), Atom("b")})
+
+    def test_copy_is_independent(self):
+        stats = RelStats.from_facts(PAIRS)
+        duplicate = stats.copy()
+        duplicate.add(_pair("x", "y"))
+        assert stats.size == 4 and duplicate.size == 5
+        assert stats.distinct(0) == 3 and duplicate.distinct(0) == 4
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        snapshot = RelStats.from_facts(PAIRS).snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["size"] == 4
+        assert snapshot["distinct"] == {"0": 3, "1": 2}
+
+
+@st.composite
+def _fact_multiset(draw):
+    labels = st.integers(min_value=0, max_value=5)
+    return draw(
+        st.lists(st.tuples(labels, labels), min_size=0, max_size=24)
+    )
+
+
+class TestOrderInvariance:
+    @given(pairs=_fact_multiset(), seed=st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_insertion_order_never_matters(self, pairs, seed):
+        """Any permutation of (add, interleaved add+remove) histories
+        ending in the same extent yields identical statistics."""
+        facts = [_pair(a, b) for a, b in dict.fromkeys(pairs)]
+        shuffled = list(facts)
+        seed.shuffle(shuffled)
+        stats = RelStats.from_facts(shuffled)
+        # An interleaved history: add everything twice as noise, then
+        # retract the noise — the sketches must come back exactly.
+        noisy = RelStats()
+        for fact in shuffled:
+            noisy.add(fact)
+        for fact in facts:
+            noisy.add(fact)
+        for fact in facts:
+            noisy.remove(fact)
+        reference = RelStats.from_facts(facts)
+        assert stats.snapshot() == reference.snapshot()
+        assert noisy.snapshot() == reference.snapshot()
+
+    @given(pairs=_fact_multiset(), offset=st.integers(min_value=1, max_value=9))
+    @settings(max_examples=50, deadline=None)
+    def test_isomorphic_extents_have_identical_statistics(
+        self, pairs, offset
+    ):
+        """Database isomorphism (a bijective atom renaming) preserves
+        every derived statistic: sizes, per-position distinct and mcv
+        counts, depth histograms.  Only the atom identities differ."""
+        facts = [_pair(a, b) for a, b in dict.fromkeys(pairs)]
+        renamed = [
+            _pair(a + 1000 * offset, b + 1000 * offset)
+            for a, b in dict.fromkeys(pairs)
+        ]
+        original = RelStats.from_facts(facts)
+        image = RelStats.from_facts(renamed)
+        assert original.size == image.size
+        for key in (None, 0, 1):
+            assert original.distinct(key) == image.distinct(key)
+            assert original.mcv_count(key) == image.mcv_count(key)
+        assert original.max_depth == image.max_depth
+        assert len(original.atom_set()) == len(image.atom_set())

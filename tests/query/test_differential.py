@@ -20,6 +20,7 @@ import pathlib
 import pytest
 
 from repro.budget import Budget
+from repro.catalog import Catalog
 from repro.errors import is_undefined
 from repro.model.schema import Database, Schema
 from repro.model.types import parse_type
@@ -107,6 +108,16 @@ def _plan(db_key, text):
     return build_plan(parse(text, schema=database.schema), database), database
 
 
+def _reset_feedback():
+    """Drop accumulated cardinality corrections on the bank databases.
+
+    Golden renderings must not depend on which tests executed plans
+    earlier in the same process, so each golden bank starts from a
+    feedback-free catalog."""
+    for database in DATABASES.values():
+        Catalog.for_database(database).reset_feedback()
+
+
 class TestDifferential:
     @pytest.mark.parametrize("db_key,text", BANK, ids=_ids())
     def test_all_backends_agree(self, db_key, text):
@@ -138,6 +149,7 @@ class TestDifferential:
 
 class TestGoldenExplain:
     def _render_bank(self):
+        _reset_feedback()
         chunks = []
         for db_key, text in BANK:
             plan, _ = _plan(db_key, text)
@@ -186,6 +198,7 @@ ACTUALS_BANK = [
 
 class TestGoldenActuals:
     def _render_bank(self):
+        _reset_feedback()
         chunks = []
         for db_key, text, backend in ACTUALS_BANK:
             plan, database = _plan(db_key, text)
@@ -220,6 +233,7 @@ class TestGoldenActuals:
             entry for entry in ACTUALS_BANK if "S(x). } answer Q" in entry[1]
             and entry[2] == "col-stratified"
         )
+        _reset_feedback()
         plan, database = _plan(db_key, text)
         report = execute_plan(plan, database, Budget(), backend=backend)
         physical = report.physical

@@ -7,12 +7,8 @@ from repro.errors import SchemaError
 from repro.model.schema import Database, Schema
 from repro.model.types import parse_type
 from repro.query.parser import parse
-from repro.query.planner import (
-    build_plan,
-    database_profile,
-    domain_estimate,
-    execute_plan,
-)
+from repro.catalog import Catalog, domain_estimate
+from repro.query.planner import build_plan, execute_plan
 
 
 SCHEMA = Schema({"R": parse_type("[U, U]"), "S": parse_type("U")})
@@ -98,7 +94,7 @@ class TestGenericity:
 
 class TestCostModel:
     def test_domain_estimate_grows_with_nesting(self):
-        profile = database_profile(DB)
+        profile = Catalog.for_database(DB).profile()
         atom = domain_estimate(parse_type("U"), profile, 200)
         sets = domain_estimate(parse_type("{U}"), profile, 200)
         pairs = domain_estimate(parse_type("[U, U]"), profile, 200)
