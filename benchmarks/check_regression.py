@@ -26,7 +26,8 @@ THRESHOLD = 0.9
 #: operator-kernel and compiled-rule-kernel microbenches, ``join_order_``
 #: for the cost-based ordering benches, ``query_`` from bench_query.py,
 #: ``serve_`` from bench_serve.py, ``store_`` from bench_store.py,
-#: ``catalog_`` for the statistics-subsystem overhead benches).
+#: ``catalog_`` for the statistics-subsystem overhead benches,
+#: ``obs_`` for the observability no-op fast-path overhead benches).
 REQUIRED_FAMILIES = (
     "seminaive_",
     "bk_",
@@ -36,6 +37,7 @@ REQUIRED_FAMILIES = (
     "serve_",
     "store_",
     "catalog_",
+    "obs_",
 )
 
 

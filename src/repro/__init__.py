@@ -51,6 +51,29 @@ from .query import Session, connect, parse
 from .query.explain import explain
 from .query.planner import build_plan, execute_plan
 
+# The operational surface, consolidated here by the observability
+# redesign: the serving layer, durable storage, the statistics catalog,
+# and the repro.obs entry points.  Old deep-import paths
+# (repro.serve.metrics, repro.serve.trace) keep working as deprecated
+# re-export shims.
+from . import obs
+from .catalog import Catalog
+from .obs import (
+    MetricsRegistry,
+    SlowQueryLog,
+    SpanRecorder,
+    disable_tracing,
+    enable_tracing,
+    get_recorder,
+    get_registry,
+    render_json,
+    render_prometheus,
+    span,
+    tracing,
+)
+from .serve import QueryService, ServeClient
+from .store import DurableDatabase, Store
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -68,5 +91,9 @@ __all__ = [
     "check_agreement", "compile_gtm_to_alg", "compile_gtm_to_calc",
     "compile_gtm_to_col", "implementations_for",
     "Session", "connect", "parse", "explain", "build_plan", "execute_plan",
+    "Catalog", "DurableDatabase", "QueryService", "ServeClient", "Store",
+    "MetricsRegistry", "SlowQueryLog", "SpanRecorder", "obs",
+    "disable_tracing", "enable_tracing", "get_recorder", "get_registry",
+    "render_json", "render_prometheus", "span", "tracing",
     "__version__",
 ]

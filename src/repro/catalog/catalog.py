@@ -33,6 +33,7 @@ from __future__ import annotations
 import threading
 import weakref
 
+from ..obs.metrics import flatten, nest
 from .stats import RelStats
 
 __all__ = ["Catalog"]
@@ -218,15 +219,23 @@ class Catalog:
 
     # -- observability --------------------------------------------------
 
-    def snapshot(self) -> dict:
-        """A JSON-ready catalog summary for the serve STATS verb."""
+    def metrics(self) -> dict:
+        """The catalog as flat dotted-key readings — the
+        :mod:`repro.obs` schema (``relations.<name>.size``,
+        ``corrections.<name>``), the single shape :meth:`snapshot`
+        and every exporter render from."""
         database = self._require_database()
-        return {
-            "relations": {
-                name: self.rel(name).snapshot() for name in database
-            },
-            "corrections": self.feedback(),
-        }
+        flat: dict = {"corrections": self.feedback() or {}}
+        for name in database:
+            flat.update(flatten(f"relations.{name}", self.rel(name).snapshot()))
+        if not any(key.startswith("relations.") for key in flat):
+            flat["relations"] = {}
+        return flatten("", flat)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready catalog summary for the serve STATS verb —
+        :func:`~repro.obs.metrics.nest` applied to :meth:`metrics`."""
+        return nest(self.metrics())
 
 
 def _evict(key: int):

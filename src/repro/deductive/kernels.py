@@ -41,6 +41,7 @@ from ..catalog.estimator import FuncStats
 from ..catalog.policy import material_change, should_index as _should_index
 from ..engine.ops import FIRST_COORDINATE, OpStats, TupleKey
 from ..model.values import Tup
+from ..obs.span import span
 from .ast import ConstD, EqLit, FuncLit, FuncT, PredLit, SetD, TupD, VarD
 from .col import Interp, _eval_ground, eval_term, match
 from .ordering import choose_order
@@ -584,7 +585,8 @@ class KernelCache:
                 return entry
             self.invalidations += 1
         self.misses += 1
-        entry = RuleKernel(rule, seed, plan, order_key, sizes, self.interp)
+        with span("deductive.kernel_compile", seed=seed):
+            entry = RuleKernel(rule, seed, plan, order_key, sizes, self.interp)
         self.entries[key] = entry
         return entry
 

@@ -93,3 +93,19 @@ class PhysicalTrace:
             return None
         pad = "  " * indent
         return "\n".join(pad + line for line in self.root.lines())
+
+    def totals(self) -> dict | None:
+        """Whole-tree OpStats sums (``rows_in``, ``probes``, ...) — the
+        per-request aggregate the serving layer folds into the
+        ``engine.ops.*`` registry counters.  ``None`` when nothing was
+        traced."""
+        if self.root is None:
+            return None
+        totals = dict.fromkeys(OpStats.__slots__, 0)
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for name in OpStats.__slots__:
+                totals[name] += getattr(node.stats, name)
+            stack.extend(node.children)
+        return totals

@@ -44,6 +44,7 @@ from typing import Callable, Iterable, Iterator
 
 from ..budget import Budget
 from ..model.values import Atom, NamedTup, SetVal, Tup, Value
+from ..obs.span import get_recorder, span
 
 __all__ = [
     "OpStats",
@@ -551,11 +552,19 @@ class FixpointDriver:
 
     def run(self, step: Callable) -> bool:
         rounds = 0
+        # One recorder check ahead of the loop: with tracing off the
+        # round loop is byte-for-byte the pre-obs code path.
+        traced = get_recorder() is not None
         while True:
             self.budget.charge("iterations")
             rounds += 1
             if self.max_rounds is not None and rounds > self.max_rounds:
                 return False
             self.stats.rounds += 1
-            if not step(rounds):
+            if traced:
+                with span("engine.fixpoint_round", round=rounds):
+                    converged = not step(rounds)
+                if converged:
+                    return True
+            elif not step(rounds):
                 return True

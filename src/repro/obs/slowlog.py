@@ -1,0 +1,142 @@
+"""The slow-query log: offenders, with their physical plans attached.
+
+A bounded, thread-safe log of requests whose execution time crossed a
+configurable threshold.  Each record carries what an operator needs to
+diagnose the offender *without re-running it*: the database, the query
+text, the measured seconds, the backend that ran, the budget spend, and
+— when the backend ran on the :mod:`repro.engine.ops` kernel — the
+EXPLAIN ANALYZE physical operator tree that execution actually
+produced (per-operator rows/probes/index-builds actuals).
+
+``threshold_ms=None`` disables the log entirely: :meth:`record` is one
+``None`` check and returns.  The serving layer wires the threshold
+from ``python -m repro.serve --slow-query-ms N``; embedded users attach
+a log to a :class:`~repro.serve.service.QueryService` via the
+``slow_query_ms`` parameter.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+
+__all__ = ["SlowQueryLog", "SlowQueryRecord"]
+
+
+class SlowQueryRecord:
+    """One offending request."""
+
+    __slots__ = (
+        "db", "text", "seconds", "threshold_ms", "backend", "outcome",
+        "spent", "physical",
+    )
+
+    def __init__(
+        self,
+        db: str,
+        text: str,
+        seconds: float,
+        threshold_ms: float,
+        backend: str | None,
+        outcome: str | None,
+        spent: dict | None,
+        physical: str | None,
+    ):
+        self.db = db
+        self.text = text
+        self.seconds = seconds
+        self.threshold_ms = threshold_ms
+        self.backend = backend
+        self.outcome = outcome
+        self.spent = spent or {}
+        self.physical = physical
+
+    def as_dict(self) -> dict:
+        return {
+            "db": self.db,
+            "text": self.text,
+            "seconds": round(self.seconds, 6),
+            "threshold_ms": self.threshold_ms,
+            "backend": self.backend,
+            "outcome": self.outcome,
+            "spent": self.spent,
+            "physical": self.physical,
+        }
+
+
+class SlowQueryLog:
+    """Bounded log of requests slower than ``threshold_ms``.
+
+    ``threshold_ms=None`` (the default) records nothing; the recording
+    path costs a ``None`` comparison.  The buffer keeps the most recent
+    ``max_entries`` records (TraceLog cap semantics).
+    """
+
+    def __init__(self, threshold_ms: float | None = None, max_entries: int = 64):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        if threshold_ms is not None and threshold_ms < 0:
+            raise ValueError("threshold_ms must be >= 0")
+        self.threshold_ms = threshold_ms
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: deque = deque(maxlen=max_entries)
+        self._recorded = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    def record(
+        self,
+        db: str,
+        text: str,
+        seconds: float | None,
+        *,
+        backend: str | None = None,
+        outcome: str | None = None,
+        spent: dict | None = None,
+        physical: str | None = None,
+    ) -> bool:
+        """Log the request iff it crossed the threshold; True if logged."""
+        threshold = self.threshold_ms
+        if threshold is None or seconds is None:
+            return False
+        if seconds * 1000.0 < threshold:
+            return False
+        record = SlowQueryRecord(
+            db, text, seconds, threshold, backend, outcome, spent, physical
+        )
+        with self._lock:
+            self._entries.append(record)
+            self._recorded += 1
+        return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def recorded(self) -> int:
+        """Total records ever logged (monotone; survives eviction)."""
+        with self._lock:
+            return self._recorded
+
+    def tail(self, limit: int | None = None) -> list:
+        with self._lock:
+            entries = list(self._entries)
+        if limit is not None:
+            entries = entries[-limit:] if limit > 0 else []
+        return [record.as_dict() for record in entries]
+
+    def to_json(self, limit: int | None = None) -> str:
+        return json.dumps(self.tail(limit), indent=2, sort_keys=True)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "recorded": self._recorded,
+                "buffered": len(self._entries),
+                "threshold_ms": self.threshold_ms,
+            }

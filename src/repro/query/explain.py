@@ -73,11 +73,44 @@ def _describe_result(result) -> str:
     return repr(result)
 
 
+def _counter_lines(counters: dict) -> list[str]:
+    """Render the cache/interner block from a flat dotted-key mapping.
+
+    *counters* follows the :mod:`repro.obs` schema (``query.memo.hits``,
+    ``query.plans.misses``, ``engine.intern.hits``, ...); a family is
+    rendered only when at least one of its keys is present, so callers
+    control the block by what they pass, not by extra flags.
+    """
+
+    def has(prefix: str) -> bool:
+        return any(key.startswith(prefix + ".") for key in counters)
+
+    def get(key: str):
+        return counters.get(key, 0)
+
+    lines = []
+    if has("query.memo"):
+        lines.append(
+            "    memo cache: "
+            f"hits={get('query.memo.hits')} misses={get('query.memo.misses')} "
+            f"bypasses={get('query.memo.bypasses')}"
+        )
+    if has("query.plans"):
+        lines.append(
+            "    plan cache: "
+            f"hits={get('query.plans.hits')} misses={get('query.plans.misses')}"
+        )
+    if has("engine.intern"):
+        lines.append(
+            "    interner: "
+            f"hits={get('engine.intern.hits')} misses={get('engine.intern.misses')}"
+        )
+    return lines
+
+
 def render_actuals(
     report: ExecutionReport,
-    cache_stats=None,
-    interner=None,
-    plan_stats=None,
+    counters: dict | None = None,
 ) -> str:
     lines = ["  actuals:"]
     if report.cached:
@@ -103,33 +136,19 @@ def render_actuals(
             f"hits={kc['hits']} misses={kc['misses']} "
             f"invalidations={kc['invalidations']}"
         )
-    if cache_stats is not None:
-        lines.append(
-            "    memo cache: "
-            f"hits={cache_stats.hits} misses={cache_stats.misses} "
-            f"bypasses={cache_stats.bypasses}"
-        )
-    if plan_stats is not None:
-        lines.append(
-            "    plan cache: "
-            f"hits={plan_stats.hits} misses={plan_stats.misses}"
-        )
-    if interner is not None and hasattr(interner, "stats"):
-        stats = interner.stats()
-        lines.append(f"    interner: hits={stats.hits} misses={stats.misses}")
+    if counters:
+        lines.extend(_counter_lines(counters))
     return "\n".join(lines)
 
 
 def render(
     plan: Plan,
     report: ExecutionReport | None = None,
-    cache_stats=None,
-    interner=None,
-    plan_stats=None,
+    counters: dict | None = None,
 ) -> str:
     text = render_plan(plan)
     if report is not None:
-        text += "\n" + render_actuals(report, cache_stats, interner, plan_stats)
+        text += "\n" + render_actuals(report, counters)
     return text
 
 

@@ -175,6 +175,7 @@ class ExecutionReport:
         cached: bool,
         physical=None,
         kernel_cache=None,
+        op_totals=None,
     ):
         self.backend = backend
         self.result = result
@@ -187,6 +188,11 @@ class ExecutionReport:
         #: Compiled-kernel cache counters (hits/misses/invalidations)
         #: when the backend ran cost-ordered rule kernels, else ``None``.
         self.kernel_cache = kernel_cache
+        #: Whole-tree OpStats sums (rows in/out, probes, index builds,
+        #: rounds) when the backend traced physical operators, else
+        #: ``None`` — the serving layer folds these into the
+        #: ``engine.ops.*`` registry counters.
+        self.op_totals = op_totals
 
     def rounds(self) -> int:
         return self.spent.get("iterations", 0)
@@ -689,6 +695,7 @@ def execute_plan(
         cached=False,
         physical=trace.render(),
         kernel_cache=trace.kernel_stats,
+        op_totals=trace.totals(),
     )
 
 

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 from ..budget import Budget
 from ..engine.cache import LRUCache, MemoCache, program_fingerprint
+from ..engine.intern import intern_stats, interning_enabled
 from ..model.schema import Database, Schema
+from ..obs.metrics import flatten
+from ..obs.span import span
 from .explain import render, render_plan
 from .ir import BKQuery, RuleQuery
 from .parser import parse
@@ -87,7 +90,8 @@ class Session:
     # -- parsing and planning -------------------------------------------
 
     def parse(self, text: str):
-        return parse(text, schema=self.database.schema)
+        with span("session.parse"):
+            return parse(text, schema=self.database.schema)
 
     def plan(self, text: str, database: Database | None = None) -> Plan:
         database = database or self.database
@@ -95,7 +99,8 @@ class Session:
         cached = self.plans.get(key)
         if cached is not None:
             return cached
-        plan = build_plan(self.parse(text), database, obj_bound=self.obj_bound)
+        with span("session.plan"):
+            plan = build_plan(self.parse(text), database, obj_bound=self.obj_bound)
         self.plans.put(key, plan)
         return plan
 
@@ -117,50 +122,54 @@ class Session:
         in its own trace instead of :attr:`last_report`.
         """
         database = database or self.database
-        plan = self.plan(text, database)
-        child = (budget or self.budget).child()
-        chosen = backend or plan.chosen.backend
-        captured: list = []
+        with span("session.run") as run_span:
+            plan = self.plan(text, database)
+            child = (budget or self.budget).child()
+            chosen = backend or plan.chosen.backend
 
-        def evaluate(db: Database):
-            view = self._view_answer(plan, chosen, db)
-            if view is not None:
-                return view
-            report = execute_plan(plan, db, child, backend=backend)
-            captured.append(report)
-            return report.result
+            captured: list = []
 
-        # Fact-driven backends provably read only the query's own
-        # predicates, so the memo key uses the database *restricted* to
-        # them — the entry then survives deltas to other predicates
-        # (apply_delta removes it only on footprint intersection).  The
-        # footprint includes *defined* (IDB) names too: a schema
-        # predicate sharing a head's name seeds the fixpoint like any
-        # base fact.
-        key_database = footprint = None
-        if plan.generic and chosen in FACT_DRIVEN:
-            preds = _program_predicates(plan.query, database.schema)
-            if preds:
-                key_database = database.restrict(preds)
-                footprint = (
-                    preds,
-                    key_database.adom() | frozenset(plan.query.constants()),
-                )
-        result = self.memo.run(
-            evaluate,
-            plan,
-            database,
-            constants=plan.query.constants(),
-            generic=plan.generic,
-            extra_key=("backend", chosen),
-            key_database=key_database,
-            footprint=footprint,
-        )
-        if captured:
-            report = captured[0]
-        else:
-            # Memo hit: nothing ran. Report the hit itself as actuals.
-            report = ExecutionReport(chosen, result, spent={}, cached=True)
+            def evaluate(db: Database):
+                view = self._view_answer(plan, chosen, db)
+                if view is not None:
+                    return view
+                with span("session.execute", backend=chosen):
+                    report = execute_plan(plan, db, child, backend=backend)
+                captured.append(report)
+                return report.result
+
+            # Fact-driven backends provably read only the query's own
+            # predicates, so the memo key uses the database *restricted*
+            # to them — the entry then survives deltas to other
+            # predicates (apply_delta removes it only on footprint
+            # intersection).  The footprint includes *defined* (IDB)
+            # names too: a schema predicate sharing a head's name seeds
+            # the fixpoint like any base fact.
+            key_database = footprint = None
+            if plan.generic and chosen in FACT_DRIVEN:
+                preds = _program_predicates(plan.query, database.schema)
+                if preds:
+                    key_database = database.restrict(preds)
+                    footprint = (
+                        preds,
+                        key_database.adom() | frozenset(plan.query.constants()),
+                    )
+            result = self.memo.run(
+                evaluate,
+                plan,
+                database,
+                constants=plan.query.constants(),
+                generic=plan.generic,
+                extra_key=("backend", chosen),
+                key_database=key_database,
+                footprint=footprint,
+            )
+            if captured:
+                report = captured[0]
+            else:
+                # Memo hit: nothing ran. Report the hit itself as actuals.
+                report = ExecutionReport(chosen, result, spent={}, cached=True)
+            run_span.set(backend=report.backend, cached=report.cached)
         return result, report
 
     def query(
@@ -299,6 +308,35 @@ class Session:
         self.database = new_database
         return stats
 
+    # -- observability ---------------------------------------------------
+
+    def counters(self) -> dict:
+        """This session's cache counters as one nested stats dict.
+
+        The serve layer registers this (zero-arg, cheap, thread-safe)
+        as a :meth:`~repro.obs.metrics.MetricsRegistry.register_collector`
+        callback under a ``db.<name>`` prefix; embedded users can
+        :func:`~repro.obs.metrics.flatten` it into the same dotted-key
+        schema themselves.
+        """
+        return {
+            "memo": self.memo.stats.as_dict(),
+            "plans": self.plans.stats.as_dict(),
+            "views": len(self.views),
+        }
+
+    def counter_snapshot(self) -> dict:
+        """The flat dotted-key form of :meth:`counters`, plus the
+        process-wide interner family when interning is enabled — the
+        exact mapping EXPLAIN's counter block renders from."""
+        flat = {
+            **flatten("query.memo", self.memo.stats.as_dict()),
+            **flatten("query.plans", self.plans.stats.as_dict()),
+        }
+        if interning_enabled():
+            flat.update(flatten("engine.intern", intern_stats().as_dict()))
+        return flat
+
     # -- explain --------------------------------------------------------
 
     def explain(
@@ -312,17 +350,8 @@ class Session:
         plan = self.plan(text)
         if not run:
             return render_plan(plan)
-        from ..model import values as _values
-
         self.query(text, backend=backend, budget=budget)
-        interner = _values.get_interner()
-        return render(
-            plan,
-            self.last_report,
-            cache_stats=self.memo.stats,
-            interner=interner,
-            plan_stats=self.plans.stats,
-        )
+        return render(plan, self.last_report, counters=self.counter_snapshot())
 
 
 def connect(

@@ -9,22 +9,26 @@ shared engine.  Pieces:
   controller (queue-depth cap → fast retryable rejection, FIFO within
   priority classes), and per-request wall-clock deadlines carried by
   :class:`~repro.engine.deadline.DeadlineBudget` sub-budgets;
-* :mod:`~repro.serve.metrics` / :mod:`~repro.serve.trace` — the
-  process-wide metrics registry (counters / gauges / histograms) and
-  the bounded per-request trace log (with PR 4 physical operator
-  trees), both JSON-exportable;
+* observability now lives in :mod:`repro.obs` — the metrics registry
+  (namespaced dotted names + legacy aliases), span tracing, the
+  bounded per-request trace log (with PR 4 physical operator trees),
+  and the slow-query log; the old ``repro.serve.metrics`` /
+  ``repro.serve.trace`` deep imports keep working as deprecated
+  re-export shims;
 * :mod:`~repro.serve.protocol` / :mod:`~repro.serve.server` /
   :mod:`~repro.serve.client` — the newline-delimited JSON wire
-  protocol (PING / QUERY / EXPLAIN / LOAD / STATS / UPDATE /
+  protocol (PING / QUERY / EXPLAIN / LOAD / STATS / METRICS / UPDATE /
   SNAPSHOT), the threaded TCP front end, and a retrying client with
   exponential backoff + jitter;
 * ``python -m repro.serve`` — the CLI entry point; ``--data-dir``
   attaches the :mod:`repro.store` durability layer (WAL commits,
-  snapshots, crash recovery, incremental view maintenance).
+  snapshots, crash recovery, incremental view maintenance) and
+  ``--slow-query-ms N`` arms the slow-query log.
 """
 
+from ..obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from ..obs.trace import RequestTrace, TraceLog
 from .client import RetriesExhausted, ServeClient, ServeClientError
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .protocol import PROTOCOL_VERSION, ProtocolError, database_from_spec
 from .server import ServeServer, serve
 from .service import (
@@ -38,7 +42,6 @@ from .service import (
     StoreUnavailable,
     UnknownDatabase,
 )
-from .trace import RequestTrace, TraceLog
 
 __all__ = [
     "AdmissionRejected",

@@ -11,7 +11,8 @@ registered, so the server is usable out of the box.
 
 The process serves until SIGINT/SIGTERM, then shuts down gracefully:
 stop accepting, drain admitted queries, join the workers, and print a
-final STATS snapshot.
+final STATS snapshot followed by the Prometheus-style metrics dump
+(``--slow-query-ms N`` arms the slow-query log surfaced in both).
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ import sys
 import threading
 
 from ..model.schema import Database
+from ..obs.export import render_prometheus
 from ..store import Store
 from ..workloads.generators import chain_graph, cycle_graph, random_graph, serve_databases
 from .protocol import database_from_spec
@@ -103,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the per-commit fsync (faster, loses the last commits "
         "on power failure; process crashes stay safe)",
     )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="N",
+        help="log queries slower than N milliseconds (with their EXPLAIN "
+        "ANALYZE physical tree; surfaces in STATS under slow_queries)",
+    )
     return parser
 
 
@@ -123,6 +133,7 @@ def main(argv: list | None = None) -> int:
         default_timeout=args.timeout or None,
         data_dir=args.data_dir,
         sync=not args.no_sync,
+        slow_query_ms=args.slow_query_ms,
     )
     server = ServeServer(service, host=args.host, port=args.port)
     host, port = server.start()
@@ -136,6 +147,7 @@ def main(argv: list | None = None) -> int:
     print("shutting down...", flush=True)
     server.stop()
     print(json.dumps(service.stats(trace_limit=0), indent=2, sort_keys=True))
+    print(render_prometheus(service.metrics), end="")
     return 0
 
 

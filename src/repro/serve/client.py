@@ -227,3 +227,7 @@ class ServeClient:
 
     def stats(self, trace_limit: int = 16) -> dict:
         return self.call({"op": "STATS", "trace_limit": trace_limit})["stats"]
+
+    def metrics_text(self) -> str:
+        """The server's Prometheus-style text dump (the METRICS op)."""
+        return self.call({"op": "METRICS"})["metrics"]

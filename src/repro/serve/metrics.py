@@ -1,186 +1,29 @@
-"""A process-wide metrics registry for the serving layer.
+"""Deprecated shim — the metrics registry moved to :mod:`repro.obs`.
 
-Three instrument kinds, the minimum a query service needs to be
-operable:
-
-* :class:`Counter` — monotone event counts (queries started, completed,
-  rejected, timed out);
-* :class:`Gauge` — instantaneous levels (queue depth, in-flight
-  requests);
-* :class:`Histogram` — latency distributions over fixed bucket
-  boundaries (queue wait, execution time), recording count / sum /
-  min / max plus cumulative bucket counts, Prometheus-style.
-
-Every instrument is thread-safe (one lock per instrument, so hot
-counters on different metrics never contend with each other), and every
-snapshot is a plain dict of numbers — JSON-exportable, deterministic key
-order, no wall-clock readings of its own.  The registry creates
-instruments on first use and returns the same instance for the same
-name afterwards; mixing kinds under one name is an error, not a silent
-shadowing.
+``repro.serve.metrics`` was the serving layer's private registry; the
+observability redesign promoted it to the process-wide
+:mod:`repro.obs.metrics` (namespaced dotted names, legacy aliases,
+collectors).  This module re-exports the same objects so old deep
+imports keep working, with a :class:`DeprecationWarning` pointing at
+the new home.
 """
 
 from __future__ import annotations
 
-import threading
+import warnings
+
+from ..obs.metrics import (  # noqa: F401 — re-exported shim surface
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
 
-#: Default histogram bucket upper bounds (seconds) — spans sub-ms cache
-#: hits to multi-second machine simulations.
-DEFAULT_BUCKETS = (
-    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
-    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+warnings.warn(
+    "repro.serve.metrics is deprecated; import from repro.obs instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
-
-
-class Counter:
-    """A monotonically increasing event count."""
-
-    __slots__ = ("_lock", "_value")
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._value = 0
-
-    def inc(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError("counters only go up")
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-    def snapshot(self):
-        return self.value
-
-
-class Gauge:
-    """An instantaneous level that can move both ways."""
-
-    __slots__ = ("_lock", "_value")
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._value = 0
-
-    def set(self, value) -> None:
-        with self._lock:
-            self._value = value
-
-    def inc(self, amount=1) -> None:
-        with self._lock:
-            self._value += amount
-
-    def dec(self, amount=1) -> None:
-        with self._lock:
-            self._value -= amount
-
-    @property
-    def value(self):
-        with self._lock:
-            return self._value
-
-    def snapshot(self):
-        return self.value
-
-
-class Histogram:
-    """A distribution over fixed bucket boundaries.
-
-    ``buckets`` are upper bounds; an observation lands in every bucket
-    whose bound it does not exceed (cumulative counts), plus the
-    implicit ``+Inf`` bucket tracked by ``count``.
-    """
-
-    __slots__ = ("_lock", "buckets", "_bucket_counts", "count", "total", "min", "max")
-
-    def __init__(self, buckets: tuple = DEFAULT_BUCKETS):
-        self._lock = threading.Lock()
-        self.buckets = tuple(sorted(buckets))
-        self._bucket_counts = [0] * len(self.buckets)
-        self.count = 0
-        self.total = 0.0
-        self.min: float | None = None
-        self.max: float | None = None
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            self.count += 1
-            self.total += value
-            self.min = value if self.min is None else min(self.min, value)
-            self.max = value if self.max is None else max(self.max, value)
-            for index, bound in enumerate(self.buckets):
-                if value <= bound:
-                    self._bucket_counts[index] += 1
-
-    def mean(self) -> float:
-        with self._lock:
-            return self.total / self.count if self.count else 0.0
-
-    def quantile(self, q: float) -> float | None:
-        """Bucket-resolution quantile estimate (the bound of the first
-        bucket whose cumulative count reaches ``q``), ``None`` when
-        empty.  Good enough for operational p50/p99 readouts."""
-        with self._lock:
-            if not self.count:
-                return None
-            target = q * self.count
-            for bound, cumulative in zip(self.buckets, self._bucket_counts):
-                if cumulative >= target:
-                    return bound
-            return self.max
-
-    def snapshot(self) -> dict:
-        with self._lock:
-            return {
-                "count": self.count,
-                "sum": round(self.total, 6),
-                "min": round(self.min, 6) if self.min is not None else None,
-                "max": round(self.max, 6) if self.max is not None else None,
-                "mean": round(self.total / self.count, 6) if self.count else 0.0,
-                "buckets": {
-                    repr(bound): cumulative
-                    for bound, cumulative in zip(self.buckets, self._bucket_counts)
-                },
-            }
-
-
-class MetricsRegistry:
-    """Named instruments, created on first use, snapshot as one dict."""
-
-    def __init__(self):
-        self._lock = threading.Lock()
-        self._metrics: dict = {}
-
-    def _instrument(self, name: str, kind, *args):
-        with self._lock:
-            existing = self._metrics.get(name)
-            if existing is not None:
-                if not isinstance(existing, kind):
-                    raise TypeError(
-                        f"metric {name!r} already registered as "
-                        f"{type(existing).__name__}, not {kind.__name__}"
-                    )
-                return existing
-            instrument = kind(*args)
-            self._metrics[name] = instrument
-            return instrument
-
-    def counter(self, name: str) -> Counter:
-        return self._instrument(name, Counter)
-
-    def gauge(self, name: str) -> Gauge:
-        return self._instrument(name, Gauge)
-
-    def histogram(self, name: str, buckets: tuple = DEFAULT_BUCKETS) -> Histogram:
-        return self._instrument(name, Histogram, buckets)
-
-    def snapshot(self) -> dict:
-        """Every instrument's current reading, sorted by name."""
-        with self._lock:
-            items = sorted(self._metrics.items())
-        return {name: instrument.snapshot() for name, instrument in items}

@@ -3,7 +3,9 @@
 One request per line, one response per line — a framing every language
 can speak with a socket and a JSON parser.  Requests are objects with
 an ``"op"`` field (``PING`` / ``QUERY`` / ``EXPLAIN`` / ``LOAD`` /
-``STATS``); responses echo the op and carry either ``"ok": true`` plus
+``STATS`` / ``METRICS``, which returns the Prometheus-style text dump
+of :mod:`repro.obs`); responses echo the op and carry either ``"ok":
+true`` plus
 op-specific fields or ``"ok": false`` plus a typed error object::
 
     -> {"op": "QUERY", "db": "main", "query": "{ x | S(x) }"}
@@ -57,7 +59,10 @@ __all__ = [
 
 PROTOCOL_VERSION = 1
 
-OPS = ("PING", "QUERY", "EXPLAIN", "LOAD", "STATS", "UPDATE", "SNAPSHOT")
+OPS = (
+    "PING", "QUERY", "EXPLAIN", "LOAD", "STATS", "METRICS", "UPDATE",
+    "SNAPSHOT",
+)
 
 
 class ProtocolError(ServeError):

@@ -21,6 +21,7 @@ from __future__ import annotations
 import socketserver
 import threading
 
+from ..obs.export import render_prometheus
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -63,6 +64,8 @@ class _Handler(socketserver.StreamRequestHandler):
         if op == "STATS":
             limit = message.get("trace_limit", 16)
             return ok_response(op, stats=service.stats(trace_limit=limit))
+        if op == "METRICS":
+            return ok_response(op, metrics=render_prometheus(service.metrics))
         if op == "LOAD":
             name = message.get("name")
             if not isinstance(name, str) or not name:

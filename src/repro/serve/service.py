@@ -25,12 +25,16 @@ library call does not:
   charge checks the clock, and expiry surfaces as the typed
   :class:`RequestTimeout`.  A request whose deadline passes while still
   queued is timed out without running at all.
-* **Observability** — a :class:`~repro.serve.metrics.MetricsRegistry`
+* **Observability** — a :class:`~repro.obs.metrics.MetricsRegistry`
   (lifecycle counters, queue-wait and execution-latency histograms,
-  queue-depth and in-flight gauges) and a bounded
-  :class:`~repro.serve.trace.TraceLog` of per-request records
-  including the PR 4 physical operator tree.  :meth:`QueryService.stats`
-  bundles both with the per-database cache and interner counters.
+  queue-depth and in-flight gauges, namespaced dotted names with the
+  pre-redesign flat keys as aliases), a bounded
+  :class:`~repro.obs.trace.TraceLog` of per-request records including
+  the PR 4 physical operator tree, span tracing around each request
+  (:mod:`repro.obs.span`), and a :class:`~repro.obs.slowlog.SlowQueryLog`
+  capturing the EXPLAIN ANALYZE physical tree of requests over a
+  configurable threshold.  :meth:`QueryService.stats` renders it all
+  from one :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`.
 
 Every request runs under a *child* of the service budget (the
 :meth:`~repro.budget.Budget.child` splitting the engine runner already
@@ -64,13 +68,15 @@ from ..errors import BudgetExceeded, ReproError, UNDEFINED
 from ..model.schema import Database
 from ..catalog import Catalog
 from ..catalog.policy import priority_hint
+from ..obs.metrics import MetricsRegistry, nest
+from ..obs.slowlog import SlowQueryLog
+from ..obs.span import span
+from ..obs.trace import RequestTrace, TraceLog
 from ..query.explain import render, render_plan
 from ..query.session import Session
 from ..model.values import Value
 from ..store import Store, apply_ops, canonical_state_bytes
 from ..store.codec import rows_from_json
-from .metrics import MetricsRegistry
-from .trace import RequestTrace, TraceLog
 
 __all__ = [
     "AdmissionRejected",
@@ -305,6 +311,9 @@ class QueryService:
         data_dir: str | None = None,
         sync: bool = True,
         compaction=None,
+        slow_query_ms: float | None = None,
+        slow_query_entries: int = 64,
+        registry: MetricsRegistry | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -320,22 +329,57 @@ class QueryService:
         if intern:
             enable_interning()
 
-        self.metrics = MetricsRegistry()
+        self.metrics = registry if registry is not None else MetricsRegistry()
         self.traces = TraceLog(max_entries=trace_entries)
-        # Instruments exist from the start so STATS shows zeros, not gaps.
+        self.slow_queries = SlowQueryLog(
+            threshold_ms=slow_query_ms, max_entries=slow_query_entries
+        )
+        # Instruments exist from the start so STATS shows zeros, not
+        # gaps.  Canonical names are namespaced dotted paths; the alias
+        # is the pre-redesign flat STATS key, emitted byte-compatibly
+        # alongside (see README "Observability" for the schema table).
+        for canonical, alias in (
+            ("serve.queries.accepted", "queries_accepted"),
+            ("serve.queries.rejected", "queries_rejected"),
+            ("serve.queries.started", "queries_started"),
+            ("serve.queries.completed", "queries_completed"),
+            ("serve.queries.timed_out", "queries_timed_out"),
+            ("serve.queries.failed", "queries_failed"),
+            ("serve.queries.closed", "queries_closed"),
+            ("serve.queries.slow", None),
+            ("serve.updates.applied", "updates_applied"),
+            ("deductive.kernels.hits", "kernel_cache_hits"),
+            ("deductive.kernels.misses", "kernel_cache_misses"),
+            ("deductive.kernels.invalidations", "kernel_cache_invalidations"),
+            ("store.wal.appends", "wal_appends"),
+            ("store.wal.bytes", "wal_bytes"),
+            ("store.snapshots", "snapshots"),
+            ("store.recoveries", "recoveries"),
+            ("store.incremental_rounds", "incremental_rounds"),
+            ("store.invalidations", "invalidations"),
+        ):
+            self.metrics.counter(canonical, alias=alias)
         for name in (
-            "queries_accepted", "queries_rejected", "queries_started",
-            "queries_completed", "queries_timed_out", "queries_failed",
-            "kernel_cache_hits", "kernel_cache_misses",
-            "kernel_cache_invalidations",
-            "updates_applied", "wal_appends", "wal_bytes", "snapshots",
-            "recoveries", "incremental_rounds", "invalidations",
+            "engine.ops.rows_in", "engine.ops.rows_out", "engine.ops.probes",
+            "engine.ops.index_builds", "engine.ops.rounds",
         ):
             self.metrics.counter(name)
-        self.metrics.histogram("queue_wait_seconds")
-        self.metrics.histogram("execution_seconds")
-        self.metrics.gauge("queue_depth")
-        self.metrics.gauge("in_flight")
+        self.metrics.histogram(
+            "serve.queue.wait_seconds", alias="queue_wait_seconds"
+        )
+        self.metrics.histogram(
+            "serve.execution_seconds", alias="execution_seconds"
+        )
+        self.metrics.gauge("serve.queue.depth", alias="queue_depth")
+        self.metrics.gauge("serve.in_flight", alias="in_flight")
+        # Subsystems with their own thread-safe counters report through
+        # pull-time collectors — one sink, no double accounting.
+        self.metrics.register_collector(
+            "engine.intern", lambda: intern_stats().as_dict()
+        )
+        self.metrics.register_collector(
+            "obs.slow_queries", self.slow_queries.stats
+        )
 
         self.store = (
             Store(data_dir, sync=sync, policy=compaction)
@@ -398,12 +442,19 @@ class QueryService:
                 raise TypeError(
                     f"expected a Database, got {type(database).__name__}"
                 )
-            self._sessions[name] = Session(
+            session = Session(
                 database,
                 budget=self._budget,
                 obj_bound=self.obj_bound,
                 memo_entries=self.memo_entries,
                 plan_entries=self.plan_entries,
+            )
+            self._sessions[name] = session
+            # The session's caches report through the registry: one
+            # dotted-key schema serves STATS, the Prometheus dump, and
+            # the per-database section of :meth:`stats` alike.
+            self.metrics.register_collector(
+                f"db.{name}", session.counters
             )
 
     def session(self, db: str) -> Session:
@@ -649,9 +700,11 @@ class QueryService:
         budget = self._request_budget(ticket)
         status, result, error = "ok", UNDEFINED, None
         try:
-            result, report = session.run(
-                ticket.text, backend=ticket.backend, budget=budget
-            )
+            with span("serve.request", db=ticket.db, kind="query") as request_span:
+                result, report = session.run(
+                    ticket.text, backend=ticket.backend, budget=budget
+                )
+                request_span.set(backend=report.backend, cached=report.cached)
             trace.backend = report.backend
             trace.cached = report.cached
             trace.physical = report.physical
@@ -660,15 +713,22 @@ class QueryService:
             if kernel_cache:
                 # Per-request compiled-kernel cache traffic, aggregated
                 # service-wide so warm-kernel wins show up in STATS.
-                self.metrics.counter("kernel_cache_hits").inc(
+                self.metrics.counter("deductive.kernels.hits").inc(
                     kernel_cache["hits"]
                 )
-                self.metrics.counter("kernel_cache_misses").inc(
+                self.metrics.counter("deductive.kernels.misses").inc(
                     kernel_cache["misses"]
                 )
-                self.metrics.counter("kernel_cache_invalidations").inc(
+                self.metrics.counter("deductive.kernels.invalidations").inc(
                     kernel_cache["invalidations"]
                 )
+            if report.op_totals:
+                # Per-request physical-operator traffic, aggregated
+                # service-wide (the Scan/HashJoin/Fixpoint OpStats
+                # blocks EXPLAIN renders per query).
+                for key, value in report.op_totals.items():
+                    if value:
+                        self.metrics.counter(f"engine.ops.{key}").inc(value)
         except DeadlineExceeded:
             status = "timeout"
             trace.cause = "execution"
@@ -688,6 +748,16 @@ class QueryService:
         execution = trace.execution_seconds()
         if execution is not None:
             self.metrics.histogram("execution_seconds").observe(execution)
+        if self.slow_queries.record(
+            ticket.db,
+            ticket.text,
+            execution,
+            backend=trace.backend,
+            outcome=status,
+            spent=trace.spent,
+            physical=trace.physical,
+        ):
+            self.metrics.counter("serve.queries.slow").inc()
         if status == "ok":
             self.metrics.counter("queries_completed").inc()
         elif status == "timeout":
@@ -716,7 +786,9 @@ class QueryService:
             durable = (
                 self.store.get(ticket.db) if self.store is not None else None
             )
-            with self._writer_lock(ticket.db):
+            with self._writer_lock(ticket.db), span(
+                "serve.commit", db=ticket.db, durable=durable is not None
+            ):
                 if durable is not None:
                     commit = durable.apply(asserts, retracts)
                     new_database, delta, lsn = (
@@ -790,16 +862,8 @@ class QueryService:
         plan = session.plan(text)
         if not run:
             return render_plan(plan)
-        from ..model import values as _values
-
         _, report = session.run(text, backend=backend)
-        return render(
-            plan,
-            report,
-            cache_stats=session.memo.stats,
-            interner=_values.get_interner(),
-            plan_stats=session.plans.stats,
-        )
+        return render(plan, report, counters=session.counter_snapshot())
 
     def _cost_priority(self, db: str, text: str) -> int:
         """The admission class of *text*'s estimated plan cost.
@@ -816,25 +880,35 @@ class QueryService:
             return 0
 
     def stats(self, trace_limit: int | None = 16) -> dict:
-        """One JSON-ready snapshot of the whole service's state."""
+        """One JSON-ready snapshot of the whole service's state.
+
+        Every counter block here renders from **one**
+        :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` call — the
+        flat dotted-key schema under ``"metrics"`` is the source of
+        truth, and the legacy nested sections (``databases[*].memo``,
+        ``interner``) are :func:`~repro.obs.metrics.nest` views of the
+        same readings, byte-compatible with pre-redesign consumers.
+        """
         with self._cond:
             queue_depth = len(self._queue)
             accepting = not self._closed
+        snapshot = self.metrics.snapshot()
         databases = {}
         with self._registry_lock:
             sessions = dict(self._sessions)
         for name, session in sorted(sessions.items()):
             catalog = Catalog.for_database(session.database)
             profile = catalog.profile()
-            databases[name] = {
-                "facts": profile["total_facts"],
-                "adom": profile["adom"],
-                "max_depth": profile["max_depth"],
-                "catalog": catalog.snapshot(),
-                "memo": session.memo.stats.as_dict(),
-                "plans": session.plans.stats.as_dict(),
-                "views": len(session.views),
-            }
+            section = nest(snapshot, f"db.{name}")
+            section.update(
+                {
+                    "facts": profile["total_facts"],
+                    "adom": profile["adom"],
+                    "max_depth": profile["max_depth"],
+                    "catalog": catalog.snapshot(),
+                }
+            )
+            databases[name] = section
             if self.store is not None and name in self.store.names():
                 durable = self.store.get(name)
                 databases[name]["store"] = {
@@ -853,9 +927,10 @@ class QueryService:
                 "queue_depth": queue_depth,
                 "accepting": accepting,
             },
-            "metrics": self.metrics.snapshot(),
+            "metrics": snapshot,
             "databases": databases,
-            "interner": intern_stats().as_dict(),
+            "interner": nest(snapshot, "engine.intern"),
+            "slow_queries": self.slow_queries.tail(trace_limit),
             "traces": self.traces.tail(trace_limit),
         }
 
@@ -866,7 +941,10 @@ class QueryService:
 
         With ``drain`` (the default) queued requests still execute;
         otherwise they complete immediately with a ``"closed"``
-        outcome.  Idempotent; blocks until every worker exits.
+        outcome (counted under ``serve.queries.closed``).  Idempotent;
+        blocks until every worker exits.  Both paths end with
+        :meth:`verify_drained`: every accepted request must by then be
+        accounted for by exactly one terminal outcome counter.
         """
         with self._cond:
             if not self._closed:
@@ -875,6 +953,7 @@ class QueryService:
                     while self._queue:
                         _, _, ticket = heapq.heappop(self._queue)
                         ticket.trace.outcome = "closed"
+                        self.metrics.counter("serve.queries.closed").inc()
                         ticket.pending.complete(
                             RequestOutcome("closed", UNDEFINED, ticket.trace)
                         )
@@ -884,6 +963,31 @@ class QueryService:
             thread.join()
         if self.store is not None:
             self.store.close()
+        self.verify_drained()
+
+    def verify_drained(self) -> None:
+        """Assert the terminal-outcome invariant of a quiesced service.
+
+        Once the workers have exited (either :meth:`close` path), every
+        accepted request must be accounted for::
+
+            accepted == completed + timed_out + failed + closed
+
+        Raises :class:`AssertionError` with both sides rendered when an
+        outcome was dropped — the drain-path regression this guards
+        against is a queued ticket discarded without a terminal counter.
+        """
+        accepted = self.metrics.counter("serve.queries.accepted").value
+        outcomes = {
+            name: self.metrics.counter(f"serve.queries.{name}").value
+            for name in ("completed", "timed_out", "failed", "closed")
+        }
+        settled = sum(outcomes.values())
+        assert accepted == settled, (
+            f"drain invariant violated: accepted={accepted} != "
+            + " + ".join(f"{name}={value}" for name, value in outcomes.items())
+            + f" ({settled})"
+        )
 
     def __enter__(self) -> "QueryService":
         return self

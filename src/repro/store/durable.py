@@ -27,6 +27,7 @@ from typing import Mapping
 
 from ..errors import ReproError
 from ..model.schema import Database
+from ..obs.span import span
 from .codec import rows_from_json, rows_to_json
 from .snapshot import (
     CompactionPolicy,
@@ -224,24 +225,28 @@ class DurableDatabase:
         if delta.empty():
             return CommitResult(self.database, delta, self.lsn, 0, False)
         lsn = self.lsn + 1
-        appended = self.wal.append(lsn, delta_to_payload(delta, new_database))
-        self.database = new_database
-        self.lsn = lsn
-        self.records_since_snapshot += 1
-        self.stats.wal_appends += 1
-        self.stats.wal_bytes += appended
-        compacted = False
-        if self.policy.should_compact(self.records_since_snapshot, self.wal.size()):
-            self.snapshot()
-            compacted = True
+        with span("store.commit", db=self.directory.name, lsn=lsn):
+            appended = self.wal.append(lsn, delta_to_payload(delta, new_database))
+            self.database = new_database
+            self.lsn = lsn
+            self.records_since_snapshot += 1
+            self.stats.wal_appends += 1
+            self.stats.wal_bytes += appended
+            compacted = False
+            if self.policy.should_compact(
+                self.records_since_snapshot, self.wal.size()
+            ):
+                self.snapshot()
+                compacted = True
         return CommitResult(new_database, delta, lsn, appended, compacted)
 
     def snapshot(self) -> pathlib.Path:
         """Checkpoint now: write the canonical snapshot, truncate the
         WAL, drop superseded snapshot files."""
-        path = write_snapshot(self.directory, self.lsn, self.database)
-        self.wal.reset()
-        self.records_since_snapshot = 0
-        self.stats.snapshots += 1
-        prune_snapshots(self.directory, keep=1)
+        with span("store.snapshot", db=self.directory.name, lsn=self.lsn):
+            path = write_snapshot(self.directory, self.lsn, self.database)
+            self.wal.reset()
+            self.records_since_snapshot = 0
+            self.stats.snapshots += 1
+            prune_snapshots(self.directory, keep=1)
         return path

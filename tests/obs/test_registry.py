@@ -1,0 +1,135 @@
+"""The redesigned registry: aliases, collectors, the flatten/nest bridge."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_registry, reset_registry, set_registry
+from repro.obs.metrics import flatten, nest
+
+
+class TestAliases:
+    def test_alias_resolves_to_the_same_instrument(self):
+        registry = MetricsRegistry()
+        canonical = registry.counter("serve.queries.accepted", alias="queries_accepted")
+        assert registry.counter("queries_accepted") is canonical
+        assert registry.counter("serve.queries.accepted") is canonical
+
+    def test_snapshot_emits_both_keys_with_equal_values(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.queries.accepted", alias="queries_accepted").inc(3)
+        snap = registry.snapshot()
+        assert snap["serve.queries.accepted"] == 3
+        assert snap["queries_accepted"] == 3
+
+    def test_alias_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b", alias="legacy")
+        with pytest.raises(ValueError):
+            registry.counter("c.d", alias="legacy")
+
+    def test_alias_shadowing_a_metric_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("taken")
+        with pytest.raises(ValueError):
+            registry.counter("x.y", alias="taken")
+
+    def test_kind_mismatch_through_an_alias(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b", alias="legacy")
+        with pytest.raises(TypeError):
+            registry.gauge("legacy")
+
+    def test_aliases_listing(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b", alias="legacy")
+        assert registry.aliases() == {"legacy": "a.b"}
+
+
+class TestCollectors:
+    def test_collector_output_flattens_under_prefix(self):
+        registry = MetricsRegistry()
+        registry.register_collector("db.main", lambda: {"memo": {"hits": 2}, "views": 1})
+        snap = registry.snapshot()
+        assert snap["db.main.memo.hits"] == 2
+        assert snap["db.main.views"] == 1
+
+    def test_collector_is_polled_fresh_each_snapshot(self):
+        registry = MetricsRegistry()
+        state = {"n": 0}
+
+        def collect():
+            state["n"] += 1
+            return {"n": state["n"]}
+
+        registry.register_collector("c", collect)
+        assert registry.snapshot()["c.n"] == 1
+        assert registry.snapshot()["c.n"] == 2
+
+    def test_reregistering_a_prefix_replaces(self):
+        registry = MetricsRegistry()
+        registry.register_collector("p", lambda: {"v": 1})
+        registry.register_collector("p", lambda: {"v": 2})
+        assert registry.snapshot()["p.v"] == 2
+
+    def test_unregister(self):
+        registry = MetricsRegistry()
+        registry.register_collector("p", lambda: {"v": 1})
+        registry.unregister_collector("p")
+        assert "p.v" not in registry.snapshot()
+
+    def test_empty_prefix_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.register_collector("", dict)
+
+
+class TestBridge:
+    def test_flatten_nest_round_trip(self):
+        nested = {
+            "memo": {"hits": 3, "misses": 1},
+            "views": 2,
+            "empty": {},
+        }
+        flat = flatten("db.main", nested)
+        assert flat == {
+            "db.main.memo.hits": 3,
+            "db.main.memo.misses": 1,
+            "db.main.views": 2,
+            "db.main.empty": {},
+        }
+        assert nest(flat, "db.main") == nested
+
+    def test_nest_filters_by_prefix(self):
+        flat = {"a.x": 1, "b.y": 2}
+        assert nest(flat, "a") == {"x": 1}
+
+    def test_nest_without_prefix_rebuilds_everything(self):
+        flat = {"a.x": 1, "b": 2}
+        assert nest(flat) == {"a": {"x": 1}, "b": 2}
+
+
+class TestSnapshot:
+    def test_snapshot_is_canonical_json_material(self):
+        registry = MetricsRegistry()
+        registry.counter("b.z").inc()
+        registry.gauge("a.y").set(4)
+        registry.histogram("c.w").observe(0.2)
+        registry.register_collector("d", lambda: {"k": 1})
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)
+
+
+class TestProcessWideRegistry:
+    def test_get_creates_once(self):
+        fresh = reset_registry()
+        assert get_registry() is fresh
+
+    def test_set_installs(self):
+        mine = MetricsRegistry()
+        try:
+            assert set_registry(mine) is mine
+            assert get_registry() is mine
+        finally:
+            reset_registry()

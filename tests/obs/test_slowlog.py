@@ -1,0 +1,73 @@
+"""The slow-query log: thresholding, bounded buffer, captured plans."""
+
+import json
+
+import pytest
+
+from repro.obs import SlowQueryLog
+
+
+class TestThreshold:
+    def test_disabled_by_default(self):
+        log = SlowQueryLog()
+        assert not log.enabled
+        assert log.record("main", "{ x | S(x) }", 99.0) is False
+        assert len(log) == 0
+
+    def test_records_at_or_over_threshold(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        assert log.record("main", "fast", 0.005) is False
+        assert log.record("main", "exact", 0.010) is True
+        assert log.record("main", "slow", 0.250) is True
+        assert [entry["text"] for entry in log.tail()] == ["exact", "slow"]
+
+    def test_none_seconds_never_records(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        assert log.record("main", "unfinished", None) is False
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1.0)
+
+
+class TestRecords:
+    def test_record_carries_the_physical_tree(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record(
+            "main",
+            "rules { ... } answer T",
+            0.2,
+            backend="col-stratified",
+            outcome="ok",
+            spent={"iterations": 4},
+            physical="Fixpoint [rounds=4]\n  Scan(R) [rows_out=6]",
+        )
+        (entry,) = log.tail()
+        assert entry["backend"] == "col-stratified"
+        assert entry["outcome"] == "ok"
+        assert entry["spent"] == {"iterations": 4}
+        assert "Scan(R)" in entry["physical"]
+        assert entry["threshold_ms"] == 0.0
+
+    def test_to_json_round_trips(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record("main", "q", 0.1)
+        assert json.loads(log.to_json())[0]["db"] == "main"
+
+
+class TestBounds:
+    def test_buffer_keeps_most_recent(self):
+        log = SlowQueryLog(threshold_ms=0.0, max_entries=3)
+        for index in range(7):
+            log.record("main", f"q{index}", 0.1)
+        assert [entry["text"] for entry in log.tail()] == ["q4", "q5", "q6"]
+        assert log.recorded == 7  # the monotone total survives eviction
+        assert log.stats() == {
+            "recorded": 7,
+            "buffered": 3,
+            "threshold_ms": 0.0,
+        }
+
+    def test_cap_validated(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(max_entries=0)

@@ -1,0 +1,176 @@
+"""Span tracing: the no-op fast path, parenting, sampling, the cap."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NOOP_SPAN,
+    SpanRecorder,
+    disable_tracing,
+    enable_tracing,
+    get_recorder,
+    span,
+    tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_recorder():
+    """These tests own the process-wide recorder state."""
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+class TestNoop:
+    def test_span_is_the_shared_noop_when_disabled(self):
+        assert get_recorder() is None
+        assert span("anything", key="value") is NOOP_SPAN
+
+    def test_noop_span_accepts_attrs_and_nesting(self):
+        with span("outer") as outer:
+            outer.set(backend="x")
+            with span("inner"):
+                pass
+
+
+class TestRecording:
+    def test_parent_links(self):
+        with tracing() as recorder:
+            with span("root"):
+                with span("child"):
+                    with span("grandchild"):
+                        pass
+        spans = {entry["name"]: entry for entry in recorder.tail()}
+        assert spans["root"]["parent_id"] is None
+        assert spans["child"]["parent_id"] == spans["root"]["span_id"]
+        assert spans["grandchild"]["parent_id"] == spans["child"]["span_id"]
+
+    def test_finish_order_and_durations(self):
+        with tracing() as recorder:
+            with span("root"):
+                with span("child"):
+                    pass
+        names = [entry["name"] for entry in recorder.tail()]
+        assert names == ["child", "root"]  # completion order
+        for entry in recorder.tail():
+            assert entry["duration"] is not None and entry["duration"] >= 0
+
+    def test_attrs_round_trip(self):
+        with tracing() as recorder:
+            with span("run", db="main") as active:
+                active.set(backend="col-stratified", cached=False)
+        (entry,) = recorder.tail()
+        assert entry["attrs"] == {
+            "backend": "col-stratified",
+            "cached": False,
+            "db": "main",
+        }
+
+    def test_exception_records_error_attr(self):
+        with tracing() as recorder:
+            with pytest.raises(ValueError):
+                with span("boom"):
+                    raise ValueError("no")
+        (entry,) = recorder.tail()
+        assert entry["attrs"]["error"] == "ValueError"
+
+    def test_threads_get_independent_stacks(self):
+        with tracing() as recorder:
+            done = threading.Event()
+
+            def other():
+                with span("other-root"):
+                    done.set()
+
+            with span("main-root"):
+                thread = threading.Thread(target=other)
+                thread.start()
+                thread.join()
+            assert done.is_set()
+        roots = [e for e in recorder.tail() if e["parent_id"] is None]
+        assert {e["name"] for e in roots} == {"other-root", "main-root"}
+
+
+class TestSampling:
+    def test_sample_every_keeps_each_nth_root(self):
+        with tracing(sample_every=3) as recorder:
+            for index in range(9):
+                with span("root", index=index):
+                    with span("child"):
+                        pass
+        kept = [e["attrs"]["index"] for e in recorder.tail() if e["name"] == "root"]
+        assert kept == [0, 3, 6]  # deterministic: a counter, not a PRNG
+        # Children follow their root's decision exactly.
+        children = [e for e in recorder.tail() if e["name"] == "child"]
+        assert len(children) == 3
+
+    def test_sample_every_zero_records_nothing(self):
+        with tracing(sample_every=0) as recorder:
+            for _ in range(5):
+                with span("root"):
+                    pass
+        assert recorder.tail() == []
+        assert recorder.stats()["roots_seen"] == 5
+        assert recorder.stats()["dropped"] == 5
+
+    def test_suppressed_root_suppresses_children_for_free(self):
+        with tracing(sample_every=2) as recorder:
+            with span("a"):
+                with span("a.child"):
+                    pass
+            with span("b"):
+                with span("b.child"):
+                    pass
+        names = {e["name"] for e in recorder.tail()}
+        assert names == {"a", "a.child"}
+
+
+class TestBounds:
+    def test_buffer_keeps_most_recent_cap_entries(self):
+        # Mirrors TraceLog's cap semantics: old entries fall off the
+        # front, len never exceeds the cap.
+        with tracing(max_entries=4) as recorder:
+            for index in range(10):
+                with span("s", index=index):
+                    pass
+        assert len(recorder) == 4
+        kept = [e["attrs"]["index"] for e in recorder.tail()]
+        assert kept == [6, 7, 8, 9]
+
+    def test_tail_limit(self):
+        with tracing(max_entries=8) as recorder:
+            for index in range(5):
+                with span("s", index=index):
+                    pass
+        assert [e["attrs"]["index"] for e in recorder.tail(2)] == [3, 4]
+
+    def test_cap_validated(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(max_entries=0)
+        with pytest.raises(ValueError):
+            SpanRecorder(sample_every=-1)
+
+
+class TestProcessWideToggle:
+    def test_enable_disable(self):
+        recorder = enable_tracing()
+        try:
+            assert get_recorder() is recorder
+            assert enable_tracing() is recorder  # idempotent
+            with span("visible"):
+                pass
+            assert [e["name"] for e in recorder.tail()] == ["visible"]
+        finally:
+            disable_tracing()
+        assert get_recorder() is None
+
+    def test_tracing_restores_previous_recorder(self):
+        outer = enable_tracing()
+        try:
+            with tracing() as inner:
+                assert get_recorder() is inner
+            assert get_recorder() is outer
+        finally:
+            disable_tracing()

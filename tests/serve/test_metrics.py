@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
 
 
 class TestCounter:

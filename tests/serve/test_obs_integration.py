@@ -1,0 +1,223 @@
+"""The observability redesign, end to end through the serving layer.
+
+One registry snapshot feeds STATS, the per-database sections, EXPLAIN's
+counter block, and the Prometheus dump; the drain invariant holds after
+both close() paths; slow queries are captured with their physical
+trees; spans cover the request lifecycle.
+"""
+
+import time
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry, nest
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeServer
+from repro.serve.service import QueryService
+from repro.workloads import serve_databases
+
+from tests.serve.test_service import _blocked_service
+
+
+class TestUnifiedStats:
+    def test_canonical_and_alias_keys_agree(self):
+        service = QueryService(serve_databases(), workers=1, intern=False)
+        try:
+            service.query("main", "{ x | S(x) }")
+            metrics = service.stats()["metrics"]
+            for canonical, alias in (
+                ("serve.queries.accepted", "queries_accepted"),
+                ("serve.queries.completed", "queries_completed"),
+                ("serve.queue.wait_seconds", "queue_wait_seconds"),
+                ("serve.in_flight", "in_flight"),
+            ):
+                assert metrics[canonical] == metrics[alias]
+        finally:
+            service.close()
+
+    def test_database_section_is_a_nest_view_of_the_snapshot(self):
+        service = QueryService(serve_databases(), workers=1, intern=False)
+        try:
+            service.query("main", "{ x | S(x) }")
+            stats = service.stats()
+            derived = nest(stats["metrics"], "db.main")
+            section = stats["databases"]["main"]
+            assert section["memo"] == derived["memo"]
+            assert section["plans"] == derived["plans"]
+            assert section["views"] == derived["views"]
+        finally:
+            service.close()
+
+    def test_interner_section_matches_collector_keys(self):
+        service = QueryService(serve_databases(), workers=1)
+        try:
+            service.query("main", "{ x | S(x) }")
+            stats = service.stats()
+            assert stats["interner"] == nest(stats["metrics"], "engine.intern")
+            assert stats["interner"]["hits"] == stats["metrics"]["engine.intern.hits"]
+        finally:
+            service.close()
+
+    def test_engine_op_totals_aggregate(self):
+        service = QueryService(serve_databases(), workers=1, intern=False)
+        try:
+            service.query("main", "{ x | S(x) }")
+            metrics = service.stats()["metrics"]
+            assert metrics["engine.ops.rows_out"] > 0
+        finally:
+            service.close()
+
+    def test_injected_registry_is_used(self):
+        registry = MetricsRegistry()
+        service = QueryService(
+            serve_databases(), workers=1, intern=False, registry=registry
+        )
+        try:
+            assert service.metrics is registry
+            service.query("main", "{ x | S(x) }")
+            assert registry.counter("serve.queries.completed").value == 1
+        finally:
+            service.close()
+
+
+class TestDrainInvariant:
+    def test_holds_after_graceful_close(self):
+        service = QueryService(serve_databases(), workers=2, intern=False)
+        service.query("main", "{ x | S(x) }")
+        service.query("main", "nonsense ((")
+        service.close()  # raises AssertionError on a dropped outcome
+        metrics = service.metrics.snapshot()
+        assert metrics["serve.queries.accepted"] == 2
+        assert metrics["serve.queries.closed"] == 0
+
+    def test_holds_after_close_without_drain(self):
+        service, blocker = _blocked_service(workers=1, max_queue_depth=8)
+        occupier = service.submit("block", "x")
+        time.sleep(0.05)
+        queued = [service.submit("main", "{ x | S(x) }") for _ in range(3)]
+        blocker.release.set()
+        service.close(drain=False)
+        assert occupier.wait(timeout=5) is not None
+        for pending in queued:
+            assert pending.wait(timeout=5) is not None
+        metrics = service.metrics.snapshot()
+        settled = sum(
+            metrics[f"serve.queries.{name}"]
+            for name in ("completed", "timed_out", "failed", "closed")
+        )
+        assert metrics["serve.queries.accepted"] == settled
+        assert metrics["serve.queries.closed"] == metrics["queries_closed"]
+
+    def test_verify_drained_reports_a_dropped_outcome(self):
+        service = QueryService(serve_databases(), workers=1, intern=False)
+        try:
+            service.query("main", "{ x | S(x) }")
+            service.metrics.counter("serve.queries.accepted").inc()  # orphan
+            with pytest.raises(AssertionError, match="drain invariant"):
+                service.verify_drained()
+        finally:
+            service.metrics.counter("serve.queries.completed").inc()
+            service.close()
+
+
+class TestSlowQueryLog:
+    def test_threshold_zero_captures_every_query(self):
+        service = QueryService(
+            serve_databases(), workers=1, intern=False, slow_query_ms=0.0
+        )
+        try:
+            service.query("main", "{ x | S(x) }")
+            stats = service.stats()
+            (entry,) = stats["slow_queries"]
+            assert entry["db"] == "main"
+            assert entry["text"] == "{ x | S(x) }"
+            assert entry["outcome"] == "ok"
+            assert entry["physical"] and "Scan(" in entry["physical"]
+            assert stats["metrics"]["serve.queries.slow"] == 1
+            assert stats["metrics"]["obs.slow_queries.recorded"] == 1
+        finally:
+            service.close()
+
+    def test_disabled_by_default(self):
+        service = QueryService(serve_databases(), workers=1, intern=False)
+        try:
+            service.query("main", "{ x | S(x) }")
+            stats = service.stats()
+            assert stats["slow_queries"] == []
+            assert stats["metrics"]["serve.queries.slow"] == 0
+        finally:
+            service.close()
+
+
+class TestRequestSpans:
+    def test_request_span_tree(self):
+        service = QueryService(serve_databases(), workers=1, intern=False)
+        try:
+            with tracing() as recorder:
+                service.query("main", "{ x | S(x) }")
+            spans = recorder.tail()
+            by_name = {}
+            for entry in spans:
+                by_name.setdefault(entry["name"], entry)
+            request = by_name["serve.request"]
+            assert request["parent_id"] is None
+            assert request["attrs"]["db"] == "main"
+            assert request["attrs"]["backend"]
+            run = by_name["session.run"]
+            assert run["parent_id"] == request["span_id"]
+        finally:
+            service.close()
+
+    def test_commit_span_on_updates(self):
+        service = QueryService(serve_databases(), workers=1, intern=False)
+        try:
+            with tracing() as recorder:
+                outcome = service.update("main", asserts={"S": ["z"]})
+            assert outcome.status == "ok"
+            names = {entry["name"] for entry in recorder.tail()}
+            assert "serve.commit" in names
+        finally:
+            service.close()
+
+    def test_no_recorder_means_no_spans_recorded(self):
+        from repro.obs import get_recorder
+
+        service = QueryService(serve_databases(), workers=1, intern=False)
+        try:
+            assert get_recorder() is None
+            service.query("main", "{ x | S(x) }")
+            assert get_recorder() is None
+        finally:
+            service.close()
+
+
+class TestMetricsWireOp:
+    def test_metrics_text_over_the_wire(self):
+        service = QueryService(serve_databases(), workers=2, intern=False)
+        server = ServeServer(service, port=0)
+        server.start()
+        try:
+            host, port = server.address
+            with ServeClient(host, port, seed=0) as client:
+                client.query("main", "{ x | S(x) }")
+                text = client.metrics_text()
+            assert "# TYPE repro_serve_queries_accepted counter" in text
+            assert "repro_serve_queries_completed 1" in text
+            assert render_prometheus(service.metrics).splitlines()[0] in text
+        finally:
+            server.stop()
+
+    def test_explain_over_wire_renders_unified_counter_block(self):
+        service = QueryService(serve_databases(), workers=2, intern=False)
+        server = ServeServer(service, port=0)
+        server.start()
+        try:
+            host, port = server.address
+            with ServeClient(host, port, seed=0) as client:
+                text = client.explain("main", "{ x | S(x) }", run=True)
+            assert "memo cache: hits=" in text
+            assert "plan cache: hits=" in text
+        finally:
+            server.stop()
